@@ -1,0 +1,76 @@
+// Ablation: var-KRR design choices — sizeArray base b in {2, 4, 8, 16}
+// versus the exact Fenwick byte tracker. Accuracy is measured as the MRC
+// MAE against byte-capacity K-LRU simulation; cost as profiler wall time.
+// Larger bases mean fewer accumulators (less maintenance) but wider
+// interpolation brackets (more estimation error).
+
+#include "bench_common.h"
+
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace krrbench;
+
+// var-KRR pass with a given sizeArray base.
+std::pair<MissRatioCurve, double> run_var(const std::vector<Request>& trace,
+                                          std::uint32_t k, std::uint32_t base) {
+  Stopwatch watch;
+  KrrProfilerConfig cfg;
+  cfg.k_sample = k;
+  cfg.byte_granularity = true;
+  cfg.size_array_base = base;
+  KrrProfiler profiler(cfg);
+  for (const Request& r : trace) profiler.access(r);
+  return {profiler.mrc(), watch.seconds()};
+}
+
+// Reference: same stack, exact Fenwick byte distances.
+std::pair<MissRatioCurve, double> run_exact(const std::vector<Request>& trace,
+                                            std::uint32_t k) {
+  Stopwatch watch;
+  KrrStackConfig sc;
+  sc.k = corrected_k(k);
+  sc.track_bytes = true;
+  sc.track_bytes_exact = true;
+  sc.seed = 11;
+  KrrStack stack(sc);
+  DistanceHistogram hist;
+  for (const Request& r : trace) {
+    const auto result = stack.access(r.key, r.size);
+    if (result.cold) {
+      hist.record_infinite();
+    } else {
+      hist.record(*stack.last_exact_byte_distance());
+    }
+  }
+  return {hist.to_mrc(), watch.seconds()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace krrbench;
+  const std::size_t n = scaled(200000);
+  const std::uint32_t k = 8;
+  const std::vector<Workload> workloads = {make_msr("src1", n, 12000, 0),
+                                           make_twitter("cluster26.0", n, 10000, 0)};
+
+  Table table({"workload", "variant", "mae_vs_sim", "pass_sec"});
+  for (const Workload& w : workloads) {
+    const auto sizes = capacity_grid_bytes(w.trace, 16);
+    const MissRatioCurve truth = sweep_klru(w.trace, sizes, k, true, 17);
+    for (std::uint32_t base : {2u, 4u, 8u, 16u}) {
+      const auto [curve, sec] = run_var(w.trace, k, base);
+      table.add(w.name, "sizeArray_b" + std::to_string(base),
+                curve.mae(truth, sizes), sec);
+    }
+    const auto [curve, sec] = run_exact(w.trace, k);
+    table.add(w.name, "exact_fenwick", curve.mae(truth, sizes), sec);
+  }
+  print_table(table, "var-KRR ablation: sizeArray base vs exact byte tracking");
+  std::cout << "(expected shape: error grows mildly with the base while cost\n"
+               " falls slightly; the exact tracker bounds the achievable\n"
+               " accuracy at a higher per-update cost)\n";
+  return 0;
+}

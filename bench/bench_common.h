@@ -1,0 +1,98 @@
+#pragma once
+
+// Shared helpers for the table/figure reproduction benches. Each bench is a
+// standalone binary that prints the same rows/series the paper reports.
+// Trace lengths honor KRR_BENCH_SCALE (default 1) so `KRR_BENCH_SCALE=10`
+// approaches paper-sized runs while the default stays laptop-friendly.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "krr.h"
+
+namespace krrbench {
+
+using namespace krr;
+
+/// One named workload with a fixed-length materialized trace.
+struct Workload {
+  std::string name;
+  std::vector<Request> trace;
+};
+
+/// Evaluation trace families (scaled-down versions of the paper's §5.2
+/// setup). `uniform_size` != 0 forces fixed object sizes.
+inline Workload make_msr(const std::string& profile, std::size_t n,
+                         std::uint64_t footprint, std::uint32_t uniform_size,
+                         std::uint64_t seed = 1) {
+  MsrGenerator gen(msr_profile(profile), seed, footprint, uniform_size);
+  return Workload{gen.name(), materialize(gen, n)};
+}
+
+inline Workload make_ycsb_c(double alpha, std::size_t n, std::uint64_t records,
+                            std::uint64_t seed = 2, std::uint32_t object_size = 1) {
+  YcsbWorkloadC gen(records, alpha, seed, object_size);
+  return Workload{gen.name(), materialize(gen, n)};
+}
+
+inline Workload make_ycsb_e(double alpha, std::size_t n, std::uint64_t records,
+                            std::uint64_t seed = 3) {
+  YcsbWorkloadE gen(records, alpha, seed);
+  return Workload{gen.name(), materialize(gen, n)};
+}
+
+inline Workload make_twitter(const std::string& profile, std::size_t n,
+                             std::uint64_t keys, std::uint32_t uniform_size,
+                             std::uint64_t seed = 4) {
+  TwitterGenerator gen(twitter_profile(profile), seed, keys, uniform_size);
+  return Workload{gen.name(), materialize(gen, n)};
+}
+
+/// Runs the KRR profiler over a trace and returns the predicted MRC.
+inline MissRatioCurve run_krr(const std::vector<Request>& trace, double k_sample,
+                              double sampling_rate = 1.0,
+                              bool byte_granularity = false,
+                              UpdateStrategy strategy = UpdateStrategy::kBackward,
+                              bool apply_correction = true, std::uint64_t seed = 11) {
+  KrrProfilerConfig cfg;
+  cfg.k_sample = k_sample;
+  cfg.sampling_rate = sampling_rate;
+  cfg.byte_granularity = byte_granularity;
+  cfg.strategy = strategy;
+  cfg.apply_correction = apply_correction;
+  cfg.seed = seed;
+  KrrProfiler profiler(cfg);
+  for (const Request& r : trace) profiler.access(r);
+  return profiler.mrc();
+}
+
+/// Spatial sampling rate with the paper's 8K-sampled-objects floor applied
+/// to this trace.
+inline double paper_rate(const std::vector<Request>& trace, double base = 0.001,
+                         std::uint64_t min_objects = 8192) {
+  return adaptive_sampling_rate(base, count_distinct(trace), min_objects);
+}
+
+/// Prints a table twice: human-readable and CSV (for plotting).
+inline void print_table(const Table& table, const std::string& title) {
+  std::cout << "== " << title << " ==\n";
+  table.print(std::cout);
+  std::cout << "\n[csv]\n";
+  table.print_csv(std::cout);
+  std::cout << std::endl;
+}
+
+/// Prints one MRC as labeled CSV series rows: series,size,miss_ratio.
+inline void print_series(const std::string& series, const MissRatioCurve& curve,
+                         const std::vector<double>& sizes) {
+  for (double s : sizes) {
+    std::cout << series << ',' << s << ',' << curve.eval(s) << '\n';
+  }
+}
+
+}  // namespace krrbench

@@ -1,0 +1,75 @@
+// Figure 5.3: accuracy and time of variable-size-aware KRR on eight
+// variable-size traces (4 MSR + 4 Twitter). For each trace: the exact
+// byte-capacity K-LRU MRC, the uniform-size model (uni-KRR, byte axis via
+// the mean object size) and var-KRR, plus the wall-clock cost of each model.
+//
+// The paper's panel (A) shows traces where uni-KRR's uniform-size
+// assumption visibly mispredicts while var-KRR tracks the truth.
+
+#include "bench_common.h"
+
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace krrbench;
+  const std::size_t n = scaled(200000);
+
+  struct Entry {
+    Workload workload;
+    std::uint32_t k;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({make_msr("rsrch", n, 6000, 0), 8});
+  entries.push_back({make_msr("src1", n, 15000, 0), 8});
+  entries.push_back({make_msr("web", n, 10000, 0), 8});
+  entries.push_back({make_msr("hm", n, 8000, 0), 8});
+  entries.push_back({make_twitter("cluster34.1", n, 10000, 0), 16});
+  entries.push_back({make_twitter("cluster26.0", n, 10000, 0), 16});
+  entries.push_back({make_twitter("cluster45.0", n, 12000, 0), 16});
+  entries.push_back({make_twitter("cluster52.7", n, 8000, 0), 16});
+
+  std::cout << "# Figure 5.3 series\nworkload,series,size_bytes,miss_ratio\n";
+  Table table({"workload", "K", "mae_uniKRR", "mae_varKRR", "uniKRR_sec",
+               "varKRR_sec"});
+  for (const Entry& e : entries) {
+    const auto& trace = e.workload.trace;
+    const auto sizes = capacity_grid_bytes(trace, 16);
+    const MissRatioCurve actual = sweep_klru(trace, sizes, e.k, true, 41);
+
+    Stopwatch uni_watch;
+    KrrProfilerConfig uni_cfg;
+    uni_cfg.k_sample = e.k;
+    KrrProfiler uni(uni_cfg);
+    for (const Request& r : trace) uni.access(r);
+    const double uni_sec = uni_watch.seconds();
+    // uni-KRR is an object-count curve; map to bytes via mean object size.
+    const double mean_size = static_cast<double>(working_set_bytes(trace)) /
+                             static_cast<double>(count_distinct(trace));
+    const MissRatioCurve uni_objects = uni.mrc();
+    MissRatioCurve uni_curve;
+    for (const auto& p : uni_objects.points()) {
+      uni_curve.add_point(p.size * mean_size, p.miss_ratio);
+    }
+
+    Stopwatch var_watch;
+    const MissRatioCurve var_curve =
+        run_krr(trace, e.k, 1.0, /*byte_granularity=*/true);
+    const double var_sec = var_watch.seconds();
+
+    for (double s : sizes) {
+      std::cout << e.workload.name << ",exact_KLRU," << s << ',' << actual.eval(s)
+                << '\n';
+      std::cout << e.workload.name << ",uniKRR," << s << ',' << uni_curve.eval(s)
+                << '\n';
+      std::cout << e.workload.name << ",varKRR," << s << ',' << var_curve.eval(s)
+                << '\n';
+    }
+    table.add(e.workload.name, e.k, uni_curve.mae(actual, sizes),
+              var_curve.mae(actual, sizes), uni_sec, var_sec);
+  }
+  print_table(table, "Figure 5.3: uni-KRR vs var-KRR accuracy and time");
+  std::cout << "(paper shape: var-KRR tracks the true byte-level MRC with\n"
+               " negligible error at a modest constant-factor time overhead;\n"
+               " uni-KRR deviates on strongly variable-size traces)\n";
+  return 0;
+}

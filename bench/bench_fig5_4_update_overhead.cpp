@@ -1,0 +1,75 @@
+// Figure 5.4: average stack-update overhead, normalized against K = 1, for
+// K in {1, 2, 4, 8, 16, 32}, per workload family (YCSB, MSR, Twitter).
+// Corollary 1 predicts the expected number of swap positions — and thus the
+// update cost — grows roughly linearly in K; the paper observes <= ~4x for
+// K <= 16. Both wall time and the measured swap count are reported.
+
+#include "bench_common.h"
+
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace krrbench;
+  const std::size_t n = scaled(200000);
+
+  struct Family {
+    std::string name;
+    std::vector<Workload> workloads;
+  };
+  std::vector<Family> families;
+  families.push_back({"YCSB", {make_ycsb_c(0.99, n, 20000), make_ycsb_e(1.5, n, 8000)}});
+  families.push_back({"MSR", {make_msr("src1", n, 15000, 1), make_msr("usr", n, 20000, 1)}});
+  families.push_back({"TW",
+                      {make_twitter("cluster26.0", n, 15000, 1),
+                       make_twitter("cluster45.0", n, 20000, 1)}});
+
+  Table table({"family", "K", "normalized_time", "normalized_swaps",
+               "normalized_time_uncorrected"});
+  std::cout << "# Figure 5.4\n";
+  for (const Family& family : families) {
+    std::vector<double> times, swaps, times_raw;
+    for (std::uint32_t k : {1, 2, 4, 8, 16, 32}) {
+      double family_time = 0.0, family_swaps = 0.0, family_raw = 0.0;
+      for (const Workload& w : family.workloads) {
+        {
+          KrrStackConfig cfg;
+          cfg.k = corrected_k(k);
+          cfg.strategy = UpdateStrategy::kBackward;
+          cfg.seed = 13;
+          KrrStack stack(cfg);
+          Stopwatch watch;
+          for (const Request& r : w.trace) stack.access(r.key);
+          family_time += watch.seconds();
+          family_swaps += static_cast<double>(stack.swaps_performed());
+        }
+        {
+          // Uncorrected exponent (k, not k^1.4): isolates how much of the
+          // growth is the correction inflating the swap count.
+          KrrStackConfig cfg;
+          cfg.k = static_cast<double>(k);
+          cfg.strategy = UpdateStrategy::kBackward;
+          cfg.seed = 13;
+          KrrStack stack(cfg);
+          Stopwatch watch;
+          for (const Request& r : w.trace) stack.access(r.key);
+          family_raw += watch.seconds();
+        }
+      }
+      times.push_back(family_time);
+      swaps.push_back(family_swaps);
+      times_raw.push_back(family_raw);
+    }
+    const std::uint32_t ks[] = {1, 2, 4, 8, 16, 32};
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      table.add(family.name, ks[i], times[i] / times[0], swaps[i] / swaps[0],
+                times_raw[i] / times_raw[0]);
+    }
+  }
+  print_table(table, "Figure 5.4: stack update overhead normalized to K=1");
+  std::cout << "(paper shape: overhead grows with K and stays moderate for\n"
+               " K <= 16; beyond K ~ 32 LRU approximations like SHARDS become\n"
+               " preferable. Our pure stack-update measurement grows closer to\n"
+               " the theoretical K*logM swap count than the paper's <= 4x,\n"
+               " whose per-access constant costs dominate; see EXPERIMENTS.md)\n";
+  return 0;
+}

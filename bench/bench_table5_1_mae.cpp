@@ -1,0 +1,60 @@
+// Table 5.1: average MAE of the KRR model (with and without spatial
+// sampling) against the simulated K-LRU ground truth, for K in
+// {1, 2, 4, 8, 16, 32}, averaged per workload family (MSR, YCSB, Twitter).
+//
+// Extends the paper's table with an ablation column: KRR without the
+// K' = K^1.4 correction, showing where the correction matters.
+//
+// All workloads use uniform object sizes (the paper's 200 B convention;
+// capacities are counted in objects so the constant cancels).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace krrbench;
+  const std::size_t n = scaled(250000);
+
+  struct Family {
+    std::string name;
+    std::vector<Workload> workloads;
+  };
+  std::vector<Family> families;
+  families.push_back(
+      {"MSR",
+       {make_msr("src1", n, 15000, 1), make_msr("web", n, 12000, 1),
+        make_msr("usr", n, 20000, 1), make_msr("rsrch", n, 8000, 1)}});
+  families.push_back({"YCSB",
+                      {make_ycsb_c(0.5, n, 20000), make_ycsb_c(0.99, n, 20000),
+                       make_ycsb_e(1.5, n, 8000)}});
+  families.push_back({"Twitter",
+                      {make_twitter("cluster26.0", n, 15000, 1),
+                       make_twitter("cluster34.1", n, 12000, 1),
+                       make_twitter("cluster45.0", n, 20000, 1)}});
+
+  const std::vector<std::uint32_t> ks = {1, 2, 4, 8, 16, 32};
+  Table table({"family", "K", "mae_krr", "mae_krr_spatial", "mae_no_correction"});
+
+  for (const Family& family : families) {
+    for (std::uint32_t k : ks) {
+      double mae_krr = 0.0, mae_spatial = 0.0, mae_raw = 0.0;
+      for (const Workload& w : family.workloads) {
+        const auto sizes = capacity_grid_objects(w.trace, 20);
+        const MissRatioCurve actual = sweep_klru(w.trace, sizes, k, true, 500 + k);
+        mae_krr += run_krr(w.trace, k).mae(actual, sizes);
+        mae_spatial +=
+            run_krr(w.trace, k, paper_rate(w.trace, 0.001, 4096)).mae(actual, sizes);
+        mae_raw += run_krr(w.trace, k, 1.0, false, UpdateStrategy::kBackward,
+                           /*apply_correction=*/false)
+                       .mae(actual, sizes);
+      }
+      const auto count = static_cast<double>(family.workloads.size());
+      table.add(family.name, k, mae_krr / count, mae_spatial / count,
+                mae_raw / count);
+    }
+  }
+  print_table(table, "Table 5.1: average MAE per family and sampling size K");
+  std::cout << "(paper shape: all MAEs well below 0.01 without sampling and a\n"
+               " few thousandths with spatial sampling; the no-correction\n"
+               " column degrades most at mid-range K on recency-driven traces)\n";
+  return 0;
+}

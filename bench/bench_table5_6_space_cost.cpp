@@ -1,0 +1,47 @@
+// Section 5.6: space cost accounting. The KRR stack costs a fixed number of
+// bytes per tracked (sampled) object; with spatial sampling rate R the
+// resident overhead relative to the workload's byte working set is
+// roughly (per_object_bytes * R) / mean_object_size. This bench reports the
+// measured per-object accounting and the resulting overhead percentages for
+// several workloads and sampling rates.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace krrbench;
+  const std::size_t n = scaled(300000);
+  std::vector<Workload> workloads = {make_msr("src1", n, 30000, 200),
+                                     make_twitter("cluster26.0", n, 25000, 0),
+                                     make_ycsb_c(0.99, n, 30000, 2, 200)};
+
+  Table table({"workload", "R", "sampled_objects", "model_bytes",
+               "workload_bytes", "overhead_percent"});
+  for (const Workload& w : workloads) {
+    const double wss_bytes = static_cast<double>(working_set_bytes(w.trace));
+    for (double rate : {1.0, paper_rate(w.trace, 0.001, 512)}) {
+      KrrProfilerConfig cfg;
+      cfg.k_sample = 5;
+      cfg.sampling_rate = rate;
+      cfg.byte_granularity = true;
+      KrrProfiler profiler(cfg);
+      for (const Request& r : w.trace) profiler.access(r);
+      const double model_bytes = static_cast<double>(profiler.space_overhead_bytes());
+      table.add(w.name, rate, profiler.stack_depth(), model_bytes, wss_bytes,
+                100.0 * model_bytes / wss_bytes);
+    }
+  }
+  print_table(table, "Section 5.6: measured KRR space overhead");
+
+  // The paper's §5.6 headline example, reproduced analytically from the
+  // same per-object accounting: 100M distinct 200-byte objects, R = 0.001.
+  const double per_object = 72.0;  // 68 B uni-KRR + 4 B size field
+  const double example =
+      100.0 * (per_object * 0.001) / 200.0;  // percent of working set
+  std::cout << "analytic paper example: 100M objects x 200 B, R = 0.001 -> "
+            << format_double(example, 3)
+            << "% of the working set (paper reports 0.036%)\n";
+  std::cout << "(paper shape: ~68-72 B per tracked object; with R = 0.001 the\n"
+               " overhead is a small fraction of a percent of the working set\n"
+               " for realistic object sizes)\n";
+  return 0;
+}

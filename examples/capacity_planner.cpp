@@ -1,0 +1,68 @@
+// Capacity planner: the LAMA/pRedis-style use case the paper motivates —
+// given a workload and a target miss ratio, how much cache memory does a
+// Redis-style K-LRU cache need? One KRR pass per K answers this for every
+// cache size at once, where simulation would need one run per candidate.
+//
+//   ./build/examples/capacity_planner [--profile=cluster26.0] [--target=0.2]
+//                                     [--requests=N] [--keys=M]
+
+#include <cstdio>
+#include <iostream>
+
+#include "krr.h"
+
+namespace {
+
+// Smallest cache size whose predicted miss ratio meets the target.
+double required_size(const krr::MissRatioCurve& mrc, double target) {
+  for (const auto& p : mrc.points()) {
+    if (p.miss_ratio <= target) return p.size;
+  }
+  return -1.0;  // unattainable within the observed working set
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const krr::Options opts(argc, argv);
+  const std::string profile = opts.get_string("profile", "cluster26.0");
+  const double target = opts.get_double("target", 0.2);
+  const auto requests = static_cast<std::size_t>(opts.get_int("requests", 300000));
+  const auto keys = static_cast<std::uint64_t>(opts.get_int("keys", 20000));
+
+  krr::TwitterGenerator gen(krr::twitter_profile(profile), /*seed=*/1, keys);
+  const auto trace = krr::materialize(gen, requests);
+  const std::uint64_t wss = krr::working_set_bytes(trace);
+  std::printf("workload %s: %zu requests, %zu objects, %.1f MiB working set\n",
+              gen.name().c_str(), trace.size(), krr::count_distinct(trace),
+              static_cast<double>(wss) / (1024.0 * 1024.0));
+  std::printf("target miss ratio: %.3f\n\n", target);
+
+  krr::Table table({"K", "required_MiB", "vs_K1_percent"});
+  double k1_size = 0.0;
+  for (std::uint32_t k : {1, 2, 5, 10, 32}) {
+    krr::KrrProfilerConfig cfg;
+    cfg.k_sample = k;
+    cfg.byte_granularity = true;  // plan in bytes: object sizes vary
+    krr::KrrProfiler profiler(cfg);
+    for (const krr::Request& r : trace) profiler.access(r);
+    const double size = required_size(profiler.mrc(), target);
+    if (size < 0) {
+      table.add(k, "unattainable", "-");
+      continue;
+    }
+    if (k == 1) k1_size = size;
+    const double mib = size / (1024.0 * 1024.0);
+    table.add(k, mib,
+              k1_size > 0 ? krr::format_double(100.0 * size / k1_size, 4)
+                          : std::string("-"));
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nLarger eviction sampling sizes K approximate LRU more closely; whether\n"
+      "that saves or costs memory depends on the workload (Fig. 5.2): LRU wins\n"
+      "on recency-driven traces but loses to random-like eviction on loop- or\n"
+      "scan-dominated ones. Either way K trades miss ratio against eviction\n"
+      "cost (Fig. 5.4) — and the table above prices that trade-off in MiB.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// MRC model zoo: run every miss-ratio-curve technique in the library on one
+// workload and print their curves side by side — a quick way to see which
+// family of model fits which policy.
+//
+//   ./build/examples/mrc_zoo [--workload=msr:web] [--requests=N] [--k=5]
+//
+// Workload specs are the factory grammar (run `krr_cli workloads`).
+
+#include <cstdio>
+#include <iostream>
+
+#include "krr.h"
+
+int main(int argc, char** argv) {
+  const krr::Options opts(argc, argv);
+  const std::string spec = opts.get_string("workload", "msr:web");
+  const auto requests = static_cast<std::size_t>(opts.get_int("requests", 200000));
+  const auto k = static_cast<std::uint32_t>(opts.get_int("k", 5));
+
+  krr::WorkloadFactoryOptions wf;
+  wf.footprint = static_cast<std::uint64_t>(opts.get_int("footprint", 15000));
+  wf.uniform_size = 1;
+  auto gen = krr::make_workload(spec, wf);
+  const auto trace = krr::materialize(*gen, requests);
+  const auto sizes = krr::capacity_grid_objects(trace, 8);
+  std::printf("workload %s: %zu requests, %zu objects; K-LRU sampling size %u\n\n",
+              gen->name().c_str(), trace.size(), krr::count_distinct(trace), k);
+
+  // Ground truths.
+  const krr::MissRatioCurve klru = krr::sweep_klru(trace, sizes, k, true, 3);
+  krr::LruStackProfiler lru_exact;
+
+  // One-pass models, all fed in a single sweep over the trace.
+  krr::KrrProfilerConfig krr_cfg;
+  krr_cfg.k_sample = k;
+  krr::KrrProfiler krr_model(krr_cfg);
+  krr::ShardsProfiler shards(0.1);
+  krr::AetProfiler aet;
+  krr::StatStackProfiler statstack;
+  krr::HotlProfiler hotl;
+  krr::MimirProfiler mimir(128);
+  krr::CounterStacksProfiler counter_stacks(
+      std::max<std::uint64_t>(100, requests / 400));
+  for (const krr::Request& r : trace) {
+    lru_exact.access(r);
+    krr_model.access(r);
+    shards.access(r);
+    aet.access(r);
+    statstack.access(r);
+    hotl.access(r);
+    mimir.access(r);
+    counter_stacks.access(r);
+  }
+
+  struct Row {
+    const char* name;
+    krr::MissRatioCurve curve;
+  };
+  const std::vector<Row> rows = {
+      {"simulated_KLRU", klru},
+      {"KRR (models K-LRU)", krr_model.mrc()},
+      {"exact_LRU", lru_exact.mrc()},
+      {"SHARDS_R0.1", shards.mrc()},
+      {"AET", aet.mrc(sizes)},
+      {"StatStack", statstack.mrc()},
+      {"HOTL", hotl.mrc(128)},
+      {"MIMIR_128", mimir.mrc()},
+      {"CounterStacks", counter_stacks.mrc()},
+  };
+
+  std::vector<std::string> header{"model"};
+  for (double s : sizes) header.push_back(krr::format_double(s, 4));
+  krr::Table table(header);
+  for (const Row& row : rows) {
+    std::vector<std::string> cells{row.name};
+    for (double s : sizes) cells.push_back(krr::format_double(row.curve.eval(s), 3));
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+
+  std::printf("\nMAE vs the simulated K-LRU cache (what an operator of a\n"
+              "Redis-style cache actually needs to predict):\n");
+  krr::Table mae({"model", "mae_vs_klru"});
+  for (const Row& row : rows) {
+    if (row.name == rows.front().name) continue;
+    mae.add(row.name, row.curve.mae(klru, sizes));
+  }
+  mae.print(std::cout);
+  std::printf("\nOnly KRR targets the K-LRU policy; the LRU-family models\n"
+              "agree with each other but miss the sampling effect (Fig. 5.2).\n");
+  return 0;
+}

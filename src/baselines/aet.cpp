@@ -1,0 +1,54 @@
+#include "baselines/aet.h"
+
+#include <algorithm>
+
+namespace krr {
+
+AetProfiler::AetProfiler(std::uint32_t sub_buckets) : collector_(sub_buckets) {}
+
+void AetProfiler::access(const Request& req) { collector_.access(req.key); }
+
+MissRatioCurve AetProfiler::mrc(const std::vector<double>& sizes) const {
+  MissRatioCurve curve;
+  const double total = static_cast<double>(collector_.processed());
+  if (total <= 0.0) return curve;
+  std::vector<double> targets(sizes);
+  std::sort(targets.begin(), targets.end());
+  curve.add_point(0.0, 1.0);
+
+  // Sweep t upward; P(t) is constant between consecutive bin bounds, so the
+  // integral of P grows linearly segment by segment. Whenever it crosses a
+  // target cache size c, AET(c) lies in this segment and mr(c) = P(segment).
+  double greater = total;  // references with reuse time > t (cold = infinite)
+  double integral = 0.0;
+  double prev_t = 0.0;
+  std::size_t next_target = 0;
+  collector_.histogram().for_each_bin([&](std::uint64_t upper, double weight) {
+    if (next_target >= targets.size()) return;
+    const double t_next = static_cast<double>(upper);
+    const double p = greater / total;
+    const double seg = p * (t_next - prev_t);
+    while (next_target < targets.size() && integral + seg >= targets[next_target]) {
+      curve.add_point(targets[next_target], p);
+      ++next_target;
+    }
+    integral += seg;
+    greater -= weight;
+    prev_t = t_next;
+  });
+  // Beyond the largest finite reuse time only cold references remain.
+  const double tail_p = collector_.cold_count() / total;
+  while (next_target < targets.size()) {
+    curve.add_point(targets[next_target], tail_p);
+    ++next_target;
+  }
+  return curve;
+}
+
+MissRatioCurve AetProfiler::mrc(std::size_t n_points) const {
+  if (collector_.distinct_objects() == 0) return MissRatioCurve{};
+  return mrc(evenly_spaced_sizes(static_cast<double>(collector_.distinct_objects()),
+                                 n_points));
+}
+
+}  // namespace krr

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/request.h"
+#include "util/mrc.h"
+#include "util/reuse_histogram.h"
+
+namespace krr {
+
+/// AET (Hu et al., ATC '16 / TOS '18): a kinetic, reuse-time-based model of
+/// the *exact LRU* eviction process, implemented as a related-work baseline
+/// (§6.1). It collects the reuse-time distribution in one pass and solves
+///
+///     integral_0^{AET(c)} P(t) dt = c
+///
+/// where P(t) is the probability a reference's reuse time exceeds t; the
+/// predicted miss ratio of cache size c is then P(AET(c)).
+class AetProfiler {
+ public:
+  /// sub_buckets: reuse-time bin resolution (power of two).
+  explicit AetProfiler(std::uint32_t sub_buckets = 256);
+
+  /// Processes one reference, recording its reuse time (or a cold miss).
+  void access(const Request& req);
+
+  /// MRC over the given cache sizes (in objects).
+  MissRatioCurve mrc(const std::vector<double>& sizes) const;
+
+  /// MRC over n sizes evenly spaced up to the distinct-object count.
+  MissRatioCurve mrc(std::size_t n_points = 64) const;
+
+  std::uint64_t processed() const noexcept { return collector_.processed(); }
+  std::size_t distinct_objects() const noexcept {
+    return collector_.distinct_objects();
+  }
+
+ private:
+  ReuseTimeCollector collector_;
+};
+
+}  // namespace krr

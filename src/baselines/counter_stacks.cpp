@@ -1,0 +1,97 @@
+#include "baselines/counter_stacks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hashing.h"
+
+namespace krr {
+
+CounterStacksProfiler::CounterStacksProfiler(std::uint64_t counter_interval,
+                                             double prune_delta,
+                                             std::uint32_t hll_precision)
+    : counter_interval_(counter_interval),
+      prune_delta_(prune_delta),
+      hll_precision_(hll_precision) {
+  if (counter_interval_ == 0) {
+    throw std::invalid_argument("counter interval must be > 0");
+  }
+  if (prune_delta_ < 0.0) throw std::invalid_argument("prune delta must be >= 0");
+  counters_.push_back(Counter{HyperLogLog(hll_precision_), 0.0, 0.0});
+}
+
+void CounterStacksProfiler::access(const Request& req) {
+  const std::uint64_t h = hash64(req.key);
+  for (Counter& c : counters_) c.sketch.add(h);
+  ++processed_;
+  if (++in_interval_ == counter_interval_) close_interval();
+}
+
+void CounterStacksProfiler::close_interval() {
+  if (in_interval_ == 0) return;
+  // Refresh counts and per-interval deltas, oldest (largest window) first.
+  for (Counter& c : counters_) {
+    const double count = c.sketch.estimate();
+    c.delta = std::max(0.0, count - c.last_count);
+    c.last_count = count;
+  }
+  const std::size_t m = counters_.size();
+  // Enforce the structural constraints that estimation noise can violate:
+  // a window sees at most in_interval new keys, and a key new to an older
+  // (larger) window is necessarily new to every younger one, so deltas are
+  // non-increasing from youngest to oldest.
+  counters_[m - 1].delta =
+      std::min(counters_[m - 1].delta, static_cast<double>(in_interval_));
+  for (std::size_t i = m - 1; i-- > 0;) {
+    counters_[i].delta = std::min(counters_[i].delta, counters_[i + 1].delta);
+  }
+  // Reuses resolved within the youngest window: distance in
+  // (0, count_youngest]; attribute the bracket midpoint.
+  const double youngest_new = counters_[m - 1].delta;
+  const double within = std::max(0.0, static_cast<double>(in_interval_) - youngest_new);
+  if (within > 0.0) {
+    histogram_.record(
+        std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(counters_[m - 1].last_count / 2.0)),
+        within);
+  }
+  // A request new to the younger counter i+1 but already inside the older
+  // window i reused at a distance bracketed by the two counts; attribute
+  // the bracket midpoint (the older count alone would bias the curve
+  // pessimistically by half a bracket).
+  for (std::size_t i = m - 1; i-- > 0;) {
+    const double bracketed = counters_[i + 1].delta - counters_[i].delta;
+    if (bracketed > 0.0) {
+      const double mid =
+          0.5 * (counters_[i].last_count + counters_[i + 1].last_count);
+      histogram_.record(
+          std::max<std::uint64_t>(1, static_cast<std::uint64_t>(mid)), bracketed);
+    }
+  }
+  // New to the oldest counter (whose window is the whole trace): cold.
+  if (counters_[0].delta > 0.0) histogram_.record_infinite(counters_[0].delta);
+
+  // Prune younger counters that have converged onto their older neighbour.
+  for (std::size_t i = 0; i + 1 < counters_.size();) {
+    if (counters_[i].last_count <=
+        counters_[i + 1].last_count * (1.0 + prune_delta_)) {
+      counters_.erase(counters_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    } else {
+      ++i;
+    }
+  }
+  // Start the next interval's counter.
+  counters_.push_back(Counter{HyperLogLog(hll_precision_), 0.0, 0.0});
+  in_interval_ = 0;
+}
+
+MissRatioCurve CounterStacksProfiler::mrc() const {
+  // Flush the partial interval on a copy so mrc() stays const and
+  // repeatable mid-stream.
+  CounterStacksProfiler snapshot = *this;
+  snapshot.close_interval();
+  return snapshot.histogram_.to_mrc();
+}
+
+}  // namespace krr

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "baselines/hyperloglog.h"
+#include "trace/request.h"
+#include "util/histogram.h"
+#include "util/mrc.h"
+
+namespace krr {
+
+/// Counter Stacks (Wires et al., OSDI '14): approximate *exact-LRU* MRC
+/// construction from a stack of probabilistic cardinality counters
+/// (§6.1). A new counter starts every `counter_interval` requests; each
+/// request is added to every live counter. A counter started at time s
+/// reports |distinct keys in (s, now]|; a request that is new to a young
+/// counter but already known to the next older one has an LRU stack
+/// distance bracketed by the two counters' counts, so per-interval count
+/// deltas yield a stack-distance histogram.
+///
+/// Pruning keeps memory logarithmic: when an older counter's count is
+/// within (1 + prune_delta) of its younger neighbour, the two windows have
+/// effectively converged and the younger one is dropped.
+class CounterStacksProfiler {
+ public:
+  /// counter_interval: requests between counter starts (also the batch
+  /// granularity of the histogram updates — smaller is more accurate and
+  /// more expensive). hll_precision: register-count exponent per counter.
+  explicit CounterStacksProfiler(std::uint64_t counter_interval = 1000,
+                                 double prune_delta = 0.02,
+                                 std::uint32_t hll_precision = 12);
+
+  /// Processes one reference.
+  void access(const Request& req);
+
+  /// Approximate exact-LRU MRC from the accumulated histogram. Call at the
+  /// end of the trace (flushes the current partial interval).
+  MissRatioCurve mrc() const;
+
+  std::uint64_t processed() const noexcept { return processed_; }
+  std::size_t live_counters() const noexcept { return counters_.size(); }
+
+ private:
+  struct Counter {
+    HyperLogLog sketch;
+    double last_count = 0.0;   // estimate at the previous interval boundary
+    double delta = 0.0;        // increase during the current interval
+  };
+
+  void close_interval();
+
+  std::uint64_t counter_interval_;
+  double prune_delta_;
+  std::uint32_t hll_precision_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t in_interval_ = 0;
+  std::deque<Counter> counters_;  // front = oldest
+  DistanceHistogram histogram_;
+};
+
+}  // namespace krr

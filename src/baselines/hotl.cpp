@@ -1,0 +1,62 @@
+#include "baselines/hotl.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace krr {
+
+HotlProfiler::HotlProfiler(std::uint32_t sub_buckets) : collector_(sub_buckets) {}
+
+void HotlProfiler::access(const Request& req) { collector_.access(req.key); }
+
+double HotlProfiler::footprint(std::uint64_t w) const {
+  const std::uint64_t n = collector_.processed();
+  const double m = static_cast<double>(collector_.distinct_objects());
+  if (n == 0 || w == 0) return 0.0;
+  if (w >= n) return m;
+  double deficit = 0.0;
+  // Reuse-time term: an object whose consecutive accesses are rt > w apart
+  // is absent from rt - w of the windows between them.
+  collector_.histogram().for_each_bin([&](std::uint64_t upper, double weight) {
+    if (upper > w) deficit += (static_cast<double>(upper - w)) * weight;
+  });
+  // Window-edge corrections: an object first accessed at ft is absent from
+  // the ft - w windows that end before ft; symmetrically for the reverse
+  // last-access time.
+  for (const auto& [key, ft] : collector_.first_access_times()) {
+    if (ft > w) deficit += static_cast<double>(ft - w);
+  }
+  for (const auto& [key, last] : collector_.last_access_times()) {
+    const std::uint64_t lt = n - last + 1;
+    if (lt > w) deficit += static_cast<double>(lt - w);
+  }
+  const double windows = static_cast<double>(n - w + 1);
+  return std::clamp(m - deficit / windows, 0.0, m);
+}
+
+MissRatioCurve HotlProfiler::mrc(std::size_t n_points) const {
+  MissRatioCurve curve;
+  const std::uint64_t n = collector_.processed();
+  if (n == 0) return curve;
+  const double total = static_cast<double>(n);
+  curve.add_point(0.0, 1.0);
+  // Logarithmically spaced window lengths cover all cache-size scales.
+  std::vector<std::uint64_t> windows;
+  const double log_max = std::log(static_cast<double>(n));
+  for (std::size_t i = 1; i <= n_points; ++i) {
+    const double lw = log_max * static_cast<double>(i) / static_cast<double>(n_points);
+    const auto w = static_cast<std::uint64_t>(std::llround(std::exp(lw)));
+    if (windows.empty() || w > windows.back()) windows.push_back(w);
+  }
+  for (std::uint64_t w : windows) {
+    const double c = footprint(w);
+    // mr(fp(w)) = P(rt > w) + cold share: the fraction of references whose
+    // reuse window exceeds w and therefore miss in a cache holding fp(w).
+    const double mr =
+        (collector_.histogram().tail_weight(w) + collector_.cold_count()) / total;
+    curve.add_point(c, mr);
+  }
+  return curve;
+}
+
+}  // namespace krr

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/request.h"
+#include "util/mrc.h"
+#include "util/reuse_histogram.h"
+
+namespace krr {
+
+/// HOTL (Xiang et al., ASPLOS '13; §6.1): the footprint theory of locality.
+/// The average footprint fp(w) — the mean number of distinct objects in a
+/// length-w window — is computed from the reuse-time distribution plus
+/// first/last-access corrections:
+///
+///   fp(w) = m - (1/(N-w+1)) * [ sum_{rt > w} (rt - w) h(rt)
+///                             + sum_i max(0, ft_i - w)
+///                             + sum_i max(0, lt_i - w) ]
+///
+/// with m distinct objects, ft_i the first-access time of object i, and
+/// lt_i its reverse last-access time (N - last + 1). HOTL converts fp to an
+/// LRU MRC via the derivative relation: the miss ratio of a cache of size
+/// fp(w) is the fraction of references with reuse time > w (plus colds).
+class HotlProfiler {
+ public:
+  explicit HotlProfiler(std::uint32_t sub_buckets = 256);
+
+  /// Processes one reference.
+  void access(const Request& req);
+
+  /// Average footprint of windows of length w (1 <= w <= N).
+  double footprint(std::uint64_t w) const;
+
+  /// LRU MRC from the footprint curve, evaluated at `n_points` window
+  /// lengths spread logarithmically over the trace.
+  MissRatioCurve mrc(std::size_t n_points = 64) const;
+
+  std::uint64_t processed() const noexcept { return collector_.processed(); }
+  std::size_t distinct_objects() const noexcept {
+    return collector_.distinct_objects();
+  }
+
+ private:
+  ReuseTimeCollector collector_;
+};
+
+}  // namespace krr

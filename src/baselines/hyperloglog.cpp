@@ -1,0 +1,59 @@
+#include "baselines/hyperloglog.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace krr {
+
+HyperLogLog::HyperLogLog(std::uint32_t p) : p_(p) {
+  if (p < 4 || p > 18) throw std::invalid_argument("HLL precision must be in [4,18]");
+  registers_.assign(std::size_t{1} << p, 0);
+}
+
+void HyperLogLog::add(std::uint64_t hashed_key) {
+  const std::size_t index = hashed_key >> (64 - p_);
+  // Rank of the first set bit in the remaining 64-p bits (1-based); an
+  // all-zero remainder gets the maximum rank.
+  const std::uint64_t rest = hashed_key << p_;
+  const std::uint8_t rank =
+      rest == 0 ? static_cast<std::uint8_t>(64 - p_ + 1)
+                : static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
+  registers_[index] = std::max(registers_[index], rank);
+}
+
+double HyperLogLog::estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double sum = 0.0;
+  std::size_t zeros = 0;
+  for (std::uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double alpha =
+      registers_.size() == 16 ? 0.673
+      : registers_.size() == 32 ? 0.697
+      : registers_.size() == 64 ? 0.709
+                                : 0.7213 / (1.0 + 1.079 / m);
+  double estimate = alpha * m * m / sum;
+  if (estimate <= 2.5 * m && zeros != 0) {
+    // Small-range correction: linear counting on empty registers.
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  if (other.p_ != p_) throw std::invalid_argument("HLL precision mismatch in merge");
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+bool HyperLogLog::empty() const {
+  return std::all_of(registers_.begin(), registers_.end(),
+                     [](std::uint8_t r) { return r == 0; });
+}
+
+}  // namespace krr

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace krr {
+
+/// HyperLogLog cardinality sketch (Flajolet et al. 2007), the probabilistic
+/// counter Counter Stacks builds on. Standard-error ~ 1.04/sqrt(2^p).
+///
+/// Keys are expected to be pre-hashed 64-bit values (use hash64); the
+/// sketch splits the hash into a p-bit register index and uses the leading-
+/// zero rank of the remainder.
+class HyperLogLog {
+ public:
+  /// p in [4, 18]: 2^p single-byte registers.
+  explicit HyperLogLog(std::uint32_t p = 12);
+
+  /// Inserts a (hashed) key.
+  void add(std::uint64_t hashed_key);
+
+  /// Estimated number of distinct keys added, with the standard small-range
+  /// (linear counting) correction.
+  double estimate() const;
+
+  /// Merges another sketch of the same precision (register-wise max).
+  void merge(const HyperLogLog& other);
+
+  std::uint32_t precision() const noexcept { return p_; }
+  std::size_t register_count() const noexcept { return registers_.size(); }
+
+  /// True if no key has ever been added.
+  bool empty() const;
+
+ private:
+  std::uint32_t p_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace krr

@@ -1,0 +1,37 @@
+#include "baselines/lru_stack.h"
+
+namespace krr {
+
+LruStackProfiler::LruStackProfiler(bool byte_granularity,
+                                   std::uint64_t histogram_quantum)
+    : byte_granularity_(byte_granularity), histogram_(histogram_quantum) {}
+
+std::uint64_t LruStackProfiler::access(const Request& req) {
+  ++time_;
+  markers_.ensure_size(time_);
+  const std::int64_t marker =
+      byte_granularity_ ? static_cast<std::int64_t>(req.size) : 1;
+  auto it = last_access_.find(req.key);
+  if (it == last_access_.end()) {
+    histogram_.record_infinite();
+    markers_.add(time_, marker);
+    last_access_.emplace(req.key, ObjectState{time_, req.size});
+    return 0;
+  }
+  // Objects touched strictly after x's last access sit above x on the LRU
+  // stack; x's own marker (possibly an updated size) completes the
+  // inclusive distance.
+  const std::int64_t above = markers_.range_sum(it->second.last_time + 1, time_ - 1);
+  const std::uint64_t distance = static_cast<std::uint64_t>(above) +
+                                 static_cast<std::uint64_t>(marker);
+  histogram_.record(distance);
+  markers_.add(it->second.last_time, byte_granularity_
+                                         ? -static_cast<std::int64_t>(it->second.size)
+                                         : -1);
+  markers_.add(time_, marker);
+  it->second.last_time = time_;
+  it->second.size = req.size;
+  return distance;
+}
+
+}  // namespace krr

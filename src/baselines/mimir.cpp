@@ -1,0 +1,58 @@
+#include "baselines/mimir.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace krr {
+
+MimirProfiler::MimirProfiler(std::uint32_t buckets, std::uint64_t histogram_quantum)
+    : max_buckets_(buckets), histogram_(histogram_quantum) {
+  if (max_buckets_ < 2) throw std::invalid_argument("MIMIR needs >= 2 buckets");
+  open_new_bucket();
+}
+
+void MimirProfiler::open_new_bucket() {
+  sizes_.push_back(0);
+  ++next_id_;
+  if (sizes_.size() > max_buckets_) {
+    // ROUNDER aging: the two oldest buckets merge; keys mapping to the
+    // retired id are clamped to the (new) oldest bucket lazily on access.
+    sizes_[1] += sizes_[0];
+    sizes_.pop_front();
+    ++front_id_;
+  }
+}
+
+void MimirProfiler::access(const Request& req) {
+  ++processed_;
+  auto it = bucket_of_.find(req.key);
+  const std::uint64_t newest_id = next_id_ - 1;
+  if (it != bucket_of_.end()) {
+    const std::uint64_t b = std::max(it->second, front_id_);
+    const std::size_t index = static_cast<std::size_t>(b - front_id_);
+    // Bracket midpoint: everything in newer buckets is certainly above the
+    // object; within its own bucket the position is unknown.
+    double above = 0.0;
+    for (std::size_t j = index + 1; j < sizes_.size(); ++j) {
+      above += static_cast<double>(sizes_[j]);
+    }
+    const double estimate = above + static_cast<double>(sizes_[index]) * 0.5;
+    histogram_.record(std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(estimate + 0.5)));
+    --sizes_[index];
+    it->second = newest_id;
+  } else {
+    histogram_.record_infinite();
+    bucket_of_.emplace(req.key, newest_id);
+  }
+  ++sizes_.back();
+  // Open a fresh bucket once the newest holds its fair share of the ghost
+  // list (n/B), keeping bucket sizes balanced.
+  const std::uint64_t fair_share =
+      std::max<std::uint64_t>(1, bucket_of_.size() / max_buckets_);
+  if (sizes_.back() >= fair_share && bucket_of_.size() >= max_buckets_) {
+    open_new_bucket();
+  }
+}
+
+}  // namespace krr

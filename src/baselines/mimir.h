@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "trace/request.h"
+#include "util/histogram.h"
+#include "util/mrc.h"
+
+namespace krr {
+
+/// MIMIR (Saemundsson et al., SoCC '14; §6.1): approximate exact-LRU stack
+/// distances from a coarse-grained bucketed ghost list. The LRU stack is
+/// partitioned into B variable-size buckets ordered newest to oldest; a hit
+/// in bucket i has a stack distance bracketed by the sizes of the buckets
+/// above it, estimated here at the bracket midpoint. When the newest
+/// bucket grows beyond the average (n/B), a fresh bucket opens (the
+/// ROUNDER aging scheme); the two oldest buckets merge when the bucket
+/// count exceeds B.
+class MimirProfiler {
+ public:
+  /// buckets: the number of ghost-list buckets B (the paper reports B=128
+  /// gives very accurate MRCs).
+  explicit MimirProfiler(std::uint32_t buckets = 128,
+                         std::uint64_t histogram_quantum = 1);
+
+  /// Processes one reference.
+  void access(const Request& req);
+
+  MissRatioCurve mrc() const { return histogram_.to_mrc(); }
+  const DistanceHistogram& histogram() const noexcept { return histogram_; }
+
+  std::size_t tracked_objects() const noexcept { return bucket_of_.size(); }
+  std::size_t bucket_count() const noexcept { return sizes_.size(); }
+  std::uint64_t processed() const noexcept { return processed_; }
+
+ private:
+  void open_new_bucket();
+
+  std::uint32_t max_buckets_;
+  DistanceHistogram histogram_;
+  // Buckets are identified by a monotonically increasing id; sizes_ holds
+  // the live buckets' object counts, newest at the back. front_id_ is the
+  // id of sizes_.front() (the oldest live bucket).
+  std::deque<std::uint64_t> sizes_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t front_id_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> bucket_of_;  // key -> bucket id
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace krr

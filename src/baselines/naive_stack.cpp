@@ -1,0 +1,69 @@
+#include "baselines/naive_stack.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace krr {
+
+GenericMattsonStack::GenericMattsonStack(StayProbabilityFn stay_probability,
+                                         std::uint64_t seed)
+    : stay_probability_(std::move(stay_probability)), rng_(seed), histogram_(1) {
+  if (!stay_probability_) {
+    throw std::invalid_argument("stay probability function must be set");
+  }
+}
+
+GenericMattsonStack GenericMattsonStack::lru(std::uint64_t seed) {
+  return GenericMattsonStack([](std::uint64_t) { return 0.0; }, seed);
+}
+
+GenericMattsonStack GenericMattsonStack::krr(double k, std::uint64_t seed) {
+  if (k < 1.0) throw std::invalid_argument("KRR exponent must be >= 1");
+  return GenericMattsonStack(
+      [k](std::uint64_t i) {
+        return std::pow(static_cast<double>(i - 1) / static_cast<double>(i), k);
+      },
+      seed);
+}
+
+GenericMattsonStack GenericMattsonStack::rr(std::uint64_t seed) {
+  return krr(1.0, seed);
+}
+
+std::uint64_t GenericMattsonStack::access(const Request& req) {
+  std::uint64_t phi;
+  bool cold = false;
+  auto it = position_.find(req.key);
+  if (it == position_.end()) {
+    cold = true;
+    // Cold reference: attach at the stack end before the update (Alg. 1's
+    // convention), then record an infinite distance.
+    stack_.push_back(req.key);
+    position_.emplace(req.key, stack_.size() - 1);
+    phi = stack_.size();
+    histogram_.record_infinite();
+  } else {
+    phi = it->second + 1;
+    histogram_.record(phi);
+  }
+  if (phi == 1) return cold ? 0 : 1;
+  // Linear Mattson update: carry y starts as the old stack top; at each
+  // position the resident either stays (carry passes by) or is displaced
+  // (carry lands, displaced object becomes the new carry). Positions 1 and
+  // phi always swap (Eq. 2.1a/2.1c).
+  std::uint64_t carry = stack_[0];
+  for (std::uint64_t i = 2; i < phi; ++i) {
+    const double stay = stay_probability_(i);
+    if (stay > 0.0 && rng_.next_double() < stay) continue;
+    std::swap(carry, stack_[i - 1]);
+    position_[stack_[i - 1]] = i - 1;
+  }
+  stack_[phi - 1] = carry;
+  position_[carry] = phi - 1;
+  stack_[0] = req.key;
+  position_[req.key] = 0;
+  return cold ? 0 : phi;
+}
+
+}  // namespace krr

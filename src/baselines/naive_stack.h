@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/request.h"
+#include "util/histogram.h"
+#include "util/mrc.h"
+#include "util/prng.h"
+
+namespace krr {
+
+/// Mattson's generic stack algorithm (Fig. 2.1), with the priority decision
+/// injected as a per-position stay probability:
+///
+///   stay_probability(i) — chance that maxPriority keeps the resident of
+///   stack position i when the carried object y reaches it.
+///
+/// This is the textbook O(M)-per-access update ("Basic Stack" in
+/// Table 5.3). It serves two roles:
+///  * reference oracle: with stay_probability == 0 it is the exact LRU
+///    stack; with the KRR probability ((i-1)/i)^K it performs the identical
+///    draws (same positions, same order) as the fast KRR stack's Linear
+///    strategy, so seeded runs must agree bit-for-bit;
+///  * the baseline row of the Table 5.3 timing comparison.
+class GenericMattsonStack {
+ public:
+  using StayProbabilityFn = std::function<double(std::uint64_t position)>;
+
+  GenericMattsonStack(StayProbabilityFn stay_probability, std::uint64_t seed);
+
+  /// Exact LRU variant (stay probability 0 at every position).
+  static GenericMattsonStack lru(std::uint64_t seed = 1);
+
+  /// KRR variant with exponent k (Eq. 4.1): stay prob ((i-1)/i)^k.
+  static GenericMattsonStack krr(double k, std::uint64_t seed);
+
+  /// Mattson's RR variant, i.e. KRR with k == 1.
+  static GenericMattsonStack rr(std::uint64_t seed);
+
+  /// Processes one reference; returns its stack distance (0 when cold,
+  /// recorded as infinite).
+  std::uint64_t access(const Request& req);
+
+  const DistanceHistogram& histogram() const noexcept { return histogram_; }
+  MissRatioCurve mrc() const { return histogram_.to_mrc(); }
+
+  std::size_t depth() const noexcept { return stack_.size(); }
+
+  /// Keys from stack top to bottom (test/diagnostic helper).
+  const std::vector<std::uint64_t>& stack() const noexcept { return stack_; }
+
+ private:
+  StayProbabilityFn stay_probability_;
+  Xoshiro256ss rng_;
+  DistanceHistogram histogram_;
+  std::vector<std::uint64_t> stack_;  // index 0 = stack top
+  std::unordered_map<std::uint64_t, std::size_t> position_;  // key -> index
+};
+
+}  // namespace krr

@@ -1,0 +1,113 @@
+#include "baselines/olken_tree.h"
+
+namespace krr {
+
+OlkenTreeProfiler::OlkenTreeProfiler(bool byte_granularity,
+                                     std::uint64_t histogram_quantum,
+                                     std::uint64_t seed)
+    : byte_granularity_(byte_granularity),
+      histogram_(histogram_quantum),
+      rng_(seed) {}
+
+void OlkenTreeProfiler::pull(std::uint32_t n) {
+  Node& node = nodes_[n];
+  node.size = 1 + size_of(node.left) + size_of(node.right);
+  node.subtree_weight = node.weight + weight_of(node.left) + weight_of(node.right);
+}
+
+void OlkenTreeProfiler::split(std::uint32_t n, std::uint64_t t, std::uint32_t& left,
+                              std::uint32_t& right) {
+  if (n == kNil) {
+    left = right = kNil;
+    return;
+  }
+  if (nodes_[n].time <= t) {
+    left = n;
+    split(nodes_[n].right, t, nodes_[n].right, right);
+    pull(n);
+  } else {
+    right = n;
+    split(nodes_[n].left, t, left, nodes_[n].left);
+    pull(n);
+  }
+}
+
+std::uint32_t OlkenTreeProfiler::merge(std::uint32_t a, std::uint32_t b) {
+  if (a == kNil) return b;
+  if (b == kNil) return a;
+  if (nodes_[a].heap_priority > nodes_[b].heap_priority) {
+    nodes_[a].right = merge(nodes_[a].right, b);
+    pull(a);
+    return a;
+  }
+  nodes_[b].left = merge(a, nodes_[b].left);
+  pull(b);
+  return b;
+}
+
+std::uint32_t OlkenTreeProfiler::alloc(std::uint64_t t, std::uint32_t weight) {
+  std::uint32_t n;
+  if (!free_.empty()) {
+    n = free_.back();
+    free_.pop_back();
+  } else {
+    nodes_.emplace_back();
+    n = static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+  nodes_[n] = Node{t, rng_(), weight, 1, kNil, kNil, weight};
+  return n;
+}
+
+void OlkenTreeProfiler::insert(std::uint64_t t, std::uint32_t weight) {
+  // Times are unique and inserted in increasing order, so the new node is
+  // the rightmost; a split at t-1 keeps the code general for reuse.
+  std::uint32_t left, right;
+  split(root_, t, left, right);
+  root_ = merge(merge(left, alloc(t, weight)), right);
+}
+
+void OlkenTreeProfiler::erase(std::uint64_t t) {
+  std::uint32_t left, mid, right;
+  split(root_, t - 1, left, mid);
+  std::uint32_t target;
+  split(mid, t, target, right);
+  if (target != kNil) free_.push_back(target);
+  root_ = merge(left, right);
+}
+
+std::uint64_t OlkenTreeProfiler::weight_after(std::uint64_t t) {
+  std::uint32_t left, right;
+  split(root_, t, left, right);
+  const std::uint64_t result = weight_of(right);
+  root_ = merge(left, right);
+  return result;
+}
+
+std::uint64_t OlkenTreeProfiler::access(const Request& req) {
+  ++time_;
+  const std::uint32_t weight = byte_granularity_ ? req.size : 1;
+  auto it = last_access_.find(req.key);
+  if (it == last_access_.end()) {
+    histogram_.record_infinite();
+    insert(time_, weight);
+    last_access_.emplace(req.key, ObjectState{time_, req.size});
+    return 0;
+  }
+  const std::uint64_t above = weight_after(it->second.last_time);
+  const std::uint64_t distance = above + weight;
+  histogram_.record(distance);
+  erase(it->second.last_time);
+  insert(time_, weight);
+  it->second.last_time = time_;
+  it->second.size = req.size;
+  return distance;
+}
+
+void OlkenTreeProfiler::remove(std::uint64_t key) {
+  auto it = last_access_.find(key);
+  if (it == last_access_.end()) return;
+  erase(it->second.last_time);
+  last_access_.erase(it);
+}
+
+}  // namespace krr

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "trace/request.h"
+#include "util/histogram.h"
+#include "util/mrc.h"
+#include "util/prng.h"
+
+namespace krr {
+
+/// Olken's balanced-tree LRU stack (Olken 1981) — the O(N logM)
+/// implementation the paper benchmarks against (§5.1), here as a
+/// size-augmented treap keyed by last-access time. The stack distance of a
+/// reference is one plus the number of tree nodes with a later access time.
+///
+/// Functionally identical to LruStackProfiler (Fenwick formulation); kept
+/// as an independent implementation for cross-validation and because,
+/// unlike the Fenwick tree, it supports removing objects — which the
+/// fixed-size SHARDS variant needs when it lowers its sampling threshold.
+class OlkenTreeProfiler {
+ public:
+  explicit OlkenTreeProfiler(bool byte_granularity = false,
+                             std::uint64_t histogram_quantum = 1,
+                             std::uint64_t seed = 1);
+
+  /// Processes one reference; returns its stack distance (0 when cold).
+  std::uint64_t access(const Request& req);
+
+  /// Removes an object from the stack entirely (fixed-size SHARDS
+  /// eviction). No-op if the key is not tracked.
+  void remove(std::uint64_t key);
+
+  const DistanceHistogram& histogram() const noexcept { return histogram_; }
+  MissRatioCurve mrc() const { return histogram_.to_mrc(); }
+
+  std::size_t tracked_objects() const noexcept { return last_access_.size(); }
+  std::uint64_t processed() const noexcept { return time_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Node {
+    std::uint64_t time;
+    std::uint64_t heap_priority;
+    std::uint64_t subtree_weight;  // bytes (or object count) in subtree
+    std::uint32_t size;            // node count in subtree
+    std::uint32_t left;
+    std::uint32_t right;
+    std::uint32_t weight;          // this node's bytes (or 1)
+  };
+
+  std::uint64_t weight_of(std::uint32_t n) const {
+    return n == kNil ? 0 : nodes_[n].subtree_weight;
+  }
+  std::uint32_t size_of(std::uint32_t n) const {
+    return n == kNil ? 0 : nodes_[n].size;
+  }
+  void pull(std::uint32_t n);
+  /// Splits by time: left subtree holds times <= t, right holds times > t.
+  void split(std::uint32_t n, std::uint64_t t, std::uint32_t& left,
+             std::uint32_t& right);
+  std::uint32_t merge(std::uint32_t a, std::uint32_t b);
+  std::uint32_t alloc(std::uint64_t t, std::uint32_t weight);
+  void insert(std::uint64_t t, std::uint32_t weight);
+  void erase(std::uint64_t t);
+  /// Total weight of nodes with time strictly greater than t.
+  std::uint64_t weight_after(std::uint64_t t);
+
+  struct ObjectState {
+    std::uint64_t last_time;
+    std::uint32_t size;
+  };
+
+  bool byte_granularity_;
+  DistanceHistogram histogram_;
+  Xoshiro256ss rng_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t root_ = kNil;
+  std::unordered_map<std::uint64_t, ObjectState> last_access_;
+  std::uint64_t time_ = 0;
+};
+
+}  // namespace krr

@@ -1,0 +1,173 @@
+#include "baselines/priority_stack.h"
+
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+namespace krr {
+
+std::string to_string(PriorityPolicy policy) {
+  switch (policy) {
+    case PriorityPolicy::kLru:
+      return "lru";
+    case PriorityPolicy::kMru:
+      return "mru";
+    case PriorityPolicy::kLfu:
+      return "lfu";
+    case PriorityPolicy::kOpt:
+      return "opt";
+  }
+  return "unknown";
+}
+
+PriorityMattsonStack::PriorityMattsonStack(PriorityPolicy policy) : policy_(policy) {}
+
+bool PriorityMattsonStack::resident_wins(std::uint64_t resident,
+                                         std::uint64_t carried) const {
+  const ObjectState& r = state_.at(resident);
+  const ObjectState& c = state_.at(carried);
+  switch (policy_) {
+    case PriorityPolicy::kLru:
+      // More recently used stays; the carried object always came from
+      // above, so under LRU it always wins (full downshift).
+      return r.last_access > c.last_access;
+    case PriorityPolicy::kMru:
+      // MRU keeps the *least* recently used in small caches.
+      return r.last_access < c.last_access;
+    case PriorityPolicy::kLfu:
+      // Higher frequency stays; recency breaks ties.
+      if (r.frequency != c.frequency) return r.frequency > c.frequency;
+      return r.last_access > c.last_access;
+    case PriorityPolicy::kOpt:
+      // The object reused sooner stays; among never-reused objects any
+      // consistent order is optimal — recency keeps it deterministic.
+      if (r.next_use != c.next_use) return r.next_use < c.next_use;
+      return r.last_access > c.last_access;
+  }
+  return false;
+}
+
+std::uint64_t PriorityMattsonStack::access(const Request& req, std::uint64_t next_use) {
+  ++time_;
+  std::uint64_t phi;
+  bool cold = false;
+  auto it = position_.find(req.key);
+  if (it == position_.end()) {
+    cold = true;
+    stack_.push_back(req.key);
+    position_.emplace(req.key, stack_.size() - 1);
+    phi = stack_.size();
+    histogram_.record_infinite();
+  } else {
+    phi = it->second + 1;
+    histogram_.record(phi);
+  }
+  // Refresh the referenced object's priority *before* the update (its new
+  // priority takes effect now; it is not part of the carry walk).
+  ObjectState& st = state_[req.key];
+  st.last_access = time_;
+  ++st.frequency;
+  st.next_use = next_use;
+
+  if (phi > 1) {
+    std::uint64_t carried = stack_[0];
+    for (std::uint64_t i = 2; i < phi; ++i) {
+      if (resident_wins(stack_[i - 1], carried)) continue;
+      std::swap(carried, stack_[i - 1]);
+      position_[stack_[i - 1]] = i - 1;
+    }
+    stack_[phi - 1] = carried;
+    position_[carried] = phi - 1;
+    stack_[0] = req.key;
+    position_[req.key] = 0;
+  }
+  return cold ? 0 : phi;
+}
+
+std::vector<std::uint64_t> preprocess_next_uses(const std::vector<Request>& trace) {
+  std::vector<std::uint64_t> next(trace.size(), PriorityMattsonStack::kNever);
+  std::unordered_map<std::uint64_t, std::uint64_t> upcoming;
+  upcoming.reserve(trace.size() / 2);
+  for (std::size_t i = trace.size(); i-- > 0;) {
+    auto [it, inserted] = upcoming.try_emplace(trace[i].key, i);
+    if (!inserted) {
+      next[i] = it->second;
+      it->second = i;
+    }
+  }
+  return next;
+}
+
+double simulate_opt_miss_ratio(const std::vector<Request>& trace,
+                               std::uint64_t capacity) {
+  if (capacity == 0) throw std::invalid_argument("OPT capacity must be > 0");
+  const auto next = preprocess_next_uses(trace);
+  std::unordered_map<std::uint64_t, std::uint64_t> resident;  // key -> next use
+  // Max-heap of (next use, key) with lazy invalidation.
+  std::priority_queue<std::pair<std::uint64_t, std::uint64_t>> heap;
+  std::uint64_t misses = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::uint64_t key = trace[i].key;
+    auto it = resident.find(key);
+    if (it != resident.end()) {
+      it->second = next[i];
+      heap.emplace(next[i], key);
+      continue;
+    }
+    ++misses;
+    if (resident.size() >= capacity) {
+      for (;;) {
+        const auto [nu, victim] = heap.top();
+        heap.pop();
+        auto vit = resident.find(victim);
+        if (vit != resident.end() && vit->second == nu) {
+          resident.erase(vit);
+          break;
+        }
+      }
+    }
+    resident.emplace(key, next[i]);
+    heap.emplace(next[i], key);
+  }
+  return static_cast<double>(misses) / static_cast<double>(trace.size());
+}
+
+double simulate_lfu_miss_ratio(const std::vector<Request>& trace,
+                               std::uint64_t capacity) {
+  if (capacity == 0) throw std::invalid_argument("LFU capacity must be > 0");
+  struct State {
+    std::uint64_t frequency = 0;
+    std::uint64_t last_access = 0;
+    bool resident = false;
+  };
+  std::unordered_map<std::uint64_t, State> objects;  // frequency persists
+  // Eviction order: lowest (frequency, last_access) first.
+  std::set<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> queue;
+  std::uint64_t time = 0;
+  std::uint64_t misses = 0;
+  std::size_t resident_count = 0;
+  for (const Request& r : trace) {
+    ++time;
+    State& st = objects[r.key];
+    if (st.resident) {
+      queue.erase({st.frequency, st.last_access, r.key});
+    } else {
+      ++misses;
+      if (resident_count >= capacity) {
+        const auto victim = *queue.begin();
+        queue.erase(queue.begin());
+        objects[std::get<2>(victim)].resident = false;
+        --resident_count;
+      }
+      st.resident = true;
+      ++resident_count;
+    }
+    ++st.frequency;
+    st.last_access = time;
+    queue.insert({st.frequency, st.last_access, r.key});
+  }
+  return static_cast<double>(misses) / static_cast<double>(trace.size());
+}
+
+}  // namespace krr

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/request.h"
+#include "util/histogram.h"
+#include "util/mrc.h"
+
+namespace krr {
+
+/// Deterministic stack policies from the NSP class (Bilardi et al., CF '11;
+/// related work §6.2): an object's priority changes only when it is
+/// accessed, which makes the policy a Mattson stack algorithm and its MRC
+/// constructible in one pass.
+enum class PriorityPolicy : std::uint8_t {
+  kLru = 0,  ///< priority = last access time (reference implementation)
+  kMru = 1,  ///< evict the most recently used (stack keeps the *least* recent)
+  kLfu = 2,  ///< priority = access frequency, ties broken by recency
+  kOpt = 3,  ///< Belady's MIN: priority = soonness of the next use
+             ///< (requires the next-use preprocessing pass)
+};
+
+std::string to_string(PriorityPolicy policy);
+
+/// Mattson's generic stack for deterministic total-order priorities
+/// (Fig. 2.1 with a comparator instead of a coin): one pass produces the
+/// exact stack-distance histogram — and hence the exact MRC at *every*
+/// cache size — for any policy satisfying the inclusion property.
+///
+/// The update is the textbook O(M) scan; this class is a reference oracle
+/// and analysis tool, not a fast profiler.
+///
+/// For kOpt, the caller must announce each access's next-use index via the
+/// two-argument access(); `preprocess_next_uses` computes them.
+class PriorityMattsonStack {
+ public:
+  explicit PriorityMattsonStack(PriorityPolicy policy);
+
+  /// Processes one reference; returns its stack distance (0 when cold).
+  /// next_use: for kOpt, the time of this key's next reference (or
+  /// kNever); ignored by the other policies.
+  static constexpr std::uint64_t kNever = ~0ULL;
+  std::uint64_t access(const Request& req, std::uint64_t next_use = kNever);
+
+  const DistanceHistogram& histogram() const noexcept { return histogram_; }
+  MissRatioCurve mrc() const { return histogram_.to_mrc(); }
+
+  PriorityPolicy policy() const noexcept { return policy_; }
+  std::size_t depth() const noexcept { return stack_.size(); }
+
+  /// Keys from stack top to bottom (diagnostics).
+  const std::vector<std::uint64_t>& stack() const noexcept { return stack_; }
+
+ private:
+  struct ObjectState {
+    std::uint64_t last_access = 0;
+    std::uint64_t frequency = 0;
+    std::uint64_t next_use = kNever;
+  };
+
+  /// True if the resident at stack position i outranks the carried object
+  /// (i.e. maxPriority keeps the resident).
+  bool resident_wins(std::uint64_t resident, std::uint64_t carried) const;
+
+  PriorityPolicy policy_;
+  DistanceHistogram histogram_;
+  std::vector<std::uint64_t> stack_;  // keys; index 0 = top
+  std::unordered_map<std::uint64_t, std::size_t> position_;
+  std::unordered_map<std::uint64_t, ObjectState> state_;
+  std::uint64_t time_ = 0;
+};
+
+/// Next-use times for OPT: out[i] is the index of the next reference to
+/// trace[i].key after i (or PriorityMattsonStack::kNever).
+std::vector<std::uint64_t> preprocess_next_uses(const std::vector<Request>& trace);
+
+/// Exact Belady/MIN (OPT) cache simulation at one capacity — the oracle
+/// the OPT stack is validated against. Object-count capacities only
+/// (sizes are ignored; every object costs one slot).
+double simulate_opt_miss_ratio(const std::vector<Request>& trace,
+                               std::uint64_t capacity);
+
+/// Exact LFU cache simulation (ties broken by recency, frequency persists
+/// for evicted objects — "perfect LFU"), matching the kLfu stack policy.
+double simulate_lfu_miss_ratio(const std::vector<Request>& trace,
+                               std::uint64_t capacity);
+
+}  // namespace krr

@@ -1,0 +1,45 @@
+#include "baselines/shards.h"
+
+#include <cmath>
+
+namespace krr {
+
+ShardsProfiler::ShardsProfiler(double rate, bool adjustment, bool byte_granularity,
+                               std::uint64_t histogram_quantum)
+    : filter_(rate),
+      adjustment_(adjustment),
+      histogram_quantum_(histogram_quantum),
+      stack_(byte_granularity, histogram_quantum) {}
+
+void ShardsProfiler::access(const Request& req) {
+  ++processed_;
+  if (!filter_.sampled(req.key)) return;
+  ++sampled_;
+  stack_.access(req);
+}
+
+MissRatioCurve ShardsProfiler::mrc() const {
+  // Rebuild the rescaled histogram from the sampled one: each sampled
+  // distance d estimates an unsampled distance d/R.
+  DistanceHistogram scaled(histogram_quantum_);
+  const double factor = filter_.scale();
+  for (const auto& [dist, weight] : stack_.histogram().sorted_bins()) {
+    scaled.record(static_cast<std::uint64_t>(
+                      std::llround(static_cast<double>(dist) * factor)),
+                  weight);
+  }
+  if (adjustment_) {
+    // SHARDS-adj (FAST '15, §3.2): the sample should contain N*R
+    // references; the shortfall or excess — dominated by over/under-
+    // represented hot objects, whose reuse distances are tiny — is applied
+    // to the first histogram bucket. The correction may be negative; the
+    // MRC construction clamps ratios into [0, 1].
+    const double expected = static_cast<double>(processed_) * filter_.rate();
+    const double diff = expected - static_cast<double>(sampled_);
+    if (diff != 0.0) scaled.record(1, diff);
+  }
+  scaled.record_infinite(stack_.histogram().infinite_weight());
+  return scaled.to_mrc();
+}
+
+}  // namespace krr

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/lru_stack.h"
+#include "core/spatial_filter.h"
+#include "trace/request.h"
+#include "util/histogram.h"
+#include "util/mrc.h"
+
+namespace krr {
+
+/// SHARDS (Waldspurger et al., FAST '15): approximate *exact-LRU* MRC
+/// construction via spatial sampling. References surviving the hash filter
+/// are run through an exact LRU stack-distance profiler; each sampled
+/// distance d estimates an unsampled distance d/R, so the histogram is
+/// built over rescaled distances with per-reference weight 1.
+///
+/// This is the fixed-rate variant with the optional SHARDS-adj correction:
+/// the difference between the expected sampled reference count (N*R) and
+/// the actual count is added to the first histogram bin, compensating the
+/// miss-ratio bias of over/under-sampled workloads.
+///
+/// SHARDS models the exact LRU policy only; the paper's point (§5.3) is
+/// that it cannot capture K-LRU for small K, which bench_fig5_2 shows.
+class ShardsProfiler {
+ public:
+  /// rate: spatial sampling rate in (0, 1].
+  /// byte_granularity: rescaled byte-level distances for var-size traces.
+  explicit ShardsProfiler(double rate, bool adjustment = true,
+                          bool byte_granularity = false,
+                          std::uint64_t histogram_quantum = 1);
+
+  /// Processes one reference (filtered internally).
+  void access(const Request& req);
+
+  /// MRC over rescaled distances, including the SHARDS-adj correction if
+  /// enabled.
+  MissRatioCurve mrc() const;
+
+  std::uint64_t processed() const noexcept { return processed_; }
+  std::uint64_t sampled() const noexcept { return sampled_; }
+  const SpatialFilter& filter() const noexcept { return filter_; }
+
+ private:
+  SpatialFilter filter_;
+  bool adjustment_;
+  std::uint64_t histogram_quantum_;
+  LruStackProfiler stack_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t sampled_ = 0;
+};
+
+}  // namespace krr

@@ -1,0 +1,66 @@
+#include "baselines/shards_fixed.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hashing.h"
+
+namespace krr {
+
+ShardsFixedSizeProfiler::ShardsFixedSizeProfiler(std::size_t max_objects,
+                                                 std::uint64_t modulus,
+                                                 std::uint64_t histogram_quantum)
+    : max_objects_(max_objects),
+      modulus_(modulus),
+      threshold_(modulus),  // start at rate 1.0
+      stack_(false, histogram_quantum),
+      histogram_(histogram_quantum) {
+  if (max_objects_ == 0) throw std::invalid_argument("max_objects must be > 0");
+  if (modulus_ == 0) throw std::invalid_argument("modulus must be > 0");
+}
+
+void ShardsFixedSizeProfiler::access(const Request& req) {
+  ++processed_;
+  const std::uint64_t h = hash64(req.key) % modulus_;
+  if (h >= threshold_) return;  // below the (ever-tightening) sample
+  ++sampled_;
+  const double rate = current_rate();
+  const double weight = 1.0 / rate;
+  const std::uint64_t distance = stack_.access(req);
+  if (distance == 0) {
+    histogram_.record_infinite(weight);
+    tracked_.emplace(req.key, h);
+    heap_.push(HeapEntry{h, req.key});
+    while (tracked_.size() > max_objects_) evict_largest_hash();
+  } else {
+    histogram_.record(
+        std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   std::llround(static_cast<double>(distance) / rate))),
+        weight);
+  }
+}
+
+void ShardsFixedSizeProfiler::evict_largest_hash() {
+  const std::uint64_t largest = heap_.top().hash_value;
+  // Evict every tracked object at this hash value and lower the threshold
+  // so no future reference at or above it is sampled.
+  while (!heap_.empty() && heap_.top().hash_value == largest) {
+    const HeapEntry entry = heap_.top();
+    heap_.pop();
+    stack_.remove(entry.key);
+    tracked_.erase(entry.key);
+  }
+  threshold_ = largest;
+}
+
+MissRatioCurve ShardsFixedSizeProfiler::mrc() const {
+  // SHARDS-adj: the recorded weights should integrate to the processed
+  // request count; apply the residual to the first bucket.
+  DistanceHistogram adjusted = histogram_;
+  const double diff = static_cast<double>(processed_) - histogram_.total_weight();
+  if (diff != 0.0) adjusted.record(1, diff);
+  return adjusted.to_mrc();
+}
+
+}  // namespace krr

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/olken_tree.h"
+#include "trace/request.h"
+#include "util/histogram.h"
+#include "util/mrc.h"
+
+namespace krr {
+
+/// Fixed-size SHARDS (SHARDS_smax, Waldspurger et al. FAST '15 §4):
+/// bounded-memory MRC construction. Instead of a fixed sampling rate, at
+/// most `max_objects` sampled objects are tracked; when the set is full,
+/// the object with the largest hash value is evicted and the sampling
+/// threshold T permanently lowers to that value, so the effective rate
+/// adapts downward as the working set grows.
+///
+/// Each sampled reference is recorded with the rate in force at that
+/// moment: distance d at rate R contributes weight 1/R at scaled distance
+/// d/R, which keeps the final curve in unsampled units even though R
+/// changes over time.
+class ShardsFixedSizeProfiler {
+ public:
+  explicit ShardsFixedSizeProfiler(std::size_t max_objects,
+                                   std::uint64_t modulus = 1ULL << 24,
+                                   std::uint64_t histogram_quantum = 1);
+
+  /// Processes one reference.
+  void access(const Request& req);
+
+  /// MRC over rescaled distances with the SHARDS-adj correction.
+  MissRatioCurve mrc() const;
+
+  double current_rate() const noexcept {
+    return static_cast<double>(threshold_) / static_cast<double>(modulus_);
+  }
+  std::size_t tracked_objects() const noexcept { return tracked_.size(); }
+  std::uint64_t processed() const noexcept { return processed_; }
+  std::uint64_t sampled() const noexcept { return sampled_; }
+
+ private:
+  struct HeapEntry {
+    std::uint64_t hash_value;
+    std::uint64_t key;
+  };
+  struct HeapCompare {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return a.hash_value < b.hash_value;  // max-heap on hash value
+    }
+  };
+
+  void evict_largest_hash();
+
+  std::size_t max_objects_;
+  std::uint64_t modulus_;
+  std::uint64_t threshold_;  // only ever decreases
+  OlkenTreeProfiler stack_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> heap_;
+  std::unordered_map<std::uint64_t, std::uint64_t> tracked_;  // key -> hash value
+  DistanceHistogram histogram_;
+  double expected_weight_ = 0.0;  // sum over requests of the rate in force
+  std::uint64_t processed_ = 0;
+  std::uint64_t sampled_ = 0;
+};
+
+}  // namespace krr

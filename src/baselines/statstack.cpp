@@ -1,0 +1,58 @@
+#include "baselines/statstack.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace krr {
+
+StatStackProfiler::StatStackProfiler(std::uint32_t sub_buckets)
+    : collector_(sub_buckets) {}
+
+void StatStackProfiler::access(const Request& req) { collector_.access(req.key); }
+
+double StatStackProfiler::expected_stack_distance(std::uint64_t reuse_time) const {
+  // sd(r) = sum_{j=1}^{r-1} P(rt > j), evaluated piecewise over the bins:
+  // P is constant between bin bounds, so each segment contributes
+  // P * segment_length.
+  const double total = static_cast<double>(collector_.processed());
+  if (total <= 0.0 || reuse_time <= 1) return 1.0;
+  const double r = static_cast<double>(reuse_time);
+  double greater = total;  // count with rt > j (cold counts as infinite)
+  double prev = 0.0;
+  double sd = 0.0;
+  bool done = false;
+  collector_.histogram().for_each_bin([&](std::uint64_t upper, double weight) {
+    if (done) return;
+    const double bound = std::min(static_cast<double>(upper), r - 1.0);
+    if (bound > prev) {
+      sd += (greater / total) * (bound - prev);
+      prev = bound;
+    }
+    if (static_cast<double>(upper) >= r - 1.0) {
+      done = true;
+      return;
+    }
+    greater -= weight;
+  });
+  if (!done && r - 1.0 > prev) {
+    sd += (greater / total) * (r - 1.0 - prev);
+  }
+  // The re-referenced object itself occupies one stack slot.
+  return std::max(1.0, sd + 1.0);
+}
+
+MissRatioCurve StatStackProfiler::mrc() const {
+  DistanceHistogram distances;
+  const double total = static_cast<double>(collector_.processed());
+  if (total <= 0.0) return MissRatioCurve{};
+  collector_.histogram().for_each_bin([&](std::uint64_t upper, double weight) {
+    const double sd = expected_stack_distance(upper);
+    distances.record(
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(sd))),
+        weight);
+  });
+  distances.record_infinite(collector_.cold_count());
+  return distances.to_mrc();
+}
+
+}  // namespace krr

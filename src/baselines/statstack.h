@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/request.h"
+#include "util/histogram.h"
+#include "util/mrc.h"
+#include "util/reuse_histogram.h"
+
+namespace krr {
+
+/// StatStack (Eklov & Hagersten, ISPASS '10; §6.1): converts the reuse-time
+/// distribution into an *expected stack distance* distribution for exact
+/// LRU. For a reuse with reuse time r, the expected number of distinct
+/// objects among the r-1 intervening references is
+///
+///     sd(r) = sum_{j=1}^{r-1} P(reuse time > j)
+///
+/// (an intervening reference contributes a distinct object iff its own
+/// next reuse falls beyond our reuse point). The model therefore assumes
+/// reuse times are i.i.d. — exact for IRM traces, approximate otherwise.
+class StatStackProfiler {
+ public:
+  explicit StatStackProfiler(std::uint32_t sub_buckets = 256);
+
+  /// Processes one reference.
+  void access(const Request& req);
+
+  /// Expected-stack-distance MRC for exact LRU.
+  MissRatioCurve mrc() const;
+
+  /// The sd(r) mapping itself (exposed for tests): expected stack distance
+  /// of a reuse with reuse time r.
+  double expected_stack_distance(std::uint64_t reuse_time) const;
+
+  std::uint64_t processed() const noexcept { return collector_.processed(); }
+  std::size_t distinct_objects() const noexcept {
+    return collector_.distinct_objects();
+  }
+
+ private:
+  ReuseTimeCollector collector_;
+};
+
+}  // namespace krr

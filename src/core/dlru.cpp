@@ -1,0 +1,82 @@
+#include "core/dlru.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace krr {
+
+namespace {
+
+KLruConfig make_cache_config(const AdaptiveKLruConfig& config) {
+  KLruConfig cc;
+  cc.capacity = config.capacity;
+  cc.sample_size = config.initial_k;
+  cc.seed = config.seed;
+  return cc;
+}
+
+}  // namespace
+
+AdaptiveKLruCache::AdaptiveKLruCache(const AdaptiveKLruConfig& config)
+    : config_(config), cache_(make_cache_config(config)), current_k_(config.initial_k) {
+  if (config_.candidate_ks.empty()) {
+    throw std::invalid_argument("adaptive cache needs candidate K values");
+  }
+  if (config_.epoch == 0) throw std::invalid_argument("epoch must be > 0");
+  // "Smallest adequate K" selection assumes ascending candidates.
+  std::sort(config_.candidate_ks.begin(), config_.candidate_ks.end());
+  rebuild_profilers();
+}
+
+void AdaptiveKLruCache::rebuild_profilers() {
+  profilers_.clear();
+  std::uint64_t seed = config_.seed + (++profiler_generation_);
+  for (std::uint32_t k : config_.candidate_ks) {
+    KrrProfilerConfig pc;
+    pc.k_sample = k;
+    pc.sampling_rate = config_.sampling_rate;
+    pc.seed = ++seed;
+    profilers_.push_back(std::make_unique<KrrProfiler>(pc));
+  }
+}
+
+bool AdaptiveKLruCache::access(const Request& req) {
+  for (auto& profiler : profilers_) profiler->access(req);
+  const bool hit = cache_.access(req);
+  if (++since_epoch_ >= config_.epoch) {
+    since_epoch_ = 0;
+    reconfigure();
+  }
+  return hit;
+}
+
+std::vector<double> AdaptiveKLruCache::predictions() const {
+  std::vector<double> out;
+  out.reserve(profilers_.size());
+  for (const auto& profiler : profilers_) {
+    out.push_back(profiler->mrc().eval(static_cast<double>(config_.capacity)));
+  }
+  return out;
+}
+
+void AdaptiveKLruCache::reconfigure() {
+  const std::vector<double> predicted = predictions();
+  double best = std::numeric_limits<double>::infinity();
+  for (double p : predicted) best = std::min(best, p);
+  // Smallest candidate K within tolerance of the best prediction: larger K
+  // samples more entries per eviction, so cheaper is better when equal.
+  std::uint32_t chosen = config_.candidate_ks.back();
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] <= best + config_.tolerance) {
+      chosen = config_.candidate_ks[i];
+      break;
+    }
+  }
+  current_k_ = chosen;
+  cache_.set_sample_size(chosen);
+  history_.push_back(chosen);
+  if (config_.reset_each_epoch) rebuild_profilers();
+}
+
+}  // namespace krr

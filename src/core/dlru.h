@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/profiler.h"
+#include "sim/klru_cache.h"
+#include "trace/request.h"
+
+namespace krr {
+
+/// Configuration for the DLRU-style adaptive K-LRU cache.
+struct AdaptiveKLruConfig {
+  std::uint64_t capacity = 0;       ///< in Request::size units
+  std::uint32_t initial_k = 5;
+  std::vector<std::uint32_t> candidate_ks = {1, 2, 4, 8, 16, 32};
+  std::uint64_t epoch = 100000;     ///< requests between reconfigurations
+  double sampling_rate = 0.01;      ///< spatial rate of the profiler bank
+  /// Prefer a smaller K whose predicted miss ratio is within this margin
+  /// of the best candidate (smaller K = cheaper evictions).
+  double tolerance = 0.005;
+  /// Restart the profiler bank after each reconfiguration, so decisions
+  /// reflect the last epoch rather than the whole history — what lets the
+  /// controller follow phase changes.
+  bool reset_each_epoch = true;
+  std::uint64_t seed = 1;
+};
+
+/// DLRU (Wang, Yang & Wang, MEMSYS '20), the application that motivated the
+/// paper: a K-LRU cache that reconfigures its eviction sampling size K
+/// online. A bank of KRR profilers — one per candidate K, all sharing one
+/// spatially sampled stream — predicts each candidate's miss ratio at the
+/// cache's capacity; at every epoch boundary the cache switches to the
+/// cheapest candidate within `tolerance` of the best prediction.
+class AdaptiveKLruCache {
+ public:
+  explicit AdaptiveKLruCache(const AdaptiveKLruConfig& config);
+
+  /// Processes one reference through the cache and the profiler bank;
+  /// returns true on hit.
+  bool access(const Request& req);
+
+  std::uint32_t current_k() const noexcept { return current_k_; }
+
+  /// The K chosen at each epoch boundary, in order.
+  const std::vector<std::uint32_t>& k_history() const noexcept { return history_; }
+
+  std::uint64_t hits() const noexcept { return cache_.hits(); }
+  std::uint64_t misses() const noexcept { return cache_.misses(); }
+  double miss_ratio() const { return cache_.miss_ratio(); }
+
+  /// Predicted miss ratio at the cache capacity for each candidate K,
+  /// from the current profiler state (diagnostic).
+  std::vector<double> predictions() const;
+
+ private:
+  void reconfigure();
+  void rebuild_profilers();
+
+  AdaptiveKLruConfig config_;
+  KLruCache cache_;
+  std::vector<std::unique_ptr<KrrProfiler>> profilers_;  // one per candidate
+  std::uint32_t current_k_;
+  std::uint64_t since_epoch_ = 0;
+  std::uint64_t profiler_generation_ = 0;
+  std::vector<std::uint32_t> history_;
+};
+
+}  // namespace krr

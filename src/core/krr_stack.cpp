@@ -1,0 +1,79 @@
+#include "core/krr_stack.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace krr {
+
+double corrected_k(double k_sample) {
+  if (!(k_sample >= 1.0)) throw std::invalid_argument("sampling size must be >= 1");
+  return std::pow(k_sample, 1.4);
+}
+
+KrrStack::KrrStack(const KrrStackConfig& config)
+    : config_(config),
+      sampler_(config.strategy, config.k, config.sampling_model),
+      rng_(config.seed) {
+  if (config_.track_bytes) {
+    size_array_ = std::make_unique<SizeArray>(config_.size_array_base);
+    if (config_.track_bytes_exact) exact_bytes_ = std::make_unique<ExactByteTracker>();
+  } else if (config_.track_bytes_exact) {
+    throw std::invalid_argument("track_bytes_exact requires track_bytes");
+  }
+}
+
+std::uint64_t KrrStack::total_bytes() const noexcept {
+  return size_array_ ? size_array_->total_bytes() : stack_.size();
+}
+
+KrrStack::AccessResult KrrStack::access(std::uint64_t key, std::uint32_t size) {
+  AccessResult result{};
+  std::uint64_t phi;
+  auto it = position_.find(key);
+  if (it == position_.end()) {
+    // Cold reference: attach at the stack end before the update, so the
+    // rotation carries it to the top like any other reference (Alg. 1).
+    stack_.push_back(key);
+    sizes_.push_back(size);
+    position_.emplace(key, stack_.size() - 1);
+    phi = stack_.size();
+    result.cold = true;
+    if (size_array_) size_array_->on_append(size, phi);
+    if (exact_bytes_) exact_bytes_->on_append(size, phi);
+  } else {
+    phi = it->second + 1;
+    result.cold = false;
+    if (sizes_[it->second] != size) {
+      // A set with a new value size: resize in place before measuring.
+      if (size_array_) size_array_->on_resize(phi, sizes_[it->second], size);
+      if (exact_bytes_) exact_bytes_->on_resize(phi, sizes_[it->second], size);
+      sizes_[it->second] = size;
+    }
+  }
+  result.position = phi;
+  if (size_array_) result.byte_distance = size_array_->byte_distance(phi);
+  if (exact_bytes_) {
+    last_exact_byte_distance_ = exact_bytes_->byte_distance(phi);
+  }
+
+  // Sample the swap chain and rotate: resident of chain[j] moves to
+  // chain[j+1]; the referenced object lands on top.
+  sampler_.sample(phi, rng_, chain_);
+  swaps_performed_ += chain_.size();
+  if (phi == 1) return result;
+  if (size_array_) size_array_->on_rotate(chain_, sizes_, size);
+  if (exact_bytes_) exact_bytes_->on_rotate(chain_, sizes_, size);
+  for (std::size_t j = chain_.size(); j-- > 1;) {
+    const std::uint64_t dst = chain_[j] - 1;
+    const std::uint64_t src = chain_[j - 1] - 1;
+    stack_[dst] = stack_[src];
+    sizes_[dst] = sizes_[src];
+    position_[stack_[dst]] = dst;
+  }
+  stack_[0] = key;
+  sizes_[0] = size;
+  position_[key] = 0;
+  return result;
+}
+
+}  // namespace krr

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/size_tracker.h"
+#include "core/swap_sampler.h"
+#include "util/prng.h"
+
+namespace krr {
+
+/// Configuration for the KRR probabilistic stack (§4).
+struct KrrStackConfig {
+  /// KRR exponent. To model a K-LRU cache with sampling size K, pass
+  /// corrected_k(K) (the K' = K^1.4 correction, §4.2) or K itself to ablate
+  /// the correction. Must be >= 1.
+  double k = 1.0;
+  UpdateStrategy strategy = UpdateStrategy::kBackward;
+  /// Which K-LRU sampling convention is modeled (Prop. 1 vs Prop. 2).
+  SamplingModel sampling_model = SamplingModel::kPlacingBack;
+  std::uint64_t seed = 1;
+  /// Track byte-level distances (var-KRR, §4.4.1).
+  bool track_bytes = false;
+  /// sizeArray base b (only with track_bytes).
+  std::uint32_t size_array_base = 2;
+  /// Additionally maintain the exact Fenwick byte tracker (tests/ablation;
+  /// only with track_bytes).
+  bool track_bytes_exact = false;
+};
+
+/// The K' = K^1.4 correction (§4.2): the KRR exponent that best models a
+/// K-LRU cache with sampling size K. K == 1 maps to 1 (KRR == RR == ideal
+/// random replacement, where the model is statistically exact).
+double corrected_k(double k_sample);
+
+/// The KRR probabilistic stack (§4.1): a Mattson stack whose maxPriority
+/// function keeps the resident of position i with probability ((i-1)/i)^K.
+/// The stack is a flat array plus a key -> position hash (§4.4), updated by
+/// rotating the sampled swap chain, so one access costs O(K log M) expected
+/// with the backward strategy.
+class KrrStack {
+ public:
+  struct AccessResult {
+    bool cold;                    ///< first-ever reference to this key
+    std::uint64_t position;       ///< stack distance phi (1-based); for a
+                                  ///< cold ref, the stack length it landed at
+    std::uint64_t byte_distance;  ///< approximate byte-level distance
+                                  ///< (0 unless track_bytes)
+  };
+
+  explicit KrrStack(const KrrStackConfig& config);
+
+  /// Processes one reference and reports its stack distance(s). `size` is
+  /// ignored unless byte tracking is on; a resident object whose size
+  /// changes is resized in place before the distance is measured.
+  AccessResult access(std::uint64_t key, std::uint32_t size = 1);
+
+  /// Distinct objects seen so far (the stack length, gamma).
+  std::uint64_t depth() const noexcept { return stack_.size(); }
+
+  std::uint64_t total_bytes() const noexcept;
+
+  /// Exact byte distance of the last access (only if track_bytes_exact).
+  std::optional<std::uint64_t> last_exact_byte_distance() const noexcept {
+    return last_exact_byte_distance_;
+  }
+
+  /// Number of swap positions processed over the stack's lifetime
+  /// (instrumentation for the Fig. 5.4 overhead experiment).
+  std::uint64_t swaps_performed() const noexcept { return swaps_performed_; }
+
+  const KrrStackConfig& config() const noexcept { return config_; }
+
+  /// Key at stack position (1-based); test/diagnostic helper.
+  std::uint64_t key_at(std::uint64_t position) const { return stack_.at(position - 1); }
+
+  /// Keys from top to bottom; test/diagnostic helper.
+  const std::vector<std::uint64_t>& stack() const noexcept { return stack_; }
+
+ private:
+  KrrStackConfig config_;
+  SwapSampler sampler_;
+  Xoshiro256ss rng_;
+  std::vector<std::uint64_t> stack_;   // keys; index 0 = stack top
+  std::vector<std::uint32_t> sizes_;   // aligned with stack_
+  std::unordered_map<std::uint64_t, std::uint64_t> position_;  // key -> index
+  std::vector<std::uint64_t> chain_;   // reused swap-chain buffer
+  std::unique_ptr<SizeArray> size_array_;
+  std::unique_ptr<ExactByteTracker> exact_bytes_;
+  std::optional<std::uint64_t> last_exact_byte_distance_;
+  std::uint64_t swaps_performed_ = 0;
+};
+
+}  // namespace krr

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/krr_stack.h"
+#include "core/spatial_filter.h"
+#include "trace/request.h"
+#include "util/histogram.h"
+#include "util/mrc.h"
+
+namespace krr {
+
+/// End-to-end configuration for one-pass K-LRU MRC construction.
+struct KrrProfilerConfig {
+  /// The K-LRU eviction sampling size K being modeled (Redis default 5).
+  double k_sample = 5.0;
+  /// Apply the K' = K^1.4 correction (§4.2). Disable to ablate.
+  bool apply_correction = true;
+  UpdateStrategy strategy = UpdateStrategy::kBackward;
+  /// Model sampling with replacement (Prop. 1, Redis) or without (Prop. 2).
+  SamplingModel sampling_model = SamplingModel::kPlacingBack;
+  /// Spatial sampling rate R in (0, 1]; 1.0 disables sampling. The paper's
+  /// default online rate is 0.001 with a floor of 8K sampled objects
+  /// (use adaptive_sampling_rate to realize the floor).
+  double sampling_rate = 1.0;
+  /// Byte-granularity MRC over variable object sizes (var-KRR). When off,
+  /// every object counts as one unit (uni-KRR).
+  bool byte_granularity = false;
+  std::uint32_t size_array_base = 2;
+  std::uint64_t seed = 1;
+  /// Histogram bin width (in scaled distance units); 1 = exact bins.
+  std::uint64_t histogram_quantum = 1;
+  /// Apply the SHARDS-adj first-bucket correction for the difference
+  /// between expected (N*R) and actual sampled reference counts. Only
+  /// relevant when sampling_rate < 1.
+  bool sampling_adjustment = true;
+};
+
+/// One-pass K-LRU miss-ratio-curve profiler: spatial filter -> KRR stack ->
+/// rescaled stack-distance histogram -> MRC. This is the library's primary
+/// public entry point.
+///
+///   KrrProfiler profiler({.k_sample = 5});
+///   for (const Request& r : trace) profiler.access(r);
+///   MissRatioCurve mrc = profiler.mrc();
+class KrrProfiler {
+ public:
+  explicit KrrProfiler(const KrrProfilerConfig& config);
+
+  /// Processes one reference (spatial filtering applied internally).
+  void access(const Request& req);
+
+  /// The predicted K-LRU miss ratio curve. Cache sizes are object counts
+  /// (uni-KRR) or bytes (var-KRR); with spatial sampling, distances have
+  /// been scaled back by 1/R so the curve is in unsampled units, and the
+  /// SHARDS-adj correction is applied (see sampling_adjustment).
+  MissRatioCurve mrc() const;
+
+  const DistanceHistogram& histogram() const noexcept { return histogram_; }
+
+  std::uint64_t processed() const noexcept { return processed_; }
+  std::uint64_t sampled() const noexcept { return sampled_; }
+
+  /// Distinct sampled objects (the KRR stack depth).
+  std::uint64_t stack_depth() const noexcept { return stack_.depth(); }
+
+  /// The effective KRR exponent in use (k_sample or corrected_k(k_sample)).
+  double model_k() const noexcept { return stack_.config().k; }
+
+  /// Estimated resident-memory overhead in bytes (§5.6 accounting): stack
+  /// array + size array + hash table entries.
+  std::uint64_t space_overhead_bytes() const noexcept;
+
+  const KrrProfilerConfig& config() const noexcept { return config_; }
+
+ private:
+  KrrProfilerConfig config_;
+  SpatialFilter filter_;
+  KrrStack stack_;
+  DistanceHistogram histogram_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t sampled_ = 0;
+};
+
+}  // namespace krr

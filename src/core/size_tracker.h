@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/fenwick.h"
+
+namespace krr {
+
+/// The paper's `sizeArray` (§4.4.1, Fig. 4.4): logarithmically many prefix
+/// accumulators over the KRR stack. Entry j stores the total size of the
+/// objects at stack positions [1, b^j] (clamped to the stack length), so a
+/// byte-level stack distance can be estimated in O(1) by interpolating
+/// between the two accumulators bracketing the object's position
+/// (Algorithm 3), and each stack update maintains the array in O(log M).
+class SizeArray {
+ public:
+  explicit SizeArray(std::uint32_t base = 2);
+
+  /// A cold object of `size` bytes was appended at stack position
+  /// `new_length` (== the new stack length), before the rotation.
+  void on_append(std::uint32_t size, std::uint64_t new_length);
+
+  /// A stack rotation along `chain` (ascending swap positions, front()==1,
+  /// back()==phi) is about to happen; `sizes_before` are the per-position
+  /// object sizes prior to the rotation (0-based: sizes_before[i] is the
+  /// size at stack position i+1) and ref_size is the referenced object's
+  /// size (it lands at position 1).
+  void on_rotate(std::span<const std::uint64_t> chain,
+                 std::span<const std::uint32_t> sizes_before, std::uint32_t ref_size);
+
+  /// The resident object at stack position `position` changed size;
+  /// adjusts every accumulator covering it.
+  void on_resize(std::uint64_t position, std::uint32_t old_size,
+                 std::uint32_t new_size);
+
+  /// Algorithm 3: estimated cumulative size of stack positions [1, phi].
+  /// Near the stack end, where the next power-of-b boundary exceeds the
+  /// stack, interpolation is bounded by (stack length, total bytes).
+  std::uint64_t byte_distance(std::uint64_t phi) const;
+
+  std::uint32_t base() const noexcept { return base_; }
+  std::size_t entry_count() const noexcept { return sums_.size(); }
+  std::uint64_t total_bytes() const noexcept { return total_; }
+  std::uint64_t covered_length() const noexcept { return covered_length_; }
+
+  /// Accumulator for prefix [1, boundary(j)] (test helper).
+  std::uint64_t entry(std::size_t j) const { return sums_[j]; }
+  std::uint64_t boundary(std::size_t j) const { return boundaries_[j]; }
+
+ private:
+  void ensure_boundaries(std::uint64_t stack_length);
+
+  std::uint32_t base_;
+  std::vector<std::uint64_t> boundaries_;  // b^0, b^1, b^2, ...
+  std::vector<std::uint64_t> sums_;        // prefix size at each boundary
+  std::uint64_t covered_length_ = 0;       // stack length the sums reflect
+  std::uint64_t total_ = 0;                // total bytes on the stack
+};
+
+/// Exact byte-level prefix sizes via a Fenwick tree over stack positions —
+/// O(log M) per moved object instead of O(1) amortized, but exact. Used as
+/// ground truth for SizeArray in tests and in the var-KRR accuracy ablation.
+class ExactByteTracker {
+ public:
+  ExactByteTracker() = default;
+
+  void on_append(std::uint32_t size, std::uint64_t new_length);
+  void on_rotate(std::span<const std::uint64_t> chain,
+                 std::span<const std::uint32_t> sizes_before, std::uint32_t ref_size);
+  void on_resize(std::uint64_t position, std::uint32_t old_size,
+                 std::uint32_t new_size);
+
+  /// Exact cumulative size of stack positions [1, phi].
+  std::uint64_t byte_distance(std::uint64_t phi) const;
+
+ private:
+  Fenwick<std::int64_t> sizes_;
+};
+
+}  // namespace krr

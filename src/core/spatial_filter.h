@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/hashing.h"
+
+namespace krr {
+
+/// SHARDS-style uniform spatial sampling (§2.4): a reference to key L is
+/// sampled iff hash(L) mod P < T. Because the decision is a pure function
+/// of the key, either *all* references to an object are sampled or none
+/// are, which preserves reuse behaviour within the sampled subset. The
+/// effective sampling rate is R = T/P.
+class SpatialFilter {
+ public:
+  static constexpr std::uint64_t kDefaultModulus = 1ULL << 24;
+
+  /// rate in (0, 1]; the threshold is rounded to at least 1 so some keys
+  /// always pass. rate == 1 samples everything.
+  explicit SpatialFilter(double rate, std::uint64_t modulus = kDefaultModulus);
+
+  /// Whether references to this key are part of the sample.
+  bool sampled(std::uint64_t key) const noexcept {
+    return (hash64(key) % modulus_) < threshold_;
+  }
+
+  /// The realized rate T/P (may differ slightly from the requested rate
+  /// because T is integral).
+  double rate() const noexcept {
+    return static_cast<double>(threshold_) / static_cast<double>(modulus_);
+  }
+
+  /// 1/rate: the factor sampled stack distances are scaled by.
+  double scale() const noexcept { return 1.0 / rate(); }
+
+  std::uint64_t modulus() const noexcept { return modulus_; }
+  std::uint64_t threshold() const noexcept { return threshold_; }
+
+ private:
+  std::uint64_t modulus_;
+  std::uint64_t threshold_;
+};
+
+/// The paper keeps sampling error low by ensuring at least `min_objects`
+/// (8K) objects are sampled (§5.3): given a workload's expected distinct
+/// object count, returns max(base_rate, min_objects / distinct_objects),
+/// capped at 1.
+double adaptive_sampling_rate(double base_rate, std::uint64_t distinct_objects,
+                              std::uint64_t min_objects = 8192);
+
+}  // namespace krr

@@ -1,0 +1,45 @@
+#include "core/windowed_profiler.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace krr {
+
+WindowedKrrProfiler::WindowedKrrProfiler(const WindowedKrrConfig& config)
+    : config_(config) {
+  if (config_.window < 2) throw std::invalid_argument("window must be >= 2");
+  active_ = make_profiler();
+}
+
+std::unique_ptr<KrrProfiler> WindowedKrrProfiler::make_profiler() {
+  KrrProfilerConfig pc = config_.profiler;
+  pc.seed = config_.profiler.seed + (++seed_counter_);
+  return std::make_unique<KrrProfiler>(pc);
+}
+
+void WindowedKrrProfiler::access(const Request& req) {
+  ++processed_;
+  active_->access(req);
+  ++active_fill_;
+  if (!warming_started_ && active_fill_ >= config_.window / 2) {
+    warming_ = make_profiler();
+    warming_fill_ = 0;
+    warming_started_ = true;
+  }
+  if (warming_started_) {
+    warming_->access(req);
+    ++warming_fill_;
+  }
+  if (active_fill_ >= config_.window) {
+    // Retire the old window; the half-filled one takes over.
+    active_ = std::move(warming_);
+    active_fill_ = warming_fill_;
+    warming_ = make_profiler();
+    warming_fill_ = 0;
+    ++retired_;
+  }
+}
+
+MissRatioCurve WindowedKrrProfiler::mrc() const { return active_->mrc(); }
+
+}  // namespace krr

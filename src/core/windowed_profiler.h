@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/profiler.h"
+#include "trace/request.h"
+#include "util/mrc.h"
+
+namespace krr {
+
+/// Configuration for the sliding-window online profiler.
+struct WindowedKrrConfig {
+  KrrProfilerConfig profiler;     ///< per-window KRR configuration
+  std::uint64_t window = 1000000; ///< requests per window
+};
+
+/// Online KRR with bounded staleness for non-stationary workloads: two
+/// staggered KRR profilers are fed simultaneously, offset by half a
+/// window. When the older one completes a full window it retires and a
+/// fresh one starts, so `mrc()` always reflects between half a window and
+/// one window of recent history — instead of the whole-trace average a
+/// single profiler would report. This is the standard deployment shape for
+/// the online use case §2.4/§5.5 argue for.
+class WindowedKrrProfiler {
+ public:
+  explicit WindowedKrrProfiler(const WindowedKrrConfig& config);
+
+  /// Processes one reference through both staggered windows.
+  void access(const Request& req);
+
+  /// MRC of the most mature live window (>= half a window of history once
+  /// warmed up).
+  MissRatioCurve mrc() const;
+
+  /// Requests absorbed by the window backing mrc().
+  std::uint64_t active_window_fill() const noexcept { return active_fill_; }
+
+  std::uint64_t processed() const noexcept { return processed_; }
+  std::uint64_t windows_retired() const noexcept { return retired_; }
+
+ private:
+  std::unique_ptr<KrrProfiler> make_profiler();
+
+  WindowedKrrConfig config_;
+  std::unique_ptr<KrrProfiler> active_;   // older window
+  std::unique_ptr<KrrProfiler> warming_;  // younger, offset by window/2
+  std::uint64_t active_fill_ = 0;
+  std::uint64_t warming_fill_ = 0;
+  bool warming_started_ = false;
+  std::uint64_t processed_ = 0;
+  std::uint64_t retired_ = 0;
+  std::uint64_t seed_counter_ = 0;
+};
+
+}  // namespace krr

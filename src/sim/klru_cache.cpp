@@ -1,0 +1,104 @@
+#include "sim/klru_cache.h"
+
+#include <stdexcept>
+
+namespace krr {
+
+KLruCache::KLruCache(const KLruConfig& config) : config_(config), rng_(config.seed) {
+  if (config.capacity == 0) throw std::invalid_argument("K-LRU capacity must be > 0");
+  if (config.sample_size == 0) throw std::invalid_argument("K-LRU sample size must be > 0");
+}
+
+void KLruCache::set_sample_size(std::uint32_t k) {
+  if (k == 0) throw std::invalid_argument("K-LRU sample size must be > 0");
+  config_.sample_size = k;
+}
+
+double KLruCache::miss_ratio() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(total);
+}
+
+bool KLruCache::access(const Request& req) {
+  ++tick_;
+  auto it = index_.find(req.key);
+  if (it != index_.end()) {
+    ++hits_;
+    Entry& e = entries_[it->second];
+    e.last_access = tick_;
+    if (e.size != req.size) {
+      used_ = used_ - e.size + req.size;
+      e.size = req.size;
+      while (used_ > config_.capacity && !entries_.empty()) evict_at(pick_victim());
+    }
+    return true;
+  }
+  ++misses_;
+  if (req.size > config_.capacity) return false;  // bypass: cannot ever fit
+  while (used_ + req.size > config_.capacity && !entries_.empty()) {
+    evict_at(pick_victim());
+  }
+  index_.emplace(req.key, entries_.size());
+  entries_.push_back(Entry{req.key, req.size, tick_});
+  used_ += req.size;
+  return false;
+}
+
+std::size_t KLruCache::pick_victim() {
+  const std::size_t n = entries_.size();
+  const std::uint32_t k = config_.sample_size;
+  if (!config_.with_replacement && k >= n) {
+    // Sampling all residents without replacement degenerates to exact LRU.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (entries_[i].last_access < entries_[best].last_access) best = i;
+    }
+    return best;
+  }
+  std::size_t best = rng_.next_below(n);
+  if (config_.with_replacement) {
+    for (std::uint32_t drawn = 1; drawn < k; ++drawn) {
+      const std::size_t cand = rng_.next_below(n);
+      if (entries_[cand].last_access < entries_[best].last_access) best = cand;
+    }
+  } else {
+    // Distinct candidates via rejection; K << n in every configuration that
+    // reaches this branch, so the expected number of retries is tiny.
+    std::vector<std::size_t> seen{best};
+    seen.reserve(k);
+    while (seen.size() < k) {
+      const std::size_t cand = rng_.next_below(n);
+      bool duplicate = false;
+      for (std::size_t s : seen) {
+        if (s == cand) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      seen.push_back(cand);
+      if (entries_[cand].last_access < entries_[best].last_access) best = cand;
+    }
+  }
+  return best;
+}
+
+void KLruCache::evict_at(std::size_t pos) {
+  used_ -= entries_[pos].size;
+  index_.erase(entries_[pos].key);
+  if (pos != entries_.size() - 1) {
+    entries_[pos] = entries_.back();
+    index_[entries_[pos].key] = pos;
+  }
+  entries_.pop_back();
+  ++evictions_;
+}
+
+void KLruCache::reset() {
+  used_ = tick_ = hits_ = misses_ = evictions_ = 0;
+  rng_ = Xoshiro256ss(config_.seed);
+  entries_.clear();
+  index_.clear();
+}
+
+}  // namespace krr

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/request.h"
+#include "util/prng.h"
+
+namespace krr {
+
+/// Configuration for the random sampling-based LRU simulator.
+struct KLruConfig {
+  std::uint64_t capacity = 0;     ///< in Request::size units (objects or bytes)
+  std::uint32_t sample_size = 5;  ///< K: candidates examined per eviction
+  bool with_replacement = true;   ///< Prop. 1 (Redis-style) vs Prop. 2 sampling
+  std::uint64_t seed = 1;
+};
+
+/// K-LRU cache simulator: on each eviction, sample K resident objects
+/// uniformly and evict the least recently used of the sample (Chapter 3).
+/// With `with_replacement` the same object may be drawn more than once
+/// (Proposition 1, Redis's convention); without, the K candidates are
+/// distinct (Proposition 2).
+///
+/// Entries live in a flat vector so uniform sampling is O(1) per draw;
+/// eviction uses swap-with-last removal. This is the ground-truth oracle
+/// all KRR accuracy experiments compare against.
+class KLruCache {
+ public:
+  explicit KLruCache(const KLruConfig& config);
+
+  /// Processes one reference; returns true on hit.
+  bool access(const Request& req);
+
+  /// Reconfigures the eviction sampling size online — the flexibility
+  /// random-sampling caches have over ordering-structure caches (Chapter 1)
+  /// and the knob DLRU-style controllers turn.
+  void set_sample_size(std::uint32_t k);
+
+  bool contains(std::uint64_t key) const { return index_.count(key) != 0; }
+
+  const KLruConfig& config() const noexcept { return config_; }
+  std::uint64_t used() const noexcept { return used_; }
+  std::size_t object_count() const noexcept { return entries_.size(); }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  double miss_ratio() const;
+
+  void reset();
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::uint32_t size;
+    std::uint64_t last_access;
+  };
+
+  /// Index of the eviction victim among entries_ (sampling K candidates).
+  std::size_t pick_victim();
+  void evict_at(std::size_t pos);
+
+  KLruConfig config_;
+  std::uint64_t used_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  Xoshiro256ss rng_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+}  // namespace krr

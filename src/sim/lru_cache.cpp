@@ -1,0 +1,102 @@
+#include "sim/lru_cache.h"
+
+#include <stdexcept>
+
+namespace krr {
+
+LruCache::LruCache(std::uint64_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("LRU capacity must be > 0");
+}
+
+double LruCache::miss_ratio() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(total);
+}
+
+bool LruCache::access(const Request& req) {
+  auto it = index_.find(req.key);
+  if (it != index_.end()) {
+    ++hits_;
+    Node& node = nodes_[it->second];
+    if (node.size != req.size) {
+      used_ = used_ - node.size + req.size;
+      node.size = req.size;
+    }
+    unlink(it->second);
+    push_front(it->second);
+    while (used_ > capacity_ && tail_ != kNil) evict_lru();
+    return true;
+  }
+  ++misses_;
+  if (req.size > capacity_) return false;  // bypass: cannot ever fit
+  while (used_ + req.size > capacity_ && tail_ != kNil) evict_lru();
+  const std::uint32_t n = alloc_node();
+  nodes_[n].key = req.key;
+  nodes_[n].size = req.size;
+  push_front(n);
+  index_.emplace(req.key, n);
+  used_ += req.size;
+  return false;
+}
+
+void LruCache::unlink(std::uint32_t n) {
+  Node& node = nodes_[n];
+  if (node.prev != kNil) {
+    nodes_[node.prev].next = node.next;
+  } else {
+    head_ = node.next;
+  }
+  if (node.next != kNil) {
+    nodes_[node.next].prev = node.prev;
+  } else {
+    tail_ = node.prev;
+  }
+  node.prev = node.next = kNil;
+}
+
+void LruCache::push_front(std::uint32_t n) {
+  Node& node = nodes_[n];
+  node.prev = kNil;
+  node.next = head_;
+  if (head_ != kNil) nodes_[head_].prev = n;
+  head_ = n;
+  if (tail_ == kNil) tail_ = n;
+}
+
+void LruCache::evict_lru() {
+  const std::uint32_t victim = tail_;
+  unlink(victim);
+  used_ -= nodes_[victim].size;
+  index_.erase(nodes_[victim].key);
+  free_.push_back(victim);
+  ++evictions_;
+}
+
+std::uint32_t LruCache::alloc_node() {
+  if (!free_.empty()) {
+    const std::uint32_t n = free_.back();
+    free_.pop_back();
+    return n;
+  }
+  nodes_.push_back(Node{0, 0, kNil, kNil});
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+std::vector<std::uint64_t> LruCache::recency_order() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(index_.size());
+  for (std::uint32_t n = head_; n != kNil; n = nodes_[n].next) {
+    keys.push_back(nodes_[n].key);
+  }
+  return keys;
+}
+
+void LruCache::reset() {
+  used_ = hits_ = misses_ = evictions_ = 0;
+  head_ = tail_ = kNil;
+  nodes_.clear();
+  free_.clear();
+  index_.clear();
+}
+
+}  // namespace krr

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/request.h"
+
+namespace krr {
+
+/// Exact LRU cache simulator.
+///
+/// Capacity is measured in the same units as Request::size: pass size 1 per
+/// request for an object-count capacity, or real byte sizes for a byte
+/// capacity. The recency list is an index-based intrusive doubly-linked
+/// list over a node pool (no per-access allocation).
+///
+/// An object larger than the whole cache is bypassed: it counts as a miss
+/// but is not admitted and evicts nothing.
+class LruCache {
+ public:
+  explicit LruCache(std::uint64_t capacity);
+
+  /// Processes one reference; returns true on hit. A `set` to a resident
+  /// key updates its size (and may trigger evictions if the cache
+  /// overflows as a result).
+  bool access(const Request& req);
+
+  bool contains(std::uint64_t key) const { return index_.count(key) != 0; }
+
+  std::uint64_t capacity() const noexcept { return capacity_; }
+  std::uint64_t used() const noexcept { return used_; }
+  std::size_t object_count() const noexcept { return index_.size(); }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  double miss_ratio() const;
+
+  /// Keys ordered most- to least-recently used (test/diagnostic helper).
+  std::vector<std::uint64_t> recency_order() const;
+
+  void reset();
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Node {
+    std::uint64_t key;
+    std::uint32_t size;
+    std::uint32_t prev;
+    std::uint32_t next;
+  };
+
+  void unlink(std::uint32_t n);
+  void push_front(std::uint32_t n);
+  void evict_lru();
+  std::uint32_t alloc_node();
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+};
+
+}  // namespace krr

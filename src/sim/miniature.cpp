@@ -1,0 +1,67 @@
+#include "sim/miniature.h"
+
+#include <algorithm>
+
+#include "core/spatial_filter.h"
+
+namespace krr {
+
+namespace {
+
+/// Filters the trace once; all miniature sizes replay the same sample.
+std::vector<Request> sample_stream(const std::vector<Request>& trace,
+                                   const MiniatureConfig& config) {
+  SpatialFilter filter(config.rate, config.modulus);
+  std::vector<Request> sampled;
+  sampled.reserve(static_cast<std::size_t>(
+      static_cast<double>(trace.size()) * filter.rate() * 1.3) + 16);
+  for (const Request& r : trace) {
+    if (filter.sampled(r.key)) sampled.push_back(r);
+  }
+  return sampled;
+}
+
+std::uint64_t scale_capacity(double capacity, const MiniatureConfig& config,
+                             double realized_rate) {
+  return std::max<std::uint64_t>(
+      config.min_capacity,
+      static_cast<std::uint64_t>(capacity * realized_rate));
+}
+
+}  // namespace
+
+MissRatioCurve miniature_klru_mrc(const std::vector<Request>& trace,
+                                  const std::vector<double>& capacities,
+                                  std::uint32_t k, const MiniatureConfig& config) {
+  const double realized = SpatialFilter(config.rate, config.modulus).rate();
+  const std::vector<Request> sampled = sample_stream(trace, config);
+  MissRatioCurve curve;
+  for (double c : capacities) {
+    KLruConfig cfg;
+    cfg.capacity = scale_capacity(c, config, realized);
+    cfg.sample_size = k;
+    cfg.seed = config.seed;
+    KLruCache mini(cfg);
+    for (const Request& r : sampled) mini.access(r);
+    curve.add_point(c, mini.miss_ratio());
+  }
+  return curve;
+}
+
+MissRatioCurve miniature_redis_mrc(const std::vector<Request>& trace,
+                                   const std::vector<double>& capacities,
+                                   RedisLruConfig base,
+                                   const MiniatureConfig& config) {
+  const double realized = SpatialFilter(config.rate, config.modulus).rate();
+  const std::vector<Request> sampled = sample_stream(trace, config);
+  MissRatioCurve curve;
+  for (double c : capacities) {
+    base.capacity = scale_capacity(c, config, realized);
+    RedisLruCache mini(base);
+    for (const Request& r : sampled) mini.access(r);
+    curve.add_point(c, mini.miss_ratio());
+  }
+  return curve;
+}
+
+}  // namespace krr

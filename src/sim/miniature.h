@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/klru_cache.h"
+#include "sim/redis_cache.h"
+#include "trace/request.h"
+#include "util/mrc.h"
+
+namespace krr {
+
+/// Miniature cache simulation (Waldspurger et al., ATC '17; related work
+/// §6.2): the only general MRC technique for *non-stack* policies. A cache
+/// of size C is emulated by a miniature cache of size C*R fed with the
+/// spatially sampled (rate R) request stream; the miniature's miss ratio
+/// estimates the full cache's.
+///
+/// For K-LRU this gives an independent cross-check of KRR (one miniature
+/// pass per size vs KRR's single pass for all sizes) — the ablation bench
+/// compares their accuracy and cost.
+struct MiniatureConfig {
+  double rate = 0.01;               ///< spatial sampling rate R
+  std::uint64_t modulus = 1ULL << 24;
+  std::uint64_t seed = 1;
+  std::uint64_t min_capacity = 8;  ///< floor for scaled-down cache sizes
+};
+
+/// Emulates a K-LRU cache at each capacity via miniature simulation.
+MissRatioCurve miniature_klru_mrc(const std::vector<Request>& trace,
+                                  const std::vector<double>& capacities,
+                                  std::uint32_t k, const MiniatureConfig& config);
+
+/// Emulates a Redis-style approximated-LRU cache at each capacity;
+/// `base.capacity` is overwritten per sweep point (scaled by R).
+MissRatioCurve miniature_redis_mrc(const std::vector<Request>& trace,
+                                   const std::vector<double>& capacities,
+                                   RedisLruConfig base,
+                                   const MiniatureConfig& config);
+
+}  // namespace krr

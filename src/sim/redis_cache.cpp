@@ -1,0 +1,118 @@
+#include "sim/redis_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace krr {
+
+RedisLruCache::RedisLruCache(const RedisLruConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config.capacity == 0) throw std::invalid_argument("Redis capacity must be > 0");
+  if (config.maxmemory_samples == 0) {
+    throw std::invalid_argument("maxmemory_samples must be > 0");
+  }
+  if (config.pool_size == 0) throw std::invalid_argument("pool size must be > 0");
+  if (config.clock_resolution == 0) {
+    throw std::invalid_argument("clock resolution must be > 0");
+  }
+  pool_.reserve(config.pool_size);
+}
+
+double RedisLruCache::miss_ratio() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(total);
+}
+
+bool RedisLruCache::access(const Request& req) {
+  ++tick_;
+  auto it = index_.find(req.key);
+  if (it != index_.end()) {
+    ++hits_;
+    Entry& e = entries_[it->second];
+    e.last_access = clock_now();
+    if (e.size != req.size) {
+      used_ = used_ - e.size + req.size;
+      e.size = req.size;
+      while (used_ > config_.capacity && !entries_.empty()) {
+        if (!evict_one()) break;
+      }
+    }
+    return true;
+  }
+  ++misses_;
+  if (req.size > config_.capacity) return false;  // bypass: cannot ever fit
+  while (used_ + req.size > config_.capacity && !entries_.empty()) {
+    if (!evict_one()) break;
+  }
+  index_.emplace(req.key, entries_.size());
+  entries_.push_back(Entry{req.key, req.size, clock_now()});
+  used_ += req.size;
+  return false;
+}
+
+void RedisLruCache::sample_into_pool() {
+  const std::size_t n = entries_.size();
+  const std::uint32_t k = config_.maxmemory_samples;
+  const std::uint64_t now = clock_now();
+  std::size_t start = rng_.next_below(n);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    // Biased mode approximates dictGetSomeKeys: a consecutive run of
+    // entries from one random offset. Uniform mode redraws every candidate.
+    const std::size_t pos =
+        config_.biased_sampling ? (start + i) % n : rng_.next_below(n);
+    const Entry& e = entries_[pos];
+    const std::uint64_t idle = now - std::min(now, e.last_access);
+    // Redis inserts a candidate if the pool has room or the candidate is
+    // idler than the pool's least-idle entry; duplicates update in place.
+    auto dup = std::find_if(pool_.begin(), pool_.end(),
+                            [&](const PoolSlot& s) { return s.key == e.key; });
+    if (dup != pool_.end()) {
+      dup->idle = std::max(dup->idle, idle);
+      continue;
+    }
+    if (pool_.size() >= config_.pool_size) {
+      if (idle <= pool_.front().idle) continue;
+      pool_.erase(pool_.begin());
+    }
+    pool_.push_back(PoolSlot{e.key, idle});
+  }
+  std::sort(pool_.begin(), pool_.end(),
+            [](const PoolSlot& a, const PoolSlot& b) { return a.idle < b.idle; });
+}
+
+bool RedisLruCache::evict_one() {
+  // Redis retries sampling until the pool yields a key still in the dict.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    sample_into_pool();
+    while (!pool_.empty()) {
+      const PoolSlot victim = pool_.back();
+      pool_.pop_back();
+      auto it = index_.find(victim.key);
+      if (it == index_.end()) continue;  // stale pool entry: key already gone
+      evict_at(it->second);
+      return true;
+    }
+  }
+  return false;  // pathological (e.g. single resident object repeatedly touched)
+}
+
+void RedisLruCache::evict_at(std::size_t pos) {
+  used_ -= entries_[pos].size;
+  index_.erase(entries_[pos].key);
+  if (pos != entries_.size() - 1) {
+    entries_[pos] = entries_.back();
+    index_[entries_[pos].key] = pos;
+  }
+  entries_.pop_back();
+  ++evictions_;
+}
+
+void RedisLruCache::reset() {
+  used_ = tick_ = hits_ = misses_ = evictions_ = 0;
+  rng_ = Xoshiro256ss(config_.seed);
+  entries_.clear();
+  index_.clear();
+  pool_.clear();
+}
+
+}  // namespace krr

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/request.h"
+#include "util/prng.h"
+
+namespace krr {
+
+/// Configuration for the Redis-style approximated-LRU simulator (§5.7).
+struct RedisLruConfig {
+  std::uint64_t capacity = 0;       ///< in Request::size units
+  std::uint32_t maxmemory_samples = 5;  ///< Redis's per-eviction sample count
+  std::uint32_t pool_size = 16;     ///< EVPOOL_SIZE in Redis
+  /// Redis's default dictGetSomeKeys walks consecutive hash buckets from a
+  /// random start, which does not produce independent uniform samples. With
+  /// biased_sampling the simulator mimics that by taking a consecutive run
+  /// of entries from a random offset; without, it samples uniformly
+  /// (Redis's dictGetRandomKey alternative, footnote 3 of §5.7).
+  bool biased_sampling = true;
+  /// Redis's LRU clock has coarse resolution; idle times are computed from
+  /// the access tick divided by this value (1 = exact ticks).
+  std::uint64_t clock_resolution = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Simulator of Redis's approximated LRU eviction:
+/// each eviction samples `maxmemory_samples` keys, merges them into a
+/// persistent pool of up to `pool_size` candidates ordered by idle time,
+/// and evicts the pool entry with the highest recorded idle time. Pool
+/// entries are validated against the dict at eviction time, but their idle
+/// times are *not* refreshed — a key touched after being pooled can still
+/// be evicted on its stale idle time, one of the behaviours that makes
+/// Redis deviate from ideal K-LRU.
+class RedisLruCache {
+ public:
+  explicit RedisLruCache(const RedisLruConfig& config);
+
+  /// Processes one reference; returns true on hit.
+  bool access(const Request& req);
+
+  bool contains(std::uint64_t key) const { return index_.count(key) != 0; }
+
+  const RedisLruConfig& config() const noexcept { return config_; }
+  std::uint64_t used() const noexcept { return used_; }
+  std::size_t object_count() const noexcept { return entries_.size(); }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  double miss_ratio() const;
+
+  void reset();
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::uint32_t size;
+    std::uint64_t last_access;  // coarsened by clock_resolution
+  };
+  struct PoolSlot {
+    std::uint64_t key;
+    std::uint64_t idle;  // recorded at sampling time (may go stale)
+  };
+
+  std::uint64_t clock_now() const { return tick_ / config_.clock_resolution; }
+  void sample_into_pool();
+  bool evict_one();
+  void evict_at(std::size_t pos);
+
+  RedisLruConfig config_;
+  std::uint64_t used_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  Xoshiro256ss rng_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::vector<PoolSlot> pool_;  // sorted by idle ascending (best victim last)
+};
+
+}  // namespace krr

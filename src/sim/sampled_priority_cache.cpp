@@ -1,0 +1,129 @@
+#include "sim/sampled_priority_cache.h"
+
+#include <stdexcept>
+
+#include "util/hashing.h"
+
+namespace krr {
+
+std::string to_string(SampledEvictionPolicy policy) {
+  switch (policy) {
+    case SampledEvictionPolicy::kLru:
+      return "sampled_lru";
+    case SampledEvictionPolicy::kLfu:
+      return "sampled_lfu";
+    case SampledEvictionPolicy::kTtl:
+      return "sampled_ttl";
+  }
+  return "unknown";
+}
+
+SampledPriorityCache::SampledPriorityCache(const SampledPriorityConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config.capacity == 0) throw std::invalid_argument("capacity must be > 0");
+  if (config.sample_size == 0) throw std::invalid_argument("sample size must be > 0");
+  if (config.policy == SampledEvictionPolicy::kTtl &&
+      config.ttl_base == 0 && config.ttl_spread == 0) {
+    throw std::invalid_argument("TTL policy needs a nonzero TTL");
+  }
+}
+
+double SampledPriorityCache::miss_ratio() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(total);
+}
+
+std::uint64_t SampledPriorityCache::ttl_for_key(std::uint64_t key) const {
+  if (config_.ttl_spread == 0) return config_.ttl_base;
+  return config_.ttl_base + hash64(key ^ 0x7c0debc15f2a91b3ULL) % config_.ttl_spread;
+}
+
+std::uint64_t SampledPriorityCache::victim_score(const Entry& e) const {
+  switch (config_.policy) {
+    case SampledEvictionPolicy::kLru:
+      return e.last_access;
+    case SampledEvictionPolicy::kLfu:
+      return e.frequency;
+    case SampledEvictionPolicy::kTtl:
+      return e.expires_at;
+  }
+  return e.last_access;
+}
+
+bool SampledPriorityCache::access(const Request& req) {
+  ++tick_;
+  if (config_.policy == SampledEvictionPolicy::kLfu && config_.decay_interval != 0 &&
+      tick_ % config_.decay_interval == 0) {
+    decay_frequencies();
+  }
+  auto it = index_.find(req.key);
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    if (config_.policy == SampledEvictionPolicy::kTtl && tick_ >= e.expires_at) {
+      // Lazy expiration: the object is gone; re-admit it fresh.
+      ++expirations_;
+      ++misses_;
+      evict_at(it->second);
+      --evictions_;  // expiry is not a capacity eviction
+      if (req.size <= config_.capacity) admit(req);
+      return false;
+    }
+    ++hits_;
+    e.last_access = tick_;
+    ++e.frequency;
+    if (e.size != req.size) {
+      used_ = used_ - e.size + req.size;
+      e.size = req.size;
+      while (used_ > config_.capacity && !entries_.empty()) evict_at(pick_victim());
+    }
+    return true;
+  }
+  ++misses_;
+  if (req.size > config_.capacity) return false;  // bypass
+  admit(req);
+  return false;
+}
+
+void SampledPriorityCache::admit(const Request& req) {
+  while (used_ + req.size > config_.capacity && !entries_.empty()) {
+    evict_at(pick_victim());
+  }
+  index_.emplace(req.key, entries_.size());
+  entries_.push_back(
+      Entry{req.key, req.size, tick_, 1, tick_ + ttl_for_key(req.key)});
+  used_ += req.size;
+}
+
+std::size_t SampledPriorityCache::pick_victim() {
+  const std::size_t n = entries_.size();
+  std::size_t best = rng_.next_below(n);
+  for (std::uint32_t drawn = 1; drawn < config_.sample_size; ++drawn) {
+    const std::size_t cand = rng_.next_below(n);
+    if (victim_score(entries_[cand]) < victim_score(entries_[best])) best = cand;
+  }
+  return best;
+}
+
+void SampledPriorityCache::evict_at(std::size_t pos) {
+  used_ -= entries_[pos].size;
+  index_.erase(entries_[pos].key);
+  if (pos != entries_.size() - 1) {
+    entries_[pos] = entries_.back();
+    index_[entries_[pos].key] = pos;
+  }
+  entries_.pop_back();
+  ++evictions_;
+}
+
+void SampledPriorityCache::decay_frequencies() {
+  for (Entry& e : entries_) e.frequency = (e.frequency + 1) / 2;
+}
+
+void SampledPriorityCache::reset() {
+  used_ = tick_ = hits_ = misses_ = evictions_ = expirations_ = 0;
+  rng_ = Xoshiro256ss(config_.seed);
+  entries_.clear();
+  index_.clear();
+}
+
+}  // namespace krr

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/request.h"
+#include "util/prng.h"
+
+namespace krr {
+
+/// Eviction metric for the random-sampling cache family the paper's
+/// conclusion points to: "other random-sampling policies which use other
+/// metrics, such as access frequency and object expiration time, as
+/// priority functions".
+enum class SampledEvictionPolicy : std::uint8_t {
+  kLru = 0,  ///< evict the least recently used of the sample (== KLruCache)
+  kLfu = 1,  ///< evict the least frequently used of the sample, with
+             ///< Redis-style periodic halving so stale popularity decays
+  kTtl = 2,  ///< evict the sample member closest to (or past) expiry
+};
+
+std::string to_string(SampledEvictionPolicy policy);
+
+/// Configuration for the generalized sampling cache.
+struct SampledPriorityConfig {
+  std::uint64_t capacity = 0;     ///< in Request::size units
+  std::uint32_t sample_size = 5;  ///< K
+  SampledEvictionPolicy policy = SampledEvictionPolicy::kLru;
+  std::uint64_t seed = 1;
+  /// kLfu: every `decay_interval` accesses all frequency counters halve
+  /// (0 disables decay).
+  std::uint64_t decay_interval = 100000;
+  /// kTtl: objects expire `ttl_base + hash(key) % ttl_spread` ticks after
+  /// insertion; expired objects are misses on re-reference.
+  std::uint64_t ttl_base = 50000;
+  std::uint64_t ttl_spread = 50000;
+};
+
+/// Random sampling-based cache with a pluggable eviction metric —
+/// the substrate for exploring the paper's future-work policies. With
+/// kLru it behaves exactly like KLruCache (verified by tests).
+class SampledPriorityCache {
+ public:
+  explicit SampledPriorityCache(const SampledPriorityConfig& config);
+
+  /// Processes one reference; returns true on hit. Under kTtl, a resident
+  /// but expired object counts as a miss and is re-admitted fresh.
+  bool access(const Request& req);
+
+  bool contains(std::uint64_t key) const { return index_.count(key) != 0; }
+
+  const SampledPriorityConfig& config() const noexcept { return config_; }
+  std::uint64_t used() const noexcept { return used_; }
+  std::size_t object_count() const noexcept { return entries_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t expirations() const noexcept { return expirations_; }
+  double miss_ratio() const;
+
+  void reset();
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::uint32_t size;
+    std::uint64_t last_access;
+    std::uint64_t frequency;
+    std::uint64_t expires_at;
+  };
+
+  std::uint64_t ttl_for_key(std::uint64_t key) const;
+  /// Lower value = evict first, under the configured policy.
+  std::uint64_t victim_score(const Entry& e) const;
+  std::size_t pick_victim();
+  void evict_at(std::size_t pos);
+  void admit(const Request& req);
+  void decay_frequencies();
+
+  SampledPriorityConfig config_;
+  std::uint64_t used_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t expirations_ = 0;
+  Xoshiro256ss rng_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+}  // namespace krr

@@ -1,0 +1,128 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+
+#include "sim/lru_cache.h"
+#include "trace/generator.h"
+#include "util/parallel.h"
+
+namespace krr {
+
+namespace {
+
+std::uint64_t to_capacity(double c) {
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(c));
+}
+
+}  // namespace
+
+MissRatioCurve sweep_klru(const std::vector<Request>& trace,
+                          const std::vector<double>& capacities, std::uint32_t k,
+                          bool with_replacement, std::uint64_t seed) {
+  MissRatioCurve curve;
+  for (double c : capacities) {
+    KLruConfig cfg;
+    cfg.capacity = to_capacity(c);
+    cfg.sample_size = k;
+    cfg.with_replacement = with_replacement;
+    cfg.seed = seed;
+    KLruCache cache(cfg);
+    for (const Request& r : trace) cache.access(r);
+    curve.add_point(c, cache.miss_ratio());
+  }
+  return curve;
+}
+
+MissRatioCurve sweep_lru(const std::vector<Request>& trace,
+                         const std::vector<double>& capacities) {
+  MissRatioCurve curve;
+  for (double c : capacities) {
+    LruCache cache(to_capacity(c));
+    for (const Request& r : trace) cache.access(r);
+    curve.add_point(c, cache.miss_ratio());
+  }
+  return curve;
+}
+
+MissRatioCurve sweep_redis(const std::vector<Request>& trace,
+                           const std::vector<double>& capacities,
+                           RedisLruConfig base) {
+  MissRatioCurve curve;
+  for (double c : capacities) {
+    base.capacity = to_capacity(c);
+    RedisLruCache cache(base);
+    for (const Request& r : trace) cache.access(r);
+    curve.add_point(c, cache.miss_ratio());
+  }
+  return curve;
+}
+
+namespace {
+
+template <typename SimulateOne>
+MissRatioCurve parallel_curve(const std::vector<double>& capacities,
+                              unsigned threads, SimulateOne&& simulate_one) {
+  std::vector<double> ratios(capacities.size());
+  parallel_for_index(
+      capacities.size(), threads == 0 ? default_thread_count() : threads,
+      [&](std::size_t i) { ratios[i] = simulate_one(capacities[i]); });
+  MissRatioCurve curve;
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    curve.add_point(capacities[i], ratios[i]);
+  }
+  return curve;
+}
+
+}  // namespace
+
+MissRatioCurve sweep_klru_parallel(const std::vector<Request>& trace,
+                                   const std::vector<double>& capacities,
+                                   std::uint32_t k, bool with_replacement,
+                                   std::uint64_t seed, unsigned threads) {
+  return parallel_curve(capacities, threads, [&](double c) {
+    KLruConfig cfg;
+    cfg.capacity = to_capacity(c);
+    cfg.sample_size = k;
+    cfg.with_replacement = with_replacement;
+    cfg.seed = seed;
+    KLruCache cache(cfg);
+    for (const Request& r : trace) cache.access(r);
+    return cache.miss_ratio();
+  });
+}
+
+MissRatioCurve sweep_lru_parallel(const std::vector<Request>& trace,
+                                  const std::vector<double>& capacities,
+                                  unsigned threads) {
+  return parallel_curve(capacities, threads, [&](double c) {
+    LruCache cache(to_capacity(c));
+    for (const Request& r : trace) cache.access(r);
+    return cache.miss_ratio();
+  });
+}
+
+MissRatioCurve sweep_redis_parallel(const std::vector<Request>& trace,
+                                    const std::vector<double>& capacities,
+                                    RedisLruConfig base, unsigned threads) {
+  return parallel_curve(capacities, threads, [&](double c) {
+    RedisLruConfig cfg = base;
+    cfg.capacity = to_capacity(c);
+    RedisLruCache cache(cfg);
+    for (const Request& r : trace) cache.access(r);
+    return cache.miss_ratio();
+  });
+}
+
+std::vector<double> capacity_grid_objects(const std::vector<Request>& trace,
+                                          std::size_t n) {
+  const std::size_t wss = count_distinct(trace);
+  return evenly_spaced_sizes(static_cast<double>(wss), n);
+}
+
+std::vector<double> capacity_grid_bytes(const std::vector<Request>& trace,
+                                        std::size_t n) {
+  const std::uint64_t wss = working_set_bytes(trace);
+  return evenly_spaced_sizes(static_cast<double>(wss), n);
+}
+
+}  // namespace krr

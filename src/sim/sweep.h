@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/klru_cache.h"
+#include "sim/redis_cache.h"
+#include "trace/request.h"
+#include "util/mrc.h"
+
+namespace krr {
+
+/// Ground-truth MRC construction by brute force (§5.1): replay the trace
+/// once per cache size and record the measured miss ratio; the resulting
+/// curve interpolates between the simulated sizes. This is the oracle the
+/// one-pass models are validated against, and the "Simulation" row of
+/// Table 5.3.
+
+/// Simulates a K-LRU cache at each capacity (capacities in Request::size
+/// units; non-integral values are rounded down, minimum 1).
+MissRatioCurve sweep_klru(const std::vector<Request>& trace,
+                          const std::vector<double>& capacities, std::uint32_t k,
+                          bool with_replacement = true, std::uint64_t seed = 1);
+
+/// Simulates an exact LRU cache at each capacity.
+MissRatioCurve sweep_lru(const std::vector<Request>& trace,
+                         const std::vector<double>& capacities);
+
+/// Simulates a Redis-style approximated-LRU cache at each capacity;
+/// `base.capacity` is overwritten per sweep point.
+MissRatioCurve sweep_redis(const std::vector<Request>& trace,
+                           const std::vector<double>& capacities,
+                           RedisLruConfig base);
+
+/// Multi-threaded variants of the sweeps: each worker simulates a disjoint
+/// subset of the capacities (dynamic self-scheduling), producing the exact
+/// same curve as the serial functions — per-capacity simulations are
+/// seeded independently, so thread count does not affect results.
+/// threads == 0 uses the hardware concurrency.
+MissRatioCurve sweep_klru_parallel(const std::vector<Request>& trace,
+                                   const std::vector<double>& capacities,
+                                   std::uint32_t k, bool with_replacement = true,
+                                   std::uint64_t seed = 1, unsigned threads = 0);
+
+MissRatioCurve sweep_lru_parallel(const std::vector<Request>& trace,
+                                  const std::vector<double>& capacities,
+                                  unsigned threads = 0);
+
+MissRatioCurve sweep_redis_parallel(const std::vector<Request>& trace,
+                                    const std::vector<double>& capacities,
+                                    RedisLruConfig base, unsigned threads = 0);
+
+/// n capacities evenly spaced over the trace's working set size, in objects
+/// (uniform mode) or bytes. The paper uses n = 40 for accuracy experiments
+/// and n = 50 for the Redis validation.
+std::vector<double> capacity_grid_objects(const std::vector<Request>& trace,
+                                          std::size_t n);
+std::vector<double> capacity_grid_bytes(const std::vector<Request>& trace,
+                                        std::size_t n);
+
+}  // namespace krr

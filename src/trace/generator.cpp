@@ -1,0 +1,32 @@
+#include "trace/generator.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace krr {
+
+std::vector<Request> materialize(TraceGenerator& gen, std::size_t n) {
+  std::vector<Request> trace;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) trace.push_back(gen.next());
+  return trace;
+}
+
+std::size_t count_distinct(const std::vector<Request>& trace) {
+  std::unordered_set<std::uint64_t> keys;
+  keys.reserve(trace.size() / 2);
+  for (const Request& r : trace) keys.insert(r.key);
+  return keys.size();
+}
+
+std::uint64_t working_set_bytes(const std::vector<Request>& trace) {
+  std::unordered_map<std::uint64_t, std::uint32_t> first_size;
+  first_size.reserve(trace.size() / 2);
+  std::uint64_t total = 0;
+  for (const Request& r : trace) {
+    if (first_size.emplace(r.key, r.size).second) total += r.size;
+  }
+  return total;
+}
+
+}  // namespace krr

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/request.h"
+
+namespace krr {
+
+/// An infinite, deterministic stream of cache requests.
+///
+/// Generators are seeded and replayable: after reset() the generator
+/// produces exactly the same stream again. This matters because ground-truth
+/// simulation sweeps replay one trace at many cache sizes, and model-vs-
+/// simulator comparisons must run on the identical reference stream.
+class TraceGenerator {
+ public:
+  virtual ~TraceGenerator() = default;
+
+  /// Produces the next request of the stream.
+  virtual Request next() = 0;
+
+  /// Restarts the stream from the beginning (same seed, same sequence).
+  virtual void reset() = 0;
+
+  /// Human-readable workload name used in bench/table output.
+  virtual std::string name() const = 0;
+};
+
+/// Draws n requests into a vector. Replaying a materialized trace is the
+/// cheapest way to run multi-pass experiments (simulation sweeps).
+std::vector<Request> materialize(TraceGenerator& gen, std::size_t n);
+
+/// Number of distinct keys in a trace (the working set size M).
+std::size_t count_distinct(const std::vector<Request>& trace);
+
+/// Sum of distinct objects' sizes in bytes (byte-level working set size).
+/// Each key contributes the size of its first occurrence, matching the
+/// paper's convention for variable-size workloads.
+std::uint64_t working_set_bytes(const std::vector<Request>& trace);
+
+}  // namespace krr

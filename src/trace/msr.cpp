@@ -1,0 +1,205 @@
+#include "trace/msr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hashing.h"
+
+namespace krr {
+
+namespace {
+
+// Profile table. Weights (zipf, seq, drift) control where the trace lands on
+// the Type A / Type B axis (see MsrProfile docs): drift- and seq-heavy
+// profiles (src1, src2, web, proj, hm, prn) show a large LRU-vs-RR gap
+// (Type A); zipf-heavy profiles (usr, rsrch, stg, ts, wdev, mds, prxy) are
+// K-insensitive (Type B). Footprints are laptop-scale; benches can rescale.
+std::vector<MsrProfile> make_profiles() {
+  auto p = [](std::string name, std::uint64_t fp, double zw, double sw, double dw,
+              double theta, std::uint64_t run, std::uint64_t win, double step,
+              double wf) {
+    MsrProfile prof;
+    prof.name = std::move(name);
+    prof.footprint = fp;
+    prof.zipf_weight = zw;
+    prof.seq_weight = sw;
+    prof.drift_weight = dw;
+    prof.zipf_theta = theta;
+    prof.seq_run_length = run;
+    prof.drift_window = win;
+    prof.drift_step = step;
+    prof.write_fraction = wf;
+    // Block sizes: lognormal centred near 8-16 KiB, 512 B aligned, capped at
+    // 256 KiB — the broad shape reported for enterprise block traces.
+    prof.size_log_mean = 9.2;  // e^9.2 ~ 9.9 KiB
+    prof.size_log_sigma = 0.9;
+    prof.size_min = 512;
+    prof.size_max = 256 * 1024;
+    prof.size_align = 512;
+    return prof;
+  };
+  auto with_regions = [](MsrProfile prof, double amplitude) {
+    prof.size_region_amplitude = amplitude;
+    return prof;
+  };
+  std::vector<MsrProfile> v;
+  // ---- Type A: recency-driven (drift/scan heavy) ----
+  // src1, web, hm additionally carry region-correlated sizes, so the
+  // uniform-size assumption fails visibly on them (Fig. 5.3 panel A).
+  v.push_back(with_regions(
+      p("src1", 400000, 0.15, 0.25, 0.60, 0.80, 2000, 40000, 2.0, 0.30), 3.0));
+  v.push_back(p("src2", 120000, 0.20, 0.20, 0.60, 0.70, 1000, 12000, 1.2, 0.35));
+  v.push_back(with_regions(
+      p("web", 250000, 0.20, 0.15, 0.65, 0.75, 500, 25000, 1.5, 0.10), 3.0));
+  v.push_back(p("proj", 600000, 0.10, 0.25, 0.65, 0.70, 4000, 30000, 1.5, 0.25));
+  v.push_back(with_regions(
+      p("hm", 100000, 0.25, 0.15, 0.60, 0.80, 800, 10000, 1.0, 0.40), 2.5));
+  v.push_back(p("prn", 180000, 0.20, 0.30, 0.50, 0.75, 3000, 15000, 1.2, 0.50));
+  // ---- Type B: frequency-driven (IRM zipf heavy) ----
+  v.push_back(p("usr", 500000, 0.85, 0.05, 0.10, 0.95, 1000, 20000, 0.5, 0.20));
+  v.push_back(with_regions(
+      p("rsrch", 60000, 0.80, 0.05, 0.15, 0.90, 400, 5000, 0.3, 0.45), 2.5));
+  v.push_back(p("stg", 150000, 0.80, 0.10, 0.10, 0.85, 1500, 8000, 0.3, 0.30));
+  v.push_back(p("ts", 80000, 0.85, 0.05, 0.10, 0.90, 600, 6000, 0.2, 0.35));
+  v.push_back(p("wdev", 50000, 0.85, 0.05, 0.10, 1.00, 400, 4000, 0.2, 0.50));
+  v.push_back(p("mds", 90000, 0.80, 0.10, 0.10, 0.90, 800, 7000, 0.3, 0.40));
+  v.push_back(p("prxy", 70000, 0.75, 0.10, 0.15, 1.05, 500, 6000, 0.4, 0.60));
+  return v;
+}
+
+}  // namespace
+
+const std::vector<MsrProfile>& msr_profiles() {
+  static const std::vector<MsrProfile> profiles = make_profiles();
+  return profiles;
+}
+
+const MsrProfile& msr_profile(const std::string& name) {
+  for (const MsrProfile& p : msr_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown MSR profile: " + name);
+}
+
+MsrGenerator::MsrGenerator(MsrProfile profile, std::uint64_t seed,
+                           std::uint64_t footprint_override, std::uint32_t uniform_size)
+    : profile_(std::move(profile)),
+      seed_(seed),
+      uniform_size_(uniform_size),
+      zipf_((footprint_override ? footprint_override : profile_.footprint),
+            profile_.zipf_theta),
+      rng_(seed) {
+  if (footprint_override) {
+    // Keep the drift window and run length proportional to the footprint.
+    const double ratio = static_cast<double>(footprint_override) /
+                         static_cast<double>(profile_.footprint);
+    profile_.footprint = footprint_override;
+    profile_.drift_window = std::max<std::uint64_t>(
+        16, static_cast<std::uint64_t>(static_cast<double>(profile_.drift_window) * ratio));
+    profile_.seq_run_length = std::max<std::uint64_t>(
+        16, static_cast<std::uint64_t>(static_cast<double>(profile_.seq_run_length) * ratio));
+  }
+  const double wsum = profile_.zipf_weight + profile_.seq_weight + profile_.drift_weight;
+  if (std::abs(wsum - 1.0) > 1e-9) {
+    throw std::invalid_argument("MSR profile component weights must sum to 1");
+  }
+}
+
+std::uint32_t MsrGenerator::size_for_key(std::uint64_t key) const {
+  if (uniform_size_ != 0) return uniform_size_;
+  // Deterministic lognormal: derive a standard normal from two key-hash
+  // uniforms (Box-Muller), so a key has the same size on every reference
+  // and in every run.
+  const std::uint64_t h1 = hash64(key ^ 0x5bf03635f0a5b0c5ULL);
+  const std::uint64_t h2 = hash64(key ^ 0x2545f4914f6cdd1dULL);
+  const double u1 = (static_cast<double>(h1 >> 11) + 1.0) * 0x1.0p-53;  // (0,1]
+  const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;          // [0,1)
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  double bytes = std::exp(profile_.size_log_mean + profile_.size_log_sigma * z);
+  if (profile_.size_region_amplitude != 1.0) {
+    // Popularity-correlated gradient (see MsrProfile docs): low keys — the
+    // unscrambled Zipf hot set — are systematically larger.
+    const double position = static_cast<double>(key % profile_.footprint) /
+                            static_cast<double>(profile_.footprint);
+    bytes *= std::pow(profile_.size_region_amplitude, 1.0 - 2.0 * position);
+  }
+  bytes = std::clamp(bytes, static_cast<double>(profile_.size_min),
+                     static_cast<double>(profile_.size_max));
+  const auto aligned = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(bytes) + profile_.size_align - 1) /
+      profile_.size_align * profile_.size_align);
+  return std::max(aligned, profile_.size_min);
+}
+
+Request MsrGenerator::next() {
+  const double pick = rng_.next_double();
+  std::uint64_t key;
+  if (pick < profile_.zipf_weight) {
+    // With a size gradient, hot ranks stay at low keys so popularity and
+    // size remain correlated; otherwise spread the hot set across the space.
+    const std::uint64_t rank = zipf_.draw(rng_);
+    key = profile_.size_region_amplitude != 1.0
+              ? rank % profile_.footprint
+              : hash64(rank) % profile_.footprint;
+  } else if (pick < profile_.zipf_weight + profile_.seq_weight) {
+    // Sequential component: advance the scan cursor; restart the run at a
+    // random offset with probability 1/run_length (geometric run lengths).
+    if (rng_.next_double() * static_cast<double>(profile_.seq_run_length) < 1.0) {
+      seq_pos_ = rng_.next_below(profile_.footprint);
+    }
+    key = seq_pos_;
+    seq_pos_ = (seq_pos_ + 1) % profile_.footprint;
+  } else {
+    // Drift component: uniform inside a window that slides one step per
+    // drifted request, wrapping around the block space.
+    const std::uint64_t base = static_cast<std::uint64_t>(drift_base_);
+    key = (base + rng_.next_below(profile_.drift_window)) % profile_.footprint;
+    drift_base_ += profile_.drift_step;
+    if (drift_base_ >= static_cast<double>(profile_.footprint)) {
+      drift_base_ -= static_cast<double>(profile_.footprint);
+    }
+  }
+  const Op op = rng_.next_double() < profile_.write_fraction ? Op::kSet : Op::kGet;
+  return Request{key, size_for_key(key), op};
+}
+
+void MsrGenerator::reset() {
+  rng_ = Xoshiro256ss(seed_);
+  seq_pos_ = 0;
+  drift_base_ = 0.0;
+}
+
+std::string MsrGenerator::name() const { return "msr_" + profile_.name; }
+
+MsrMasterGenerator::MsrMasterGenerator(std::uint64_t seed, double footprint_scale,
+                                       std::uint32_t uniform_size)
+    : seed_(seed), pick_rng_(seed ^ 0x9d3f0e4cba11dcedULL) {
+  if (footprint_scale <= 0.0) {
+    throw std::invalid_argument("master trace footprint scale must be > 0");
+  }
+  std::uint64_t stream_seed = seed;
+  streams_.reserve(msr_profiles().size());
+  for (const MsrProfile& p : msr_profiles()) {
+    const auto fp = std::max<std::uint64_t>(
+        1000, static_cast<std::uint64_t>(static_cast<double>(p.footprint) *
+                                         footprint_scale));
+    streams_.emplace_back(p, ++stream_seed, fp, uniform_size);
+  }
+}
+
+Request MsrMasterGenerator::next() {
+  const std::uint64_t i = pick_rng_.next_below(streams_.size());
+  Request r = streams_[i].next();
+  r.key += kKeyStride * (i + 1);  // disjoint key spaces per merged stream
+  return r;
+}
+
+void MsrMasterGenerator::reset() {
+  pick_rng_ = Xoshiro256ss(seed_ ^ 0x9d3f0e4cba11dcedULL);
+  for (auto& s : streams_) s.reset();
+}
+
+std::string MsrMasterGenerator::name() const { return "msr_master"; }
+
+}  // namespace krr

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/generator.h"
+#include "trace/zipf.h"
+#include "util/prng.h"
+
+namespace krr {
+
+/// Parameter set for a synthetic block-I/O workload in the style of one MSR
+/// Cambridge server trace. The real traces are not redistributable, so each
+/// profile is a mixture of three reference processes over one block space:
+///
+///  * `zipf`  — IRM references to a Zipf-popular hot set (frequency-driven,
+///              recency-agnostic: pushes the trace toward Type B, where
+///              K-LRU miss ratios barely depend on K);
+///  * `seq`   — long sequential scan runs that restart at random offsets
+///              (streaming/loop behaviour);
+///  * `drift` — uniform references inside a window that slides across the
+///              block space (strongly recency-driven: pushes the trace
+///              toward Type A, where the LRU-vs-RR gap is large).
+///
+/// Component weights must sum to 1. Block sizes for the variable-size
+/// experiments are a deterministic per-key lognormal, rounded to
+/// `size_align` bytes — mirroring §5.2's "size of the first request to each
+/// object" convention.
+struct MsrProfile {
+  std::string name;
+  std::uint64_t footprint;  ///< number of distinct blocks
+  double zipf_weight;
+  double seq_weight;
+  double drift_weight;
+  double zipf_theta;
+  std::uint64_t seq_run_length;  ///< mean sequential run length
+  std::uint64_t drift_window;    ///< sliding window size (blocks)
+  double drift_step;             ///< blocks the window advances per request
+  double write_fraction;
+  // variable object size model (lognormal in bytes)
+  double size_log_mean;
+  double size_log_sigma;
+  std::uint32_t size_min;
+  std::uint32_t size_max;
+  std::uint32_t size_align;
+  /// Popularity-correlated size gradient: sizes are additionally scaled by
+  /// amplitude^(1 - 2*key/footprint) (low keys large, high keys small), and
+  /// the Zipf hot-set component emits *unscrambled* ranks so the hottest
+  /// objects sit at low keys and are systematically larger than average.
+  /// 1.0 disables the gradient. The persistent size/recency correlation is
+  /// what makes the uniform-size assumption visibly fail (Fig. 5.3 panel
+  /// A): the mean object size near the stack top differs from the global
+  /// mean at every point in time.
+  double size_region_amplitude = 1.0;
+};
+
+/// The 13 built-in profiles: src1, src2, web, proj, usr, hm, rsrch, stg,
+/// ts, wdev, mds, prn, prxy.
+const std::vector<MsrProfile>& msr_profiles();
+
+/// Looks up a built-in profile by name; throws std::out_of_range if absent.
+const MsrProfile& msr_profile(const std::string& name);
+
+/// Synthetic MSR-style block trace generator (see MsrProfile).
+class MsrGenerator final : public TraceGenerator {
+ public:
+  /// footprint_override/size scaling let benches shrink or grow a profile
+  /// while keeping its shape. uniform_size != 0 forces fixed object sizes
+  /// (the paper's 200-byte convention for §5.3).
+  MsrGenerator(MsrProfile profile, std::uint64_t seed,
+               std::uint64_t footprint_override = 0, std::uint32_t uniform_size = 0);
+
+  Request next() override;
+  void reset() override;
+  std::string name() const override;
+
+  const MsrProfile& profile() const noexcept { return profile_; }
+
+  /// Deterministic per-key object size under this profile's size model.
+  std::uint32_t size_for_key(std::uint64_t key) const;
+
+ private:
+  MsrProfile profile_;
+  std::uint64_t seed_;
+  std::uint32_t uniform_size_;
+  ZipfianDraw zipf_;
+  Xoshiro256ss rng_;
+  // sequential scan state
+  std::uint64_t seq_pos_ = 0;
+  // drifting window state (fractional so sub-block steps accumulate)
+  double drift_base_ = 0.0;
+};
+
+/// The merged "master" MSR workload (§5.5, Table 5.4): the 13 profile
+/// streams interleaved uniformly at random over disjoint key spaces.
+class MsrMasterGenerator final : public TraceGenerator {
+ public:
+  /// footprint_scale rescales every merged stream's footprint (values < 1
+  /// shrink the master trace for quick runs).
+  explicit MsrMasterGenerator(std::uint64_t seed, double footprint_scale = 1.0,
+                              std::uint32_t uniform_size = 0);
+
+  Request next() override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  std::uint64_t seed_;
+  Xoshiro256ss pick_rng_;
+  std::vector<MsrGenerator> streams_;
+  static constexpr std::uint64_t kKeyStride = 1ULL << 40;
+};
+
+}  // namespace krr

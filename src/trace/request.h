@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+namespace krr {
+
+/// Request operation type. The modeling pipeline treats every operation as
+/// a touch of the key ("standard get/set", §5.2); the type is kept so that
+/// simulators and trace writers can preserve workload semantics.
+enum class Op : std::uint8_t {
+  kGet = 0,
+  kSet = 1,
+};
+
+/// One cache reference. `size` is the object size in bytes; fixed-size
+/// pipelines ignore it (or generators emit a constant, e.g. the paper's
+/// 200-byte convention).
+struct Request {
+  std::uint64_t key = 0;
+  std::uint32_t size = 1;
+  Op op = Op::kGet;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+}  // namespace krr

@@ -1,0 +1,119 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace krr {
+
+LoopGenerator::LoopGenerator(std::uint64_t n, std::uint32_t object_size)
+    : n_(n), object_size_(object_size) {
+  if (n == 0) throw std::invalid_argument("loop length must be > 0");
+}
+
+Request LoopGenerator::next() {
+  const std::uint64_t key = pos_;
+  pos_ = (pos_ + 1) % n_;
+  return Request{key, object_size_, Op::kGet};
+}
+
+void LoopGenerator::reset() { pos_ = 0; }
+
+std::string LoopGenerator::name() const { return "loop"; }
+
+StackDepthGenerator::StackDepthGenerator(double reuse_prob, std::uint64_t depth_range,
+                                         std::uint64_t seed, std::uint32_t object_size)
+    : reuse_prob_(reuse_prob),
+      depth_range_(depth_range),
+      seed_(seed),
+      rng_(seed),
+      object_size_(object_size) {
+  if (reuse_prob < 0.0 || reuse_prob > 1.0) {
+    throw std::invalid_argument("reuse probability must be in [0,1]");
+  }
+  if (depth_range == 0) throw std::invalid_argument("depth range must be > 0");
+}
+
+Request StackDepthGenerator::next() {
+  std::uint64_t key;
+  if (!recent_.empty() && rng_.next_double() < reuse_prob_) {
+    const std::uint64_t depth =
+        rng_.next_below(std::min<std::uint64_t>(depth_range_, recent_.size()));
+    key = recent_[depth];
+    recent_.erase(recent_.begin() + static_cast<std::ptrdiff_t>(depth));
+  } else {
+    key = next_key_++;
+  }
+  recent_.insert(recent_.begin(), key);
+  // Keep only what can ever be re-referenced; anything deeper is dead.
+  if (recent_.size() > depth_range_) recent_.resize(depth_range_);
+  return Request{key, object_size_, Op::kGet};
+}
+
+void StackDepthGenerator::reset() {
+  rng_ = Xoshiro256ss(seed_);
+  recent_.clear();
+  next_key_ = 0;
+}
+
+std::string StackDepthGenerator::name() const { return "stack_depth"; }
+
+InterleaveGenerator::InterleaveGenerator(
+    std::vector<std::unique_ptr<TraceGenerator>> streams, std::vector<double> weights,
+    std::uint64_t seed, std::uint64_t key_stride)
+    : streams_(std::move(streams)), seed_(seed), rng_(seed), key_stride_(key_stride) {
+  if (streams_.empty()) throw std::invalid_argument("interleave needs >= 1 stream");
+  if (weights.size() != streams_.size()) {
+    throw std::invalid_argument("interleave weights must match stream count");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0) throw std::invalid_argument("interleave weights must be > 0");
+    total += w;
+  }
+  double cum = 0.0;
+  cumulative_.reserve(weights.size());
+  for (double w : weights) {
+    cum += w / total;
+    cumulative_.push_back(cum);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+Request InterleaveGenerator::next() {
+  const double u = rng_.next_double();
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u) -
+      cumulative_.begin());
+  Request r = streams_[i]->next();
+  r.key += key_stride_ * (i + 1);
+  return r;
+}
+
+void InterleaveGenerator::reset() {
+  rng_ = Xoshiro256ss(seed_);
+  for (auto& s : streams_) s->reset();
+}
+
+std::string InterleaveGenerator::name() const { return "interleave"; }
+
+ReplayGenerator::ReplayGenerator(std::vector<Request> trace, std::string name)
+    : trace_(std::move(trace)), name_(std::move(name)) {
+  if (trace_.empty()) throw std::invalid_argument("replay trace must be non-empty");
+}
+
+Request ReplayGenerator::next() {
+  if (pos_ == trace_.size()) {
+    pos_ = 0;
+    wrapped_ = true;
+  }
+  return trace_[pos_++];
+}
+
+void ReplayGenerator::reset() {
+  pos_ = 0;
+  wrapped_ = false;
+}
+
+std::string ReplayGenerator::name() const { return name_; }
+
+}  // namespace krr

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/generator.h"
+#include "util/prng.h"
+
+namespace krr {
+
+/// Cyclic scan over [0, n): 0,1,...,n-1,0,1,... — the adversarial loop
+/// pattern §4.2 calls out (objects are re-referenced in exactly their
+/// recency order), where the uncorrected KRR model errs the most and the
+/// K' = K^1.4 correction matters.
+class LoopGenerator final : public TraceGenerator {
+ public:
+  LoopGenerator(std::uint64_t n, std::uint32_t object_size = 1);
+
+  Request next() override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t pos_ = 0;
+  std::uint32_t object_size_;
+};
+
+/// References object i with an LRU stack depth drawn from a configurable
+/// geometric-like distribution: with probability `reuse_prob` the next
+/// request re-references one of the `depth_range` most recently used
+/// objects (uniformly), otherwise a brand-new object. Produces precisely
+/// controlled stack-distance distributions for unit tests.
+class StackDepthGenerator final : public TraceGenerator {
+ public:
+  StackDepthGenerator(double reuse_prob, std::uint64_t depth_range, std::uint64_t seed,
+                      std::uint32_t object_size = 1);
+
+  Request next() override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  double reuse_prob_;
+  std::uint64_t depth_range_;
+  std::uint64_t seed_;
+  Xoshiro256ss rng_;
+  std::uint32_t object_size_;
+  std::vector<std::uint64_t> recent_;  // most-recent first
+  std::uint64_t next_key_ = 0;
+};
+
+/// Interleaves several sub-streams over disjoint key spaces, choosing the
+/// next sub-stream by weight. Used to compose merged workloads.
+class InterleaveGenerator final : public TraceGenerator {
+ public:
+  /// Weights need not be normalized; key spaces are separated by adding
+  /// (index+1) * key_stride to each sub-stream's keys.
+  InterleaveGenerator(std::vector<std::unique_ptr<TraceGenerator>> streams,
+                      std::vector<double> weights, std::uint64_t seed,
+                      std::uint64_t key_stride = 1ULL << 40);
+
+  Request next() override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  std::vector<std::unique_ptr<TraceGenerator>> streams_;
+  std::vector<double> cumulative_;  // normalized cumulative weights
+  std::uint64_t seed_;
+  Xoshiro256ss rng_;
+  std::uint64_t key_stride_;
+};
+
+/// Replays a materialized trace (wraps around at the end so the stream
+/// stays infinite; `wrapped()` reports whether a wrap happened).
+class ReplayGenerator final : public TraceGenerator {
+ public:
+  ReplayGenerator(std::vector<Request> trace, std::string name);
+
+  Request next() override;
+  void reset() override;
+  std::string name() const override;
+
+  bool wrapped() const noexcept { return wrapped_; }
+  std::size_t length() const noexcept { return trace_.size(); }
+
+ private:
+  std::vector<Request> trace_;
+  std::string name_;
+  std::size_t pos_ = 0;
+  bool wrapped_ = false;
+};
+
+}  // namespace krr

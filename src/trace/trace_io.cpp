@@ -1,0 +1,143 @@
+#include "trace/trace_io.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace krr {
+
+namespace {
+
+constexpr char kMagic[8] = {'K', 'R', 'R', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  std::array<char, 4> b;
+  for (int i = 0; i < 4; ++i) b[static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
+  os.write(b.data(), b.size());
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  std::array<char, 8> b;
+  for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
+  os.write(b.data(), b.size());
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  std::array<unsigned char, 4> b;
+  is.read(reinterpret_cast<char*>(b.data()), b.size());
+  if (!is) throw std::runtime_error("truncated trace stream");
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | b[static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  std::array<unsigned char, 8> b;
+  is.read(reinterpret_cast<char*>(b.data()), b.size());
+  if (!is) throw std::runtime_error("truncated trace stream");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& os, const std::vector<Request>& trace) {
+  os << "key,size,op\n";
+  for (const Request& r : trace) {
+    os << r.key << ',' << r.size << ',' << (r.op == Op::kSet ? "set" : "get") << '\n';
+  }
+}
+
+std::vector<Request> read_trace_csv(std::istream& is) {
+  std::vector<Request> trace;
+  std::string line;
+  if (!std::getline(is, line)) throw std::runtime_error("empty trace CSV");
+  if (line.rfind("key,", 0) != 0) throw std::runtime_error("missing trace CSV header");
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string key_s, size_s, op_s;
+    if (!std::getline(ss, key_s, ',') || !std::getline(ss, size_s, ',') ||
+        !std::getline(ss, op_s)) {
+      throw std::runtime_error("malformed trace CSV at line " + std::to_string(lineno));
+    }
+    Request r;
+    try {
+      r.key = std::stoull(key_s);
+      r.size = static_cast<std::uint32_t>(std::stoul(size_s));
+    } catch (const std::exception&) {
+      throw std::runtime_error("bad number in trace CSV at line " + std::to_string(lineno));
+    }
+    if (op_s == "get") {
+      r.op = Op::kGet;
+    } else if (op_s == "set") {
+      r.op = Op::kSet;
+    } else {
+      throw std::runtime_error("bad op in trace CSV at line " + std::to_string(lineno));
+    }
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+void write_trace_binary(std::ostream& os, const std::vector<Request>& trace) {
+  os.write(kMagic, sizeof(kMagic));
+  put_u32(os, kVersion);
+  put_u64(os, trace.size());
+  for (const Request& r : trace) {
+    put_u64(os, r.key);
+    put_u32(os, r.size);
+    const char op = static_cast<char>(r.op);
+    os.write(&op, 1);
+  }
+}
+
+std::vector<Request> read_trace_binary(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("bad trace magic");
+  }
+  const std::uint32_t version = get_u32(is);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported trace version " + std::to_string(version));
+  }
+  const std::uint64_t count = get_u64(is);
+  std::vector<Request> trace;
+  trace.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Request r;
+    r.key = get_u64(is);
+    r.size = get_u32(is);
+    char op;
+    is.read(&op, 1);
+    if (!is) throw std::runtime_error("truncated trace payload");
+    if (op != 0 && op != 1) throw std::runtime_error("bad op byte in trace");
+    r.op = static_cast<Op>(op);
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const std::vector<Request>& trace) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  write_trace_binary(os, trace);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<Request> load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return read_trace_binary(is);
+}
+
+}  // namespace krr

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/request.h"
+
+namespace krr {
+
+/// Writes a trace as CSV lines `key,size,op` (op is "get" or "set"),
+/// preceded by a header. The textual format is for interchange with
+/// external tooling; use the binary format for bulk storage.
+void write_trace_csv(std::ostream& os, const std::vector<Request>& trace);
+
+/// Parses the CSV format produced by write_trace_csv. Throws
+/// std::runtime_error on malformed input.
+std::vector<Request> read_trace_csv(std::istream& is);
+
+/// Writes a trace in the library's packed little-endian binary format:
+/// an 16-byte header ("KRRTRACE", version, count) followed by
+/// 13-byte records (key u64, size u32, op u8).
+void write_trace_binary(std::ostream& os, const std::vector<Request>& trace);
+
+/// Reads the binary format; throws std::runtime_error on a bad magic,
+/// version, or truncated payload.
+std::vector<Request> read_trace_binary(std::istream& is);
+
+/// Convenience file wrappers (throw std::runtime_error on I/O failure).
+void save_trace(const std::string& path, const std::vector<Request>& trace);
+std::vector<Request> load_trace(const std::string& path);
+
+}  // namespace krr

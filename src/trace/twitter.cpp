@@ -1,0 +1,126 @@
+#include "trace/twitter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hashing.h"
+
+namespace krr {
+
+namespace {
+
+std::vector<TwitterProfile> make_profiles() {
+  auto p = [](std::string name, std::uint64_t keys, double alpha, double wf,
+              double dw, std::uint64_t win, double step, double mu, double sigma) {
+    TwitterProfile prof;
+    prof.name = std::move(name);
+    prof.key_count = keys;
+    prof.zipf_alpha = alpha;
+    prof.write_fraction = wf;
+    prof.drift_weight = dw;
+    prof.drift_window = win;
+    prof.drift_step = step;
+    prof.size_log_mean = mu;
+    prof.size_log_sigma = sigma;
+    prof.size_min = 16;
+    prof.size_max = 64 * 1024;
+    return prof;
+  };
+  std::vector<TwitterProfile> v;
+  // Shapes follow the published cluster statistics qualitatively: small
+  // median values (tens to hundreds of bytes), strong skew, mostly reads.
+  // 26.0 and 34.1 carry region-correlated sizes (Fig. 5.3 panel A).
+  v.push_back(p("cluster26.0", 200000, 1.05, 0.05, 0.35, 15000, 1.0, 5.6, 1.1));
+  v.back().size_region_amplitude = 2.5;
+  v.push_back(p("cluster34.1", 150000, 0.85, 0.20, 0.60, 10000, 1.5, 4.9, 0.9));   // Type A
+  v.back().size_region_amplitude = 2.5;
+  v.push_back(p("cluster45.0", 300000, 1.10, 0.02, 0.05, 8000, 0.2, 6.2, 1.3));    // Type B
+  v.push_back(p("cluster52.7", 120000, 0.95, 0.30, 0.30, 9000, 0.8, 5.2, 1.0));
+  return v;
+}
+
+}  // namespace
+
+const std::vector<TwitterProfile>& twitter_profiles() {
+  static const std::vector<TwitterProfile> profiles = make_profiles();
+  return profiles;
+}
+
+const TwitterProfile& twitter_profile(const std::string& name) {
+  for (const TwitterProfile& p : twitter_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown Twitter profile: " + name);
+}
+
+TwitterGenerator::TwitterGenerator(TwitterProfile profile, std::uint64_t seed,
+                                   std::uint64_t key_count_override,
+                                   std::uint32_t uniform_size)
+    : profile_(std::move(profile)),
+      seed_(seed),
+      uniform_size_(uniform_size),
+      zipf_((key_count_override ? key_count_override : profile_.key_count),
+            profile_.zipf_alpha),
+      rng_(seed) {
+  if (key_count_override) {
+    const double ratio = static_cast<double>(key_count_override) /
+                         static_cast<double>(profile_.key_count);
+    profile_.key_count = key_count_override;
+    profile_.drift_window = std::max<std::uint64_t>(
+        16, static_cast<std::uint64_t>(static_cast<double>(profile_.drift_window) * ratio));
+  }
+  if (profile_.drift_weight < 0.0 || profile_.drift_weight > 1.0) {
+    throw std::invalid_argument("twitter drift weight must be in [0,1]");
+  }
+}
+
+std::uint32_t TwitterGenerator::size_for_key(std::uint64_t key) const {
+  if (uniform_size_ != 0) return uniform_size_;
+  // Deterministic lognormal body with the hash-derived Box-Muller normal;
+  // clamping to [size_min, size_max] reproduces the bounded KV-size range.
+  const std::uint64_t h1 = hash64(key ^ 0xa24baed4963ee407ULL);
+  const std::uint64_t h2 = hash64(key ^ 0x9fb21c651e98df25ULL);
+  const double u1 = (static_cast<double>(h1 >> 11) + 1.0) * 0x1.0p-53;
+  const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  double bytes = std::exp(profile_.size_log_mean + profile_.size_log_sigma * z);
+  if (profile_.size_region_amplitude != 1.0) {
+    // Popularity-correlated gradient, as in MsrProfile: low keys (the
+    // unscrambled hot ranks) are systematically larger.
+    const double position = static_cast<double>(key % profile_.key_count) /
+                            static_cast<double>(profile_.key_count);
+    bytes *= std::pow(profile_.size_region_amplitude, 1.0 - 2.0 * position);
+  }
+  bytes = std::clamp(bytes, static_cast<double>(profile_.size_min),
+                     static_cast<double>(profile_.size_max));
+  return static_cast<std::uint32_t>(bytes);
+}
+
+Request TwitterGenerator::next() {
+  std::uint64_t key;
+  if (rng_.next_double() < profile_.drift_weight) {
+    const auto base = static_cast<std::uint64_t>(drift_base_);
+    key = (base + rng_.next_below(profile_.drift_window)) % profile_.key_count;
+    drift_base_ += profile_.drift_step;
+    if (drift_base_ >= static_cast<double>(profile_.key_count)) {
+      drift_base_ -= static_cast<double>(profile_.key_count);
+    }
+  } else {
+    const std::uint64_t rank = zipf_.draw(rng_);
+    key = profile_.size_region_amplitude != 1.0
+              ? rank % profile_.key_count
+              : hash64(rank) % profile_.key_count;
+  }
+  const Op op = rng_.next_double() < profile_.write_fraction ? Op::kSet : Op::kGet;
+  return Request{key, size_for_key(key), op};
+}
+
+void TwitterGenerator::reset() {
+  rng_ = Xoshiro256ss(seed_);
+  drift_base_ = 0.0;
+}
+
+std::string TwitterGenerator::name() const { return "tw_" + profile_.name; }
+
+}  // namespace krr

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/generator.h"
+#include "trace/zipf.h"
+#include "util/prng.h"
+
+namespace krr {
+
+/// Parameter set for a synthetic in-memory KV-cache workload in the style of
+/// one Twitter production cluster (Yang et al., OSDI '20). The real traces
+/// are multi-hundred-GB downloads, so each profile captures the published
+/// shape: Zipf-popular keys, heavy-tailed value sizes stable per key, a
+/// get/set mix, and (for Type A clusters) a recency-driven drift component.
+struct TwitterProfile {
+  std::string name;          ///< cluster id, e.g. "cluster26.0"
+  std::uint64_t key_count;   ///< distinct keys
+  double zipf_alpha;         ///< key popularity skew
+  double write_fraction;     ///< fraction of set operations
+  double drift_weight;       ///< fraction of requests from a sliding window
+  std::uint64_t drift_window;
+  double drift_step;
+  // value sizes: generalized-Pareto-ish tail over a lognormal body
+  double size_log_mean;      ///< lognormal body location (log bytes)
+  double size_log_sigma;     ///< lognormal body scale
+  std::uint32_t size_min;
+  std::uint32_t size_max;
+  /// Popularity-correlated size gradient across the key space (1.0 = off);
+  /// see MsrProfile::size_region_amplitude for semantics.
+  double size_region_amplitude = 1.0;
+};
+
+/// Built-in profiles for the four clusters the paper evaluates
+/// (26.0, 34.1, 45.0, 52.7). 34.1 is tuned Type A; 45.0 Type B, matching
+/// the paper's Fig. 5.2 placement.
+const std::vector<TwitterProfile>& twitter_profiles();
+
+/// Looks up a built-in profile by name; throws std::out_of_range if absent.
+const TwitterProfile& twitter_profile(const std::string& name);
+
+/// Synthetic Twitter-style KV trace generator (see TwitterProfile).
+class TwitterGenerator final : public TraceGenerator {
+ public:
+  /// uniform_size != 0 forces fixed object sizes (for §5.3).
+  TwitterGenerator(TwitterProfile profile, std::uint64_t seed,
+                   std::uint64_t key_count_override = 0,
+                   std::uint32_t uniform_size = 0);
+
+  Request next() override;
+  void reset() override;
+  std::string name() const override;
+
+  const TwitterProfile& profile() const noexcept { return profile_; }
+
+  /// Deterministic per-key value size under this profile's size model.
+  std::uint32_t size_for_key(std::uint64_t key) const;
+
+ private:
+  TwitterProfile profile_;
+  std::uint64_t seed_;
+  std::uint32_t uniform_size_;
+  ZipfianDraw zipf_;
+  Xoshiro256ss rng_;
+  double drift_base_ = 0.0;
+};
+
+}  // namespace krr

@@ -1,0 +1,89 @@
+#include "trace/workload_factory.h"
+
+#include <stdexcept>
+
+#include "trace/msr.h"
+#include "trace/synthetic.h"
+#include "trace/twitter.h"
+#include "trace/ycsb.h"
+#include "trace/zipf.h"
+
+namespace krr {
+
+namespace {
+
+constexpr std::uint64_t kDefaultFootprint = 20000;
+
+double parse_alpha(const std::string& text, const std::string& spec) {
+  try {
+    return std::stod(text);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad numeric parameter in workload spec: " + spec);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<TraceGenerator> make_workload(const std::string& spec,
+                                              const WorkloadFactoryOptions& options) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string param = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  const std::uint64_t footprint =
+      options.footprint ? options.footprint : kDefaultFootprint;
+  const std::uint32_t size = options.uniform_size ? options.uniform_size : 1;
+
+  if (kind == "msr") {
+    if (param == "master") {
+      // footprint scales the merged trace relative to its built-in size.
+      const double scale = options.footprint
+                               ? static_cast<double>(options.footprint) / 2800000.0
+                               : 0.1;
+      return std::make_unique<MsrMasterGenerator>(options.seed, scale,
+                                                  options.uniform_size);
+    }
+    return std::make_unique<MsrGenerator>(msr_profile(param), options.seed,
+                                          options.footprint, options.uniform_size);
+  }
+  if (kind == "twitter") {
+    return std::make_unique<TwitterGenerator>(twitter_profile(param), options.seed,
+                                              options.footprint,
+                                              options.uniform_size);
+  }
+  if (kind == "ycsb_c") {
+    return std::make_unique<YcsbWorkloadC>(footprint, parse_alpha(param, spec),
+                                           options.seed, size);
+  }
+  if (kind == "ycsb_e") {
+    return std::make_unique<YcsbWorkloadE>(footprint, parse_alpha(param, spec),
+                                           options.seed, /*max_scan_length=*/0, size);
+  }
+  if (kind == "zipf") {
+    return std::make_unique<ZipfianGenerator>(footprint, parse_alpha(param, spec),
+                                              options.seed, /*scrambled=*/true, size);
+  }
+  if (kind == "uniform") {
+    return std::make_unique<UniformGenerator>(footprint, options.seed, size);
+  }
+  if (kind == "loop") {
+    return std::make_unique<LoopGenerator>(footprint, size);
+  }
+  throw std::invalid_argument("unknown workload spec: " + spec);
+}
+
+std::vector<std::string> known_workload_specs() {
+  std::vector<std::string> specs;
+  for (const MsrProfile& p : msr_profiles()) specs.push_back("msr:" + p.name);
+  specs.push_back("msr:master");
+  for (const TwitterProfile& p : twitter_profiles()) {
+    specs.push_back("twitter:" + p.name);
+  }
+  specs.push_back("ycsb_c:<alpha>");
+  specs.push_back("ycsb_e:<alpha>");
+  specs.push_back("zipf:<theta>");
+  specs.push_back("uniform");
+  specs.push_back("loop");
+  return specs;
+}
+
+}  // namespace krr

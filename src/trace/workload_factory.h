@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/generator.h"
+
+namespace krr {
+
+/// Options shared by every factory-built generator.
+struct WorkloadFactoryOptions {
+  std::uint64_t seed = 1;
+  /// Distinct-object count override (0 = the workload's default).
+  std::uint64_t footprint = 0;
+  /// Force fixed object sizes (0 = the workload's own size model).
+  std::uint32_t uniform_size = 0;
+};
+
+/// Builds a trace generator from a textual spec — the format the CLI and
+/// examples share:
+///
+///   "msr:<profile>"        e.g. msr:src1, msr:web (13 profiles)
+///   "msr:master"           the merged master trace
+///   "twitter:<cluster>"    e.g. twitter:cluster26.0
+///   "ycsb_c:<alpha>"       e.g. ycsb_c:0.99
+///   "ycsb_e:<alpha>"       e.g. ycsb_e:1.5
+///   "zipf:<theta>"         scrambled Zipfian over the footprint
+///   "uniform"              uniform IRM
+///   "loop"                 cyclic scan
+///
+/// Throws std::invalid_argument on an unknown spec.
+std::unique_ptr<TraceGenerator> make_workload(const std::string& spec,
+                                              const WorkloadFactoryOptions& options = {});
+
+/// All specs the factory accepts (for --help output and sweep tooling).
+std::vector<std::string> known_workload_specs();
+
+}  // namespace krr

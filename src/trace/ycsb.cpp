@@ -1,0 +1,65 @@
+#include "trace/ycsb.h"
+
+#include <stdexcept>
+
+#include "util/hashing.h"
+#include "util/table.h"
+
+namespace krr {
+
+YcsbWorkloadC::YcsbWorkloadC(std::uint64_t record_count, double alpha,
+                             std::uint64_t seed, std::uint32_t object_size)
+    : draw_(record_count, alpha),
+      alpha_(alpha),
+      seed_(seed),
+      rng_(seed),
+      object_size_(object_size) {}
+
+Request YcsbWorkloadC::next() {
+  const std::uint64_t key = hash64(draw_.draw(rng_)) % draw_.item_count();
+  return Request{key, object_size_, Op::kGet};
+}
+
+void YcsbWorkloadC::reset() { rng_ = Xoshiro256ss(seed_); }
+
+std::string YcsbWorkloadC::name() const {
+  return "ycsb_C_alpha" + format_double(alpha_, 3);
+}
+
+YcsbWorkloadE::YcsbWorkloadE(std::uint64_t record_count, double alpha,
+                             std::uint64_t seed, std::uint64_t max_scan_length,
+                             std::uint32_t object_size)
+    : draw_(record_count, alpha),
+      alpha_(alpha),
+      record_count_(record_count),
+      max_scan_length_(max_scan_length == 0 ? record_count : max_scan_length),
+      seed_(seed),
+      rng_(seed),
+      object_size_(object_size) {
+  if (max_scan_length_ == 0) throw std::invalid_argument("max scan length must be > 0");
+}
+
+Request YcsbWorkloadE::next() {
+  if (scan_remaining_ == 0) {
+    // Start a new scan: Zipfian start key (unscrambled, so that scans run
+    // over contiguous key ranges), uniform length in [1, max_scan_length].
+    scan_next_ = draw_.draw(rng_);
+    scan_remaining_ = 1 + rng_.next_below(max_scan_length_);
+  }
+  const std::uint64_t key = scan_next_ % record_count_;
+  ++scan_next_;
+  --scan_remaining_;
+  return Request{key, object_size_, Op::kGet};
+}
+
+void YcsbWorkloadE::reset() {
+  rng_ = Xoshiro256ss(seed_);
+  scan_next_ = 0;
+  scan_remaining_ = 0;
+}
+
+std::string YcsbWorkloadE::name() const {
+  return "ycsb_E_alpha" + format_double(alpha_, 3);
+}
+
+}  // namespace krr

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/generator.h"
+#include "trace/zipf.h"
+#include "util/prng.h"
+
+namespace krr {
+
+/// YCSB core workload C: 100% reads, keys chosen from a Zipfian
+/// distribution over `record_count` records (§5.2 evaluates alpha in
+/// {0.5, 0.99, 1.5}). Keys are scrambled so popularity is spread across the
+/// key space, as in YCSB proper.
+class YcsbWorkloadC final : public TraceGenerator {
+ public:
+  YcsbWorkloadC(std::uint64_t record_count, double alpha, std::uint64_t seed,
+                std::uint32_t object_size = 1);
+
+  Request next() override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  ZipfianDraw draw_;
+  double alpha_;
+  std::uint64_t seed_;
+  Xoshiro256ss rng_;
+  std::uint32_t object_size_;
+};
+
+/// YCSB core workload E: scan-dominant. Each logical operation picks a scan
+/// start key from a Zipfian distribution and scans a uniformly distributed
+/// number of consecutive records. The generator flattens scans into the
+/// per-record reference stream the cache sees. Per the paper's
+/// configuration, the maximum scan length equals the number of distinct
+/// records, which makes the workload strongly recency-driven (Type A).
+class YcsbWorkloadE final : public TraceGenerator {
+ public:
+  /// max_scan_length == 0 means "record_count" (the paper's setting).
+  YcsbWorkloadE(std::uint64_t record_count, double alpha, std::uint64_t seed,
+                std::uint64_t max_scan_length = 0, std::uint32_t object_size = 1);
+
+  Request next() override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  ZipfianDraw draw_;
+  double alpha_;
+  std::uint64_t record_count_;
+  std::uint64_t max_scan_length_;
+  std::uint64_t seed_;
+  Xoshiro256ss rng_;
+  std::uint32_t object_size_;
+  // in-flight scan state
+  std::uint64_t scan_next_ = 0;
+  std::uint64_t scan_remaining_ = 0;
+};
+
+}  // namespace krr

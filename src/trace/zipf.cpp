@@ -1,0 +1,82 @@
+#include "trace/zipf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hashing.h"
+#include "util/table.h"
+
+namespace krr {
+
+ZipfianDraw::ZipfianDraw(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  if (n == 0) throw std::invalid_argument("zipfian item count must be > 0");
+  if (theta_ < 0.0) throw std::invalid_argument("zipfian theta must be >= 0");
+  // theta == 1 makes the alpha = 1/(1-theta) transform singular; YCSB nudges
+  // it the same way.
+  if (theta_ > 0.999999 && theta_ < 1.000001) theta_ = 0.99999;
+  zetan_ = zeta(n_, theta_);
+  const double zeta2 = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+}
+
+double ZipfianDraw::zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+std::uint64_t ZipfianDraw::draw(Xoshiro256ss& rng) const {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta, std::uint64_t seed,
+                                   bool scrambled, std::uint32_t object_size)
+    : draw_(n, theta),
+      seed_(seed),
+      rng_(seed),
+      scrambled_(scrambled),
+      object_size_(object_size) {}
+
+Request ZipfianGenerator::next() {
+  std::uint64_t key = draw_.draw(rng_);
+  if (scrambled_) {
+    // The mix hash is bijective over uint64, so scrambling preserves the
+    // popularity distribution while decorrelating rank and key value.
+    key = hash64(key) % draw_.item_count();
+  }
+  return Request{key, object_size_, Op::kGet};
+}
+
+void ZipfianGenerator::reset() { rng_ = Xoshiro256ss(seed_); }
+
+std::string ZipfianGenerator::name() const {
+  return (scrambled_ ? std::string("scrambled_zipf") : std::string("zipf")) +
+         "_theta" + format_double(draw_.theta(), 3);
+}
+
+UniformGenerator::UniformGenerator(std::uint64_t n, std::uint64_t seed,
+                                   std::uint32_t object_size)
+    : n_(n), seed_(seed), rng_(seed), object_size_(object_size) {
+  if (n == 0) throw std::invalid_argument("uniform item count must be > 0");
+}
+
+Request UniformGenerator::next() {
+  return Request{rng_.next_below(n_), object_size_, Op::kGet};
+}
+
+void UniformGenerator::reset() { rng_ = Xoshiro256ss(seed_); }
+
+std::string UniformGenerator::name() const { return "uniform"; }
+
+}  // namespace krr

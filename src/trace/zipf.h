@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/generator.h"
+#include "util/prng.h"
+
+namespace krr {
+
+/// Zipfian integer generator over [0, n) with skew parameter theta (the
+/// paper's alpha), following Gray et al.'s "Quickly generating billion-
+/// record synthetic databases" method as used by YCSB. Item 0 is the most
+/// popular; popularity of rank r is proportional to 1/(r+1)^theta.
+///
+/// theta == 1 is handled by nudging to 0.99999 (the harmonic special case),
+/// matching YCSB's implementation behaviour.
+class ZipfianDraw {
+ public:
+  ZipfianDraw(std::uint64_t n, double theta);
+
+  /// Draws the next rank in [0, n) using the supplied PRNG.
+  std::uint64_t draw(Xoshiro256ss& rng) const;
+
+  std::uint64_t item_count() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+/// Self-contained Zipfian trace generator: keys are ranks (0 is hottest),
+/// optionally scrambled through a 64-bit mixing hash so popular keys are
+/// spread across the key space (YCSB's ScrambledZipfianGenerator). Sizes
+/// are a fixed constant.
+class ZipfianGenerator final : public TraceGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta, std::uint64_t seed,
+                   bool scrambled = false, std::uint32_t object_size = 1);
+
+  Request next() override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  ZipfianDraw draw_;
+  std::uint64_t seed_;
+  Xoshiro256ss rng_;
+  bool scrambled_;
+  std::uint32_t object_size_;
+};
+
+/// Uniform random keys over [0, n): the IRM workload where LRU, RR and
+/// every K-LRU variant have identical expected miss ratios (a Type B
+/// extreme used in tests).
+class UniformGenerator final : public TraceGenerator {
+ public:
+  UniformGenerator(std::uint64_t n, std::uint64_t seed, std::uint32_t object_size = 1);
+
+  Request next() override;
+  void reset() override;
+  std::string name() const override;
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t seed_;
+  Xoshiro256ss rng_;
+  std::uint32_t object_size_;
+};
+
+}  // namespace krr

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace krr {
+
+/// Fenwick (binary indexed) tree over prefix sums of T, 1-indexed.
+///
+/// Two roles in this library:
+///  * exact LRU stack distances: a tree over access timestamps counts the
+///    distinct objects touched since a given time (Olken-equivalent,
+///    O(log n) per access);
+///  * exact byte-level stack distances: a tree over stack positions holds
+///    object sizes, giving the precise prefix size the paper's `sizeArray`
+///    approximates (used as ground truth in tests and benches).
+template <typename T>
+class Fenwick {
+ public:
+  Fenwick() = default;
+  explicit Fenwick(std::size_t n) : tree_(n + 1, T{}) {}
+
+  /// Number of addressable positions (1..size()).
+  std::size_t size() const noexcept { return tree_.empty() ? 0 : tree_.size() - 1; }
+
+  /// Grows the tree to cover at least n positions, preserving content.
+  void ensure_size(std::size_t n) {
+    if (n + 1 <= tree_.size()) return;
+    std::size_t cap = tree_.empty() ? 16 : tree_.size();
+    while (cap < n + 1) cap *= 2;
+    rebuild(cap - 1);
+  }
+
+  /// Adds delta at position i (1-based).
+  void add(std::size_t i, T delta) {
+    assert(i >= 1 && i <= size());
+    for (; i < tree_.size(); i += i & (~i + 1)) tree_[i] += delta;
+  }
+
+  /// Sum of positions 1..i (0 if i == 0).
+  T prefix_sum(std::size_t i) const {
+    assert(i <= size());
+    T s{};
+    for (; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+
+  /// Sum of positions lo..hi inclusive (empty range yields 0).
+  T range_sum(std::size_t lo, std::size_t hi) const {
+    if (lo > hi) return T{};
+    return prefix_sum(hi) - prefix_sum(lo - 1);
+  }
+
+  void clear() { tree_.assign(tree_.size(), T{}); }
+
+ private:
+  void rebuild(std::size_t n) {
+    // Rebuild from recovered point values; growth happens rarely (amortized
+    // doubling), so the O(n log n) re-insertion cost is acceptable.
+    std::vector<T> values(n + 1, T{});
+    for (std::size_t i = 1; i < tree_.size(); ++i) values[i] = range_sum(i, i);
+    tree_.assign(n + 1, T{});
+    for (std::size_t i = 1; i <= n; ++i) {
+      if (values[i] != T{}) add_unchecked(i, values[i]);
+    }
+  }
+
+  void add_unchecked(std::size_t i, T delta) {
+    for (; i < tree_.size(); i += i & (~i + 1)) tree_[i] += delta;
+  }
+
+  std::vector<T> tree_;
+};
+
+}  // namespace krr

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+namespace krr {
+
+/// Stateless 64-bit mixing hash (SplitMix64 finalizer). Bijective on
+/// uint64_t, with strong avalanche behaviour; this is the hash used for
+/// SHARDS-style spatial sampling where the sampled subset must be an
+/// unbiased function of the key alone.
+constexpr std::uint64_t hash64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Inverse of hash64 (the finalizer is bijective). Mainly used by tests to
+/// demonstrate that spatial sampling is a pure function of the key.
+constexpr std::uint64_t hash64_inverse(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 31) ^ (x >> 62)) * 0x319642b2d24d8ec3ULL;
+  x = (x ^ (x >> 27) ^ (x >> 54)) * 0x96de1b173f119089ULL;
+  return x ^ (x >> 30) ^ (x >> 60);
+}
+
+}  // namespace krr

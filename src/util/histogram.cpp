@@ -1,0 +1,68 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/mrc.h"
+
+namespace krr {
+
+DistanceHistogram::DistanceHistogram(std::uint64_t quantum) : quantum_(quantum) {
+  if (quantum_ == 0) throw std::invalid_argument("histogram quantum must be >= 1");
+}
+
+void DistanceHistogram::record(std::uint64_t distance, double weight) {
+  // Round up so that a distance of d lands in a bin of size >= d; this keeps
+  // the derived MRC conservative (never reports a hit the exact histogram
+  // would count as a miss at the bin's size).
+  const std::uint64_t bin = ((distance + quantum_ - 1) / quantum_) * quantum_;
+  bins_[bin] += weight;
+  total_ += weight;
+}
+
+void DistanceHistogram::record_infinite(double weight) {
+  infinite_ += weight;
+  total_ += weight;
+}
+
+std::vector<std::pair<std::uint64_t, double>> DistanceHistogram::sorted_bins() const {
+  std::vector<std::pair<std::uint64_t, double>> out(bins_.begin(), bins_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+MissRatioCurve DistanceHistogram::to_mrc() const {
+  MissRatioCurve curve;
+  if (total_ <= 0.0) return curve;
+  const auto sorted = sorted_bins();
+  // miss ratio at size c = (weight of distances > c + cold misses) / total.
+  // Walk bins ascending, accumulating the weight of distances <= c.
+  double cum = 0.0;
+  curve.add_point(0.0, 1.0);
+  for (const auto& [dist, weight] : sorted) {
+    cum += weight;
+    // Negative corrective weights (SHARDS-adj) can push the ratio slightly
+    // outside [0, 1]; clamp so the curve stays a valid miss ratio.
+    const double ratio = std::clamp((total_ - cum) / total_, 0.0, 1.0);
+    curve.add_point(static_cast<double>(dist), ratio);
+  }
+  return curve;
+}
+
+void DistanceHistogram::clear() {
+  bins_.clear();
+  infinite_ = 0.0;
+  total_ = 0.0;
+}
+
+void DistanceHistogram::merge(const DistanceHistogram& other) {
+  if (other.quantum_ != quantum_) {
+    throw std::invalid_argument("cannot merge histograms with different quanta");
+  }
+  for (const auto& [dist, weight] : other.bins_) bins_[dist] += weight;
+  infinite_ += other.infinite_;
+  total_ += other.total_;
+}
+
+}  // namespace krr

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace krr {
+
+class MissRatioCurve;
+
+/// Weighted stack-distance histogram.
+///
+/// Records, for each reuse, the stack distance of the referenced object; a
+/// cold (first-ever) reference is recorded as an infinite distance. Weights
+/// are doubles so that spatially sampled streams can record rescaled counts
+/// (weight 1/R per sampled reference).
+///
+/// Distances may be object counts (uniform-size model) or bytes (var-KRR);
+/// an optional quantum coarsens byte distances so the histogram stays small.
+class DistanceHistogram {
+ public:
+  /// quantum: distances are rounded up to a multiple of this value before
+  /// being binned. Use 1 (default) for exact object-granularity distances.
+  explicit DistanceHistogram(std::uint64_t quantum = 1);
+
+  /// Records one reuse at the given finite stack distance.
+  void record(std::uint64_t distance, double weight = 1.0);
+
+  /// Records one cold miss (infinite stack distance).
+  void record_infinite(double weight = 1.0);
+
+  /// Total recorded weight, including infinite distances.
+  double total_weight() const noexcept { return total_; }
+
+  /// Weight recorded as cold misses.
+  double infinite_weight() const noexcept { return infinite_; }
+
+  /// Number of distinct finite bins.
+  std::size_t bin_count() const noexcept { return bins_.size(); }
+
+  std::uint64_t quantum() const noexcept { return quantum_; }
+
+  /// Converts the histogram to a miss ratio curve: for every recorded
+  /// distance d, the curve has a point at cache size d whose miss ratio is
+  /// P(stack distance > d). Cold misses count as misses at every size.
+  /// A point at size 0 (miss ratio 1) is always included.
+  MissRatioCurve to_mrc() const;
+
+  /// Returns (distance, weight) pairs sorted by distance ascending.
+  std::vector<std::pair<std::uint64_t, double>> sorted_bins() const;
+
+  void clear();
+
+  /// Merges another histogram into this one (bins must share the quantum).
+  void merge(const DistanceHistogram& other);
+
+ private:
+  std::uint64_t quantum_;
+  std::unordered_map<std::uint64_t, double> bins_;
+  double infinite_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace krr

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace krr {
+
+/// Runs fn(i) for every i in [0, n) across up to `threads` worker threads
+/// (dynamic self-scheduling via an atomic counter, so uneven per-index
+/// costs — e.g. simulating small vs large cache sizes — balance out).
+///
+/// fn must be safe to call concurrently for distinct indices. The first
+/// exception thrown by any worker is rethrown on the calling thread after
+/// all workers have drained.
+///
+/// threads == 0 or 1, or n <= 1, degrades to a plain serial loop.
+template <typename Fn>
+void parallel_for_index(std::size_t n, unsigned threads, Fn&& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const unsigned worker_count =
+      static_cast<unsigned>(std::min<std::size_t>(threads, n));
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(worker_count - 1);
+  for (unsigned t = 1; t < worker_count; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// A reasonable default worker count: the hardware concurrency, at least 1.
+inline unsigned default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace krr

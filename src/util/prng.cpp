@@ -1,0 +1,5 @@
+#include "util/prng.h"
+
+// All PRNG members are defined inline in the header; this translation unit
+// exists so the target has a stable home for future out-of-line additions
+// and so the header is compiled standalone at least once.

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace krr {
+
+/// SplitMix64 generator (Steele, Lea & Flood). Used for seeding and as a
+/// cheap stateless mixer; passes BigCrush for the purposes of this library.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna): fast, high-quality 64-bit PRNG.
+/// This is the workhorse generator for all stochastic components (K-LRU
+/// eviction sampling, KRR swap sampling, workload generation).
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from a SplitMix64 stream, as recommended
+  /// by the xoshiro authors (avoids the all-zero state).
+  explicit Xoshiro256ss(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm();
+  }
+
+  std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; never returns 0, suitable for inverse-CDF
+  /// draws that divide or take roots (Algorithm 2 requires r in (0,1]).
+  double next_double_open0() noexcept { return 1.0 - next_double(); }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction
+  /// (unbiased enough for simulation at 64-bit width).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace krr

@@ -1,0 +1,67 @@
+#include "util/reuse_histogram.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace krr {
+
+ReuseTimeHistogram::ReuseTimeHistogram(std::uint32_t sub_buckets)
+    : sub_buckets_(sub_buckets) {
+  if (sub_buckets_ == 0 || (sub_buckets_ & (sub_buckets_ - 1)) != 0) {
+    throw std::invalid_argument("sub-bucket count must be a power of two");
+  }
+}
+
+std::size_t ReuseTimeHistogram::bin_index(std::uint64_t reuse_time) const {
+  const std::uint64_t s = sub_buckets_;
+  if (reuse_time < 2 * s) return static_cast<std::size_t>(reuse_time);
+  const int log2s = std::countr_zero(s);
+  const int e = std::bit_width(reuse_time) - 1;  // 2^e <= rt < 2^(e+1)
+  const int shift = e - log2s;
+  return static_cast<std::size_t>(static_cast<std::uint64_t>(shift) * s +
+                                  (reuse_time >> shift));
+}
+
+std::uint64_t ReuseTimeHistogram::bin_upper_bound(std::size_t index) const {
+  const std::uint64_t s = sub_buckets_;
+  const std::uint64_t idx = index;
+  if (idx < 2 * s) return idx;
+  const std::uint64_t g = idx / s - 1;
+  const std::uint64_t base = idx - g * s;  // in [s, 2s)
+  return ((base + 1) << g) - 1;
+}
+
+void ReuseTimeHistogram::record(std::uint64_t reuse_time, double weight) {
+  if (reuse_time == 0) throw std::invalid_argument("reuse time must be >= 1");
+  const std::size_t idx = bin_index(reuse_time);
+  if (idx >= bins_.size()) bins_.resize(idx + 1, 0.0);
+  bins_[idx] += weight;
+  total_ += weight;
+}
+
+double ReuseTimeHistogram::tail_weight(std::uint64_t t) const {
+  double tail = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] > 0.0 && bin_upper_bound(i) > t) tail += bins_[i];
+  }
+  return tail;
+}
+
+ReuseTimeCollector::ReuseTimeCollector(std::uint32_t sub_buckets)
+    : histogram_(sub_buckets) {}
+
+std::uint64_t ReuseTimeCollector::access(std::uint64_t key) {
+  ++time_;
+  auto [it, inserted] = last_access_.try_emplace(key, time_);
+  if (inserted) {
+    cold_ += 1.0;
+    first_access_.emplace(key, time_);
+    return 0;
+  }
+  const std::uint64_t reuse_time = time_ - it->second;
+  it->second = time_;
+  histogram_.record(reuse_time);
+  return reuse_time;
+}
+
+}  // namespace krr

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace krr {
+
+/// Log-binned histogram of reuse times (the number of references between
+/// two references to the same object) — the shared substrate of the
+/// reuse-time family of LRU models (AET, StatStack, HOTL §6.1). Values
+/// below 2*sub_buckets are stored exactly; above, each power-of-two range
+/// is split into `sub_buckets` equal sub-bins, so space is O(log N) with
+/// bounded relative error.
+class ReuseTimeHistogram {
+ public:
+  /// sub_buckets must be a power of two (resolution within each range).
+  explicit ReuseTimeHistogram(std::uint32_t sub_buckets = 256);
+
+  /// Records one reuse with the given reuse time (must be >= 1).
+  void record(std::uint64_t reuse_time, double weight = 1.0);
+
+  /// Total recorded weight.
+  double total() const noexcept { return total_; }
+
+  bool empty() const noexcept { return total_ <= 0.0; }
+
+  /// The bin index a reuse time falls into (exposed for tests).
+  std::size_t bin_index(std::uint64_t reuse_time) const;
+
+  /// Upper bound (inclusive) of the reuse times covered by a bin.
+  std::uint64_t bin_upper_bound(std::size_t index) const;
+
+  /// Visits non-empty bins in ascending reuse-time order as
+  /// (upper_bound, weight) pairs.
+  template <typename Fn>
+  void for_each_bin(Fn&& fn) const {
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      if (bins_[i] > 0.0) fn(bin_upper_bound(i), bins_[i]);
+    }
+  }
+
+  /// Weight of reuses with reuse time > t (bin-resolution tail count).
+  double tail_weight(std::uint64_t t) const;
+
+ private:
+  std::uint32_t sub_buckets_;
+  std::vector<double> bins_;
+  double total_ = 0.0;
+};
+
+/// Per-object last-access bookkeeping shared by reuse-time models: feeds
+/// reuse times into a histogram and counts cold references.
+class ReuseTimeCollector {
+ public:
+  explicit ReuseTimeCollector(std::uint32_t sub_buckets = 256);
+
+  /// Records one reference to `key`; returns the reuse time (0 when cold).
+  std::uint64_t access(std::uint64_t key);
+
+  const ReuseTimeHistogram& histogram() const noexcept { return histogram_; }
+  double cold_count() const noexcept { return cold_; }
+  std::uint64_t processed() const noexcept { return time_; }
+  std::size_t distinct_objects() const noexcept { return last_access_.size(); }
+
+  /// Read-only view of last-access times (HOTL's window-edge corrections).
+  const std::unordered_map<std::uint64_t, std::uint64_t>& last_access_times() const {
+    return last_access_;
+  }
+
+  /// First-access times, keyed like last_access_times().
+  const std::unordered_map<std::uint64_t, std::uint64_t>& first_access_times() const {
+    return first_access_;
+  }
+
+ private:
+  ReuseTimeHistogram histogram_;
+  double cold_ = 0.0;
+  std::uint64_t time_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> last_access_;
+  std::unordered_map<std::uint64_t, std::uint64_t> first_access_;
+};
+
+}  // namespace krr

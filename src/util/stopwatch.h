@@ -1,0 +1,26 @@
+#pragma once
+
+#include <chrono>
+
+namespace krr {
+
+/// Monotonic wall-clock stopwatch for the timing benches (Tables 5.3/5.4).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace krr

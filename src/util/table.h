@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace krr {
+
+/// Minimal fixed-width text table for benchmark output: the bench binaries
+/// print the same rows the paper's tables report, plus a CSV dump for
+/// downstream plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with operator<< semantics.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Pretty-prints with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Prints comma-separated values (header + rows).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  static std::string to_cell(int v);
+  static std::string to_cell(long v);
+  static std::string to_cell(long long v);
+  static std::string to_cell(unsigned v);
+  static std::string to_cell(unsigned long v);
+  static std::string to_cell(unsigned long long v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with a compact fixed precision suited for miss ratios
+/// and MAEs (up to 6 significant decimals, no trailing noise).
+std::string format_double(double v, int precision = 6);
+
+}  // namespace krr

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "baselines/aet.h"
+#include "baselines/lru_stack.h"
+#include "baselines/shards.h"
+#include "sim/sweep.h"
+#include "trace/generator.h"
+#include "trace/msr.h"
+#include "trace/ycsb.h"
+#include "trace/zipf.h"
+
+namespace krr {
+namespace {
+
+TEST(Shards, RateOneReproducesExactLruMrc) {
+  ZipfianGenerator gen(800, 0.9, 1);
+  const auto trace = materialize(gen, 30000);
+  ShardsProfiler shards(1.0);
+  LruStackProfiler exact;
+  for (const Request& r : trace) {
+    shards.access(r);
+    exact.access(r);
+  }
+  const auto sizes = capacity_grid_objects(trace, 20);
+  EXPECT_LT(shards.mrc().mae(exact.mrc(), sizes), 1e-9);
+}
+
+TEST(Shards, SampledMrcApproximatesExactLru) {
+  // Working set ~20K objects, rate chosen to sample >= 2K of them.
+  YcsbWorkloadC gen(20000, 0.99, 3);
+  const auto trace = materialize(gen, 200000);
+  const double rate = adaptive_sampling_rate(0.001, count_distinct(trace), 2000);
+  ShardsProfiler shards(rate);
+  LruStackProfiler exact;
+  for (const Request& r : trace) {
+    shards.access(r);
+    exact.access(r);
+  }
+  const auto sizes = capacity_grid_objects(trace, 40);
+  EXPECT_LT(shards.mrc().mae(exact.mrc(), sizes), 0.02);
+  EXPECT_LT(shards.sampled(), trace.size() / 4);
+}
+
+TEST(Shards, AdjustmentImprovesSkewedSamples) {
+  // On a heavily skewed workload, whether the hottest keys land in the
+  // sample dominates the error; the first-bucket correction must bring the
+  // curve closer to the exact one on average across key-space shifts.
+  ZipfianGenerator base(5000, 1.2, 9);
+  const auto trace = materialize(base, 100000);
+  const auto sizes = capacity_grid_objects(trace, 10);
+  double mae_adj = 0.0, mae_raw = 0.0;
+  constexpr int kReps = 5;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const std::uint64_t shift = static_cast<std::uint64_t>(rep) * 1000003ULL;
+    ShardsProfiler with_adj(0.05, /*adjustment=*/true);
+    ShardsProfiler without_adj(0.05, /*adjustment=*/false);
+    LruStackProfiler exact;
+    for (Request r : trace) {
+      r.key += shift;
+      with_adj.access(r);
+      without_adj.access(r);
+      exact.access(r);
+    }
+    mae_adj += with_adj.mrc().mae(exact.mrc(), sizes);
+    mae_raw += without_adj.mrc().mae(exact.mrc(), sizes);
+  }
+  EXPECT_LT(mae_adj, mae_raw);
+  EXPECT_LT(mae_adj / kReps, 0.02);
+}
+
+TEST(Shards, ByteGranularitySupported) {
+  MsrGenerator gen(msr_profile("src2"), 2, 2000);
+  const auto trace = materialize(gen, 50000);
+  ShardsProfiler shards(0.25, true, /*byte_granularity=*/true);
+  LruStackProfiler exact(/*byte_granularity=*/true);
+  for (const Request& r : trace) {
+    shards.access(r);
+    exact.access(r);
+  }
+  const auto sizes = capacity_grid_bytes(trace, 20);
+  EXPECT_LT(shards.mrc().mae(exact.mrc(), sizes), 0.03);
+}
+
+TEST(Aet, RejectsNonPowerOfTwoSubBuckets) {
+  EXPECT_THROW(AetProfiler(0), std::invalid_argument);
+  EXPECT_THROW(AetProfiler(100), std::invalid_argument);
+}
+
+TEST(Aet, EmptyProfilerYieldsEmptyCurve) {
+  AetProfiler aet;
+  EXPECT_TRUE(aet.mrc(16).empty());
+}
+
+TEST(Aet, ApproximatesExactLruOnIrmWorkload) {
+  // AET's independence assumptions hold exactly for IRM traces, so the
+  // prediction should land within ~2% of the exact LRU curve.
+  ZipfianGenerator gen(4000, 0.9, 5);
+  const auto trace = materialize(gen, 150000);
+  AetProfiler aet;
+  LruStackProfiler exact;
+  for (const Request& r : trace) {
+    aet.access(r);
+    exact.access(r);
+  }
+  const auto sizes = capacity_grid_objects(trace, 40);
+  EXPECT_LT(aet.mrc(sizes).mae(exact.mrc(), sizes), 0.02);
+}
+
+TEST(Aet, ColdOnlyTraceYieldsAllMisses) {
+  AetProfiler aet;
+  for (std::uint64_t k = 0; k < 1000; ++k) aet.access(Request{k, 1, Op::kGet});
+  const auto mrc = aet.mrc({100.0, 500.0});
+  EXPECT_DOUBLE_EQ(mrc.eval(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(mrc.eval(500.0), 1.0);
+}
+
+TEST(Aet, TracksCounts) {
+  AetProfiler aet;
+  aet.access(Request{1, 1, Op::kGet});
+  aet.access(Request{1, 1, Op::kGet});
+  aet.access(Request{2, 1, Op::kGet});
+  EXPECT_EQ(aet.processed(), 3u);
+  EXPECT_EQ(aet.distinct_objects(), 2u);
+}
+
+}  // namespace
+}  // namespace krr

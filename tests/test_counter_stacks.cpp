@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "baselines/counter_stacks.h"
+#include "baselines/lru_stack.h"
+#include "sim/sweep.h"
+#include "trace/generator.h"
+#include "trace/msr.h"
+#include "trace/zipf.h"
+
+namespace krr {
+namespace {
+
+TEST(CounterStacks, ValidatesArguments) {
+  EXPECT_THROW(CounterStacksProfiler(0), std::invalid_argument);
+  EXPECT_THROW(CounterStacksProfiler(100, -0.1), std::invalid_argument);
+}
+
+TEST(CounterStacks, ColdOnlyTraceIsAllMisses) {
+  // HLL delta noise misplaces a small amount of mass into finite bins;
+  // a higher-precision sketch keeps it under a few percent.
+  CounterStacksProfiler cs(250, 0.02, /*hll_precision=*/14);
+  for (std::uint64_t k = 0; k < 5000; ++k) cs.access(Request{k, 1, Op::kGet});
+  const MissRatioCurve mrc = cs.mrc();
+  EXPECT_GT(mrc.eval(2500.0), 0.95);
+  EXPECT_GT(mrc.eval(5000.0), 0.95);
+}
+
+TEST(CounterStacks, ApproximatesExactLruOnZipfTrace) {
+  ZipfianGenerator gen(5000, 0.9, 7, true);
+  const auto trace = materialize(gen, 150000);
+  CounterStacksProfiler cs(500);
+  LruStackProfiler exact;
+  for (const Request& r : trace) {
+    cs.access(r);
+    exact.access(r);
+  }
+  const auto sizes = capacity_grid_objects(trace, 20);
+  EXPECT_LT(cs.mrc().mae(exact.mrc(), sizes), 0.05);
+}
+
+TEST(CounterStacks, ApproximatesExactLruOnDriftTrace) {
+  MsrGenerator gen(msr_profile("web"), 9, 8000, 1);
+  const auto trace = materialize(gen, 150000);
+  CounterStacksProfiler cs(500);
+  LruStackProfiler exact;
+  for (const Request& r : trace) {
+    cs.access(r);
+    exact.access(r);
+  }
+  const auto sizes = capacity_grid_objects(trace, 20);
+  EXPECT_LT(cs.mrc().mae(exact.mrc(), sizes), 0.05);
+}
+
+TEST(CounterStacks, PruningBoundsLiveCounters) {
+  // A stationary workload converges its counters, so pruning must keep the
+  // live set far below the naive one-per-interval count.
+  ZipfianGenerator gen(2000, 0.99, 11, true);
+  CounterStacksProfiler cs(200, /*prune_delta=*/0.02);
+  constexpr std::size_t kN = 100000;
+  for (std::size_t i = 0; i < kN; ++i) cs.access(gen.next());
+  EXPECT_LT(cs.live_counters(), kN / 200 / 4);
+}
+
+TEST(CounterStacks, MrcIsRepeatableMidStream) {
+  ZipfianGenerator gen(1000, 0.9, 13);
+  CounterStacksProfiler cs(100);
+  for (int i = 0; i < 5050; ++i) cs.access(gen.next());
+  const MissRatioCurve a = cs.mrc();
+  const MissRatioCurve b = cs.mrc();  // const: must not consume state
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points()[i].miss_ratio, b.points()[i].miss_ratio);
+  }
+}
+
+TEST(CounterStacks, FinerIntervalsAreMoreAccurate) {
+  ZipfianGenerator gen(3000, 0.8, 17, true);
+  const auto trace = materialize(gen, 100000);
+  LruStackProfiler exact;
+  for (const Request& r : trace) exact.access(r);
+  const auto sizes = capacity_grid_objects(trace, 20);
+  auto mae_for = [&](std::uint64_t interval) {
+    CounterStacksProfiler cs(interval);
+    for (const Request& r : trace) cs.access(r);
+    return cs.mrc().mae(exact.mrc(), sizes);
+  };
+  EXPECT_LT(mae_for(200), mae_for(20000) + 0.01);
+}
+
+}  // namespace
+}  // namespace krr

@@ -1,0 +1,127 @@
+// Additional edge-case coverage for spots the module tests leave thin:
+// byte-capacity miniature simulation, windowed-profiler curve correctness,
+// K-LRU set-operation semantics, and profiler/stack boundary conditions.
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.h"
+#include "core/windowed_profiler.h"
+#include "sim/klru_cache.h"
+#include "sim/miniature.h"
+#include "sim/sweep.h"
+#include "trace/generator.h"
+#include "trace/msr.h"
+#include "trace/zipf.h"
+
+namespace krr {
+namespace {
+
+TEST(MiniatureByteMode, ApproximatesByteCapacitySimulation) {
+  MsrGenerator gen(msr_profile("src2"), 3, 6000);
+  const auto trace = materialize(gen, 100000);
+  const auto sizes = capacity_grid_bytes(trace, 8);
+  const MissRatioCurve full = sweep_klru(trace, sizes, 5, true, 7);
+  MiniatureConfig cfg;
+  cfg.rate = 0.2;
+  cfg.min_capacity = 4096;  // floor in bytes
+  const MissRatioCurve mini = miniature_klru_mrc(trace, sizes, 5, cfg);
+  EXPECT_LT(mini.mae(full, sizes), 0.05);
+}
+
+TEST(KLruCache, SetOperationAdmitsAndResizes) {
+  KLruConfig cfg;
+  cfg.capacity = 100;
+  cfg.sample_size = 4;
+  KLruCache cache(cfg);
+  // A set to a new key admits it like a get miss.
+  EXPECT_FALSE(cache.access(Request{1, 40, Op::kSet}));
+  EXPECT_TRUE(cache.contains(1));
+  // A set that grows a resident object evicts until it fits again.
+  cache.access(Request{2, 40, Op::kGet});
+  cache.access(Request{1, 90, Op::kSet});
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_EQ(cache.used(), 90u);
+}
+
+TEST(KLruCache, SampleSizeCanChangeMidStream) {
+  KLruConfig cfg;
+  cfg.capacity = 50;
+  cfg.sample_size = 1;
+  KLruCache cache(cfg);
+  UniformGenerator gen(500, 5);
+  for (int i = 0; i < 5000; ++i) cache.access(gen.next());
+  cache.set_sample_size(16);
+  for (int i = 0; i < 5000; ++i) {
+    cache.access(gen.next());
+    ASSERT_LE(cache.used(), 50u);
+  }
+  EXPECT_THROW(cache.set_sample_size(0), std::invalid_argument);
+}
+
+TEST(WindowedProfiler, CurveMatchesSingleProfilerWithinFirstWindow) {
+  // Before any retirement the windowed view *is* a single profiler over
+  // the whole history, so their curves must agree.
+  WindowedKrrConfig wc;
+  wc.window = 100000;  // never retires in this test
+  wc.profiler.k_sample = 5;
+  wc.profiler.seed = 9;
+  WindowedKrrProfiler windowed(wc);
+  KrrProfilerConfig pc = wc.profiler;
+  pc.seed = wc.profiler.seed + 1;  // windowed offsets its seeds by 1
+  KrrProfiler single(pc);
+  ZipfianGenerator gen(800, 0.9, 3);
+  for (int i = 0; i < 20000; ++i) {
+    const Request r = gen.next();
+    windowed.access(r);
+    single.access(r);
+  }
+  const MissRatioCurve a = windowed.mrc();
+  const MissRatioCurve b = single.mrc();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points()[i].miss_ratio, b.points()[i].miss_ratio);
+  }
+}
+
+TEST(KrrProfiler, SingleObjectTrace) {
+  KrrProfilerConfig cfg;
+  cfg.k_sample = 5;
+  KrrProfiler profiler(cfg);
+  for (int i = 0; i < 100; ++i) profiler.access(Request{42, 1, Op::kGet});
+  const MissRatioCurve mrc = profiler.mrc();
+  // 1 cold miss, 99 hits at distance 1.
+  EXPECT_DOUBLE_EQ(mrc.eval(1.0), 0.01);
+  EXPECT_EQ(profiler.stack_depth(), 1u);
+}
+
+TEST(KrrProfiler, EmptyProfilerYieldsEmptyCurve) {
+  KrrProfilerConfig cfg;
+  cfg.k_sample = 2;
+  KrrProfiler profiler(cfg);
+  EXPECT_TRUE(profiler.mrc().empty());
+  EXPECT_EQ(profiler.processed(), 0u);
+}
+
+TEST(KrrProfiler, FractionalKSampleIsAccepted) {
+  // DLRU-style controllers may interpolate K; the model must accept
+  // non-integer sampling sizes.
+  KrrProfilerConfig cfg;
+  cfg.k_sample = 2.5;
+  KrrProfiler profiler(cfg);
+  ZipfianGenerator gen(500, 0.9, 7);
+  for (int i = 0; i < 10000; ++i) profiler.access(gen.next());
+  EXPECT_GT(profiler.mrc().size(), 10u);
+}
+
+TEST(SweepHelpers, CapacityGridsMatchWorkingSetSizes) {
+  ZipfianGenerator gen(300, 0.5, 9, false, 100);
+  const auto trace = materialize(gen, 20000);
+  const auto objects = capacity_grid_objects(trace, 4);
+  EXPECT_DOUBLE_EQ(objects.back(), static_cast<double>(count_distinct(trace)));
+  const auto bytes = capacity_grid_bytes(trace, 4);
+  EXPECT_DOUBLE_EQ(bytes.back(), static_cast<double>(working_set_bytes(trace)));
+}
+
+}  // namespace
+}  // namespace krr

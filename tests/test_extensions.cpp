@@ -1,0 +1,268 @@
+// Tests for the extension modules: miniature simulation, the generalized
+// sampled-priority cache (LFU/TTL future work), the DLRU adaptive cache,
+// and the windowed online profiler.
+
+#include <gtest/gtest.h>
+
+#include "core/dlru.h"
+#include "core/windowed_profiler.h"
+#include "sim/klru_cache.h"
+#include "sim/miniature.h"
+#include "sim/sampled_priority_cache.h"
+#include "sim/sweep.h"
+#include "trace/generator.h"
+#include "trace/msr.h"
+#include "trace/synthetic.h"
+#include "trace/zipf.h"
+
+namespace krr {
+namespace {
+
+Request get(std::uint64_t key, std::uint32_t size = 1) {
+  return Request{key, size, Op::kGet};
+}
+
+// ---------------- miniature simulation ----------------
+
+TEST(Miniature, ApproximatesFullKLruSimulation) {
+  ZipfianGenerator gen(20000, 0.8, 3, true);
+  const auto trace = materialize(gen, 200000);
+  const auto sizes = capacity_grid_objects(trace, 10);
+  const MissRatioCurve full = sweep_klru(trace, sizes, 5, true, 7);
+  MiniatureConfig cfg;
+  cfg.rate = 0.2;
+  const MissRatioCurve mini = miniature_klru_mrc(trace, sizes, 5, cfg);
+  EXPECT_LT(mini.mae(full, sizes), 0.04);
+}
+
+TEST(Miniature, RedisVariantApproximatesFullRedisSimulation) {
+  ZipfianGenerator gen(15000, 0.8, 5, true);
+  const auto trace = materialize(gen, 150000);
+  const auto sizes = capacity_grid_objects(trace, 8);
+  RedisLruConfig redis_cfg;
+  redis_cfg.seed = 9;
+  const MissRatioCurve full = sweep_redis(trace, sizes, redis_cfg);
+  MiniatureConfig cfg;
+  cfg.rate = 0.2;
+  const MissRatioCurve mini = miniature_redis_mrc(trace, sizes, redis_cfg, cfg);
+  EXPECT_LT(mini.mae(full, sizes), 0.05);
+}
+
+TEST(Miniature, CapacityFloorPreventsDegenerateCaches) {
+  ZipfianGenerator gen(1000, 0.9, 7);
+  const auto trace = materialize(gen, 20000);
+  MiniatureConfig cfg;
+  cfg.rate = 0.001;  // 1000 * 0.001 = 1 object without the floor
+  cfg.min_capacity = 8;
+  const MissRatioCurve mini = miniature_klru_mrc(trace, {1000.0}, 5, cfg);
+  EXPECT_LE(mini.eval(1000.0), 1.0);  // just exercises the floor path
+}
+
+// ---------------- sampled-priority cache ----------------
+
+TEST(SampledPriority, ValidatesConfig) {
+  SampledPriorityConfig cfg;
+  cfg.capacity = 0;
+  EXPECT_THROW(SampledPriorityCache{cfg}, std::invalid_argument);
+  cfg.capacity = 10;
+  cfg.sample_size = 0;
+  EXPECT_THROW(SampledPriorityCache{cfg}, std::invalid_argument);
+}
+
+TEST(SampledPriority, LruPolicyMatchesKLruCacheStatistically) {
+  ZipfianGenerator gen(2000, 0.9, 11);
+  const auto trace = materialize(gen, 60000);
+  SampledPriorityConfig cfg;
+  cfg.capacity = 400;
+  cfg.sample_size = 5;
+  cfg.policy = SampledEvictionPolicy::kLru;
+  cfg.seed = 3;
+  SampledPriorityCache generalized(cfg);
+  KLruConfig kc;
+  kc.capacity = 400;
+  kc.sample_size = 5;
+  kc.seed = 3;
+  KLruCache reference(kc);
+  for (const Request& r : trace) {
+    generalized.access(r);
+    reference.access(r);
+  }
+  EXPECT_NEAR(generalized.miss_ratio(), reference.miss_ratio(), 0.01);
+}
+
+TEST(SampledPriority, LfuRetainsHotObjectsUnderScans) {
+  // A Zipfian hot set plus an aggressive scan: LFU protects the hot set
+  // where LRU lets the scan flush it.
+  std::vector<Request> trace;
+  ZipfianGenerator hot(200, 1.2, 13);
+  std::uint64_t scan_key = 1000;
+  Xoshiro256ss rng(17);
+  for (int i = 0; i < 60000; ++i) {
+    if (rng.next_double() < 0.5) {
+      trace.push_back(hot.next());
+    } else {
+      trace.push_back(get(scan_key++));
+    }
+  }
+  auto run = [&](SampledEvictionPolicy policy) {
+    SampledPriorityConfig cfg;
+    cfg.capacity = 150;
+    cfg.sample_size = 5;
+    cfg.policy = policy;
+    cfg.seed = 5;
+    SampledPriorityCache cache(cfg);
+    for (const Request& r : trace) cache.access(r);
+    return cache.miss_ratio();
+  };
+  EXPECT_LT(run(SampledEvictionPolicy::kLfu), run(SampledEvictionPolicy::kLru));
+}
+
+TEST(SampledPriority, TtlExpiresObjects) {
+  SampledPriorityConfig cfg;
+  cfg.capacity = 1000;
+  cfg.policy = SampledEvictionPolicy::kTtl;
+  cfg.ttl_base = 100;
+  cfg.ttl_spread = 0;
+  SampledPriorityCache cache(cfg);
+  cache.access(get(1));
+  for (int i = 0; i < 50; ++i) cache.access(get(2));
+  EXPECT_TRUE(cache.access(get(1)));  // still fresh at tick 52
+  for (int i = 0; i < 150; ++i) cache.access(get(2));
+  EXPECT_FALSE(cache.access(get(1)));  // expired: miss and readmit
+  EXPECT_GE(cache.expirations(), 1u);
+  EXPECT_TRUE(cache.access(get(1)));  // readmitted fresh
+}
+
+TEST(SampledPriority, PolicyNamesAreStable) {
+  EXPECT_EQ(to_string(SampledEvictionPolicy::kLru), "sampled_lru");
+  EXPECT_EQ(to_string(SampledEvictionPolicy::kLfu), "sampled_lfu");
+  EXPECT_EQ(to_string(SampledEvictionPolicy::kTtl), "sampled_ttl");
+}
+
+TEST(SampledPriority, CapacityIsRespected) {
+  SampledPriorityConfig cfg;
+  cfg.capacity = 64;
+  cfg.policy = SampledEvictionPolicy::kLfu;
+  SampledPriorityCache cache(cfg);
+  UniformGenerator gen(1000, 19);
+  for (int i = 0; i < 20000; ++i) {
+    cache.access(gen.next());
+    ASSERT_LE(cache.used(), 64u);
+  }
+  cache.reset();
+  EXPECT_EQ(cache.object_count(), 0u);
+}
+
+// ---------------- DLRU adaptive cache ----------------
+
+TEST(AdaptiveKLru, ValidatesConfig) {
+  AdaptiveKLruConfig cfg;
+  cfg.capacity = 100;
+  cfg.candidate_ks = {};
+  EXPECT_THROW(AdaptiveKLruCache{cfg}, std::invalid_argument);
+  cfg.candidate_ks = {1, 4};
+  cfg.epoch = 0;
+  EXPECT_THROW(AdaptiveKLruCache{cfg}, std::invalid_argument);
+}
+
+TEST(AdaptiveKLru, PicksSmallKOnLoopWorkload) {
+  // Below the loop size, random replacement (K=1) beats LRU, so the
+  // controller should settle on the smallest K.
+  LoopGenerator gen(2000);
+  AdaptiveKLruConfig cfg;
+  cfg.capacity = 1000;
+  cfg.epoch = 20000;
+  cfg.sampling_rate = 1.0;
+  AdaptiveKLruCache cache(cfg);
+  for (int i = 0; i < 100000; ++i) cache.access(gen.next());
+  ASSERT_FALSE(cache.k_history().empty());
+  EXPECT_EQ(cache.k_history().back(), 1u);
+}
+
+TEST(AdaptiveKLru, PicksLargerKOnRecencyFriendlyWorkload) {
+  // A drift-driven workload at a small cache fraction is where LRU-like
+  // eviction (larger K) clearly beats random replacement (Fig. 1.1's
+  // low-size region), so the controller must move off K = 1.
+  MsrGenerator gen(msr_profile("web"), 23, 15000, 1);
+  AdaptiveKLruConfig cfg;
+  cfg.capacity = 1500;  // ~10% of the footprint
+  cfg.epoch = 40000;
+  cfg.sampling_rate = 1.0;
+  cfg.tolerance = 0.002;
+  AdaptiveKLruCache cache(cfg);
+  for (int i = 0; i < 160000; ++i) cache.access(gen.next());
+  ASSERT_FALSE(cache.k_history().empty());
+  EXPECT_GE(cache.k_history().back(), 4u);
+}
+
+TEST(AdaptiveKLru, BeatsOrMatchesTheWorstFixedK) {
+  LoopGenerator gen(2000);
+  const auto trace = materialize(gen, 100000);
+  AdaptiveKLruConfig cfg;
+  cfg.capacity = 1000;
+  cfg.epoch = 10000;
+  cfg.sampling_rate = 1.0;
+  AdaptiveKLruCache adaptive(cfg);
+  KLruConfig fixed_cfg;
+  fixed_cfg.capacity = 1000;
+  fixed_cfg.sample_size = 32;  // worst choice for a loop
+  fixed_cfg.seed = 4;
+  KLruCache fixed(fixed_cfg);
+  for (const Request& r : trace) {
+    adaptive.access(r);
+    fixed.access(r);
+  }
+  EXPECT_LT(adaptive.miss_ratio(), fixed.miss_ratio() + 0.01);
+}
+
+// ---------------- windowed profiler ----------------
+
+TEST(WindowedProfiler, ValidatesWindow) {
+  WindowedKrrConfig cfg;
+  cfg.window = 1;
+  EXPECT_THROW(WindowedKrrProfiler{cfg}, std::invalid_argument);
+}
+
+TEST(WindowedProfiler, RetiresWindowsOnSchedule) {
+  // Staggered windows: the first retirement happens after one full window,
+  // then every half window (each profiler lives one window, offset by
+  // window/2), so the active view always holds [window/2, window] history.
+  WindowedKrrConfig cfg;
+  cfg.window = 1000;
+  WindowedKrrProfiler profiler(cfg);
+  ZipfianGenerator gen(500, 0.9, 29);
+  for (int i = 0; i < 5500; ++i) profiler.access(gen.next());
+  EXPECT_EQ(profiler.windows_retired(), 10u);
+  EXPECT_LE(profiler.active_window_fill(), 1000u);
+  EXPECT_GE(profiler.active_window_fill(), 500u);
+}
+
+TEST(WindowedProfiler, TracksPhaseChangeWhereSinglePassAverages) {
+  // Phase 1 touches keys [0, 1000); phase 2 touches [100000, 101000).
+  // After phase 2 has run for > one window, the windowed MRC must reflect
+  // only ~1000 distinct objects, while a whole-trace profiler reports the
+  // union working set.
+  WindowedKrrConfig cfg;
+  cfg.window = 20000;
+  cfg.profiler.k_sample = 5;
+  WindowedKrrProfiler windowed(cfg);
+  KrrProfiler whole({.k_sample = 5});
+  UniformGenerator phase1(1000, 31);
+  for (int i = 0; i < 50000; ++i) {
+    const Request r = phase1.next();
+    windowed.access(r);
+    whole.access(r);
+  }
+  UniformGenerator phase2_gen(1000, 37);
+  for (int i = 0; i < 50000; ++i) {
+    Request r = phase2_gen.next();
+    r.key += 100000;
+    windowed.access(r);
+    whole.access(r);
+  }
+  EXPECT_LE(windowed.mrc().max_size(), 1100.0);
+  EXPECT_GE(whole.mrc().max_size(), 1900.0);
+}
+
+}  // namespace
+}  // namespace krr

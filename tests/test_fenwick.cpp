@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/fenwick.h"
+#include "util/prng.h"
+
+namespace krr {
+namespace {
+
+TEST(Fenwick, EmptyTreeHasZeroSize) {
+  Fenwick<std::int64_t> tree;
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(Fenwick, SingleElement) {
+  Fenwick<std::int64_t> tree(1);
+  tree.add(1, 5);
+  EXPECT_EQ(tree.prefix_sum(1), 5);
+  EXPECT_EQ(tree.prefix_sum(0), 0);
+}
+
+TEST(Fenwick, PrefixSumsMatchNaiveAccumulation) {
+  constexpr std::size_t kN = 257;
+  Fenwick<std::int64_t> tree(kN);
+  std::vector<std::int64_t> values(kN + 1, 0);
+  Xoshiro256ss rng(1);
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t i = 1 + rng.next_below(kN);
+    const std::int64_t delta = static_cast<std::int64_t>(rng.next_below(100)) - 50;
+    tree.add(i, delta);
+    values[i] += delta;
+  }
+  std::int64_t running = 0;
+  for (std::size_t i = 1; i <= kN; ++i) {
+    running += values[i];
+    EXPECT_EQ(tree.prefix_sum(i), running) << "at " << i;
+  }
+}
+
+TEST(Fenwick, RangeSumMatchesDifference) {
+  Fenwick<std::int64_t> tree(64);
+  for (std::size_t i = 1; i <= 64; ++i) tree.add(i, static_cast<std::int64_t>(i));
+  for (std::size_t lo = 1; lo <= 64; lo += 7) {
+    for (std::size_t hi = lo; hi <= 64; hi += 5) {
+      std::int64_t expected = 0;
+      for (std::size_t i = lo; i <= hi; ++i) expected += static_cast<std::int64_t>(i);
+      EXPECT_EQ(tree.range_sum(lo, hi), expected);
+    }
+  }
+}
+
+TEST(Fenwick, EmptyRangeSumIsZero) {
+  Fenwick<std::int64_t> tree(8);
+  tree.add(3, 10);
+  EXPECT_EQ(tree.range_sum(5, 4), 0);
+  EXPECT_EQ(tree.range_sum(4, 3), 0);
+}
+
+TEST(Fenwick, EnsureSizePreservesContent) {
+  Fenwick<std::int64_t> tree(4);
+  tree.add(1, 1);
+  tree.add(3, 3);
+  tree.ensure_size(1000);
+  EXPECT_GE(tree.size(), 1000u);
+  EXPECT_EQ(tree.prefix_sum(3), 4);
+  tree.add(900, 7);
+  EXPECT_EQ(tree.prefix_sum(1000), 11);
+}
+
+TEST(Fenwick, GrowthIsIdempotentForSmallerRequests) {
+  Fenwick<std::int64_t> tree(100);
+  tree.add(50, 5);
+  tree.ensure_size(10);  // no-op
+  EXPECT_EQ(tree.prefix_sum(100), 5);
+}
+
+TEST(Fenwick, DoubleValuedTreeAccumulates) {
+  Fenwick<double> tree(16);
+  for (std::size_t i = 1; i <= 16; ++i) tree.add(i, 0.5);
+  EXPECT_DOUBLE_EQ(tree.prefix_sum(16), 8.0);
+}
+
+TEST(Fenwick, ClearZeroesEverything) {
+  Fenwick<std::int64_t> tree(32);
+  for (std::size_t i = 1; i <= 32; ++i) tree.add(i, 2);
+  tree.clear();
+  EXPECT_EQ(tree.prefix_sum(32), 0);
+}
+
+}  // namespace
+}  // namespace krr

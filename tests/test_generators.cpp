@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "trace/generator.h"
+#include "trace/msr.h"
+#include "trace/synthetic.h"
+#include "trace/twitter.h"
+#include "trace/ycsb.h"
+#include "trace/zipf.h"
+
+namespace krr {
+namespace {
+
+TEST(Materialize, ProducesRequestedLength) {
+  UniformGenerator gen(100, 1);
+  const auto trace = materialize(gen, 5000);
+  EXPECT_EQ(trace.size(), 5000u);
+}
+
+TEST(CountDistinct, MatchesSetSemantics) {
+  std::vector<Request> trace{{1, 1, Op::kGet}, {2, 1, Op::kGet}, {1, 1, Op::kSet}};
+  EXPECT_EQ(count_distinct(trace), 2u);
+  EXPECT_EQ(count_distinct({}), 0u);
+}
+
+TEST(WorkingSetBytes, UsesFirstSeenSize) {
+  std::vector<Request> trace{{1, 100, Op::kGet}, {2, 50, Op::kGet}, {1, 999, Op::kGet}};
+  EXPECT_EQ(working_set_bytes(trace), 150u);
+}
+
+TEST(YcsbWorkloadC, IsReadOnlyAndSkewed) {
+  YcsbWorkloadC gen(10000, 0.99, 3);
+  std::size_t distinct_hits = 0;
+  std::set<std::uint64_t> keys;
+  for (int i = 0; i < 20000; ++i) {
+    const Request r = gen.next();
+    EXPECT_EQ(r.op, Op::kGet);
+    EXPECT_LT(r.key, 10000u);
+    keys.insert(r.key);
+  }
+  distinct_hits = keys.size();
+  // Zipf 0.99 concentrates mass: far fewer distinct keys than requests.
+  EXPECT_LT(distinct_hits, 9000u);
+  EXPECT_GT(distinct_hits, 1000u);
+}
+
+TEST(YcsbWorkloadE, ScansAreContiguous) {
+  YcsbWorkloadE gen(1000, 0.99, 4, /*max_scan_length=*/50);
+  // Within a scan, keys increase by 1 (mod record count). Track how often
+  // consecutive requests are contiguous; with mean scan length ~25 the
+  // majority must be.
+  std::uint64_t prev = gen.next().key;
+  int contiguous = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t cur = gen.next().key;
+    if (cur == (prev + 1) % 1000) ++contiguous;
+    prev = cur;
+  }
+  EXPECT_GT(contiguous, kN * 8 / 10);
+}
+
+TEST(YcsbWorkloadE, DefaultsMaxScanToRecordCount) {
+  YcsbWorkloadE gen(100, 1.5, 5);
+  // Scan lengths in [1, 100]: a long stream must include runs crossing the
+  // whole key space (wrap-around).
+  std::set<std::uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) keys.insert(gen.next().key);
+  EXPECT_EQ(keys.size(), 100u);
+}
+
+TEST(YcsbWorkloadE, ResetReplaysScanState) {
+  YcsbWorkloadE gen(500, 0.99, 6);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 200; ++i) first.push_back(gen.next().key);
+  gen.reset();
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(gen.next().key, first[i]);
+}
+
+TEST(MsrProfiles, ThirteenNamedProfilesExist) {
+  EXPECT_EQ(msr_profiles().size(), 13u);
+  EXPECT_NO_THROW(msr_profile("src1"));
+  EXPECT_NO_THROW(msr_profile("prxy"));
+  EXPECT_THROW(msr_profile("nope"), std::out_of_range);
+}
+
+TEST(MsrGenerator, KeysStayInFootprint) {
+  MsrGenerator gen(msr_profile("web"), 1);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LT(gen.next().key, msr_profile("web").footprint);
+  }
+}
+
+TEST(MsrGenerator, SizesAreStablePerKeyAndAligned) {
+  MsrGenerator gen(msr_profile("src1"), 2);
+  std::unordered_map<std::uint64_t, std::uint32_t> seen;
+  for (int i = 0; i < 20000; ++i) {
+    const Request r = gen.next();
+    EXPECT_EQ(r.size % 512, 0u);
+    EXPECT_GE(r.size, 512u);
+    EXPECT_LE(r.size, 256u * 1024u);
+    auto [it, inserted] = seen.emplace(r.key, r.size);
+    if (!inserted) {
+      EXPECT_EQ(it->second, r.size) << "size changed for key " << r.key;
+    }
+  }
+}
+
+TEST(MsrGenerator, UniformSizeOverrideApplies) {
+  MsrGenerator gen(msr_profile("src1"), 2, 0, 200);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.next().size, 200u);
+}
+
+TEST(MsrGenerator, FootprintOverrideRescales) {
+  MsrGenerator gen(msr_profile("proj"), 3, 5000);
+  std::set<std::uint64_t> keys;
+  for (int i = 0; i < 50000; ++i) {
+    const auto k = gen.next().key;
+    EXPECT_LT(k, 5000u);
+    keys.insert(k);
+  }
+  EXPECT_GT(keys.size(), 2500u);  // footprint actually used
+}
+
+TEST(MsrGenerator, ResetReplays) {
+  MsrGenerator a(msr_profile("hm"), 11);
+  std::vector<Request> first;
+  for (int i = 0; i < 500; ++i) first.push_back(a.next());
+  a.reset();
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(MsrMasterGenerator, MergesDisjointKeySpaces) {
+  MsrMasterGenerator gen(1, /*footprint_scale=*/0.05);
+  std::set<std::uint64_t> streams;
+  for (int i = 0; i < 10000; ++i) {
+    streams.insert(gen.next().key >> 40);  // stream id from the stride
+  }
+  EXPECT_EQ(streams.size(), 13u);
+}
+
+TEST(TwitterProfiles, FourClustersExist) {
+  EXPECT_EQ(twitter_profiles().size(), 4u);
+  EXPECT_NO_THROW(twitter_profile("cluster34.1"));
+  EXPECT_THROW(twitter_profile("cluster0"), std::out_of_range);
+}
+
+TEST(TwitterGenerator, MixesGetsAndSets) {
+  TwitterGenerator gen(twitter_profile("cluster52.7"), 1);  // 30% writes
+  int sets = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (gen.next().op == Op::kSet) ++sets;
+  }
+  EXPECT_NEAR(static_cast<double>(sets) / kN, 0.30, 0.02);
+}
+
+TEST(TwitterGenerator, SizesAreStableAndBounded) {
+  TwitterGenerator gen(twitter_profile("cluster26.0"), 2);
+  std::unordered_map<std::uint64_t, std::uint32_t> seen;
+  for (int i = 0; i < 20000; ++i) {
+    const Request r = gen.next();
+    EXPECT_GE(r.size, 16u);
+    EXPECT_LE(r.size, 64u * 1024u);
+    auto [it, inserted] = seen.emplace(r.key, r.size);
+    if (!inserted) {
+      EXPECT_EQ(it->second, r.size);
+    }
+  }
+}
+
+TEST(LoopGenerator, CyclesDeterministically) {
+  LoopGenerator gen(3);
+  EXPECT_EQ(gen.next().key, 0u);
+  EXPECT_EQ(gen.next().key, 1u);
+  EXPECT_EQ(gen.next().key, 2u);
+  EXPECT_EQ(gen.next().key, 0u);
+  gen.reset();
+  EXPECT_EQ(gen.next().key, 0u);
+}
+
+TEST(StackDepthGenerator, ReusesWithinDepthRange) {
+  StackDepthGenerator gen(0.9, 8, 3);
+  const auto trace = materialize(gen, 5000);
+  // With 90% reuse over the 8 most recent keys, the distinct count stays
+  // far below the trace length.
+  EXPECT_LT(count_distinct(trace), 1500u);
+  EXPECT_GT(count_distinct(trace), 100u);
+}
+
+TEST(InterleaveGenerator, RespectsWeightsAndStrides) {
+  std::vector<std::unique_ptr<TraceGenerator>> streams;
+  streams.push_back(std::make_unique<LoopGenerator>(10));
+  streams.push_back(std::make_unique<UniformGenerator>(10, 1));
+  InterleaveGenerator gen(std::move(streams), {3.0, 1.0}, 2, /*key_stride=*/1000);
+  int from_first = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const auto key = gen.next().key;
+    if (key >= 1000 && key < 2000) {
+      ++from_first;
+    } else {
+      EXPECT_GE(key, 2000u);
+      EXPECT_LT(key, 3000u);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(from_first) / kN, 0.75, 0.02);
+}
+
+TEST(InterleaveGenerator, ValidatesArguments) {
+  std::vector<std::unique_ptr<TraceGenerator>> empty;
+  EXPECT_THROW(InterleaveGenerator(std::move(empty), {}, 1), std::invalid_argument);
+  std::vector<std::unique_ptr<TraceGenerator>> one;
+  one.push_back(std::make_unique<LoopGenerator>(5));
+  EXPECT_THROW(InterleaveGenerator(std::move(one), {1.0, 2.0}, 1), std::invalid_argument);
+}
+
+TEST(ReplayGenerator, WrapsAndReports) {
+  ReplayGenerator gen({{1, 1, Op::kGet}, {2, 1, Op::kGet}}, "two");
+  EXPECT_EQ(gen.next().key, 1u);
+  EXPECT_EQ(gen.next().key, 2u);
+  EXPECT_FALSE(gen.wrapped());
+  EXPECT_EQ(gen.next().key, 1u);
+  EXPECT_TRUE(gen.wrapped());
+  EXPECT_EQ(gen.name(), "two");
+  gen.reset();
+  EXPECT_FALSE(gen.wrapped());
+}
+
+}  // namespace
+}  // namespace krr

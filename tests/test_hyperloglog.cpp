@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/hyperloglog.h"
+#include "util/hashing.h"
+
+namespace krr {
+namespace {
+
+TEST(HyperLogLog, ValidatesPrecision) {
+  EXPECT_THROW(HyperLogLog(3), std::invalid_argument);
+  EXPECT_THROW(HyperLogLog(19), std::invalid_argument);
+  EXPECT_EQ(HyperLogLog(10).register_count(), 1024u);
+}
+
+TEST(HyperLogLog, EmptySketchEstimatesZeroish) {
+  HyperLogLog hll(12);
+  EXPECT_TRUE(hll.empty());
+  EXPECT_LT(hll.estimate(), 1.0);
+}
+
+TEST(HyperLogLog, SmallCardinalitiesAreAccurate) {
+  // Linear-counting regime: estimates should be within ~2%.
+  for (std::uint64_t n : {10ULL, 100ULL, 1000ULL}) {
+    HyperLogLog hll(12);
+    for (std::uint64_t i = 0; i < n; ++i) hll.add(hash64(i));
+    EXPECT_NEAR(hll.estimate(), static_cast<double>(n),
+                std::max(2.0, 0.02 * static_cast<double>(n)))
+        << "n=" << n;
+  }
+}
+
+TEST(HyperLogLog, LargeCardinalitiesWithinStandardError) {
+  // Standard error ~ 1.04/sqrt(m); allow 4 sigma.
+  constexpr std::uint64_t kN = 200000;
+  HyperLogLog hll(12);
+  for (std::uint64_t i = 0; i < kN; ++i) hll.add(hash64(i ^ 0xabcdef12345ULL));
+  const double rel_tol = 4.0 * 1.04 / std::sqrt(4096.0);
+  EXPECT_NEAR(hll.estimate(), static_cast<double>(kN),
+              rel_tol * static_cast<double>(kN));
+}
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int rep = 0; rep < 100; ++rep) {
+    for (std::uint64_t i = 0; i < 500; ++i) hll.add(hash64(i));
+  }
+  EXPECT_NEAR(hll.estimate(), 500.0, 25.0);
+}
+
+TEST(HyperLogLog, MergeEqualsUnion) {
+  HyperLogLog a(12), b(12), u(12);
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    a.add(hash64(i));
+    u.add(hash64(i));
+  }
+  for (std::uint64_t i = 2000; i < 6000; ++i) {
+    b.add(hash64(i));
+    u.add(hash64(i));
+  }
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.estimate(), u.estimate());
+}
+
+TEST(HyperLogLog, MergeRejectsPrecisionMismatch) {
+  HyperLogLog a(12), b(10);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(HyperLogLog, HigherPrecisionIsMoreAccurateOnAverage) {
+  // Not guaranteed per-instance, but across several disjoint key sets the
+  // mean relative error must drop with precision.
+  auto mean_error = [](std::uint32_t p) {
+    double total = 0.0;
+    for (std::uint64_t salt = 0; salt < 8; ++salt) {
+      HyperLogLog hll(p);
+      constexpr std::uint64_t kN = 50000;
+      for (std::uint64_t i = 0; i < kN; ++i) {
+        hll.add(hash64(i + salt * 1000000));
+      }
+      total += std::abs(hll.estimate() - static_cast<double>(kN)) / kN;
+    }
+    return total / 8.0;
+  };
+  EXPECT_LT(mean_error(14), mean_error(6));
+}
+
+}  // namespace
+}  // namespace krr

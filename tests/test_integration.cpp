@@ -1,0 +1,142 @@
+// End-to-end integration tests: miniature versions of the paper's headline
+// experiments as hard assertions, crossing every layer (generators ->
+// simulators -> models -> curves).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "krr.h"
+#include "trace/workload_factory.h"
+
+namespace krr {
+namespace {
+
+// A scaled-down Table 5.1: for each workload family representative and
+// every K, KRR's MAE against simulation stays within a hard budget.
+TEST(Integration, MiniTable51AllFamiliesAllK) {
+  struct Entry {
+    std::string spec;
+    std::uint64_t footprint;
+  };
+  const std::vector<Entry> entries = {
+      {"msr:src1", 8000}, {"ycsb_c:0.99", 10000}, {"twitter:cluster34.1", 8000}};
+  for (const Entry& e : entries) {
+    WorkloadFactoryOptions wf;
+    wf.footprint = e.footprint;
+    wf.uniform_size = 1;
+    wf.seed = 5;
+    auto gen = make_workload(e.spec, wf);
+    const auto trace = materialize(*gen, 80000);
+    const auto sizes = capacity_grid_objects(trace, 16);
+    for (std::uint32_t k : {1, 4, 16}) {
+      const MissRatioCurve actual = sweep_klru(trace, sizes, k, true, 60 + k);
+      KrrProfilerConfig cfg;
+      cfg.k_sample = k;
+      KrrProfiler profiler(cfg);
+      for (const Request& r : trace) profiler.access(r);
+      EXPECT_LT(profiler.mrc().mae(actual, sizes), 0.02)
+          << e.spec << " K=" << k;
+    }
+  }
+}
+
+// Fig 5.2's consequence: on a Type A trace, the exact LRU curve is a bad
+// model of K-LRU at small K, while KRR is a good one.
+TEST(Integration, LruModelsMispredictTypeATracesKrrDoesNot) {
+  WorkloadFactoryOptions wf;
+  wf.footprint = 8000;
+  wf.seed = 9;
+  auto gen = make_workload("ycsb_e:1.5", wf);
+  const auto trace = materialize(*gen, 100000);
+  const auto sizes = capacity_grid_objects(trace, 16);
+  const MissRatioCurve truth = sweep_klru(trace, sizes, 2, true, 3);
+
+  LruStackProfiler lru;
+  AetProfiler aet;
+  KrrProfilerConfig cfg;
+  cfg.k_sample = 2;
+  KrrProfiler krr_model(cfg);
+  for (const Request& r : trace) {
+    lru.access(r);
+    aet.access(r);
+    krr_model.access(r);
+  }
+  const double mae_krr = krr_model.mrc().mae(truth, sizes);
+  const double mae_lru = lru.mrc().mae(truth, sizes);
+  const double mae_aet = aet.mrc(sizes).mae(truth, sizes);
+  EXPECT_LT(mae_krr, 0.03);
+  EXPECT_GT(mae_lru, 3.0 * mae_krr);
+  EXPECT_GT(mae_aet, 3.0 * mae_krr);
+}
+
+// Fig 5.5 in miniature: KRR+spatial tracks the Redis-style cache.
+TEST(Integration, KrrTracksRedisStyleCache) {
+  WorkloadFactoryOptions wf;
+  wf.footprint = 6000;
+  wf.uniform_size = 1;
+  wf.seed = 13;
+  auto gen = make_workload("msr:src2", wf);
+  const auto trace = materialize(*gen, 80000);
+  const auto sizes = capacity_grid_objects(trace, 12);
+  RedisLruConfig redis_cfg;
+  redis_cfg.maxmemory_samples = 5;
+  redis_cfg.seed = 7;
+  const MissRatioCurve redis = sweep_redis(trace, sizes, redis_cfg);
+  KrrProfilerConfig cfg;
+  cfg.k_sample = 5;
+  KrrProfiler profiler(cfg);
+  for (const Request& r : trace) profiler.access(r);
+  EXPECT_LT(profiler.mrc().mae(redis, sizes), 0.03);
+}
+
+// The full online path: factory -> spatial sampling -> var-KRR -> curve,
+// against a byte-capacity ground truth.
+TEST(Integration, OnlineVarKrrPipeline) {
+  WorkloadFactoryOptions wf;
+  wf.footprint = 8000;
+  wf.seed = 17;
+  auto gen = make_workload("twitter:cluster52.7", wf);
+  const auto trace = materialize(*gen, 120000);
+  const auto sizes = capacity_grid_bytes(trace, 12);
+  const MissRatioCurve truth = sweep_klru(trace, sizes, 5, true, 21);
+  KrrProfilerConfig cfg;
+  cfg.k_sample = 5;
+  cfg.byte_granularity = true;
+  cfg.sampling_rate = adaptive_sampling_rate(0.001, count_distinct(trace), 4096);
+  KrrProfiler profiler(cfg);
+  for (const Request& r : trace) profiler.access(r);
+  EXPECT_LT(profiler.mrc().mae(truth, sizes), 0.04);
+}
+
+// Trace round-trip does not change any model's answer.
+TEST(Integration, TraceSerializationPreservesResults) {
+  WorkloadFactoryOptions wf;
+  wf.footprint = 2000;
+  wf.seed = 23;
+  auto gen = make_workload("zipf:1.2", wf);
+  const auto trace = materialize(*gen, 30000);
+  const std::string path = testing::TempDir() + "/krr_integration_trace.bin";
+  save_trace(path, trace);
+  const auto loaded = load_trace(path);
+  std::remove(path.c_str());
+
+  auto profile = [](const std::vector<Request>& t) {
+    KrrProfilerConfig cfg;
+    cfg.k_sample = 5;
+    cfg.seed = 31;
+    KrrProfiler p(cfg);
+    for (const Request& r : t) p.access(r);
+    return p.mrc();
+  };
+  const MissRatioCurve a = profile(trace);
+  const MissRatioCurve b = profile(loaded);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points()[i].size, b.points()[i].size);
+    EXPECT_DOUBLE_EQ(a.points()[i].miss_ratio, b.points()[i].miss_ratio);
+  }
+}
+
+}  // namespace
+}  // namespace krr

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/klru_cache.h"
+#include "sim/lru_cache.h"
+#include "trace/generator.h"
+#include "trace/zipf.h"
+
+namespace krr {
+namespace {
+
+Request get(std::uint64_t key, std::uint32_t size = 1) {
+  return Request{key, size, Op::kGet};
+}
+
+KLruConfig config(std::uint64_t capacity, std::uint32_t k, bool with_replacement = true,
+                  std::uint64_t seed = 1) {
+  KLruConfig cfg;
+  cfg.capacity = capacity;
+  cfg.sample_size = k;
+  cfg.with_replacement = with_replacement;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(KLruCache, ValidatesConfig) {
+  EXPECT_THROW(KLruCache(config(0, 5)), std::invalid_argument);
+  EXPECT_THROW(KLruCache(config(10, 0)), std::invalid_argument);
+}
+
+TEST(KLruCache, BasicHitMissAccounting) {
+  KLruCache cache(config(2, 5));
+  EXPECT_FALSE(cache.access(get(1)));
+  EXPECT_TRUE(cache.access(get(1)));
+  EXPECT_FALSE(cache.access(get(2)));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.object_count(), 2u);
+}
+
+TEST(KLruCache, NeverExceedsCapacity) {
+  KLruCache cache(config(50, 3));
+  UniformGenerator gen(500, 7);
+  for (int i = 0; i < 20000; ++i) {
+    cache.access(gen.next());
+    ASSERT_LE(cache.used(), 50u);
+  }
+}
+
+TEST(KLruCache, ByteCapacityEvictsUntilFit) {
+  KLruCache cache(config(100, 4));
+  cache.access(get(1, 60));
+  cache.access(get(2, 60));  // must evict 1
+  EXPECT_EQ(cache.object_count(), 1u);
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(KLruCache, OversizedObjectIsBypassed) {
+  KLruCache cache(config(100, 4));
+  cache.access(get(1, 50));
+  EXPECT_FALSE(cache.access(get(2, 200)));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+// Empirically validates Proposition 1: with placing-back sampling, the
+// object with recency rank d (1 = most recent) is evicted with probability
+// (d^K - (d-1)^K) / C^K.
+TEST(KLruCache, EvictionLawMatchesPropositionOne) {
+  constexpr std::uint64_t kCapacity = 16;
+  constexpr std::uint32_t kK = 3;
+  constexpr int kTrials = 40000;
+  std::vector<int> evicted_rank(kCapacity + 1, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    KLruCache cache(config(kCapacity, kK, true, 1000 + trial));
+    // Fill with keys 1..C; key i has recency rank C - i + 1 afterwards
+    // (key C most recent).
+    for (std::uint64_t key = 1; key <= kCapacity; ++key) cache.access(get(key));
+    cache.access(get(999));  // forces exactly one eviction
+    for (std::uint64_t key = 1; key <= kCapacity; ++key) {
+      if (!cache.contains(key)) {
+        const std::uint64_t rank = kCapacity - key + 1;
+        ++evicted_rank[rank];
+        break;
+      }
+    }
+  }
+  const double ck = std::pow(static_cast<double>(kCapacity), kK);
+  for (std::uint64_t d = 1; d <= kCapacity; ++d) {
+    const double expected =
+        (std::pow(static_cast<double>(d), kK) - std::pow(static_cast<double>(d - 1), kK)) /
+        ck;
+    const double observed = static_cast<double>(evicted_rank[d]) / kTrials;
+    // 5-sigma binomial tolerance.
+    const double sigma = std::sqrt(expected * (1.0 - expected) / kTrials);
+    EXPECT_NEAR(observed, expected, 5.0 * sigma + 1e-12) << "rank " << d;
+  }
+}
+
+// Empirically validates Proposition 2: without placing back, ranks below K
+// are never evicted and rank d >= K is evicted with probability
+// C(d-1, K-1) / C(C, K).
+TEST(KLruCache, EvictionLawMatchesPropositionTwo) {
+  constexpr std::uint64_t kCapacity = 12;
+  constexpr std::uint32_t kK = 3;
+  constexpr int kTrials = 40000;
+  std::vector<int> evicted_rank(kCapacity + 1, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    KLruCache cache(config(kCapacity, kK, false, 5000 + trial));
+    for (std::uint64_t key = 1; key <= kCapacity; ++key) cache.access(get(key));
+    cache.access(get(999));
+    for (std::uint64_t key = 1; key <= kCapacity; ++key) {
+      if (!cache.contains(key)) {
+        ++evicted_rank[kCapacity - key + 1];
+        break;
+      }
+    }
+  }
+  auto binom = [](std::uint64_t n, std::uint64_t k) {
+    double v = 1.0;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      v *= static_cast<double>(n - i) / static_cast<double>(k - i);
+    }
+    return v;
+  };
+  for (std::uint64_t d = 1; d < kK; ++d) {
+    EXPECT_EQ(evicted_rank[d], 0) << "rank " << d << " must never be evicted";
+  }
+  for (std::uint64_t d = kK; d <= kCapacity; ++d) {
+    const double expected = binom(d - 1, kK - 1) / binom(kCapacity, kK);
+    const double observed = static_cast<double>(evicted_rank[d]) / kTrials;
+    const double sigma = std::sqrt(expected * (1.0 - expected) / kTrials);
+    EXPECT_NEAR(observed, expected, 5.0 * sigma + 1e-12) << "rank " << d;
+  }
+}
+
+TEST(KLruCache, LargeKApproachesExactLru) {
+  // With K comparable to the cache size, the sampled victim is almost
+  // always the global LRU, so miss counts approach the exact LRU cache's.
+  ZipfianGenerator gen(2000, 0.9, 3);
+  const auto trace = materialize(gen, 40000);
+  LruCache lru(300);
+  KLruCache klru(config(300, 64, true, 9));
+  for (const Request& r : trace) {
+    lru.access(r);
+    klru.access(r);
+  }
+  EXPECT_NEAR(klru.miss_ratio(), lru.miss_ratio(), 0.01);
+}
+
+TEST(KLruCache, KOneIsRandomReplacement) {
+  // K = 1 evicts uniformly at random; for a uniform IRM workload the miss
+  // ratio equals LRU's, but for a loop trace random replacement beats LRU
+  // badly below the loop size (LRU thrashes to ~100% misses).
+  std::vector<Request> loop;
+  for (int round = 0; round < 40; ++round) {
+    for (std::uint64_t key = 0; key < 200; ++key) loop.push_back(get(key));
+  }
+  LruCache lru(100);
+  KLruCache rr(config(100, 1, true, 4));
+  for (const Request& r : loop) {
+    lru.access(r);
+    rr.access(r);
+  }
+  EXPECT_GT(lru.miss_ratio(), 0.99);
+  EXPECT_LT(rr.miss_ratio(), 0.80);
+}
+
+TEST(KLruCache, WithAndWithoutReplacementAgreeForSmallKLargeC) {
+  ZipfianGenerator gen(3000, 0.8, 5);
+  const auto trace = materialize(gen, 40000);
+  KLruCache with(config(500, 5, true, 11));
+  KLruCache without(config(500, 5, false, 11));
+  for (const Request& r : trace) {
+    with.access(r);
+    without.access(r);
+  }
+  EXPECT_NEAR(with.miss_ratio(), without.miss_ratio(), 0.01);
+}
+
+TEST(KLruCache, ResetRestoresInitialState) {
+  KLruCache cache(config(4, 2));
+  cache.access(get(1));
+  cache.access(get(2));
+  cache.reset();
+  EXPECT_EQ(cache.object_count(), 0u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 0u);
+}
+
+}  // namespace
+}  // namespace krr

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "sim/lru_cache.h"
+#include "trace/generator.h"
+#include "trace/zipf.h"
+
+namespace krr {
+namespace {
+
+Request get(std::uint64_t key, std::uint32_t size = 1) {
+  return Request{key, size, Op::kGet};
+}
+
+TEST(LruCache, RejectsZeroCapacity) {
+  EXPECT_THROW(LruCache(0), std::invalid_argument);
+}
+
+TEST(LruCache, HitsAndMissesAreCounted) {
+  LruCache cache(2);
+  EXPECT_FALSE(cache.access(get(1)));
+  EXPECT_FALSE(cache.access(get(2)));
+  EXPECT_TRUE(cache.access(get(1)));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_DOUBLE_EQ(cache.miss_ratio(), 2.0 / 3.0);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.access(get(1));
+  cache.access(get(2));
+  cache.access(get(1));  // order now: 1, 2
+  cache.access(get(3));  // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCache, RecencyOrderIsMaintained) {
+  LruCache cache(10);
+  for (std::uint64_t k = 1; k <= 4; ++k) cache.access(get(k));
+  cache.access(get(2));
+  const auto order = cache.recency_order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 4u);
+  EXPECT_EQ(order[2], 3u);
+  EXPECT_EQ(order[3], 1u);
+}
+
+TEST(LruCache, ByteCapacityEvictsUntilFit) {
+  LruCache cache(100);
+  cache.access(get(1, 40));
+  cache.access(get(2, 40));
+  cache.access(get(3, 40));  // 120 > 100: evicts key 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.used(), 80u);
+}
+
+TEST(LruCache, OversizedObjectIsBypassed) {
+  LruCache cache(100);
+  cache.access(get(1, 50));
+  EXPECT_FALSE(cache.access(get(2, 150)));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));  // nothing was evicted for it
+}
+
+TEST(LruCache, SetWithNewSizeResizesInPlace) {
+  LruCache cache(100);
+  cache.access(get(1, 30));
+  cache.access(get(2, 30));
+  cache.access(Request{1, 80, Op::kSet});  // 1 resized: 110 > 100, evict 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_EQ(cache.used(), 80u);
+}
+
+TEST(LruCache, FullWorkloadConservesAccounting) {
+  ZipfianGenerator gen(2000, 0.9, 1);
+  LruCache cache(500);
+  const auto trace = materialize(gen, 20000);
+  for (const Request& r : trace) cache.access(r);
+  EXPECT_EQ(cache.hits() + cache.misses(), trace.size());
+  EXPECT_LE(cache.used(), 500u);
+  EXPECT_EQ(cache.object_count(), cache.used());  // unit sizes
+  EXPECT_EQ(cache.misses(), cache.evictions() + cache.object_count());
+}
+
+TEST(LruCache, LargerCacheNeverMissesMore) {
+  // LRU satisfies the inclusion property, so miss counts are monotone.
+  ZipfianGenerator gen(1000, 0.8, 2);
+  const auto trace = materialize(gen, 20000);
+  std::uint64_t prev_misses = trace.size() + 1;
+  for (std::uint64_t c : {50, 100, 200, 400, 800}) {
+    LruCache cache(c);
+    for (const Request& r : trace) cache.access(r);
+    EXPECT_LE(cache.misses(), prev_misses) << "capacity " << c;
+    prev_misses = cache.misses();
+  }
+}
+
+TEST(LruCache, ResetClearsEverything) {
+  LruCache cache(4);
+  cache.access(get(1));
+  cache.access(get(2));
+  cache.reset();
+  EXPECT_EQ(cache.hits() + cache.misses(), 0u);
+  EXPECT_EQ(cache.object_count(), 0u);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+}  // namespace
+}  // namespace krr

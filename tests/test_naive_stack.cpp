@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/lru_stack.h"
+#include "baselines/naive_stack.h"
+#include "trace/generator.h"
+#include "trace/zipf.h"
+
+namespace krr {
+namespace {
+
+Request get(std::uint64_t key) { return Request{key, 1, Op::kGet}; }
+
+TEST(GenericMattsonStack, RequiresPriorityFunction) {
+  EXPECT_THROW(GenericMattsonStack(nullptr, 1), std::invalid_argument);
+  EXPECT_THROW(GenericMattsonStack::krr(0.5, 1), std::invalid_argument);
+}
+
+TEST(GenericMattsonStack, LruVariantMatchesLruStackProfiler) {
+  // With stay probability 0 the generic stack is the exact LRU stack, so
+  // every distance must equal the Fenwick profiler's, deterministically.
+  auto mattson = GenericMattsonStack::lru();
+  LruStackProfiler fenwick;
+  ZipfianGenerator gen(300, 0.9, 5);
+  for (int i = 0; i < 20000; ++i) {
+    const Request r = gen.next();
+    ASSERT_EQ(mattson.access(r), fenwick.access(r));
+  }
+}
+
+TEST(GenericMattsonStack, StackIsAlwaysAPermutationOfSeenKeys) {
+  auto stack = GenericMattsonStack::krr(2.8, 3);
+  std::set<std::uint64_t> seen;
+  ZipfianGenerator gen(100, 0.5, 7);
+  for (int i = 0; i < 5000; ++i) {
+    const Request r = gen.next();
+    seen.insert(r.key);
+    stack.access(r);
+  }
+  EXPECT_EQ(stack.depth(), seen.size());
+  std::set<std::uint64_t> on_stack(stack.stack().begin(), stack.stack().end());
+  EXPECT_EQ(on_stack, seen);
+}
+
+TEST(GenericMattsonStack, ReferencedObjectMovesToTop) {
+  auto stack = GenericMattsonStack::rr(1);
+  for (std::uint64_t k = 1; k <= 50; ++k) stack.access(get(k));
+  stack.access(get(25));
+  EXPECT_EQ(stack.stack().front(), 25u);
+}
+
+TEST(GenericMattsonStack, RrDistancesAreUniformOverStackForStaticSet) {
+  // Mattson showed RR's stack eviction is equivalent to uniform random
+  // eviction; under a uniform IRM workload over M resident objects, reuse
+  // distances should spread across [1, M] rather than concentrate.
+  auto stack = GenericMattsonStack::rr(11);
+  UniformGenerator gen(64, 2);
+  for (int i = 0; i < 30000; ++i) stack.access(gen.next());
+  const auto bins = stack.histogram().sorted_bins();
+  double shallow = 0.0, deep = 0.0, total = 0.0;
+  for (const auto& [d, w] : bins) {
+    total += w;
+    if (d <= 21) shallow += w;
+    if (d > 43) deep += w;
+  }
+  // Roughly one third of reuses in each third of the stack.
+  EXPECT_NEAR(shallow / total, 1.0 / 3.0, 0.08);
+  EXPECT_NEAR(deep / total, 1.0 / 3.0, 0.08);
+}
+
+TEST(GenericMattsonStack, HighKBehavesLikeLru) {
+  // With a huge exponent the stay probability vanishes at every position
+  // reached by the update, so distances coincide with exact LRU.
+  auto krr_stack = GenericMattsonStack::krr(1e6, 13);
+  LruStackProfiler lru;
+  ZipfianGenerator gen(200, 0.8, 17);
+  int mismatches = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const Request r = gen.next();
+    if (krr_stack.access(r) != lru.access(r)) ++mismatches;
+  }
+  // ((i-1)/i)^1e6 is not exactly 0 for large i, so allow a tiny number of
+  // divergences (each divergence perturbs subsequent distances).
+  EXPECT_LT(mismatches, 100);
+}
+
+TEST(GenericMattsonStack, ColdReferencesRecordInfinite) {
+  auto stack = GenericMattsonStack::rr(1);
+  stack.access(get(1));
+  stack.access(get(2));
+  EXPECT_DOUBLE_EQ(stack.histogram().infinite_weight(), 2.0);
+  EXPECT_EQ(stack.access(get(3)), 0u);
+}
+
+}  // namespace
+}  // namespace krr

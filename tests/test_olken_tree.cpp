@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "baselines/lru_stack.h"
+#include "baselines/olken_tree.h"
+#include "trace/generator.h"
+#include "trace/msr.h"
+#include "trace/zipf.h"
+
+namespace krr {
+namespace {
+
+Request get(std::uint64_t key, std::uint32_t size = 1) {
+  return Request{key, size, Op::kGet};
+}
+
+TEST(OlkenTree, DistancesMatchFenwickProfilerExactly) {
+  // Two independent implementations of the same quantity must agree on
+  // every access.
+  OlkenTreeProfiler tree;
+  LruStackProfiler fenwick;
+  ZipfianGenerator gen(800, 0.9, 3);
+  for (int i = 0; i < 40000; ++i) {
+    const Request r = gen.next();
+    ASSERT_EQ(tree.access(r), fenwick.access(r)) << "at access " << i;
+  }
+}
+
+TEST(OlkenTree, ByteDistancesMatchFenwickProfiler) {
+  OlkenTreeProfiler tree(/*byte_granularity=*/true);
+  LruStackProfiler fenwick(/*byte_granularity=*/true);
+  MsrGenerator gen(msr_profile("src2"), 5, 500);
+  for (int i = 0; i < 20000; ++i) {
+    const Request r = gen.next();
+    ASSERT_EQ(tree.access(r), fenwick.access(r)) << "at access " << i;
+  }
+}
+
+TEST(OlkenTree, HandComputedDistances) {
+  OlkenTreeProfiler tree;
+  EXPECT_EQ(tree.access(get(1)), 0u);
+  EXPECT_EQ(tree.access(get(2)), 0u);
+  EXPECT_EQ(tree.access(get(3)), 0u);
+  EXPECT_EQ(tree.access(get(1)), 3u);
+  EXPECT_EQ(tree.access(get(1)), 1u);
+  EXPECT_EQ(tree.access(get(2)), 3u);
+}
+
+TEST(OlkenTree, RemoveForgetsObject) {
+  OlkenTreeProfiler tree;
+  tree.access(get(1));
+  tree.access(get(2));
+  tree.access(get(3));
+  tree.remove(2);
+  EXPECT_EQ(tree.tracked_objects(), 2u);
+  // Key 1 now has only key 3 above it.
+  EXPECT_EQ(tree.access(get(1)), 2u);
+  // A removed key comes back as cold.
+  EXPECT_EQ(tree.access(get(2)), 0u);
+}
+
+TEST(OlkenTree, RemoveOfUnknownKeyIsNoOp) {
+  OlkenTreeProfiler tree;
+  tree.access(get(1));
+  tree.remove(99);
+  EXPECT_EQ(tree.tracked_objects(), 1u);
+}
+
+TEST(OlkenTree, RandomRemovalsKeepDistancesConsistent) {
+  // Interleave removals with accesses and cross-check against a brute-force
+  // list-based LRU stack.
+  OlkenTreeProfiler tree;
+  std::vector<std::uint64_t> stack;  // most recent first
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    if (!stack.empty() && rng.next_double() < 0.1) {
+      const std::size_t pos = rng.next_below(stack.size());
+      tree.remove(stack[pos]);
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(pos));
+      continue;
+    }
+    const std::uint64_t key = rng.next_below(500);
+    std::uint64_t expected = 0;
+    for (std::size_t d = 0; d < stack.size(); ++d) {
+      if (stack[d] == key) {
+        expected = d + 1;
+        stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(d));
+        break;
+      }
+    }
+    stack.insert(stack.begin(), key);
+    ASSERT_EQ(tree.access(get(key)), expected) << "at step " << i;
+  }
+}
+
+TEST(OlkenTree, TreeReusesFreedNodes) {
+  OlkenTreeProfiler tree;
+  for (int round = 0; round < 100; ++round) {
+    for (std::uint64_t k = 0; k < 50; ++k) tree.access(get(k));
+    for (std::uint64_t k = 0; k < 50; ++k) tree.remove(k);
+  }
+  EXPECT_EQ(tree.tracked_objects(), 0u);
+}
+
+}  // namespace
+}  // namespace krr

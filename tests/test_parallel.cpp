@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/sweep.h"
+#include "trace/generator.h"
+#include "trace/zipf.h"
+#include "util/parallel.h"
+
+namespace krr {
+namespace {
+
+TEST(ParallelForIndex, VisitsEveryIndexExactlyOnce) {
+  for (unsigned threads : {0u, 1u, 2u, 4u, 16u}) {
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> visits(kN);
+    parallel_for_index(kN, threads, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForIndex, HandlesEmptyAndSingleRanges) {
+  int calls = 0;
+  parallel_for_index(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for_index(1, 4, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForIndex, PropagatesTheFirstException) {
+  EXPECT_THROW(
+      parallel_for_index(100, 4,
+                         [](std::size_t i) {
+                           if (i == 42) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+}
+
+TEST(ParallelForIndex, MoreThreadsThanWorkIsFine) {
+  std::atomic<int> sum{0};
+  parallel_for_index(3, 64, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ParallelSweep, KLruMatchesSerialExactly) {
+  ZipfianGenerator gen(2000, 0.9, 3, true);
+  const auto trace = materialize(gen, 40000);
+  const auto sizes = capacity_grid_objects(trace, 12);
+  const MissRatioCurve serial = sweep_klru(trace, sizes, 5, true, 7);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    const MissRatioCurve parallel =
+        sweep_klru_parallel(trace, sizes, 5, true, 7, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_DOUBLE_EQ(parallel.points()[i].miss_ratio,
+                       serial.points()[i].miss_ratio)
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelSweep, LruMatchesSerialExactly) {
+  ZipfianGenerator gen(1500, 0.8, 5);
+  const auto trace = materialize(gen, 30000);
+  const auto sizes = capacity_grid_objects(trace, 10);
+  const MissRatioCurve serial = sweep_lru(trace, sizes);
+  const MissRatioCurve parallel = sweep_lru_parallel(trace, sizes, 4);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel.points()[i].miss_ratio, serial.points()[i].miss_ratio);
+  }
+}
+
+TEST(ParallelSweep, RedisMatchesSerialExactly) {
+  ZipfianGenerator gen(1500, 0.9, 9, true);
+  const auto trace = materialize(gen, 30000);
+  const auto sizes = capacity_grid_objects(trace, 8);
+  RedisLruConfig cfg;
+  cfg.seed = 11;
+  const MissRatioCurve serial = sweep_redis(trace, sizes, cfg);
+  const MissRatioCurve parallel = sweep_redis_parallel(trace, sizes, cfg, 3);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel.points()[i].miss_ratio, serial.points()[i].miss_ratio);
+  }
+}
+
+}  // namespace
+}  // namespace krr

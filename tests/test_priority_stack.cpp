@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "baselines/lru_stack.h"
+#include "baselines/priority_stack.h"
+#include "sim/lru_cache.h"
+#include "sim/sweep.h"
+#include "trace/generator.h"
+#include "trace/msr.h"
+#include "trace/synthetic.h"
+#include "trace/zipf.h"
+
+namespace krr {
+namespace {
+
+Request get(std::uint64_t key) { return Request{key, 1, Op::kGet}; }
+
+TEST(PreprocessNextUses, ComputesForwardIndices) {
+  const std::vector<Request> trace = {get(1), get(2), get(1), get(3), get(2), get(1)};
+  const auto next = preprocess_next_uses(trace);
+  EXPECT_EQ(next[0], 2u);
+  EXPECT_EQ(next[1], 4u);
+  EXPECT_EQ(next[2], 5u);
+  EXPECT_EQ(next[3], PriorityMattsonStack::kNever);
+  EXPECT_EQ(next[4], PriorityMattsonStack::kNever);
+  EXPECT_EQ(next[5], PriorityMattsonStack::kNever);
+}
+
+TEST(PriorityStack, LruPolicyMatchesFenwickProfiler) {
+  PriorityMattsonStack stack(PriorityPolicy::kLru);
+  LruStackProfiler fenwick;
+  ZipfianGenerator gen(400, 0.9, 3);
+  for (int i = 0; i < 20000; ++i) {
+    const Request r = gen.next();
+    ASSERT_EQ(stack.access(r), fenwick.access(r));
+  }
+}
+
+TEST(PriorityStack, OptMrcMatchesBeladySimulationExactly) {
+  // OPT satisfies inclusion, so the one-pass stack MRC must equal the
+  // per-size Belady simulation at every capacity.
+  MsrGenerator gen(msr_profile("hm"), 7, 500, 1);
+  const auto trace = materialize(gen, 20000);
+  const auto next = preprocess_next_uses(trace);
+  PriorityMattsonStack stack(PriorityPolicy::kOpt);
+  for (std::size_t i = 0; i < trace.size(); ++i) stack.access(trace[i], next[i]);
+  const MissRatioCurve mrc = stack.mrc();
+  for (std::uint64_t c : {10, 50, 120, 250, 400}) {
+    EXPECT_DOUBLE_EQ(mrc.eval(static_cast<double>(c)),
+                     simulate_opt_miss_ratio(trace, c))
+        << "capacity " << c;
+  }
+}
+
+TEST(PriorityStack, LfuMrcMatchesLfuSimulationExactly) {
+  ZipfianGenerator gen(400, 1.0, 11, true);
+  const auto trace = materialize(gen, 20000);
+  PriorityMattsonStack stack(PriorityPolicy::kLfu);
+  for (const Request& r : trace) stack.access(r);
+  const MissRatioCurve mrc = stack.mrc();
+  for (std::uint64_t c : {10, 50, 120, 250, 399}) {
+    EXPECT_DOUBLE_EQ(mrc.eval(static_cast<double>(c)),
+                     simulate_lfu_miss_ratio(trace, c))
+        << "capacity " << c;
+  }
+}
+
+TEST(PriorityStack, OptDominatesEveryOtherPolicy) {
+  // Belady's MIN is optimal: at every size its miss ratio lower-bounds
+  // LRU's, LFU's and MRU's.
+  MsrGenerator gen(msr_profile("web"), 13, 800, 1);
+  const auto trace = materialize(gen, 30000);
+  const auto next = preprocess_next_uses(trace);
+  PriorityMattsonStack opt(PriorityPolicy::kOpt);
+  PriorityMattsonStack lru(PriorityPolicy::kLru);
+  PriorityMattsonStack lfu(PriorityPolicy::kLfu);
+  PriorityMattsonStack mru(PriorityPolicy::kMru);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    opt.access(trace[i], next[i]);
+    lru.access(trace[i]);
+    lfu.access(trace[i]);
+    mru.access(trace[i]);
+  }
+  for (double c : capacity_grid_objects(trace, 10)) {
+    const double best = opt.mrc().eval(c);
+    EXPECT_LE(best, lru.mrc().eval(c) + 1e-12) << c;
+    EXPECT_LE(best, lfu.mrc().eval(c) + 1e-12) << c;
+    EXPECT_LE(best, mru.mrc().eval(c) + 1e-12) << c;
+  }
+}
+
+TEST(PriorityStack, MruBeatsLruOnLoops) {
+  // The classic result: for a loop larger than the cache, MRU retains a
+  // static subset and hits on it while LRU thrashes to zero.
+  LoopGenerator gen(300);
+  const auto trace = materialize(gen, 15000);
+  PriorityMattsonStack mru(PriorityPolicy::kMru);
+  PriorityMattsonStack lru(PriorityPolicy::kLru);
+  for (const Request& r : trace) {
+    mru.access(r);
+    lru.access(r);
+  }
+  EXPECT_GT(lru.mrc().eval(150), 0.99);
+  EXPECT_LT(mru.mrc().eval(150), 0.60);
+}
+
+TEST(PriorityStack, StackRemainsPermutation) {
+  PriorityMattsonStack stack(PriorityPolicy::kLfu);
+  ZipfianGenerator gen(100, 0.8, 17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const Request r = gen.next();
+    seen.insert(r.key);
+    stack.access(r);
+  }
+  EXPECT_EQ(stack.depth(), seen.size());
+  std::set<std::uint64_t> on_stack(stack.stack().begin(), stack.stack().end());
+  EXPECT_EQ(on_stack, seen);
+}
+
+TEST(PriorityStack, SimulatorsValidateArguments) {
+  EXPECT_THROW(simulate_opt_miss_ratio({get(1)}, 0), std::invalid_argument);
+  EXPECT_THROW(simulate_lfu_miss_ratio({get(1)}, 0), std::invalid_argument);
+}
+
+TEST(PriorityStack, PolicyNamesAreStable) {
+  EXPECT_EQ(to_string(PriorityPolicy::kLru), "lru");
+  EXPECT_EQ(to_string(PriorityPolicy::kMru), "mru");
+  EXPECT_EQ(to_string(PriorityPolicy::kLfu), "lfu");
+  EXPECT_EQ(to_string(PriorityPolicy::kOpt), "opt");
+}
+
+}  // namespace
+}  // namespace krr

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/hashing.h"
+#include "util/prng.h"
+
+namespace krr {
+namespace {
+
+TEST(SplitMix64, IsDeterministicForSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256ss, IsDeterministicForSeed) {
+  Xoshiro256ss a(7);
+  Xoshiro256ss b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256ss, DoubleIsInHalfOpenUnitInterval) {
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256ss, OpenZeroDoubleNeverReturnsZero) {
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double_open0();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256ss, NextBelowStaysInRange) {
+  Xoshiro256ss rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Xoshiro256ss, NextBelowIsRoughlyUniform) {
+  Xoshiro256ss rng(5);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(Xoshiro256ss, MeanOfUniformDoublesIsHalf) {
+  Xoshiro256ss rng(9);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.005);
+}
+
+TEST(Hash64, IsBijectiveViaInverse) {
+  for (std::uint64_t x : {0ULL, 1ULL, 42ULL, 0xdeadbeefULL,
+                          0xffffffffffffffffULL, 0x123456789abcdef0ULL}) {
+    EXPECT_EQ(hash64_inverse(hash64(x)), x);
+    EXPECT_EQ(hash64(hash64_inverse(x)), x);
+  }
+}
+
+TEST(Hash64, AvalanchesLowBits) {
+  // Consecutive keys must not map to consecutive hashes (spatial sampling
+  // relies on this).
+  std::set<std::uint64_t> low_bits;
+  for (std::uint64_t x = 0; x < 256; ++x) low_bits.insert(hash64(x) & 0xff);
+  EXPECT_GT(low_bits.size(), 150u);
+}
+
+}  // namespace
+}  // namespace krr

@@ -1,0 +1,244 @@
+// Tests for the reuse-time model family (shared histogram, StatStack,
+// HOTL) and the MIMIR bucketed ghost list.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "baselines/aet.h"
+#include "baselines/hotl.h"
+#include "baselines/lru_stack.h"
+#include "baselines/mimir.h"
+#include "baselines/statstack.h"
+#include "sim/sweep.h"
+#include "trace/generator.h"
+#include "trace/msr.h"
+#include "trace/zipf.h"
+#include "util/reuse_histogram.h"
+
+namespace krr {
+namespace {
+
+Request get(std::uint64_t key) { return Request{key, 1, Op::kGet}; }
+
+// ---------------- ReuseTimeHistogram ----------------
+
+TEST(ReuseTimeHistogram, ValidatesSubBuckets) {
+  EXPECT_THROW(ReuseTimeHistogram(0), std::invalid_argument);
+  EXPECT_THROW(ReuseTimeHistogram(100), std::invalid_argument);
+}
+
+TEST(ReuseTimeHistogram, SmallValuesAreExact) {
+  ReuseTimeHistogram h(256);
+  for (std::uint64_t rt = 1; rt < 512; ++rt) {
+    EXPECT_EQ(h.bin_upper_bound(h.bin_index(rt)), rt) << rt;
+  }
+}
+
+TEST(ReuseTimeHistogram, BinsAreContiguousAndMonotone) {
+  ReuseTimeHistogram h(64);
+  std::size_t prev = h.bin_index(1);
+  for (std::uint64_t rt = 2; rt < 300000; rt = rt * 9 / 8 + 1) {
+    const std::size_t idx = h.bin_index(rt);
+    EXPECT_GE(idx, prev);
+    EXPECT_GE(h.bin_upper_bound(idx), rt);
+    prev = idx;
+  }
+}
+
+TEST(ReuseTimeHistogram, BinRelativeErrorIsBounded) {
+  ReuseTimeHistogram h(256);
+  for (std::uint64_t rt = 512; rt < 10000000; rt = rt * 5 / 4) {
+    const std::uint64_t ub = h.bin_upper_bound(h.bin_index(rt));
+    EXPECT_LE(static_cast<double>(ub - rt) / static_cast<double>(rt), 1.0 / 256);
+  }
+}
+
+TEST(ReuseTimeHistogram, TailWeightCountsStrictlyGreater) {
+  ReuseTimeHistogram h(64);
+  h.record(5, 2.0);
+  h.record(10, 3.0);
+  EXPECT_DOUBLE_EQ(h.tail_weight(4), 5.0);
+  EXPECT_DOUBLE_EQ(h.tail_weight(5), 3.0);
+  EXPECT_DOUBLE_EQ(h.tail_weight(10), 0.0);
+  EXPECT_THROW(h.record(0), std::invalid_argument);
+}
+
+TEST(ReuseTimeCollector, MeasuresReuseTimes) {
+  ReuseTimeCollector c;
+  EXPECT_EQ(c.access(1), 0u);
+  EXPECT_EQ(c.access(2), 0u);
+  EXPECT_EQ(c.access(1), 2u);
+  EXPECT_EQ(c.access(1), 1u);
+  EXPECT_DOUBLE_EQ(c.cold_count(), 2.0);
+  EXPECT_EQ(c.first_access_times().at(1), 1u);
+  EXPECT_EQ(c.last_access_times().at(1), 4u);
+}
+
+// ---------------- StatStack ----------------
+
+TEST(StatStack, ExpectedDistanceIsMonotoneInReuseTime) {
+  StatStackProfiler ss;
+  ZipfianGenerator gen(2000, 0.9, 3, true);
+  for (int i = 0; i < 50000; ++i) ss.access(gen.next());
+  double prev = 0.0;
+  for (std::uint64_t rt : {1ULL, 2ULL, 10ULL, 100ULL, 1000ULL, 10000ULL}) {
+    const double sd = ss.expected_stack_distance(rt);
+    EXPECT_GE(sd, prev);
+    EXPECT_LE(sd, static_cast<double>(rt));  // never more distinct than refs
+    prev = sd;
+  }
+}
+
+TEST(StatStack, ApproximatesExactLruOnIrmWorkload) {
+  // IRM traces satisfy StatStack's independence assumption.
+  ZipfianGenerator gen(4000, 0.9, 5, true);
+  const auto trace = materialize(gen, 150000);
+  StatStackProfiler ss;
+  LruStackProfiler exact;
+  for (const Request& r : trace) {
+    ss.access(r);
+    exact.access(r);
+  }
+  const auto sizes = capacity_grid_objects(trace, 20);
+  EXPECT_LT(ss.mrc().mae(exact.mrc(), sizes), 0.02);
+}
+
+TEST(StatStack, UniformIrmDistanceMatchesClosedForm) {
+  // For uniform IRM over M objects, a reuse time r implies an expected
+  // distance of about M(1 - (1 - 1/M)^(r-1)) + 1 distinct objects.
+  constexpr std::uint64_t kM = 512;
+  UniformGenerator gen(kM, 7);
+  StatStackProfiler ss;
+  for (int i = 0; i < 300000; ++i) ss.access(gen.next());
+  for (std::uint64_t rt : {8ULL, 64ULL, 512ULL}) {
+    const double expected =
+        static_cast<double>(kM) *
+            (1.0 - std::pow(1.0 - 1.0 / static_cast<double>(kM),
+                            static_cast<double>(rt - 1))) +
+        1.0;
+    EXPECT_NEAR(ss.expected_stack_distance(rt), expected, expected * 0.08) << rt;
+  }
+}
+
+TEST(StatStack, AgreesWithAetOnAnyTrace) {
+  // AET and StatStack are two derivations of the same reuse-time -> stack-
+  // distance transform (AET inverts integral_0^T P = c; StatStack pushes
+  // each reuse through sd(r) ~ integral_0^{r-1} P), so on identical binned
+  // input their curves must coincide up to bin granularity.
+  MsrGenerator gen(msr_profile("web"), 21, 5000, 1);
+  const auto trace = materialize(gen, 80000);
+  AetProfiler aet;
+  StatStackProfiler ss;
+  for (const Request& r : trace) {
+    aet.access(r);
+    ss.access(r);
+  }
+  const auto sizes = capacity_grid_objects(trace, 20);
+  EXPECT_LT(aet.mrc(sizes).mae(ss.mrc(), sizes), 0.005);
+}
+
+// ---------------- HOTL ----------------
+
+TEST(Hotl, FootprintMatchesBruteForceOnSmallTrace) {
+  // Brute force: average distinct count over all windows of length w.
+  ZipfianGenerator gen(40, 0.8, 9);
+  const auto trace = materialize(gen, 400);
+  HotlProfiler hotl;
+  for (const Request& r : trace) hotl.access(r);
+  for (std::uint64_t w : {1ULL, 3ULL, 10ULL, 50ULL, 200ULL, 400ULL}) {
+    double total = 0.0;
+    const std::size_t windows = trace.size() - w + 1;
+    for (std::size_t s = 0; s < windows; ++s) {
+      std::set<std::uint64_t> distinct;
+      for (std::size_t i = s; i < s + w; ++i) distinct.insert(trace[i].key);
+      total += static_cast<double>(distinct.size());
+    }
+    const double brute = total / static_cast<double>(windows);
+    // The log-binned reuse histogram coarsens large reuse times slightly.
+    EXPECT_NEAR(hotl.footprint(w), brute, std::max(0.02 * brute, 0.5)) << "w=" << w;
+  }
+}
+
+TEST(Hotl, FootprintIsMonotoneAndBounded) {
+  ZipfianGenerator gen(1000, 1.0, 11, true);
+  HotlProfiler hotl;
+  for (int i = 0; i < 50000; ++i) hotl.access(gen.next());
+  double prev = 0.0;
+  for (std::uint64_t w = 1; w <= 50000; w *= 4) {
+    const double fp = hotl.footprint(w);
+    EXPECT_GE(fp + 1e-9, prev);
+    EXPECT_LE(fp, static_cast<double>(hotl.distinct_objects()));
+    prev = fp;
+  }
+  EXPECT_DOUBLE_EQ(hotl.footprint(50000),
+                   static_cast<double>(hotl.distinct_objects()));
+}
+
+TEST(Hotl, ApproximatesExactLruOnIrmWorkload) {
+  ZipfianGenerator gen(4000, 0.9, 13, true);
+  const auto trace = materialize(gen, 150000);
+  HotlProfiler hotl;
+  LruStackProfiler exact;
+  for (const Request& r : trace) {
+    hotl.access(r);
+    exact.access(r);
+  }
+  const auto sizes = capacity_grid_objects(trace, 20);
+  EXPECT_LT(hotl.mrc(128).mae(exact.mrc(), sizes), 0.02);
+}
+
+// ---------------- MIMIR ----------------
+
+TEST(Mimir, ValidatesBucketCount) {
+  EXPECT_THROW(MimirProfiler(1), std::invalid_argument);
+}
+
+TEST(Mimir, ColdReferencesAreInfinite) {
+  MimirProfiler mimir(8);
+  for (std::uint64_t k = 0; k < 100; ++k) mimir.access(get(k));
+  EXPECT_DOUBLE_EQ(mimir.histogram().infinite_weight(), 100.0);
+  EXPECT_EQ(mimir.tracked_objects(), 100u);
+}
+
+TEST(Mimir, BucketCountStaysBounded) {
+  MimirProfiler mimir(32);
+  ZipfianGenerator gen(5000, 0.8, 15, true);
+  for (int i = 0; i < 100000; ++i) {
+    mimir.access(gen.next());
+    ASSERT_LE(mimir.bucket_count(), 32u);
+  }
+}
+
+TEST(Mimir, ApproximatesExactLruWith128Buckets) {
+  // The SoCC '14 paper's headline configuration.
+  MsrGenerator gen(msr_profile("usr"), 17, 6000, 1);
+  const auto trace = materialize(gen, 150000);
+  MimirProfiler mimir(128);
+  LruStackProfiler exact;
+  for (const Request& r : trace) {
+    mimir.access(r);
+    exact.access(r);
+  }
+  const auto sizes = capacity_grid_objects(trace, 20);
+  EXPECT_LT(mimir.mrc().mae(exact.mrc(), sizes), 0.03);
+}
+
+TEST(Mimir, MoreBucketsAreMoreAccurate) {
+  ZipfianGenerator gen(3000, 0.9, 19, true);
+  const auto trace = materialize(gen, 100000);
+  LruStackProfiler exact;
+  for (const Request& r : trace) exact.access(r);
+  const auto sizes = capacity_grid_objects(trace, 20);
+  auto mae_for = [&](std::uint32_t buckets) {
+    MimirProfiler mimir(buckets);
+    for (const Request& r : trace) mimir.access(r);
+    return mimir.mrc().mae(exact.mrc(), sizes);
+  };
+  EXPECT_LT(mae_for(128), mae_for(4) + 0.005);
+}
+
+}  // namespace
+}  // namespace krr

@@ -1,0 +1,161 @@
+// Tests for the without-replacement KRR variant (§3's "few tweaks"):
+// stay(i) = 1 - K/i, derived from Proposition 2. All three update
+// strategies must realize the same process, and the induced per-object
+// eviction law must reproduce Proposition 2 exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/swap_sampler.h"
+#include "sim/sweep.h"
+#include "trace/generator.h"
+#include "trace/zipf.h"
+#include "util/prng.h"
+
+namespace krr {
+namespace {
+
+double binom(std::uint64_t n, std::uint64_t k) {
+  double v = 1.0;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    v *= static_cast<double>(n - i) / static_cast<double>(k - i);
+  }
+  return v;
+}
+
+TEST(WorSampler, StayProbabilityIsOneMinusKOverI) {
+  SwapSampler sampler(UpdateStrategy::kBackward, 3.0, SamplingModel::kNoPlacingBack);
+  EXPECT_DOUBLE_EQ(sampler.stay_probability(2), 0.0);   // i <= K always swaps
+  EXPECT_DOUBLE_EQ(sampler.stay_probability(3), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.stay_probability(4), 0.25);
+  EXPECT_DOUBLE_EQ(sampler.stay_probability(12), 0.75);
+}
+
+TEST(WorSampler, NoSwapProbabilityTelescopes) {
+  SwapSampler sampler(UpdateStrategy::kBackward, 2.0, SamplingModel::kNoPlacingBack);
+  double product = 1.0;
+  for (std::uint64_t i = 5; i <= 30; ++i) product *= sampler.stay_probability(i);
+  EXPECT_NEAR(sampler.no_swap_probability(5, 30), product, 1e-12);
+  // Intervals touching positions <= K can never be swap-free.
+  EXPECT_DOUBLE_EQ(sampler.no_swap_probability(2, 10), 0.0);
+}
+
+class WorSamplerStrategies : public ::testing::TestWithParam<UpdateStrategy> {};
+
+TEST_P(WorSamplerStrategies, LowPositionsAlwaysSwap) {
+  SwapSampler sampler(GetParam(), 4.0, SamplingModel::kNoPlacingBack);
+  Xoshiro256ss rng(3);
+  std::vector<std::uint64_t> chain;
+  for (int rep = 0; rep < 500; ++rep) {
+    sampler.sample(64, rng, chain);
+    // Positions 1..4 must all be in every chain (stay prob 0).
+    for (std::uint64_t p : {1ULL, 2ULL, 3ULL, 4ULL}) {
+      ASSERT_NE(std::find(chain.begin(), chain.end(), p), chain.end())
+          << "missing always-swap position " << p;
+    }
+  }
+}
+
+TEST_P(WorSamplerStrategies, MarginalSwapProbabilityMatchesTheLaw) {
+  constexpr std::uint64_t kPhi = 32;
+  constexpr double kK = 3.0;
+  constexpr int kTrials = 60000;
+  SwapSampler sampler(GetParam(), kK, SamplingModel::kNoPlacingBack);
+  Xoshiro256ss rng(7);
+  std::vector<std::uint64_t> chain;
+  std::vector<int> swap_count(kPhi + 1, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    sampler.sample(kPhi, rng, chain);
+    for (std::uint64_t v : chain) ++swap_count[v];
+  }
+  for (std::uint64_t i = 2; i < kPhi; ++i) {
+    const double p = 1.0 - sampler.stay_probability(i);
+    const double observed = static_cast<double>(swap_count[i]) / kTrials;
+    const double sigma = std::sqrt(p * (1.0 - p) / kTrials);
+    EXPECT_NEAR(observed, p, 5.0 * sigma + 1e-9) << "position " << i;
+  }
+}
+
+// The crossing law at a boundary C must reproduce Proposition 2: the
+// resident leaving prefix [1, C] is the rank-d object with probability
+// C(d-1, K-1)/C(C, K), and ranks below K never cross.
+TEST_P(WorSamplerStrategies, CrossingLawMatchesPropositionTwo) {
+  constexpr std::uint64_t kPhi = 64;
+  constexpr std::uint64_t kBoundary = 20;
+  constexpr std::uint64_t kK = 3;
+  constexpr int kTrials = 60000;
+  SwapSampler sampler(GetParam(), static_cast<double>(kK),
+                      SamplingModel::kNoPlacingBack);
+  Xoshiro256ss rng(11);
+  std::vector<std::uint64_t> chain;
+  std::vector<int> crossing(kBoundary + 1, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    sampler.sample(kPhi, rng, chain);
+    std::uint64_t largest = 1;
+    for (std::uint64_t v : chain) {
+      if (v <= kBoundary) largest = v;
+    }
+    ++crossing[largest];
+  }
+  for (std::uint64_t d = 1; d < kK; ++d) {
+    EXPECT_EQ(crossing[d], 0) << "rank " << d << " must never cross";
+  }
+  for (std::uint64_t d = kK; d <= kBoundary; ++d) {
+    const double p = binom(d - 1, kK - 1) / binom(kBoundary, kK);
+    const double observed = static_cast<double>(crossing[d]) / kTrials;
+    const double sigma = std::sqrt(p * (1.0 - p) / kTrials);
+    EXPECT_NEAR(observed, p, 5.0 * sigma + 1e-9) << "rank " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, WorSamplerStrategies,
+                         ::testing::Values(UpdateStrategy::kLinear,
+                                           UpdateStrategy::kTopDown,
+                                           UpdateStrategy::kBackward),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(WorSampler, ModelNamesAreStable) {
+  EXPECT_EQ(to_string(SamplingModel::kPlacingBack), "placing_back");
+  EXPECT_EQ(to_string(SamplingModel::kNoPlacingBack), "no_placing_back");
+}
+
+TEST(WorProfiler, PredictsWithoutReplacementKLru) {
+  // End to end: KRR in no-placing-back mode against the matching
+  // simulator.
+  ZipfianGenerator gen(4000, 0.9, 13, true);
+  const auto trace = materialize(gen, 80000);
+  const auto sizes = capacity_grid_objects(trace, 16);
+  const MissRatioCurve actual =
+      sweep_klru(trace, sizes, 6, /*with_replacement=*/false, 17);
+  KrrProfilerConfig cfg;
+  cfg.k_sample = 6;
+  cfg.sampling_model = SamplingModel::kNoPlacingBack;
+  KrrProfiler profiler(cfg);
+  for (const Request& r : trace) profiler.access(r);
+  EXPECT_LT(profiler.mrc().mae(actual, sizes), 0.02);
+}
+
+TEST(WorProfiler, ModelsAgreeForSmallKLargeCaches) {
+  // Prop. 1 vs Prop. 2 converge when K << C (§3): the two model variants
+  // must produce nearly identical curves at moderate K.
+  ZipfianGenerator gen(4000, 0.9, 19, true);
+  const auto trace = materialize(gen, 80000);
+  const auto sizes = capacity_grid_objects(trace, 16);
+  KrrProfilerConfig wr;
+  wr.k_sample = 4;
+  KrrProfilerConfig wor = wr;
+  wor.sampling_model = SamplingModel::kNoPlacingBack;
+  KrrProfiler a(wr), b(wor);
+  for (const Request& r : trace) {
+    a.access(r);
+    b.access(r);
+  }
+  EXPECT_LT(a.mrc().mae(b.mrc(), sizes), 0.01);
+}
+
+}  // namespace
+}  // namespace krr

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "baselines/lru_stack.h"
+#include "baselines/shards_fixed.h"
+#include "sim/sweep.h"
+#include "trace/generator.h"
+#include "trace/ycsb.h"
+#include "trace/zipf.h"
+
+namespace krr {
+namespace {
+
+TEST(ShardsFixed, ValidatesArguments) {
+  EXPECT_THROW(ShardsFixedSizeProfiler(0), std::invalid_argument);
+  EXPECT_THROW(ShardsFixedSizeProfiler(100, 0), std::invalid_argument);
+}
+
+TEST(ShardsFixed, StartsAtRateOne) {
+  ShardsFixedSizeProfiler shards(1000);
+  EXPECT_DOUBLE_EQ(shards.current_rate(), 1.0);
+}
+
+TEST(ShardsFixed, NeverTracksMoreThanMaxObjects) {
+  ShardsFixedSizeProfiler shards(512);
+  UniformGenerator gen(100000, 3);
+  for (int i = 0; i < 200000; ++i) {
+    shards.access(gen.next());
+    ASSERT_LE(shards.tracked_objects(), 512u);
+  }
+  // The footprint (100k) far exceeds the budget, so the threshold must
+  // have dropped well below 1.
+  EXPECT_LT(shards.current_rate(), 0.05);
+}
+
+TEST(ShardsFixed, ExactWhileUnderBudget) {
+  // With fewer distinct objects than the budget no eviction happens and the
+  // curve equals the exact LRU curve.
+  ZipfianGenerator gen(500, 0.9, 5);
+  const auto trace = materialize(gen, 30000);
+  ShardsFixedSizeProfiler shards(10000);
+  LruStackProfiler exact;
+  for (const Request& r : trace) {
+    shards.access(r);
+    exact.access(r);
+  }
+  EXPECT_DOUBLE_EQ(shards.current_rate(), 1.0);
+  const auto sizes = capacity_grid_objects(trace, 20);
+  EXPECT_LT(shards.mrc().mae(exact.mrc(), sizes), 1e-9);
+}
+
+TEST(ShardsFixed, ApproximatesExactLruUnderBudgetPressure) {
+  YcsbWorkloadC gen(30000, 0.9, 7);
+  const auto trace = materialize(gen, 200000);
+  ShardsFixedSizeProfiler shards(4096);
+  LruStackProfiler exact;
+  for (const Request& r : trace) {
+    shards.access(r);
+    exact.access(r);
+  }
+  EXPECT_LT(shards.current_rate(), 0.6);  // budget actually binding
+  const auto sizes = capacity_grid_objects(trace, 20);
+  EXPECT_LT(shards.mrc().mae(exact.mrc(), sizes), 0.03);
+}
+
+TEST(ShardsFixed, RateOnlyEverDecreases) {
+  ShardsFixedSizeProfiler shards(256);
+  UniformGenerator gen(50000, 9);
+  double prev = shards.current_rate();
+  for (int i = 0; i < 100000; ++i) {
+    shards.access(gen.next());
+    const double rate = shards.current_rate();
+    ASSERT_LE(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(ShardsFixed, EvictedKeysStayFilteredOut) {
+  ShardsFixedSizeProfiler shards(64);
+  UniformGenerator gen(10000, 11);
+  for (int i = 0; i < 50000; ++i) shards.access(gen.next());
+  const std::uint64_t sampled_before = shards.sampled();
+  const double rate = shards.current_rate();
+  // Replays of the same keys must sample at (about) the current rate, not
+  // re-admit previously evicted keys.
+  UniformGenerator replay(10000, 11);
+  std::uint64_t new_sampled = 0;
+  for (int i = 0; i < 50000; ++i) {
+    shards.access(replay.next());
+    ASSERT_LE(shards.tracked_objects(), 64u);
+  }
+  new_sampled = shards.sampled() - sampled_before;
+  EXPECT_NEAR(static_cast<double>(new_sampled) / 50000.0, rate, rate * 0.5);
+}
+
+}  // namespace
+}  // namespace krr

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "trace/generator.h"
+#include "trace/trace_io.h"
+#include "trace/zipf.h"
+
+namespace krr {
+namespace {
+
+std::vector<Request> sample_trace() {
+  return {{1, 100, Op::kGet},
+          {0xffffffffffffffffULL, 1, Op::kSet},
+          {42, 4096, Op::kGet}};
+}
+
+TEST(TraceCsv, RoundTrips) {
+  const auto trace = sample_trace();
+  std::stringstream ss;
+  write_trace_csv(ss, trace);
+  EXPECT_EQ(read_trace_csv(ss), trace);
+}
+
+TEST(TraceCsv, RejectsMissingHeader) {
+  std::stringstream ss("1,2,get\n");
+  EXPECT_THROW(read_trace_csv(ss), std::runtime_error);
+}
+
+TEST(TraceCsv, RejectsMalformedRow) {
+  std::stringstream ss("key,size,op\n1,2\n");
+  EXPECT_THROW(read_trace_csv(ss), std::runtime_error);
+  std::stringstream bad_op("key,size,op\n1,2,frob\n");
+  EXPECT_THROW(read_trace_csv(bad_op), std::runtime_error);
+  std::stringstream bad_num("key,size,op\nxyz,2,get\n");
+  EXPECT_THROW(read_trace_csv(bad_num), std::runtime_error);
+}
+
+TEST(TraceBinary, RoundTrips) {
+  const auto trace = sample_trace();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_trace_binary(ss, trace);
+  EXPECT_EQ(read_trace_binary(ss), trace);
+}
+
+TEST(TraceBinary, RoundTripsEmptyTrace) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_trace_binary(ss, {});
+  EXPECT_TRUE(read_trace_binary(ss).empty());
+}
+
+TEST(TraceBinary, RejectsBadMagic) {
+  std::stringstream ss("NOTATRACE-AT-ALL");
+  EXPECT_THROW(read_trace_binary(ss), std::runtime_error);
+}
+
+TEST(TraceBinary, RejectsTruncatedPayload) {
+  const auto trace = sample_trace();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_trace_binary(ss, trace);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() - 5));
+  EXPECT_THROW(read_trace_binary(cut), std::runtime_error);
+}
+
+TEST(TraceBinary, RoundTripsGeneratedWorkload) {
+  ZipfianGenerator gen(500, 1.0, 7, true, 128);
+  auto trace = materialize(gen, 2000);
+  trace[5].op = Op::kSet;
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_trace_binary(ss, trace);
+  EXPECT_EQ(read_trace_binary(ss), trace);
+}
+
+TEST(TraceFiles, SaveAndLoad) {
+  const auto trace = sample_trace();
+  const std::string path = testing::TempDir() + "/krr_trace_io_test.bin";
+  save_trace(path, trace);
+  EXPECT_EQ(load_trace(path), trace);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  EXPECT_THROW(save_trace("/nonexistent-dir/xyz/trace.bin", trace), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace krr

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "trace/zipf.h"
+#include "util/prng.h"
+
+namespace krr {
+namespace {
+
+TEST(ZipfianDraw, RejectsBadArguments) {
+  EXPECT_THROW(ZipfianDraw(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(ZipfianDraw(10, -0.1), std::invalid_argument);
+}
+
+TEST(ZipfianDraw, StaysInRange) {
+  ZipfianDraw draw(100, 0.99);
+  Xoshiro256ss rng(1);
+  for (int i = 0; i < 100000; ++i) EXPECT_LT(draw.draw(rng), 100u);
+}
+
+TEST(ZipfianDraw, RankZeroIsMostPopular) {
+  ZipfianDraw draw(1000, 0.99);
+  Xoshiro256ss rng(2);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[draw.draw(rng)];
+  // Popularity must decrease with rank (with statistical slack).
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+  // Rank-0 frequency should match 1/zeta(n, theta) closely. For n=1000 and
+  // theta=0.99, zeta ~ 7.5, so p0 ~ 0.133.
+  const double p0 = static_cast<double>(counts[0]) / 200000.0;
+  EXPECT_NEAR(p0, 0.133, 0.01);
+}
+
+TEST(ZipfianDraw, FrequencyFollowsPowerLaw) {
+  // p(r) ~ 1/(r+1)^theta, so log(p(a)/p(b)) ~ theta*log((b+1)/(a+1)).
+  ZipfianDraw draw(10000, 1.2);
+  Xoshiro256ss rng(3);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 500000; ++i) ++counts[draw.draw(rng)];
+  const double ratio = static_cast<double>(counts[0]) / counts[9];
+  const double expected = std::pow(10.0, 1.2);  // (9+1)/(0+1)
+  EXPECT_NEAR(std::log(ratio), std::log(expected), 0.35);
+}
+
+TEST(ZipfianDraw, ThetaNearOneIsHandled) {
+  ZipfianDraw draw(100, 1.0);
+  EXPECT_NEAR(draw.theta(), 0.99999, 1e-9);
+  Xoshiro256ss rng(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(draw.draw(rng), 100u);
+}
+
+TEST(ZipfianGenerator, IsDeterministicAndResettable) {
+  ZipfianGenerator gen(1000, 0.8, 42);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 50; ++i) first.push_back(gen.next().key);
+  gen.reset();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(gen.next().key, first[i]);
+}
+
+TEST(ZipfianGenerator, ScramblingPreservesSkewButSpreadsKeys) {
+  ZipfianGenerator plain(1 << 16, 1.2, 7, /*scrambled=*/false);
+  ZipfianGenerator scrambled(1 << 16, 1.2, 7, /*scrambled=*/true);
+  std::map<std::uint64_t, int> pc, sc;
+  for (int i = 0; i < 100000; ++i) {
+    ++pc[plain.next().key];
+    ++sc[scrambled.next().key];
+  }
+  // Same number of distinct keys (roughly), same top-key frequency.
+  auto top = [](const std::map<std::uint64_t, int>& m) {
+    int best = 0;
+    for (const auto& [k, c] : m) best = std::max(best, c);
+    return best;
+  };
+  EXPECT_NEAR(top(pc), top(sc), top(pc) * 0.1);
+  // Plain generator's hottest key is rank 0; scrambled one's is not.
+  EXPECT_EQ(std::max_element(pc.begin(), pc.end(),
+                             [](auto& a, auto& b) { return a.second < b.second; })
+                ->first,
+            0u);
+}
+
+TEST(ZipfianGenerator, AppliesObjectSize) {
+  ZipfianGenerator gen(100, 0.5, 1, false, 200);
+  EXPECT_EQ(gen.next().size, 200u);
+}
+
+TEST(UniformGenerator, CoversRangeUniformly) {
+  UniformGenerator gen(10, 5);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[gen.next().key];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [k, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 10000.0, 500.0) << "key " << k;
+  }
+}
+
+TEST(UniformGenerator, ResetReplays) {
+  UniformGenerator gen(1000, 9);
+  const auto a = gen.next().key;
+  const auto b = gen.next().key;
+  gen.reset();
+  EXPECT_EQ(gen.next().key, a);
+  EXPECT_EQ(gen.next().key, b);
+}
+
+}  // namespace
+}  // namespace krr

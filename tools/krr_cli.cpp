@@ -1,0 +1,183 @@
+// krr_cli — command-line front end for the library.
+//
+//   krr_cli workloads
+//   krr_cli generate --workload=msr:src1 --n=1000000 --out=trace.bin
+//   krr_cli profile  --trace=trace.bin --k=5 [--rate=0.001] [--bytes]
+//                    [--strategy=backward|top_down|linear] [--no-correction]
+//                    [--out=mrc.csv]
+//   krr_cli simulate --trace=trace.bin --policy=klru --k=5 --sizes=20
+//   krr_cli compare  --trace=trace.bin --k=5 --sizes=20
+//
+// Every subcommand also accepts --workload=<spec> --n=<count> in place of
+// --trace, generating the trace on the fly (--seed, --footprint,
+// --uniform-size configure the generator).
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "krr.h"
+#include "trace/workload_factory.h"
+
+namespace {
+
+using namespace krr;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: krr_cli <workloads|generate|profile|simulate|compare> "
+               "[--options]\n"
+               "  workloads                      list workload specs\n"
+               "  generate  --workload= --n= --out=   write a trace file\n"
+               "  profile   --trace=|--workload= --k= [--rate=] [--bytes]\n"
+               "            [--strategy=] [--no-correction] [--out=]\n"
+               "  simulate  --trace=|--workload= --policy=klru|redis|lru\n"
+               "            [--k=] [--sizes=]\n"
+               "  compare   --trace=|--workload= --k= [--sizes=]\n");
+  std::exit(error ? 2 : 0);
+}
+
+std::vector<Request> load_input(const Options& opts) {
+  if (auto path = opts.get("trace"); path && !path->empty()) {
+    return load_trace(*path);
+  }
+  const std::string spec = opts.get_string("workload", "");
+  if (spec.empty()) usage("need --trace=<file> or --workload=<spec>");
+  WorkloadFactoryOptions wf;
+  wf.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  wf.footprint = static_cast<std::uint64_t>(opts.get_int("footprint", 0));
+  wf.uniform_size = static_cast<std::uint32_t>(opts.get_int("uniform-size", 0));
+  auto gen = make_workload(spec, wf);
+  const auto n = static_cast<std::size_t>(opts.get_int("n", 1000000));
+  return materialize(*gen, n);
+}
+
+UpdateStrategy parse_strategy(const std::string& name) {
+  if (name == "backward") return UpdateStrategy::kBackward;
+  if (name == "top_down") return UpdateStrategy::kTopDown;
+  if (name == "linear") return UpdateStrategy::kLinear;
+  throw std::invalid_argument("unknown strategy: " + name);
+}
+
+int cmd_workloads() {
+  for (const std::string& spec : known_workload_specs()) {
+    std::printf("%s\n", spec.c_str());
+  }
+  return 0;
+}
+
+int cmd_generate(const Options& opts) {
+  const std::string out = opts.get_string("out", "");
+  if (out.empty()) usage("generate needs --out=<file>");
+  const auto trace = load_input(opts);
+  if (out.size() > 4 && out.substr(out.size() - 4) == ".csv") {
+    std::ofstream os(out);
+    if (!os) throw std::runtime_error("cannot open " + out);
+    write_trace_csv(os, trace);
+  } else {
+    save_trace(out, trace);
+  }
+  std::fprintf(stderr, "wrote %zu requests (%zu distinct keys) to %s\n",
+               trace.size(), count_distinct(trace), out.c_str());
+  return 0;
+}
+
+int cmd_profile(const Options& opts) {
+  const auto trace = load_input(opts);
+  KrrProfilerConfig cfg;
+  cfg.k_sample = opts.get_double("k", 5.0);
+  cfg.sampling_rate = opts.get_double("rate", 1.0);
+  cfg.byte_granularity = opts.has("bytes");
+  cfg.apply_correction = !opts.has("no-correction");
+  cfg.strategy = parse_strategy(opts.get_string("strategy", "backward"));
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  Stopwatch watch;
+  KrrProfiler profiler(cfg);
+  for (const Request& r : trace) profiler.access(r);
+  const MissRatioCurve mrc = profiler.mrc();
+  const double secs = watch.seconds();
+  const std::string out = opts.get_string("out", "");
+  if (out.empty()) {
+    mrc.write_csv(std::cout);
+  } else {
+    std::ofstream os(out);
+    if (!os) throw std::runtime_error("cannot open " + out);
+    mrc.write_csv(os);
+  }
+  std::fprintf(stderr,
+               "profiled %zu requests (%zu sampled) in %.3f s; stack depth %zu\n",
+               trace.size(), static_cast<std::size_t>(profiler.sampled()), secs,
+               static_cast<std::size_t>(profiler.stack_depth()));
+  return 0;
+}
+
+int cmd_simulate(const Options& opts) {
+  const auto trace = load_input(opts);
+  const std::string policy = opts.get_string("policy", "klru");
+  const auto n_sizes = static_cast<std::size_t>(opts.get_int("sizes", 20));
+  const auto k = static_cast<std::uint32_t>(opts.get_int("k", 5));
+  const bool bytes = opts.has("bytes");
+  const auto sizes = bytes ? capacity_grid_bytes(trace, n_sizes)
+                           : capacity_grid_objects(trace, n_sizes);
+  MissRatioCurve curve;
+  if (policy == "klru") {
+    curve = sweep_klru(trace, sizes, k);
+  } else if (policy == "redis") {
+    RedisLruConfig cfg;
+    cfg.maxmemory_samples = k;
+    curve = sweep_redis(trace, sizes, cfg);
+  } else if (policy == "lru") {
+    curve = sweep_lru(trace, sizes);
+  } else {
+    usage("unknown --policy (use klru, redis or lru)");
+  }
+  curve.write_csv(std::cout);
+  return 0;
+}
+
+int cmd_compare(const Options& opts) {
+  const auto trace = load_input(opts);
+  const auto k = static_cast<std::uint32_t>(opts.get_int("k", 5));
+  const auto n_sizes = static_cast<std::size_t>(opts.get_int("sizes", 20));
+  const auto sizes = capacity_grid_objects(trace, n_sizes);
+  const MissRatioCurve actual = sweep_klru(trace, sizes, k);
+  KrrProfilerConfig cfg;
+  cfg.k_sample = k;
+  KrrProfiler profiler(cfg);
+  for (const Request& r : trace) profiler.access(r);
+  const MissRatioCurve predicted = profiler.mrc();
+  Table table({"size", "simulated", "krr_predicted", "abs_error"});
+  for (double s : sizes) {
+    const double a = actual.eval(s);
+    const double p = predicted.eval(s);
+    table.add(s, a, p, std::abs(a - p));
+  }
+  table.print(std::cout);
+  std::printf("MAE: %g\n", predicted.mae(actual, sizes));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const Options opts(argc - 1, argv + 1);
+  try {
+    if (command == "workloads") return cmd_workloads();
+    if (command == "generate") return cmd_generate(opts);
+    if (command == "profile") return cmd_profile(opts);
+    if (command == "simulate") return cmd_simulate(opts);
+    if (command == "compare") return cmd_compare(opts);
+    if (command == "help" || command == "--help") usage();
+    usage(("unknown command: " + command).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sizearray.dir/bench_ablation_sizearray.cpp.o"
+  "CMakeFiles/bench_ablation_sizearray.dir/bench_ablation_sizearray.cpp.o.d"
+  "bench_ablation_sizearray"
+  "bench_ablation_sizearray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sizearray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

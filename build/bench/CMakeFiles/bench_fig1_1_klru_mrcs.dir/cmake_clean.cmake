@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_1_klru_mrcs.dir/bench_fig1_1_klru_mrcs.cpp.o"
+  "CMakeFiles/bench_fig1_1_klru_mrcs.dir/bench_fig1_1_klru_mrcs.cpp.o.d"
+  "bench_fig1_1_klru_mrcs"
+  "bench_fig1_1_klru_mrcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_1_klru_mrcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

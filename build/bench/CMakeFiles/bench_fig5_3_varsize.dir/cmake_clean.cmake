@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_3_varsize.dir/bench_fig5_3_varsize.cpp.o"
+  "CMakeFiles/bench_fig5_3_varsize.dir/bench_fig5_3_varsize.cpp.o.d"
+  "bench_fig5_3_varsize"
+  "bench_fig5_3_varsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_3_varsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_1_mae.dir/bench_table5_1_mae.cpp.o"
+  "CMakeFiles/bench_table5_1_mae.dir/bench_table5_1_mae.cpp.o.d"
+  "bench_table5_1_mae"
+  "bench_table5_1_mae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_1_mae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

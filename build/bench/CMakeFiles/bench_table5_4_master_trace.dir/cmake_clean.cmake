@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_4_master_trace.dir/bench_table5_4_master_trace.cpp.o"
+  "CMakeFiles/bench_table5_4_master_trace.dir/bench_table5_4_master_trace.cpp.o.d"
+  "bench_table5_4_master_trace"
+  "bench_table5_4_master_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_4_master_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrc_zoo.dir/mrc_zoo.cpp.o"
+  "CMakeFiles/mrc_zoo.dir/mrc_zoo.cpp.o.d"
+  "mrc_zoo"
+  "mrc_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrc_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_profiler.dir/online_profiler.cpp.o"
+  "CMakeFiles/online_profiler.dir/online_profiler.cpp.o.d"
+  "online_profiler"
+  "online_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_size_advisor.dir/sampling_size_advisor.cpp.o"
+  "CMakeFiles/sampling_size_advisor.dir/sampling_size_advisor.cpp.o.d"
+  "sampling_size_advisor"
+  "sampling_size_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_size_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

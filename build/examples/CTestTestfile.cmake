@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--requests=20000" "--keys=2000")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_capacity_planner "/root/repo/build/examples/capacity_planner" "--requests=30000" "--keys=3000")
+set_tests_properties(example_capacity_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sampling_size_advisor "/root/repo/build/examples/sampling_size_advisor" "--workload=ycsb_c" "--requests=30000")
+set_tests_properties(example_sampling_size_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_online_profiler "/root/repo/build/examples/online_profiler" "--requests=50000")
+set_tests_properties(example_online_profiler PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adaptive_cache "/root/repo/build/examples/adaptive_cache" "--capacity=300" "--epoch=5000" "--phase=20000")
+set_tests_properties(example_adaptive_cache PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mrc_zoo "/root/repo/build/examples/mrc_zoo" "--requests=30000" "--footprint=3000")
+set_tests_properties(example_mrc_zoo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aet.cpp" "src/CMakeFiles/krr.dir/baselines/aet.cpp.o" "gcc" "src/CMakeFiles/krr.dir/baselines/aet.cpp.o.d"
+  "/root/repo/src/baselines/counter_stacks.cpp" "src/CMakeFiles/krr.dir/baselines/counter_stacks.cpp.o" "gcc" "src/CMakeFiles/krr.dir/baselines/counter_stacks.cpp.o.d"
+  "/root/repo/src/baselines/hotl.cpp" "src/CMakeFiles/krr.dir/baselines/hotl.cpp.o" "gcc" "src/CMakeFiles/krr.dir/baselines/hotl.cpp.o.d"
+  "/root/repo/src/baselines/hyperloglog.cpp" "src/CMakeFiles/krr.dir/baselines/hyperloglog.cpp.o" "gcc" "src/CMakeFiles/krr.dir/baselines/hyperloglog.cpp.o.d"
+  "/root/repo/src/baselines/lru_stack.cpp" "src/CMakeFiles/krr.dir/baselines/lru_stack.cpp.o" "gcc" "src/CMakeFiles/krr.dir/baselines/lru_stack.cpp.o.d"
+  "/root/repo/src/baselines/mimir.cpp" "src/CMakeFiles/krr.dir/baselines/mimir.cpp.o" "gcc" "src/CMakeFiles/krr.dir/baselines/mimir.cpp.o.d"
+  "/root/repo/src/baselines/naive_stack.cpp" "src/CMakeFiles/krr.dir/baselines/naive_stack.cpp.o" "gcc" "src/CMakeFiles/krr.dir/baselines/naive_stack.cpp.o.d"
+  "/root/repo/src/baselines/olken_tree.cpp" "src/CMakeFiles/krr.dir/baselines/olken_tree.cpp.o" "gcc" "src/CMakeFiles/krr.dir/baselines/olken_tree.cpp.o.d"
+  "/root/repo/src/baselines/priority_stack.cpp" "src/CMakeFiles/krr.dir/baselines/priority_stack.cpp.o" "gcc" "src/CMakeFiles/krr.dir/baselines/priority_stack.cpp.o.d"
+  "/root/repo/src/baselines/shards.cpp" "src/CMakeFiles/krr.dir/baselines/shards.cpp.o" "gcc" "src/CMakeFiles/krr.dir/baselines/shards.cpp.o.d"
+  "/root/repo/src/baselines/shards_fixed.cpp" "src/CMakeFiles/krr.dir/baselines/shards_fixed.cpp.o" "gcc" "src/CMakeFiles/krr.dir/baselines/shards_fixed.cpp.o.d"
+  "/root/repo/src/baselines/statstack.cpp" "src/CMakeFiles/krr.dir/baselines/statstack.cpp.o" "gcc" "src/CMakeFiles/krr.dir/baselines/statstack.cpp.o.d"
+  "/root/repo/src/core/dlru.cpp" "src/CMakeFiles/krr.dir/core/dlru.cpp.o" "gcc" "src/CMakeFiles/krr.dir/core/dlru.cpp.o.d"
+  "/root/repo/src/core/krr_stack.cpp" "src/CMakeFiles/krr.dir/core/krr_stack.cpp.o" "gcc" "src/CMakeFiles/krr.dir/core/krr_stack.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/CMakeFiles/krr.dir/core/profiler.cpp.o" "gcc" "src/CMakeFiles/krr.dir/core/profiler.cpp.o.d"
+  "/root/repo/src/core/size_tracker.cpp" "src/CMakeFiles/krr.dir/core/size_tracker.cpp.o" "gcc" "src/CMakeFiles/krr.dir/core/size_tracker.cpp.o.d"
+  "/root/repo/src/core/spatial_filter.cpp" "src/CMakeFiles/krr.dir/core/spatial_filter.cpp.o" "gcc" "src/CMakeFiles/krr.dir/core/spatial_filter.cpp.o.d"
+  "/root/repo/src/core/swap_sampler.cpp" "src/CMakeFiles/krr.dir/core/swap_sampler.cpp.o" "gcc" "src/CMakeFiles/krr.dir/core/swap_sampler.cpp.o.d"
+  "/root/repo/src/core/windowed_profiler.cpp" "src/CMakeFiles/krr.dir/core/windowed_profiler.cpp.o" "gcc" "src/CMakeFiles/krr.dir/core/windowed_profiler.cpp.o.d"
+  "/root/repo/src/sim/klru_cache.cpp" "src/CMakeFiles/krr.dir/sim/klru_cache.cpp.o" "gcc" "src/CMakeFiles/krr.dir/sim/klru_cache.cpp.o.d"
+  "/root/repo/src/sim/lru_cache.cpp" "src/CMakeFiles/krr.dir/sim/lru_cache.cpp.o" "gcc" "src/CMakeFiles/krr.dir/sim/lru_cache.cpp.o.d"
+  "/root/repo/src/sim/miniature.cpp" "src/CMakeFiles/krr.dir/sim/miniature.cpp.o" "gcc" "src/CMakeFiles/krr.dir/sim/miniature.cpp.o.d"
+  "/root/repo/src/sim/redis_cache.cpp" "src/CMakeFiles/krr.dir/sim/redis_cache.cpp.o" "gcc" "src/CMakeFiles/krr.dir/sim/redis_cache.cpp.o.d"
+  "/root/repo/src/sim/sampled_priority_cache.cpp" "src/CMakeFiles/krr.dir/sim/sampled_priority_cache.cpp.o" "gcc" "src/CMakeFiles/krr.dir/sim/sampled_priority_cache.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/CMakeFiles/krr.dir/sim/sweep.cpp.o" "gcc" "src/CMakeFiles/krr.dir/sim/sweep.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/CMakeFiles/krr.dir/trace/generator.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/generator.cpp.o.d"
+  "/root/repo/src/trace/msr.cpp" "src/CMakeFiles/krr.dir/trace/msr.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/msr.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/CMakeFiles/krr.dir/trace/synthetic.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/krr.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/twitter.cpp" "src/CMakeFiles/krr.dir/trace/twitter.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/twitter.cpp.o.d"
+  "/root/repo/src/trace/workload_factory.cpp" "src/CMakeFiles/krr.dir/trace/workload_factory.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/workload_factory.cpp.o.d"
+  "/root/repo/src/trace/ycsb.cpp" "src/CMakeFiles/krr.dir/trace/ycsb.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/ycsb.cpp.o.d"
+  "/root/repo/src/trace/zipf.cpp" "src/CMakeFiles/krr.dir/trace/zipf.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/zipf.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/krr.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/krr.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/mrc.cpp" "src/CMakeFiles/krr.dir/util/mrc.cpp.o" "gcc" "src/CMakeFiles/krr.dir/util/mrc.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/krr.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/krr.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/prng.cpp" "src/CMakeFiles/krr.dir/util/prng.cpp.o" "gcc" "src/CMakeFiles/krr.dir/util/prng.cpp.o.d"
+  "/root/repo/src/util/reuse_histogram.cpp" "src/CMakeFiles/krr.dir/util/reuse_histogram.cpp.o" "gcc" "src/CMakeFiles/krr.dir/util/reuse_histogram.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/krr.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/krr.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline_models.cpp" "tests/CMakeFiles/krr_tests.dir/test_baseline_models.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_baseline_models.cpp.o.d"
+  "/root/repo/tests/test_counter_stacks.cpp" "tests/CMakeFiles/krr_tests.dir/test_counter_stacks.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_counter_stacks.cpp.o.d"
+  "/root/repo/tests/test_coverage_extra.cpp" "tests/CMakeFiles/krr_tests.dir/test_coverage_extra.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_coverage_extra.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/krr_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fenwick.cpp" "tests/CMakeFiles/krr_tests.dir/test_fenwick.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_fenwick.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/krr_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_golden.cpp" "tests/CMakeFiles/krr_tests.dir/test_golden.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_golden.cpp.o.d"
+  "/root/repo/tests/test_histogram_mrc.cpp" "tests/CMakeFiles/krr_tests.dir/test_histogram_mrc.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_histogram_mrc.cpp.o.d"
+  "/root/repo/tests/test_hyperloglog.cpp" "tests/CMakeFiles/krr_tests.dir/test_hyperloglog.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_hyperloglog.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/krr_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_klru_cache.cpp" "tests/CMakeFiles/krr_tests.dir/test_klru_cache.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_klru_cache.cpp.o.d"
+  "/root/repo/tests/test_krr_stack.cpp" "tests/CMakeFiles/krr_tests.dir/test_krr_stack.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_krr_stack.cpp.o.d"
+  "/root/repo/tests/test_lru_cache.cpp" "tests/CMakeFiles/krr_tests.dir/test_lru_cache.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_lru_cache.cpp.o.d"
+  "/root/repo/tests/test_lru_stack.cpp" "tests/CMakeFiles/krr_tests.dir/test_lru_stack.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_lru_stack.cpp.o.d"
+  "/root/repo/tests/test_naive_stack.cpp" "tests/CMakeFiles/krr_tests.dir/test_naive_stack.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_naive_stack.cpp.o.d"
+  "/root/repo/tests/test_olken_tree.cpp" "tests/CMakeFiles/krr_tests.dir/test_olken_tree.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_olken_tree.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/krr_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_priority_stack.cpp" "tests/CMakeFiles/krr_tests.dir/test_priority_stack.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_priority_stack.cpp.o.d"
+  "/root/repo/tests/test_prng.cpp" "tests/CMakeFiles/krr_tests.dir/test_prng.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_prng.cpp.o.d"
+  "/root/repo/tests/test_profiler.cpp" "tests/CMakeFiles/krr_tests.dir/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_profiler.cpp.o.d"
+  "/root/repo/tests/test_redis_cache.cpp" "tests/CMakeFiles/krr_tests.dir/test_redis_cache.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_redis_cache.cpp.o.d"
+  "/root/repo/tests/test_reuse_models.cpp" "tests/CMakeFiles/krr_tests.dir/test_reuse_models.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_reuse_models.cpp.o.d"
+  "/root/repo/tests/test_sampling_models.cpp" "tests/CMakeFiles/krr_tests.dir/test_sampling_models.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_sampling_models.cpp.o.d"
+  "/root/repo/tests/test_shards_fixed.cpp" "tests/CMakeFiles/krr_tests.dir/test_shards_fixed.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_shards_fixed.cpp.o.d"
+  "/root/repo/tests/test_size_tracker.cpp" "tests/CMakeFiles/krr_tests.dir/test_size_tracker.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_size_tracker.cpp.o.d"
+  "/root/repo/tests/test_spatial_filter.cpp" "tests/CMakeFiles/krr_tests.dir/test_spatial_filter.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_spatial_filter.cpp.o.d"
+  "/root/repo/tests/test_swap_sampler.cpp" "tests/CMakeFiles/krr_tests.dir/test_swap_sampler.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_swap_sampler.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/krr_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_util_misc.cpp" "tests/CMakeFiles/krr_tests.dir/test_util_misc.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_util_misc.cpp.o.d"
+  "/root/repo/tests/test_workload_factory.cpp" "tests/CMakeFiles/krr_tests.dir/test_workload_factory.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_workload_factory.cpp.o.d"
+  "/root/repo/tests/test_zipf.cpp" "tests/CMakeFiles/krr_tests.dir/test_zipf.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/krr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

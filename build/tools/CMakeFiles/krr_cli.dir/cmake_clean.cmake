@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krr_cli.dir/krr_cli.cpp.o"
+  "CMakeFiles/krr_cli.dir/krr_cli.cpp.o.d"
+  "krr_cli"
+  "krr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

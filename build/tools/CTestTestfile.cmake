@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_workloads "/root/repo/build/tools/krr_cli" "workloads")
+set_tests_properties(cli_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compare "/root/repo/build/tools/krr_cli" "compare" "--workload=zipf:0.9" "--n=20000" "--footprint=2000" "--k=5" "--sizes=5")
+set_tests_properties(cli_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_profile "/root/repo/build/tools/krr_cli" "profile" "--workload=msr:web" "--n=20000" "--footprint=2000" "--k=5" "--rate=0.5")
+set_tests_properties(cli_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/krr_cli" "simulate" "--workload=uniform" "--n=10000" "--footprint=1000" "--policy=redis" "--sizes=4")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_command "/root/repo/build/tools/krr_cli" "frobnicate")
+set_tests_properties(cli_rejects_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")

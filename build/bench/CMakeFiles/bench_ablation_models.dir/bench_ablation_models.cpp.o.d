@@ -254,6 +254,8 @@ bench/CMakeFiles/bench_ablation_models.dir/bench_ablation_models.cpp.o: \
  /root/repo/src/core/profiler.h /root/repo/src/core/krr_stack.h \
  /usr/include/c++/12/optional /root/repo/src/core/size_tracker.h \
  /usr/include/c++/12/span /root/repo/src/core/swap_sampler.h \
+ /root/repo/src/trace/trace_reader.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/klru_cache.h /root/repo/src/core/windowed_profiler.h \
  /root/repo/src/sim/lru_cache.h /root/repo/src/sim/miniature.h \
  /root/repo/src/sim/redis_cache.h \
@@ -262,8 +264,9 @@ bench/CMakeFiles/bench_ablation_models.dir/bench_ablation_models.cpp.o: \
  /root/repo/src/trace/zipf.h /root/repo/src/trace/synthetic.h \
  /root/repo/src/trace/trace_io.h /root/repo/src/trace/twitter.h \
  /root/repo/src/trace/workload_factory.h /root/repo/src/trace/ycsb.h \
- /root/repo/src/util/options.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/util/crc32.h /root/repo/src/util/options.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/parallel.h \
  /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \

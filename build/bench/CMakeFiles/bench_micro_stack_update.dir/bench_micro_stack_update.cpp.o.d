@@ -191,7 +191,8 @@ bench/CMakeFiles/bench_micro_stack_update.dir/bench_micro_stack_update.cpp.o: \
  /root/repo/src/util/fenwick.h /root/repo/src/util/histogram.h \
  /root/repo/src/util/mrc.h /root/repo/src/baselines/olken_tree.h \
  /root/repo/src/util/prng.h /root/repo/src/core/krr_stack.h \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -221,7 +222,6 @@ bench/CMakeFiles/bench_micro_stack_update.dir/bench_micro_stack_update.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
  /root/repo/src/core/size_tracker.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/core/swap_sampler.h \
- /root/repo/src/sim/klru_cache.h /root/repo/src/sim/redis_cache.h \
- /root/repo/src/trace/zipf.h /root/repo/src/trace/generator.h \
- /root/repo/src/util/options.h
+ /root/repo/src/core/swap_sampler.h /root/repo/src/sim/klru_cache.h \
+ /root/repo/src/sim/redis_cache.h /root/repo/src/trace/zipf.h \
+ /root/repo/src/trace/generator.h /root/repo/src/util/options.h

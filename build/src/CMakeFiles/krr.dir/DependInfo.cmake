@@ -37,15 +37,18 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/trace/msr.cpp" "src/CMakeFiles/krr.dir/trace/msr.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/msr.cpp.o.d"
   "/root/repo/src/trace/synthetic.cpp" "src/CMakeFiles/krr.dir/trace/synthetic.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/synthetic.cpp.o.d"
   "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/krr.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/trace_reader.cpp" "src/CMakeFiles/krr.dir/trace/trace_reader.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/trace_reader.cpp.o.d"
   "/root/repo/src/trace/twitter.cpp" "src/CMakeFiles/krr.dir/trace/twitter.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/twitter.cpp.o.d"
   "/root/repo/src/trace/workload_factory.cpp" "src/CMakeFiles/krr.dir/trace/workload_factory.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/workload_factory.cpp.o.d"
   "/root/repo/src/trace/ycsb.cpp" "src/CMakeFiles/krr.dir/trace/ycsb.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/ycsb.cpp.o.d"
   "/root/repo/src/trace/zipf.cpp" "src/CMakeFiles/krr.dir/trace/zipf.cpp.o" "gcc" "src/CMakeFiles/krr.dir/trace/zipf.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "src/CMakeFiles/krr.dir/util/crc32.cpp.o" "gcc" "src/CMakeFiles/krr.dir/util/crc32.cpp.o.d"
   "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/krr.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/krr.dir/util/histogram.cpp.o.d"
   "/root/repo/src/util/mrc.cpp" "src/CMakeFiles/krr.dir/util/mrc.cpp.o" "gcc" "src/CMakeFiles/krr.dir/util/mrc.cpp.o.d"
   "/root/repo/src/util/options.cpp" "src/CMakeFiles/krr.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/krr.dir/util/options.cpp.o.d"
   "/root/repo/src/util/prng.cpp" "src/CMakeFiles/krr.dir/util/prng.cpp.o" "gcc" "src/CMakeFiles/krr.dir/util/prng.cpp.o.d"
   "/root/repo/src/util/reuse_histogram.cpp" "src/CMakeFiles/krr.dir/util/reuse_histogram.cpp.o" "gcc" "src/CMakeFiles/krr.dir/util/reuse_histogram.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/CMakeFiles/krr.dir/util/status.cpp.o" "gcc" "src/CMakeFiles/krr.dir/util/status.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/CMakeFiles/krr.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/krr.dir/util/table.cpp.o.d"
   )
 

@@ -198,25 +198,28 @@ src/CMakeFiles/krr.dir/core/dlru.cpp.o: /root/repo/src/core/dlru.cpp \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/profiler.h \
- /root/repo/src/core/krr_stack.h /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/core/krr_stack.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/size_tracker.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
+ /root/repo/src/core/size_tracker.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/util/fenwick.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/core/swap_sampler.h /root/repo/src/util/prng.h \
  /usr/include/c++/12/limits /root/repo/src/core/spatial_filter.h \
  /root/repo/src/util/hashing.h /root/repo/src/trace/request.h \
+ /root/repo/src/trace/trace_reader.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/histogram.h /root/repo/src/util/mrc.h \
  /root/repo/src/sim/klru_cache.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

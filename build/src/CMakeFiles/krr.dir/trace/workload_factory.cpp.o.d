@@ -199,6 +199,9 @@ src/CMakeFiles/krr.dir/trace/workload_factory.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/trace/generator.h \
  /usr/include/c++/12/cstddef /root/repo/src/trace/request.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/trace/msr.h /root/repo/src/trace/zipf.h \
  /root/repo/src/util/prng.h /usr/include/c++/12/limits \
  /root/repo/src/trace/synthetic.h /root/repo/src/trace/twitter.h \

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krr_fault_tests.dir/test_fault_injection.cpp.o"
+  "CMakeFiles/krr_fault_tests.dir/test_fault_injection.cpp.o.d"
+  "krr_fault_tests"
+  "krr_fault_tests.pdb"
+  "krr_fault_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krr_fault_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -34,8 +34,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_shards_fixed.cpp" "tests/CMakeFiles/krr_tests.dir/test_shards_fixed.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_shards_fixed.cpp.o.d"
   "/root/repo/tests/test_size_tracker.cpp" "tests/CMakeFiles/krr_tests.dir/test_size_tracker.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_size_tracker.cpp.o.d"
   "/root/repo/tests/test_spatial_filter.cpp" "tests/CMakeFiles/krr_tests.dir/test_spatial_filter.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_spatial_filter.cpp.o.d"
+  "/root/repo/tests/test_status.cpp" "tests/CMakeFiles/krr_tests.dir/test_status.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_status.cpp.o.d"
   "/root/repo/tests/test_swap_sampler.cpp" "tests/CMakeFiles/krr_tests.dir/test_swap_sampler.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_swap_sampler.cpp.o.d"
   "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/krr_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_trace_reader.cpp" "tests/CMakeFiles/krr_tests.dir/test_trace_reader.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_trace_reader.cpp.o.d"
   "/root/repo/tests/test_util_misc.cpp" "tests/CMakeFiles/krr_tests.dir/test_util_misc.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_util_misc.cpp.o.d"
   "/root/repo/tests/test_workload_factory.cpp" "tests/CMakeFiles/krr_tests.dir/test_workload_factory.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_workload_factory.cpp.o.d"
   "/root/repo/tests/test_zipf.cpp" "tests/CMakeFiles/krr_tests.dir/test_zipf.cpp.o" "gcc" "tests/CMakeFiles/krr_tests.dir/test_zipf.cpp.o.d"

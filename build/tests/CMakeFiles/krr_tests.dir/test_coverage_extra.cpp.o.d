@@ -298,6 +298,7 @@ tests/CMakeFiles/krr_tests.dir/test_coverage_extra.cpp.o: \
  /root/repo/src/util/fenwick.h /root/repo/src/core/swap_sampler.h \
  /root/repo/src/util/prng.h /root/repo/src/core/spatial_filter.h \
  /root/repo/src/util/hashing.h /root/repo/src/trace/request.h \
+ /root/repo/src/trace/trace_reader.h /root/repo/src/util/status.h \
  /root/repo/src/util/histogram.h /root/repo/src/util/mrc.h \
  /root/repo/src/core/windowed_profiler.h /root/repo/src/sim/klru_cache.h \
  /root/repo/src/sim/miniature.h /root/repo/src/sim/redis_cache.h \

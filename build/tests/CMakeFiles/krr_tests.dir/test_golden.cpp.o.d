@@ -298,6 +298,7 @@ tests/CMakeFiles/krr_tests.dir/test_golden.cpp.o: \
  /root/repo/src/core/swap_sampler.h /root/repo/src/util/prng.h \
  /root/repo/src/core/profiler.h /root/repo/src/core/spatial_filter.h \
  /root/repo/src/util/hashing.h /root/repo/src/trace/request.h \
+ /root/repo/src/trace/trace_reader.h /root/repo/src/util/status.h \
  /root/repo/src/util/histogram.h /root/repo/src/util/mrc.h \
  /root/repo/src/sim/klru_cache.h /root/repo/src/trace/generator.h \
  /root/repo/src/trace/msr.h /root/repo/src/trace/zipf.h

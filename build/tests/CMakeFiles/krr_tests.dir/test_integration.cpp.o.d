@@ -309,7 +309,8 @@ tests/CMakeFiles/krr_tests.dir/test_integration.cpp.o: \
  /root/repo/src/baselines/statstack.h /root/repo/src/core/dlru.h \
  /root/repo/src/core/profiler.h /root/repo/src/core/krr_stack.h \
  /root/repo/src/core/size_tracker.h /usr/include/c++/12/span \
- /root/repo/src/core/swap_sampler.h /root/repo/src/sim/klru_cache.h \
+ /root/repo/src/core/swap_sampler.h /root/repo/src/trace/trace_reader.h \
+ /root/repo/src/util/status.h /root/repo/src/sim/klru_cache.h \
  /root/repo/src/core/windowed_profiler.h /root/repo/src/sim/lru_cache.h \
  /root/repo/src/sim/miniature.h /root/repo/src/sim/redis_cache.h \
  /root/repo/src/sim/sampled_priority_cache.h /root/repo/src/sim/sweep.h \
@@ -317,12 +318,12 @@ tests/CMakeFiles/krr_tests.dir/test_integration.cpp.o: \
  /root/repo/src/trace/zipf.h /root/repo/src/trace/synthetic.h \
  /root/repo/src/trace/trace_io.h /root/repo/src/trace/twitter.h \
  /root/repo/src/trace/workload_factory.h /root/repo/src/trace/ycsb.h \
- /root/repo/src/util/options.h /root/repo/src/util/parallel.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/util/crc32.h /root/repo/src/util/options.h \
+ /root/repo/src/util/parallel.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

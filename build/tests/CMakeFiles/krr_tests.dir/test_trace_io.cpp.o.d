@@ -298,4 +298,5 @@ tests/CMakeFiles/krr_tests.dir/test_trace_io.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/trace/generator.h \
  /root/repo/src/trace/request.h /root/repo/src/trace/trace_io.h \
+ /root/repo/src/trace/trace_reader.h /root/repo/src/util/status.h \
  /root/repo/src/trace/zipf.h /root/repo/src/util/prng.h

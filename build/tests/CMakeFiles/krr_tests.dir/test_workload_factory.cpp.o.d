@@ -294,4 +294,4 @@ tests/CMakeFiles/krr_tests.dir/test_workload_factory.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/trace/workload_factory.h /root/repo/src/trace/generator.h \
- /root/repo/src/trace/request.h
+ /root/repo/src/trace/request.h /root/repo/src/util/status.h

@@ -99,7 +99,11 @@ tools/CMakeFiles/krr_cli.dir/krr_cli.cpp.o: /root/repo/tools/krr_cli.cpp \
  /usr/include/x86_64-linux-gnu/bits/types/struct_FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/cookie_io_functions_t.h \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/hash_bytes.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/fstream \
  /usr/include/c++/12/istream /usr/include/c++/12/ios \
  /usr/include/c++/12/iosfwd /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h /usr/include/c++/12/bits/postypes.h \
@@ -107,10 +111,6 @@ tools/CMakeFiles/krr_cli.dir/krr_cli.cpp.o: /root/repo/tools/krr_cli.cpp \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/mbstate_t.h \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/hash_bytes.h \
- /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/char_traits.h /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
@@ -253,7 +253,9 @@ tools/CMakeFiles/krr_cli.dir/krr_cli.cpp.o: /root/repo/tools/krr_cli.cpp \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/profiler.h \
  /root/repo/src/core/krr_stack.h /usr/include/c++/12/optional \
  /root/repo/src/core/size_tracker.h /usr/include/c++/12/span \
- /root/repo/src/core/swap_sampler.h /root/repo/src/sim/klru_cache.h \
+ /root/repo/src/core/swap_sampler.h /root/repo/src/trace/trace_reader.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/klru_cache.h \
  /root/repo/src/core/windowed_profiler.h /root/repo/src/sim/lru_cache.h \
  /root/repo/src/sim/miniature.h /root/repo/src/sim/redis_cache.h \
  /root/repo/src/sim/sampled_priority_cache.h /root/repo/src/sim/sweep.h \
@@ -261,8 +263,9 @@ tools/CMakeFiles/krr_cli.dir/krr_cli.cpp.o: /root/repo/tools/krr_cli.cpp \
  /root/repo/src/trace/zipf.h /root/repo/src/trace/synthetic.h \
  /root/repo/src/trace/trace_io.h /root/repo/src/trace/twitter.h \
  /root/repo/src/trace/workload_factory.h /root/repo/src/trace/ycsb.h \
- /root/repo/src/util/options.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/util/crc32.h /root/repo/src/util/options.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/parallel.h \
  /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \

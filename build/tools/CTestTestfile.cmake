@@ -14,3 +14,11 @@ add_test(cli_simulate "/root/repo/build/tools/krr_cli" "simulate" "--workload=un
 set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_rejects_unknown_command "/root/repo/build/tools/krr_cli" "frobnicate")
 set_tests_properties(cli_rejects_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_exit_usage_is_2 "sh" "-c" "\"/root/repo/build/tools/krr_cli\" frobnicate; test \$? -eq 2")
+set_tests_properties(cli_exit_usage_is_2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_exit_bad_flag_is_2 "sh" "-c" "\"/root/repo/build/tools/krr_cli\" profile --workload=zipf:0.9 --recovery=yolo; test \$? -eq 2")
+set_tests_properties(cli_exit_bad_flag_is_2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_exit_missing_trace_is_1 "sh" "-c" "\"/root/repo/build/tools/krr_cli\" profile --trace=/nonexistent/t.bin --k=5; test \$? -eq 1")
+set_tests_properties(cli_exit_missing_trace_is_1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_exit_corrupt_strict_is_3 "sh" "-c" "d=\$(mktemp -d) || exit 1; trap 'rm -rf \"\$d\"' EXIT; cli=\"/root/repo/build/tools/krr_cli\"; \"\$cli\" generate --workload=zipf:0.9 --footprint=500 --n=5000 --out=\"\$d/t.bin\" || exit 1; head -c 60000 \"\$d/t.bin\" > \"\$d/cut.bin\" || exit 1; \"\$cli\" profile --trace=\"\$d/cut.bin\" --k=5 --strict; test \$? -eq 3 || exit 1; \"\$cli\" profile --trace=\"\$d/cut.bin\" --k=5")
+set_tests_properties(cli_exit_corrupt_strict_is_3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")

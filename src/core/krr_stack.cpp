@@ -26,6 +26,40 @@ std::uint64_t KrrStack::total_bytes() const noexcept {
   return size_array_ ? size_array_->total_bytes() : stack_.size();
 }
 
+std::uint64_t KrrStack::retain(const std::function<bool(std::uint64_t)>& keep) {
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < stack_.size(); ++read) {
+    if (!keep(stack_[read])) {
+      position_.erase(stack_[read]);
+      continue;
+    }
+    stack_[write] = stack_[read];
+    sizes_[write] = sizes_[read];
+    position_[stack_[write]] = write;
+    ++write;
+  }
+  const std::uint64_t evicted = stack_.size() - write;
+  if (evicted == 0) return 0;
+  stack_.resize(write);
+  sizes_.resize(write);
+  // The byte trackers are prefix structures over stack positions; rebuild
+  // them by replaying the compacted stack as appends (top first).
+  if (size_array_) {
+    size_array_ = std::make_unique<SizeArray>(config_.size_array_base);
+    for (std::size_t i = 0; i < write; ++i) {
+      size_array_->on_append(sizes_[i], i + 1);
+    }
+  }
+  if (exact_bytes_) {
+    exact_bytes_ = std::make_unique<ExactByteTracker>();
+    for (std::size_t i = 0; i < write; ++i) {
+      exact_bytes_->on_append(sizes_[i], i + 1);
+    }
+  }
+  last_exact_byte_distance_.reset();
+  return evicted;
+}
+
 KrrStack::AccessResult KrrStack::access(std::uint64_t key, std::uint32_t size) {
   AccessResult result{};
   std::uint64_t phi;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -67,6 +68,13 @@ class KrrStack {
   std::optional<std::uint64_t> last_exact_byte_distance() const noexcept {
     return last_exact_byte_distance_;
   }
+
+  /// Evicts every resident whose key fails the predicate, preserving the
+  /// relative stack order of the survivors; all auxiliary structures
+  /// (position index, sizeArray, exact byte tracker) are rebuilt
+  /// consistently. O(M) — used by rare events such as sampling-rate
+  /// degradation, not on the access path. Returns the eviction count.
+  std::uint64_t retain(const std::function<bool(std::uint64_t)>& keep);
 
   /// Number of swap positions processed over the stack's lifetime
   /// (instrumentation for the Fig. 5.4 overhead experiment).

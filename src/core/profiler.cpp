@@ -32,6 +32,7 @@ void KrrProfiler::access(const Request& req) {
   const auto result = stack_.access(req.key, config_.byte_granularity ? req.size : 1);
   if (result.cold) {
     histogram_.record_infinite();
+    maybe_degrade();
     return;
   }
   const std::uint64_t distance =
@@ -41,17 +42,32 @@ void KrrProfiler::access(const Request& req) {
   histogram_.record(static_cast<std::uint64_t>(std::llround(scaled)));
 }
 
+void KrrProfiler::maybe_degrade() {
+  // Only cold references grow the stack, so checking here bounds memory
+  // exactly. Halve until back under the ceiling (one halving evicts about
+  // half the residents) or until the filter bottoms out at threshold 1.
+  while (config_.max_stack_bytes != 0 &&
+         space_overhead_bytes() > config_.max_stack_bytes &&
+         filter_.threshold() > 1) {
+    expected_sampled_base_ = expected_sampled();
+    processed_at_rate_change_ = processed_;
+    filter_.halve();
+    stack_.retain([this](std::uint64_t key) { return filter_.sampled(key); });
+    ++degradation_events_;
+  }
+}
+
 MissRatioCurve KrrProfiler::mrc() const {
-  if (!config_.sampling_adjustment || config_.sampling_rate >= 1.0) {
+  if (!config_.sampling_adjustment || current_sampling_rate() >= 1.0) {
     return histogram_.to_mrc();
   }
   // SHARDS-adj first-bucket correction: hot objects falling in or out of
   // the sample inflate or deflate the sampled reference count; the
-  // difference against the expectation N*R is credited (possibly
-  // negatively) to the smallest-distance bucket.
+  // difference against the expectation (sum of the per-reference rate in
+  // effect, == N*R without degradation) is credited (possibly negatively)
+  // to the smallest-distance bucket.
   DistanceHistogram adjusted = histogram_;
-  const double expected = static_cast<double>(processed_) * filter_.rate();
-  const double diff = expected - static_cast<double>(sampled_);
+  const double diff = expected_sampled() - static_cast<double>(sampled_);
   if (diff != 0.0) adjusted.record(1, diff);
   return adjusted.to_mrc();
 }
@@ -68,6 +84,23 @@ std::uint64_t KrrProfiler::space_overhead_bytes() const noexcept {
     bytes += 2 * sizeof(std::uint64_t) * 64;  // boundaries + sums, worst case
   }
   return bytes;
+}
+
+RunReport KrrProfiler::run_report(const TraceReadReport* ingest) const {
+  RunReport report;
+  if (ingest) {
+    report.records_read = ingest->records_read;
+    report.records_skipped = ingest->records_skipped;
+    report.checksum_failures = ingest->checksum_failures;
+    report.truncated_tail = ingest->truncated_tail;
+  } else {
+    report.records_read = processed_;
+  }
+  report.degradation_events = degradation_events_;
+  report.final_sampling_rate = current_sampling_rate();
+  report.stack_depth = stack_.depth();
+  report.space_overhead_bytes = space_overhead_bytes();
+  return report;
 }
 
 }  // namespace krr

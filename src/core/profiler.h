@@ -7,6 +7,7 @@
 #include "core/krr_stack.h"
 #include "core/spatial_filter.h"
 #include "trace/request.h"
+#include "trace/trace_reader.h"
 #include "util/histogram.h"
 #include "util/mrc.h"
 
@@ -36,6 +37,29 @@ struct KrrProfilerConfig {
   /// between expected (N*R) and actual sampled reference counts. Only
   /// relevant when sampling_rate < 1.
   bool sampling_adjustment = true;
+  /// Graceful-degradation ceiling on the profiler's estimated resident
+  /// memory (space_overhead_bytes()); 0 = unbounded. When the ceiling is
+  /// reached, the spatial sampling rate is halved and residents falling
+  /// out of the sample are evicted — the paper's §5 rate adaptation, which
+  /// keeps the profile statistically sound — instead of growing without
+  /// limit. Each halving is counted as one degradation event.
+  std::uint64_t max_stack_bytes = 0;
+};
+
+/// End-of-run accounting surfaced through the library API: what was
+/// ingested, what the recovery policy dropped, and how often the profiler
+/// degraded its sampling rate to stay inside its memory ceiling. A clean,
+/// non-degraded run has zeros everywhere and final_sampling_rate equal to
+/// the configured rate.
+struct RunReport {
+  std::uint64_t records_read = 0;
+  std::uint64_t records_skipped = 0;
+  std::uint64_t checksum_failures = 0;
+  bool truncated_tail = false;
+  std::uint64_t degradation_events = 0;
+  double final_sampling_rate = 1.0;
+  std::uint64_t stack_depth = 0;
+  std::uint64_t space_overhead_bytes = 0;
 };
 
 /// One-pass K-LRU miss-ratio-curve profiler: spatial filter -> KRR stack ->
@@ -73,15 +97,40 @@ class KrrProfiler {
   /// array + size array + hash table entries.
   std::uint64_t space_overhead_bytes() const noexcept;
 
+  /// Times the sampling rate was halved to stay under max_stack_bytes.
+  std::uint64_t degradation_events() const noexcept { return degradation_events_; }
+
+  /// The rate currently in effect (== the configured rate until the first
+  /// degradation event halves it).
+  double current_sampling_rate() const noexcept { return filter_.rate(); }
+
+  /// Profiler-side run accounting; pass the ingestion report to fold in
+  /// what the TraceReader read, skipped, and failed to checksum.
+  RunReport run_report(const TraceReadReport* ingest = nullptr) const;
+
   const KrrProfilerConfig& config() const noexcept { return config_; }
 
  private:
+  void maybe_degrade();
+
   KrrProfilerConfig config_;
   SpatialFilter filter_;
   KrrStack stack_;
   DistanceHistogram histogram_;
   std::uint64_t processed_ = 0;
   std::uint64_t sampled_ = 0;
+  std::uint64_t degradation_events_ = 0;
+  /// SHARDS-adj expectation bookkeeping under a dynamically degraded rate:
+  /// expected sampled references accumulated over completed rate epochs,
+  /// plus the count processed in the current epoch at the current rate.
+  /// Equals processed * R exactly when the rate never changes.
+  double expected_sampled_base_ = 0.0;
+  std::uint64_t processed_at_rate_change_ = 0;
+  double expected_sampled() const noexcept {
+    return expected_sampled_base_ +
+           static_cast<double>(processed_ - processed_at_rate_change_) *
+               filter_.rate();
+  }
 };
 
 }  // namespace krr

@@ -24,6 +24,15 @@ class SpatialFilter {
     return (hash64(key) % modulus_) < threshold_;
   }
 
+  /// Halves the sampling threshold (the paper's §5 rate adaptation, also
+  /// the profiler's graceful-degradation step). Because sampled() is a
+  /// threshold test on the same hash, the surviving key set is an exact
+  /// subset of the previous one — evicting keys that no longer pass keeps
+  /// the sample statistically valid. The threshold never drops below 1.
+  void halve() noexcept {
+    threshold_ = threshold_ > 1 ? threshold_ / 2 : 1;
+  }
+
   /// The realized rate T/P (may differ slightly from the requested rate
   /// because T is integral).
   double rate() const noexcept {

@@ -44,15 +44,18 @@
 #include "trace/request.h"
 #include "trace/synthetic.h"
 #include "trace/trace_io.h"
+#include "trace/trace_reader.h"
 #include "trace/twitter.h"
 #include "trace/workload_factory.h"
 #include "trace/ycsb.h"
 #include "trace/zipf.h"
+#include "util/crc32.h"
 #include "util/histogram.h"
 #include "util/mrc.h"
 #include "util/options.h"
 #include "util/parallel.h"
 #include "util/prng.h"
 #include "util/reuse_histogram.h"
+#include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/table.h"

@@ -1,0 +1,78 @@
+#pragma once
+
+// Internal little-endian wire codec for the binary trace formats, shared by
+// trace_io.cpp (writers, legacy API) and trace_reader.cpp (fault-tolerant
+// reader). Not installed through krr.h.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <ostream>
+
+#include "trace/request.h"
+
+namespace krr::codec {
+
+inline constexpr char kMagic[8] = {'K', 'R', 'R', 'T', 'R', 'A', 'C', 'E'};
+inline constexpr std::uint32_t kVersion1 = 1;
+inline constexpr std::uint32_t kVersion2 = 2;
+/// "KRBL" as a little-endian u32 — the per-block sync marker of format v2.
+inline constexpr std::uint32_t kBlockMagic = 0x4C42524Bu;
+inline constexpr std::size_t kRecordBytes = 13;   // key u64 + size u32 + op u8
+inline constexpr std::size_t kBlockHeaderBytes = 12;  // magic + count + crc
+/// v1: magic + version + count. v2 adds records_per_block + header crc.
+inline constexpr std::size_t kV1HeaderBytes = 20;
+inline constexpr std::size_t kV2HeaderBytes = 28;
+/// Upper bound on a sane records_per_block claim (16 Mi records ≈ 208 MB
+/// per block is already absurd; anything larger is a hostile header).
+inline constexpr std::uint32_t kMaxRecordsPerBlock = 1u << 24;
+
+inline void encode_u32(unsigned char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+inline void encode_u64(unsigned char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+inline std::uint32_t decode_u32(const unsigned char* in) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+
+inline std::uint64_t decode_u64(const unsigned char* in) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+
+inline void encode_record(unsigned char* out, const Request& r) {
+  encode_u64(out, r.key);
+  encode_u32(out + 8, r.size);
+  out[12] = static_cast<unsigned char>(r.op);
+}
+
+/// Decodes the fixed 13-byte record layout. The op byte is returned raw;
+/// the caller validates it (0 or 1) so recovery policies can react.
+inline unsigned char decode_record(const unsigned char* in, Request* r) {
+  r->key = decode_u64(in);
+  r->size = decode_u32(in + 8);
+  const unsigned char op = in[12];
+  r->op = static_cast<Op>(op);
+  return op;
+}
+
+inline void put_u32(std::ostream& os, std::uint32_t v) {
+  unsigned char b[4];
+  encode_u32(b, v);
+  os.write(reinterpret_cast<const char*>(b), sizeof(b));
+}
+
+inline void put_u64(std::ostream& os, std::uint64_t v) {
+  unsigned char b[8];
+  encode_u64(b, v);
+  os.write(reinterpret_cast<const char*>(b), sizeof(b));
+}
+
+}  // namespace krr::codec

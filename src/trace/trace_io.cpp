@@ -1,48 +1,68 @@
 #include "trace/trace_io.h"
 
-#include <array>
-#include <cstring>
+#include <cctype>
+#include <charconv>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
-#include <sstream>
-#include <stdexcept>
+#include <string_view>
+
+#include "trace/trace_codec.h"
 
 namespace krr {
 
+namespace c = codec;
+
 namespace {
 
-constexpr char kMagic[8] = {'K', 'R', 'R', 'T', 'R', 'A', 'C', 'E'};
-constexpr std::uint32_t kVersion = 1;
-
-void put_u32(std::ostream& os, std::uint32_t v) {
-  std::array<char, 4> b;
-  for (int i = 0; i < 4; ++i) b[static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
-  os.write(b.data(), b.size());
+/// Strips spaces, tabs, and CR from both ends (CSV files routinely arrive
+/// with CRLF endings or padded fields).
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
 }
 
-void put_u64(std::ostream& os, std::uint64_t v) {
-  std::array<char, 8> b;
-  for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
-  os.write(b.data(), b.size());
+/// Digits-only unsigned parse: refuses signs (so "-1" cannot wrap the way
+/// std::stoul silently does), stray characters, and overflow.
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  for (const char ch : s) {
+    if (!std::isdigit(static_cast<unsigned char>(ch))) return false;
+  }
+  const auto result = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return result.ec == std::errc() && result.ptr == s.data() + s.size();
 }
 
-std::uint32_t get_u32(std::istream& is) {
-  std::array<unsigned char, 4> b;
-  is.read(reinterpret_cast<char*>(b.data()), b.size());
-  if (!is) throw std::runtime_error("truncated trace stream");
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) v = (v << 8) | b[static_cast<std::size_t>(i)];
-  return v;
-}
-
-std::uint64_t get_u64(std::istream& is) {
-  std::array<unsigned char, 8> b;
-  is.read(reinterpret_cast<char*>(b.data()), b.size());
-  if (!is) throw std::runtime_error("truncated trace stream");
-  std::uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) v = (v << 8) | b[static_cast<std::size_t>(i)];
-  return v;
+bool parse_csv_row(std::string_view line, Request* r) {
+  const auto first = line.find(',');
+  if (first == std::string_view::npos) return false;
+  const auto second = line.find(',', first + 1);
+  if (second == std::string_view::npos) return false;
+  if (line.find(',', second + 1) != std::string_view::npos) return false;
+  std::uint64_t key = 0;
+  std::uint64_t size = 0;
+  if (!parse_u64(line.substr(0, first), &key)) return false;
+  if (!parse_u64(line.substr(first + 1, second - first - 1), &size)) return false;
+  if (size > std::numeric_limits<std::uint32_t>::max()) return false;
+  const std::string_view op = trim(line.substr(second + 1));
+  if (op == "get") {
+    r->op = Op::kGet;
+  } else if (op == "set") {
+    r->op = Op::kSet;
+  } else {
+    return false;
+  }
+  r->key = key;
+  r->size = static_cast<std::uint32_t>(size);
+  return true;
 }
 
 }  // namespace
@@ -54,90 +74,88 @@ void write_trace_csv(std::ostream& os, const std::vector<Request>& trace) {
   }
 }
 
-std::vector<Request> read_trace_csv(std::istream& is) {
+StatusOr<std::vector<Request>> read_trace_csv(std::istream& is,
+                                              const TraceReaderOptions& options,
+                                              TraceReadReport* report) {
+  TraceReadReport local;
+  TraceReadReport& rep = report ? *report : local;
+  rep = {};
   std::vector<Request> trace;
   std::string line;
-  if (!std::getline(is, line)) throw std::runtime_error("empty trace CSV");
-  if (line.rfind("key,", 0) != 0) throw std::runtime_error("missing trace CSV header");
+  if (!std::getline(is, line)) {
+    return corrupt_header_error("empty trace CSV");
+  }
+  if (trim(line).rfind("key,", 0) != 0) {
+    return corrupt_header_error("missing trace CSV header");
+  }
   std::size_t lineno = 1;
   while (std::getline(is, line)) {
     ++lineno;
-    if (line.empty()) continue;
-    std::istringstream ss(line);
-    std::string key_s, size_s, op_s;
-    if (!std::getline(ss, key_s, ',') || !std::getline(ss, size_s, ',') ||
-        !std::getline(ss, op_s)) {
-      throw std::runtime_error("malformed trace CSV at line " + std::to_string(lineno));
-    }
+    if (trim(line).empty()) continue;
     Request r;
-    try {
-      r.key = std::stoull(key_s);
-      r.size = static_cast<std::uint32_t>(std::stoul(size_s));
-    } catch (const std::exception&) {
-      throw std::runtime_error("bad number in trace CSV at line " + std::to_string(lineno));
-    }
-    if (op_s == "get") {
-      r.op = Op::kGet;
-    } else if (op_s == "set") {
-      r.op = Op::kSet;
-    } else {
-      throw std::runtime_error("bad op in trace CSV at line " + std::to_string(lineno));
+    if (!parse_csv_row(line, &r)) {
+      switch (options.policy) {
+        case RecoveryPolicy::kStrict:
+          rep.records_read = trace.size();
+          return bad_record_error("malformed trace CSV at line " +
+                                  std::to_string(lineno));
+        case RecoveryPolicy::kSkipAndCount:
+          if (++rep.records_skipped > options.max_bad_records) {
+            rep.records_read = trace.size();
+            return resource_limit_error(
+                "more than " + std::to_string(options.max_bad_records) +
+                " bad records (--max-bad-records); refusing to profile garbage");
+          }
+          continue;
+        case RecoveryPolicy::kBestEffort:
+          rep.truncated_tail = true;
+          rep.records_read = trace.size();
+          return trace;
+      }
     }
     trace.push_back(r);
   }
+  rep.records_read = trace.size();
   return trace;
 }
 
+std::vector<Request> read_trace_csv(std::istream& is) {
+  return value_or_throw(
+      read_trace_csv(is, {.policy = RecoveryPolicy::kStrict}));
+}
+
 void write_trace_binary(std::ostream& os, const std::vector<Request>& trace) {
-  os.write(kMagic, sizeof(kMagic));
-  put_u32(os, kVersion);
-  put_u64(os, trace.size());
+  os.write(c::kMagic, sizeof(c::kMagic));
+  c::put_u32(os, c::kVersion1);
+  c::put_u64(os, trace.size());
+  unsigned char rec[c::kRecordBytes];
   for (const Request& r : trace) {
-    put_u64(os, r.key);
-    put_u32(os, r.size);
-    const char op = static_cast<char>(r.op);
-    os.write(&op, 1);
+    c::encode_record(rec, r);
+    os.write(reinterpret_cast<const char*>(rec), sizeof(rec));
   }
 }
 
 std::vector<Request> read_trace_binary(std::istream& is) {
-  char magic[8];
-  is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("bad trace magic");
-  }
-  const std::uint32_t version = get_u32(is);
-  if (version != kVersion) {
-    throw std::runtime_error("unsupported trace version " + std::to_string(version));
-  }
-  const std::uint64_t count = get_u64(is);
-  std::vector<Request> trace;
-  trace.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    Request r;
-    r.key = get_u64(is);
-    r.size = get_u32(is);
-    char op;
-    is.read(&op, 1);
-    if (!is) throw std::runtime_error("truncated trace payload");
-    if (op != 0 && op != 1) throw std::runtime_error("bad op byte in trace");
-    r.op = static_cast<Op>(op);
-    trace.push_back(r);
-  }
-  return trace;
+  return value_or_throw(read_trace(is, {.policy = RecoveryPolicy::kStrict}));
 }
 
-void save_trace(const std::string& path, const std::vector<Request>& trace) {
+void save_trace(const std::string& path, const std::vector<Request>& trace,
+                TraceFormat format) {
   std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("cannot open for write: " + path);
-  write_trace_binary(os, trace);
-  if (!os) throw std::runtime_error("write failed: " + path);
+  if (!os) throw StatusError(io_error("cannot open for write: " + path));
+  if (format == TraceFormat::kV2) {
+    write_trace_binary_v2(os, trace);
+  } else {
+    write_trace_binary(os, trace);
+  }
+  os.flush();
+  if (!os) throw StatusError(io_error("write failed: " + path));
 }
 
 std::vector<Request> load_trace(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("cannot open for read: " + path);
-  return read_trace_binary(is);
+  if (!is) throw StatusError(io_error("cannot open for read: " + path));
+  return value_or_throw(read_trace(is, {.policy = RecoveryPolicy::kStrict}));
 }
 
 }  // namespace krr

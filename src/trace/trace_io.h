@@ -5,29 +5,47 @@
 #include <vector>
 
 #include "trace/request.h"
+#include "trace/trace_reader.h"
+#include "util/status.h"
 
 namespace krr {
+
+/// On-disk binary trace flavors. kV2 (checksummed blocks) is the default
+/// for new files; readers auto-detect and accept both.
+enum class TraceFormat { kV1 = 1, kV2 = 2 };
 
 /// Writes a trace as CSV lines `key,size,op` (op is "get" or "set"),
 /// preceded by a header. The textual format is for interchange with
 /// external tooling; use the binary format for bulk storage.
 void write_trace_csv(std::ostream& os, const std::vector<Request>& trace);
 
-/// Parses the CSV format produced by write_trace_csv. Throws
-/// std::runtime_error on malformed input.
+/// Parses the CSV format produced by write_trace_csv, under a recovery
+/// policy. Tolerates CRLF line endings and surrounding whitespace in
+/// fields; rejects negative or > 32-bit sizes as bad records instead of
+/// letting them wrap. The report (optional) is filled either way.
+StatusOr<std::vector<Request>> read_trace_csv(std::istream& is,
+                                              const TraceReaderOptions& options,
+                                              TraceReadReport* report = nullptr);
+
+/// Legacy strict wrapper: throws StatusError (a std::runtime_error) on
+/// malformed input.
 std::vector<Request> read_trace_csv(std::istream& is);
 
-/// Writes a trace in the library's packed little-endian binary format:
-/// an 16-byte header ("KRRTRACE", version, count) followed by
-/// 13-byte records (key u64, size u32, op u8).
+/// Writes the v1 packed little-endian binary format: a 20-byte header
+/// ("KRRTRACE", version, count) followed by 13-byte records (key u64,
+/// size u32, op u8). Prefer write_trace_binary_v2 (trace_reader.h) for new
+/// files — it adds per-block CRC32 integrity.
 void write_trace_binary(std::ostream& os, const std::vector<Request>& trace);
 
-/// Reads the binary format; throws std::runtime_error on a bad magic,
-/// version, or truncated payload.
+/// Legacy strict reader for either binary format; throws StatusError (a
+/// std::runtime_error) on a bad magic, version, checksum, hostile header,
+/// or truncated payload. Fault-tolerant callers should use TraceReader /
+/// read_trace (trace_reader.h) instead.
 std::vector<Request> read_trace_binary(std::istream& is);
 
-/// Convenience file wrappers (throw std::runtime_error on I/O failure).
-void save_trace(const std::string& path, const std::vector<Request>& trace);
+/// Convenience file wrappers (throw StatusError on I/O failure).
+void save_trace(const std::string& path, const std::vector<Request>& trace,
+                TraceFormat format = TraceFormat::kV2);
 std::vector<Request> load_trace(const std::string& path);
 
 }  // namespace krr

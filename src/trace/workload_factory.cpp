@@ -22,10 +22,8 @@ double parse_alpha(const std::string& text, const std::string& spec) {
   }
 }
 
-}  // namespace
-
-std::unique_ptr<TraceGenerator> make_workload(const std::string& spec,
-                                              const WorkloadFactoryOptions& options) {
+std::unique_ptr<TraceGenerator> make_workload_impl(
+    const std::string& spec, const WorkloadFactoryOptions& options) {
   const auto colon = spec.find(':');
   const std::string kind = spec.substr(0, colon);
   const std::string param = colon == std::string::npos ? "" : spec.substr(colon + 1);
@@ -69,6 +67,24 @@ std::unique_ptr<TraceGenerator> make_workload(const std::string& spec,
     return std::make_unique<LoopGenerator>(footprint, size);
   }
   throw std::invalid_argument("unknown workload spec: " + spec);
+}
+
+}  // namespace
+
+std::unique_ptr<TraceGenerator> make_workload(const std::string& spec,
+                                              const WorkloadFactoryOptions& options) {
+  return make_workload_impl(spec, options);
+}
+
+StatusOr<std::unique_ptr<TraceGenerator>> try_make_workload(
+    const std::string& spec, const WorkloadFactoryOptions& options) {
+  // Generator constructors validate their domains with invalid_argument;
+  // fold those into the Status taxonomy so no exception crosses this API.
+  try {
+    return make_workload_impl(spec, options);
+  } catch (const std::invalid_argument& e) {
+    return invalid_argument_error(e.what());
+  }
 }
 
 std::vector<std::string> known_workload_specs() {

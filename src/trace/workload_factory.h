@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "trace/generator.h"
+#include "util/status.h"
 
 namespace krr {
 
@@ -33,6 +34,12 @@ struct WorkloadFactoryOptions {
 /// Throws std::invalid_argument on an unknown spec.
 std::unique_ptr<TraceGenerator> make_workload(const std::string& spec,
                                               const WorkloadFactoryOptions& options = {});
+
+/// Non-throwing variant: kInvalidArgument carries the reason (unknown
+/// spec, malformed numeric parameter, out-of-domain generator setting).
+/// This is what services and the hardened CLI call.
+StatusOr<std::unique_ptr<TraceGenerator>> try_make_workload(
+    const std::string& spec, const WorkloadFactoryOptions& options = {});
 
 /// All specs the factory accepts (for --help output and sweep tooling).
 std::vector<std::string> known_workload_specs();

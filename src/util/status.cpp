@@ -1,0 +1,59 @@
+#include "util/status.h"
+
+namespace krr {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kCorruptHeader: return "corrupt_header";
+    case StatusCode::kUnsupportedVersion: return "unsupported_version";
+    case StatusCode::kTruncated: return "truncated";
+    case StatusCode::kBadRecord: return "bad_record";
+    case StatusCode::kChecksumMismatch: return "checksum_mismatch";
+    case StatusCode::kResourceLimit: return "resource_limit";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status invalid_argument_error(std::string message) {
+  return {StatusCode::kInvalidArgument, std::move(message)};
+}
+Status corrupt_header_error(std::string message) {
+  return {StatusCode::kCorruptHeader, std::move(message)};
+}
+Status unsupported_version_error(std::string message) {
+  return {StatusCode::kUnsupportedVersion, std::move(message)};
+}
+Status truncated_error(std::string message) {
+  return {StatusCode::kTruncated, std::move(message)};
+}
+Status bad_record_error(std::string message) {
+  return {StatusCode::kBadRecord, std::move(message)};
+}
+Status checksum_mismatch_error(std::string message) {
+  return {StatusCode::kChecksumMismatch, std::move(message)};
+}
+Status resource_limit_error(std::string message) {
+  return {StatusCode::kResourceLimit, std::move(message)};
+}
+Status io_error(std::string message) {
+  return {StatusCode::kIoError, std::move(message)};
+}
+Status internal_error(std::string message) {
+  return {StatusCode::kInternal, std::move(message)};
+}
+
+}  // namespace krr

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace krr {
+
+/// Typed error taxonomy for the ingestion and profiling pipeline. Fallible
+/// library entry points return Status / StatusOr<T> instead of throwing, so
+/// callers (the CLI, long-running services) can distinguish "the input is
+/// corrupt" from "the machine is out of resources" and react per policy.
+enum class StatusCode : int {
+  kOk = 0,
+  /// A caller passed a value outside the documented domain.
+  kInvalidArgument = 1,
+  /// A trace header is structurally wrong: bad magic, a record count that
+  /// cannot fit in the remaining stream, or a header CRC mismatch.
+  kCorruptHeader = 2,
+  /// The format version is not one this build can read.
+  kUnsupportedVersion = 3,
+  /// The stream ended in the middle of a header, block, or record.
+  kTruncated = 4,
+  /// A record parsed but its fields are invalid (bad op byte, negative or
+  /// overflowing size, malformed CSV row).
+  kBadRecord = 5,
+  /// A block or header checksum did not match its payload (format v2).
+  kChecksumMismatch = 6,
+  /// A configured ceiling was hit: --max-bad-records exhausted, or a memory
+  /// cap would be exceeded.
+  kResourceLimit = 7,
+  /// The operating system refused an open/read/write.
+  kIoError = 8,
+  /// An invariant inside the library broke; always a bug.
+  kInternal = 9,
+};
+
+/// Stable lower-case identifier for a code ("corrupt_header", ...).
+const char* status_code_name(StatusCode code);
+
+/// A cheap value type carrying (code, message). The default-constructed
+/// Status is OK and allocates nothing.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "corrupt_header: trace magic mismatch" (or "ok").
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Convenience constructors mirroring the taxonomy.
+Status invalid_argument_error(std::string message);
+Status corrupt_header_error(std::string message);
+Status unsupported_version_error(std::string message);
+Status truncated_error(std::string message);
+Status bad_record_error(std::string message);
+Status checksum_mismatch_error(std::string message);
+Status resource_limit_error(std::string message);
+Status io_error(std::string message);
+Status internal_error(std::string message);
+
+/// Exception bridge for the legacy throwing API: carries the StatusCode so
+/// catch sites can still branch on the taxonomy. Derives from
+/// std::runtime_error, so pre-Status call sites that catch runtime_error
+/// keep working unchanged.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  StatusCode code() const noexcept { return status_.code(); }
+  const Status& status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Either a T or a non-OK Status. Deliberately minimal: value access on an
+/// error is a programming bug and throws StatusError.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.is_ok()) {
+      status_ = internal_error("StatusOr constructed from an OK status");
+    }
+  }
+
+  bool is_ok() const noexcept { return value_.has_value(); }
+  const Status& status() const noexcept { return status_; }
+
+  const T& value() const& {
+    if (!value_) throw StatusError(status_);
+    return *value_;
+  }
+  T& value() & {
+    if (!value_) throw StatusError(status_);
+    return *value_;
+  }
+  T&& value() && {
+    if (!value_) throw StatusError(status_);
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Unwraps or rethrows as the typed exception (legacy-API shim).
+template <typename T>
+T value_or_throw(StatusOr<T> result) {
+  if (!result.is_ok()) throw StatusError(result.status());
+  return std::move(result).value();
+}
+
+}  // namespace krr

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "util/crc32.h"
+#include "util/status.h"
+
+namespace krr {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+  EXPECT_EQ(s, Status::ok());
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s = truncated_error("stream ended early");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kTruncated);
+  EXPECT_EQ(s.message(), "stream ended early");
+  EXPECT_EQ(s.to_string(), "truncated: stream ended early");
+}
+
+TEST(Status, EveryCodeHasAStableName) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "ok");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(status_code_name(StatusCode::kCorruptHeader), "corrupt_header");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnsupportedVersion),
+               "unsupported_version");
+  EXPECT_STREQ(status_code_name(StatusCode::kTruncated), "truncated");
+  EXPECT_STREQ(status_code_name(StatusCode::kBadRecord), "bad_record");
+  EXPECT_STREQ(status_code_name(StatusCode::kChecksumMismatch),
+               "checksum_mismatch");
+  EXPECT_STREQ(status_code_name(StatusCode::kResourceLimit), "resource_limit");
+  EXPECT_STREQ(status_code_name(StatusCode::kIoError), "io_error");
+  EXPECT_STREQ(status_code_name(StatusCode::kInternal), "internal");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> r = bad_record_error("nope");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBadRecord);
+  EXPECT_THROW(r.value(), StatusError);
+}
+
+TEST(StatusOr, ValueOrThrowPropagatesCode) {
+  try {
+    value_or_throw(StatusOr<int>(checksum_mismatch_error("block 3")));
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kChecksumMismatch);
+    EXPECT_NE(std::string(e.what()).find("block 3"), std::string::npos);
+  }
+}
+
+TEST(StatusError, IsARuntimeError) {
+  // Legacy call sites catch std::runtime_error; the typed exception must
+  // keep satisfying them.
+  EXPECT_THROW(throw StatusError(io_error("disk on fire")), std::runtime_error);
+}
+
+TEST(Crc32, KnownVectors) {
+  // The canonical IEEE CRC-32 check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+  const char* abc = "abc";
+  EXPECT_EQ(crc32(abc, 3), 0x352441C2u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  Crc32 inc;
+  inc.update(data.data(), 10);
+  inc.update(data.data() + 10, data.size() - 10);
+  EXPECT_EQ(inc.value(), crc32(data.data(), data.size()));
+  inc.reset();
+  EXPECT_EQ(inc.value(), 0u);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::string data = "fault tolerant ingestion";
+  const std::uint32_t clean = crc32(data.data(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] = static_cast<char>(data[i] ^ (1 << bit));
+      EXPECT_NE(crc32(data.data(), data.size()), clean)
+          << "byte " << i << " bit " << bit;
+      data[i] = static_cast<char>(data[i] ^ (1 << bit));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace krr

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/generator.h"
+#include "trace/trace_io.h"
+#include "trace/trace_reader.h"
+#include "trace/workload_factory.h"
+#include "trace/zipf.h"
+#include "util/crc32.h"
+
+namespace krr {
+namespace {
+
+std::vector<Request> make_trace(std::size_t n, std::uint64_t seed = 7) {
+  ZipfianGenerator gen(400, 0.9, seed, true, 64);
+  auto trace = materialize(gen, n);
+  for (std::size_t i = 0; i < trace.size(); i += 5) trace[i].op = Op::kSet;
+  return trace;
+}
+
+std::string to_v2_bytes(const std::vector<Request>& trace,
+                        std::uint32_t records_per_block = 64) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_trace_binary_v2(ss, trace, records_per_block);
+  return ss.str();
+}
+
+std::string to_v1_bytes(const std::vector<Request>& trace) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_trace_binary(ss, trace);
+  return ss.str();
+}
+
+TEST(TraceReaderV2, RoundTrips) {
+  const auto trace = make_trace(1000);
+  std::stringstream ss(to_v2_bytes(trace));
+  TraceReadReport report;
+  auto result = read_trace(ss, {}, &report);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(*result, trace);
+  EXPECT_EQ(report.format_version, 2u);
+  EXPECT_EQ(report.records_read, trace.size());
+  EXPECT_EQ(report.records_skipped, 0u);
+  EXPECT_EQ(report.checksum_failures, 0u);
+  EXPECT_FALSE(report.truncated_tail);
+}
+
+TEST(TraceReaderV2, RoundTripsEmptyAndOddBlockSizes) {
+  for (std::uint32_t rpb : {1u, 3u, 64u, 1000u, 5000u}) {
+    const auto trace = make_trace(777);
+    std::stringstream ss(to_v2_bytes(trace, rpb));
+    auto result = read_trace(ss);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_EQ(*result, trace) << "records_per_block=" << rpb;
+  }
+  std::stringstream empty(to_v2_bytes({}));
+  auto result = read_trace(empty);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(TraceReaderV2, LegacyReaderAcceptsV2) {
+  const auto trace = make_trace(500);
+  std::stringstream ss(to_v2_bytes(trace));
+  EXPECT_EQ(read_trace_binary(ss), trace);
+}
+
+TEST(TraceReaderV1, ReadsV1ByteIdentically) {
+  const auto trace = make_trace(500);
+  std::stringstream ss(to_v1_bytes(trace));
+  TraceReadReport report;
+  auto result = read_trace(ss, {}, &report);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(*result, trace);
+  EXPECT_EQ(report.format_version, 1u);
+}
+
+TEST(TraceReaderV1, StreamingInterfaceDeliversInOrder) {
+  const auto trace = make_trace(100);
+  std::stringstream ss(to_v1_bytes(trace));
+  TraceReader reader(ss);
+  Request r;
+  std::size_t i = 0;
+  while (reader.next(r)) {
+    ASSERT_LT(i, trace.size());
+    EXPECT_EQ(r, trace[i++]);
+  }
+  EXPECT_TRUE(reader.status().is_ok());
+  EXPECT_EQ(i, trace.size());
+}
+
+TEST(TraceReaderV1, HostileCountRejectedWhenSeekable) {
+  // A header claiming 2^60 records over a 3-record payload must fail as a
+  // corrupt header in strict mode — before any large allocation.
+  auto bytes = to_v1_bytes(make_trace(3));
+  const std::uint64_t hostile = 1ULL << 60;
+  for (int i = 0; i < 8; ++i) {
+    bytes[12 + i] = static_cast<char>(hostile >> (8 * i));
+  }
+  std::stringstream ss(bytes);
+  auto result = read_trace(ss, {.policy = RecoveryPolicy::kStrict});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruptHeader);
+}
+
+TEST(TraceReaderV1, HostileCountClampedInRecoveryModes) {
+  const auto trace = make_trace(3);
+  auto bytes = to_v1_bytes(trace);
+  const std::uint64_t hostile = 1ULL << 60;
+  for (int i = 0; i < 8; ++i) {
+    bytes[12 + i] = static_cast<char>(hostile >> (8 * i));
+  }
+  std::stringstream ss(bytes);
+  TraceReadReport report;
+  auto result = read_trace(ss, {.policy = RecoveryPolicy::kSkipAndCount}, &report);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(*result, trace);  // everything that exists is delivered
+  EXPECT_TRUE(report.truncated_tail);
+}
+
+// A streambuf that hides the stream size (tellg fails), forcing the reader
+// down the "not seekable: cap preallocation" path.
+class NonSeekableBuf : public std::stringbuf {
+ public:
+  explicit NonSeekableBuf(const std::string& s)
+      : std::stringbuf(s, std::ios::in) {}
+
+ protected:
+  pos_type seekoff(off_type, std::ios_base::seekdir,
+                   std::ios_base::openmode) override {
+    return pos_type(off_type(-1));
+  }
+  pos_type seekpos(pos_type, std::ios_base::openmode) override {
+    return pos_type(off_type(-1));
+  }
+};
+
+TEST(TraceReaderV1, HostileCountCappedWhenNotSeekable) {
+  const auto trace = make_trace(3);
+  auto bytes = to_v1_bytes(trace);
+  const std::uint64_t hostile = 1ULL << 60;
+  for (int i = 0; i < 8; ++i) {
+    bytes[12 + i] = static_cast<char>(hostile >> (8 * i));
+  }
+  NonSeekableBuf buf(bytes);
+  std::istream is(&buf);
+  TraceReaderOptions options;
+  options.policy = RecoveryPolicy::kSkipAndCount;
+  options.max_preallocate_records = 64;  // the OOM guard under test
+  TraceReader reader(is, options);
+  Request r;
+  std::vector<Request> got;
+  while (reader.next(r)) got.push_back(r);
+  EXPECT_TRUE(reader.status().is_ok());
+  EXPECT_EQ(got, trace);
+  EXPECT_LE(reader.reserve_hint(), 64u);
+}
+
+TEST(TraceReaderV2, BadOpByteSkippedAndCounted) {
+  // Corrupt an op byte *and* refresh the block CRC, modeling a buggy
+  // writer: the block checksums clean but holds an invalid record.
+  auto trace = make_trace(10);
+  std::string bytes = to_v2_bytes(trace, 100);
+  // One block: header 28, block header 12, records of 13 bytes; op is the
+  // record's last byte.
+  const std::size_t op_offset = 28 + 12 + 3 * 13 + 12;
+  bytes[op_offset] = 7;
+  // Recompute the payload CRC so only the op byte is "wrong".
+  const std::size_t payload_offset = 28 + 12;
+  const std::uint32_t crc =
+      crc32(bytes.data() + payload_offset, trace.size() * 13);
+  for (int i = 0; i < 4; ++i) {
+    bytes[28 + 8 + i] = static_cast<char>(crc >> (8 * i));
+  }
+
+  std::stringstream strict_ss(bytes);
+  auto strict = read_trace(strict_ss, {.policy = RecoveryPolicy::kStrict});
+  ASSERT_FALSE(strict.is_ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kBadRecord);
+
+  std::stringstream skip_ss(bytes);
+  TraceReadReport report;
+  auto skipped = read_trace(skip_ss, {.policy = RecoveryPolicy::kSkipAndCount},
+                            &report);
+  ASSERT_TRUE(skipped.is_ok());
+  EXPECT_EQ(skipped->size(), trace.size() - 1);
+  EXPECT_EQ(report.records_skipped, 1u);
+
+  std::stringstream best_ss(bytes);
+  auto best = read_trace(best_ss, {.policy = RecoveryPolicy::kBestEffort});
+  ASSERT_TRUE(best.is_ok());
+  EXPECT_EQ(best->size(), 3u);  // everything before the damaged record
+}
+
+TEST(TraceReaderV2, MaxBadRecordsBudgetEnforced) {
+  const auto trace = make_trace(300);
+  std::string bytes = to_v2_bytes(trace, 50);
+  // Flip a payload byte in every block: all 6 blocks fail their CRC.
+  for (std::size_t block = 0; block < 6; ++block) {
+    const std::size_t payload = 28 + (block + 1) * 12 + block * 50 * 13;
+    bytes[payload + 5] = static_cast<char>(bytes[payload + 5] ^ 0x40);
+  }
+  std::stringstream generous(bytes);
+  TraceReadReport report;
+  auto ok = read_trace(generous,
+                       {.policy = RecoveryPolicy::kSkipAndCount,
+                        .max_bad_records = 1000},
+                       &report);
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_TRUE(ok->empty());
+  EXPECT_EQ(report.records_skipped, 300u);
+  EXPECT_EQ(report.checksum_failures, 6u);
+
+  std::stringstream stingy(bytes);
+  auto limited = read_trace(
+      stingy, {.policy = RecoveryPolicy::kSkipAndCount, .max_bad_records = 100});
+  ASSERT_FALSE(limited.is_ok());
+  EXPECT_EQ(limited.status().code(), StatusCode::kResourceLimit);
+}
+
+TEST(TraceReaderV2, ResyncsAfterCorruptBlockHeader) {
+  const auto trace = make_trace(200);
+  std::string bytes = to_v2_bytes(trace, 50);
+  // Destroy the second block's magic: the reader must lose that block and
+  // resynchronize on the third block's magic.
+  const std::size_t second_block = 28 + 12 + 50 * 13;
+  bytes[second_block] = 'X';
+  std::stringstream ss(bytes);
+  TraceReadReport report;
+  auto result = read_trace(ss, {.policy = RecoveryPolicy::kSkipAndCount}, &report);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_GE(report.resyncs, 1u);
+  // Blocks 1, 3, 4 survive (150 records); block 2 is lost to the resync.
+  EXPECT_EQ(result->size(), 150u);
+  std::vector<Request> expected(trace.begin(), trace.begin() + 50);
+  expected.insert(expected.end(), trace.begin() + 100, trace.end());
+  EXPECT_EQ(*result, expected);
+}
+
+TEST(TraceReaderV2, UnsupportedVersionIsTyped) {
+  auto bytes = to_v2_bytes(make_trace(5));
+  bytes[8] = 9;  // version field
+  std::stringstream ss(bytes);
+  auto result = read_trace(ss, {.policy = RecoveryPolicy::kSkipAndCount});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupportedVersion);
+}
+
+TEST(TraceReaderV2, HeaderCrcGuardsHostileFields) {
+  auto bytes = to_v2_bytes(make_trace(5));
+  bytes[20] = static_cast<char>(0xFF);  // records_per_block low byte
+  std::stringstream ss(bytes);
+  auto strict = read_trace(ss, {.policy = RecoveryPolicy::kStrict});
+  ASSERT_FALSE(strict.is_ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kCorruptHeader);
+  // Recovery mode still reads everything: blocks self-describe and
+  // checksum clean.
+  std::stringstream ss2(bytes);
+  TraceReadReport report;
+  auto skip = read_trace(ss2, {.policy = RecoveryPolicy::kSkipAndCount}, &report);
+  ASSERT_TRUE(skip.is_ok());
+  EXPECT_EQ(skip->size(), 5u);
+  EXPECT_EQ(report.checksum_failures, 1u);
+}
+
+TEST(TraceCsv, AcceptsCrlfAndTrailingWhitespace) {
+  std::stringstream ss("key,size,op\r\n1,100,get\r\n2, 200 ,set \r\n");
+  const auto trace = read_trace_csv(ss);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0], (Request{1, 100, Op::kGet}));
+  EXPECT_EQ(trace[1], (Request{2, 200, Op::kSet}));
+}
+
+TEST(TraceCsv, RejectsNegativeAndOverflowingSizes) {
+  std::stringstream negative("key,size,op\n1,-5,get\n");
+  EXPECT_THROW(read_trace_csv(negative), std::runtime_error);
+  std::stringstream overflow("key,size,op\n1,4294967296,get\n");
+  EXPECT_THROW(read_trace_csv(overflow), std::runtime_error);
+}
+
+TEST(TraceCsv, RecoveryPoliciesApply) {
+  const std::string text =
+      "key,size,op\n1,10,get\nBADLINE\n2,20,set\n3,-1,get\n4,40,get\n";
+  std::stringstream skip_ss(text);
+  TraceReadReport report;
+  auto skipped =
+      read_trace_csv(skip_ss, {.policy = RecoveryPolicy::kSkipAndCount}, &report);
+  ASSERT_TRUE(skipped.is_ok());
+  EXPECT_EQ(skipped->size(), 3u);
+  EXPECT_EQ(report.records_skipped, 2u);
+
+  std::stringstream best_ss(text);
+  auto best = read_trace_csv(best_ss, {.policy = RecoveryPolicy::kBestEffort});
+  ASSERT_TRUE(best.is_ok());
+  EXPECT_EQ(best->size(), 1u);
+
+  std::stringstream strict_ss(text);
+  auto strict = read_trace_csv(strict_ss, {.policy = RecoveryPolicy::kStrict});
+  ASSERT_FALSE(strict.is_ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kBadRecord);
+}
+
+TEST(TraceFiles, SaveV2LoadsBackAndV1StillWritable) {
+  const auto trace = make_trace(50);
+  const std::string path = testing::TempDir() + "/krr_trace_reader_fmt.bin";
+  save_trace(path, trace);  // defaults to v2
+  EXPECT_EQ(load_trace(path), trace);
+  save_trace(path, trace, TraceFormat::kV1);
+  EXPECT_EQ(load_trace(path), trace);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadFactory, TryMakeWorkloadReportsTypedErrors) {
+  auto unknown = try_make_workload("frobnicate");
+  ASSERT_FALSE(unknown.is_ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  auto bad_param = try_make_workload("zipf:not-a-number");
+  ASSERT_FALSE(bad_param.is_ok());
+  EXPECT_EQ(bad_param.status().code(), StatusCode::kInvalidArgument);
+  auto ok = try_make_workload("zipf:0.9");
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_NE(*ok, nullptr);
+}
+
+}  // namespace
+}  // namespace krr

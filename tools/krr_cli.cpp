@@ -4,16 +4,29 @@
 //   krr_cli generate --workload=msr:src1 --n=1000000 --out=trace.bin
 //   krr_cli profile  --trace=trace.bin --k=5 [--rate=0.001] [--bytes]
 //                    [--strategy=backward|top_down|linear] [--no-correction]
-//                    [--out=mrc.csv]
+//                    [--max-stack-mb=64] [--out=mrc.csv]
 //   krr_cli simulate --trace=trace.bin --policy=klru --k=5 --sizes=20
 //   krr_cli compare  --trace=trace.bin --k=5 --sizes=20
 //
 // Every subcommand also accepts --workload=<spec> --n=<count> in place of
 // --trace, generating the trace on the fly (--seed, --footprint,
 // --uniform-size configure the generator).
+//
+// Trace ingestion is fault tolerant by default: damaged records and blocks
+// are skipped and counted (up to --max-bad-records, default 1024), and the
+// skip/corruption accounting is printed to stderr. --strict fails fast on
+// the first sign of corruption instead.
+//
+// Exit codes (stable contract):
+//   0  success
+//   1  runtime failure (I/O error, out of resources, internal error)
+//   2  usage error (unknown command/flag value, bad workload spec)
+//   3  corrupt input rejected (strict mode, or the --max-bad-records
+//      budget was exhausted in the default skip mode)
 
 #include <cmath>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
@@ -27,24 +40,90 @@ namespace {
 
 using namespace krr;
 
-[[noreturn]] void usage(const char* error = nullptr) {
-  if (error) std::fprintf(stderr, "error: %s\n\n", error);
-  std::fprintf(stderr,
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
                "usage: krr_cli <workloads|generate|profile|simulate|compare> "
                "[--options]\n"
                "  workloads                      list workload specs\n"
                "  generate  --workload= --n= --out=   write a trace file\n"
                "  profile   --trace=|--workload= --k= [--rate=] [--bytes]\n"
-               "            [--strategy=] [--no-correction] [--out=]\n"
+               "            [--strategy=] [--no-correction] [--max-stack-mb=]\n"
+               "            [--out=]\n"
                "  simulate  --trace=|--workload= --policy=klru|redis|lru\n"
                "            [--k=] [--sizes=]\n"
-               "  compare   --trace=|--workload= --k= [--sizes=]\n");
-  std::exit(error ? 2 : 0);
+               "  compare   --trace=|--workload= --k= [--sizes=]\n"
+               "ingestion:  [--strict] [--recovery=strict|skip|best-effort]\n"
+               "            [--max-bad-records=N] [--format=v1|v2]\n"
+               "exit codes: 0 ok, 1 runtime failure, 2 usage,\n"
+               "            3 corrupt input (strict mode or bad-record "
+               "budget exhausted)\n");
 }
 
-std::vector<Request> load_input(const Options& opts) {
+[[noreturn]] void usage(const std::string& error) { throw UsageError(error); }
+
+TraceReaderOptions reader_options(const Options& opts) {
+  TraceReaderOptions ro;
+  ro.policy = RecoveryPolicy::kSkipAndCount;
+  const std::string recovery = opts.get_string("recovery", "");
+  if (!recovery.empty()) {
+    if (recovery == "strict") {
+      ro.policy = RecoveryPolicy::kStrict;
+    } else if (recovery == "skip") {
+      ro.policy = RecoveryPolicy::kSkipAndCount;
+    } else if (recovery == "best-effort") {
+      ro.policy = RecoveryPolicy::kBestEffort;
+    } else {
+      usage("unknown --recovery (use strict, skip or best-effort)");
+    }
+  }
+  if (opts.has("strict")) ro.policy = RecoveryPolicy::kStrict;
+  const auto budget = opts.get_int("max-bad-records", 1024);
+  if (budget < 0) usage("--max-bad-records must be >= 0");
+  ro.max_bad_records = static_cast<std::uint64_t>(budget);
+  return ro;
+}
+
+void report_ingest(const TraceReadReport& report) {
+  if (report.records_skipped == 0 && report.checksum_failures == 0 &&
+      !report.truncated_tail) {
+    return;
+  }
+  std::fprintf(stderr,
+               "ingest: %llu records read, %llu skipped, %llu checksum "
+               "failures%s\n",
+               static_cast<unsigned long long>(report.records_read),
+               static_cast<unsigned long long>(report.records_skipped),
+               static_cast<unsigned long long>(report.checksum_failures),
+               report.truncated_tail ? ", truncated tail" : "");
+}
+
+std::vector<Request> load_input(const Options& opts, TraceReadReport* ingest) {
+  // Validate the recovery flags even when the input is generated rather than
+  // read from disk — a typo'd --recovery= must be a usage error either way.
+  const TraceReaderOptions ro = reader_options(opts);
   if (auto path = opts.get("trace"); path && !path->empty()) {
-    return load_trace(*path);
+    TraceReadReport report;
+    // generate --out=x.csv writes CSV, so --trace=x.csv reads it back; the
+    // recovery policy applies to malformed rows just like binary damage.
+    if (path->size() > 4 && path->substr(path->size() - 4) == ".csv") {
+      std::ifstream is(*path);
+      if (!is) throw StatusError(io_error("cannot open for read: " + *path));
+      auto csv = read_trace_csv(is, ro, &report);
+      report_ingest(report);
+      if (!csv.is_ok()) throw StatusError(csv.status());
+      if (ingest) *ingest = report;
+      return std::move(csv).value();
+    }
+    auto result = load_trace_file(*path, ro, &report);
+    report_ingest(report);
+    if (!result.is_ok()) throw StatusError(result.status());
+    if (ingest) *ingest = report;
+    return std::move(result).value();
   }
   const std::string spec = opts.get_string("workload", "");
   if (spec.empty()) usage("need --trace=<file> or --workload=<spec>");
@@ -52,16 +131,17 @@ std::vector<Request> load_input(const Options& opts) {
   wf.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   wf.footprint = static_cast<std::uint64_t>(opts.get_int("footprint", 0));
   wf.uniform_size = static_cast<std::uint32_t>(opts.get_int("uniform-size", 0));
-  auto gen = make_workload(spec, wf);
+  auto gen = try_make_workload(spec, wf);
+  if (!gen.is_ok()) usage(gen.status().message());
   const auto n = static_cast<std::size_t>(opts.get_int("n", 1000000));
-  return materialize(*gen, n);
+  return materialize(**gen, n);
 }
 
 UpdateStrategy parse_strategy(const std::string& name) {
   if (name == "backward") return UpdateStrategy::kBackward;
   if (name == "top_down") return UpdateStrategy::kTopDown;
   if (name == "linear") return UpdateStrategy::kLinear;
-  throw std::invalid_argument("unknown strategy: " + name);
+  usage("unknown strategy: " + name);
 }
 
 int cmd_workloads() {
@@ -74,13 +154,16 @@ int cmd_workloads() {
 int cmd_generate(const Options& opts) {
   const std::string out = opts.get_string("out", "");
   if (out.empty()) usage("generate needs --out=<file>");
-  const auto trace = load_input(opts);
+  const std::string format = opts.get_string("format", "v2");
+  if (format != "v1" && format != "v2") usage("unknown --format (use v1 or v2)");
+  const auto trace = load_input(opts, nullptr);
   if (out.size() > 4 && out.substr(out.size() - 4) == ".csv") {
     std::ofstream os(out);
-    if (!os) throw std::runtime_error("cannot open " + out);
+    if (!os) throw StatusError(io_error("cannot open " + out));
     write_trace_csv(os, trace);
   } else {
-    save_trace(out, trace);
+    save_trace(out, trace,
+               format == "v1" ? TraceFormat::kV1 : TraceFormat::kV2);
   }
   std::fprintf(stderr, "wrote %zu requests (%zu distinct keys) to %s\n",
                trace.size(), count_distinct(trace), out.c_str());
@@ -88,7 +171,8 @@ int cmd_generate(const Options& opts) {
 }
 
 int cmd_profile(const Options& opts) {
-  const auto trace = load_input(opts);
+  TraceReadReport ingest;
+  const auto trace = load_input(opts, &ingest);
   KrrProfilerConfig cfg;
   cfg.k_sample = opts.get_double("k", 5.0);
   cfg.sampling_rate = opts.get_double("rate", 1.0);
@@ -96,6 +180,9 @@ int cmd_profile(const Options& opts) {
   cfg.apply_correction = !opts.has("no-correction");
   cfg.strategy = parse_strategy(opts.get_string("strategy", "backward"));
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  const auto max_stack_mb = opts.get_int("max-stack-mb", 0);
+  if (max_stack_mb < 0) usage("--max-stack-mb must be >= 0");
+  cfg.max_stack_bytes = static_cast<std::uint64_t>(max_stack_mb) << 20;
   Stopwatch watch;
   KrrProfiler profiler(cfg);
   for (const Request& r : trace) profiler.access(r);
@@ -106,18 +193,27 @@ int cmd_profile(const Options& opts) {
     mrc.write_csv(std::cout);
   } else {
     std::ofstream os(out);
-    if (!os) throw std::runtime_error("cannot open " + out);
+    if (!os) throw StatusError(io_error("cannot open " + out));
     mrc.write_csv(os);
   }
+  const RunReport report = profiler.run_report(&ingest);
   std::fprintf(stderr,
                "profiled %zu requests (%zu sampled) in %.3f s; stack depth %zu\n",
                trace.size(), static_cast<std::size_t>(profiler.sampled()), secs,
                static_cast<std::size_t>(profiler.stack_depth()));
+  if (report.degradation_events > 0) {
+    std::fprintf(stderr,
+                 "degraded sampling rate %llu time(s) to stay under "
+                 "--max-stack-mb=%lld; final rate %g\n",
+                 static_cast<unsigned long long>(report.degradation_events),
+                 static_cast<long long>(max_stack_mb),
+                 report.final_sampling_rate);
+  }
   return 0;
 }
 
 int cmd_simulate(const Options& opts) {
-  const auto trace = load_input(opts);
+  const auto trace = load_input(opts, nullptr);
   const std::string policy = opts.get_string("policy", "klru");
   const auto n_sizes = static_cast<std::size_t>(opts.get_int("sizes", 20));
   const auto k = static_cast<std::uint32_t>(opts.get_int("k", 5));
@@ -141,7 +237,7 @@ int cmd_simulate(const Options& opts) {
 }
 
 int cmd_compare(const Options& opts) {
-  const auto trace = load_input(opts);
+  const auto trace = load_input(opts, nullptr);
   const auto k = static_cast<std::uint32_t>(opts.get_int("k", 5));
   const auto n_sizes = static_cast<std::size_t>(opts.get_int("sizes", 20));
   const auto sizes = capacity_grid_objects(trace, n_sizes);
@@ -162,22 +258,66 @@ int cmd_compare(const Options& opts) {
   return 0;
 }
 
+/// Maps a typed ingestion failure onto the exit-code contract: everything
+/// that means "the input itself is damaged" (including an exhausted
+/// bad-record budget) exits 3; environmental failures exit 1.
+int exit_code_for(const StatusError& e) {
+  switch (e.code()) {
+    case StatusCode::kCorruptHeader:
+    case StatusCode::kUnsupportedVersion:
+    case StatusCode::kTruncated:
+    case StatusCode::kBadRecord:
+    case StatusCode::kChecksumMismatch:
+    case StatusCode::kResourceLimit:
+      return 3;
+    case StatusCode::kInvalidArgument:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage(stderr);
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help") {
+    print_usage(stdout);
+    return 0;
+  }
+  const Options opts(argc - 1, argv + 1);
+  if (command == "workloads") return cmd_workloads();
+  if (command == "generate") return cmd_generate(opts);
+  if (command == "profile") return cmd_profile(opts);
+  if (command == "simulate") return cmd_simulate(opts);
+  if (command == "compare") return cmd_compare(opts);
+  usage("unknown command: " + command);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) usage();
-  const std::string command = argv[1];
-  const Options opts(argc - 1, argv + 1);
+  // No exception may escape: every failure maps onto the exit contract.
   try {
-    if (command == "workloads") return cmd_workloads();
-    if (command == "generate") return cmd_generate(opts);
-    if (command == "profile") return cmd_profile(opts);
-    if (command == "simulate") return cmd_simulate(opts);
-    if (command == "compare") return cmd_compare(opts);
-    if (command == "help" || command == "--help") usage();
-    usage(("unknown command: " + command).c_str());
+    return run(argc, argv);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n\n", e.what());
+    print_usage(stderr);
+    return 2;
+  } catch (const StatusError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code_for(e);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n\n", e.what());
+    print_usage(stderr);
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "error: unknown failure\n");
     return 1;
   }
 }

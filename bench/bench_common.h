@@ -71,6 +71,28 @@ inline MissRatioCurve run_krr(const std::vector<Request>& trace, double k_sample
   return profiler.mrc();
 }
 
+/// Median wall-clock seconds of `fn()` over `repeats` runs (ScopedTimer
+/// based). The median resists scheduler noise better than min or mean —
+/// use it whenever a bench compares two configurations against a
+/// percent-level threshold (e.g. the bench_smoke 5% obs-overhead gate).
+template <typename Fn>
+double median_seconds(int repeats, Fn&& fn) {
+  std::vector<double> runs;
+  runs.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    double seconds = 0.0;
+    {
+      ScopedTimer timer(seconds);
+      fn();
+    }
+    runs.push_back(seconds);
+  }
+  std::sort(runs.begin(), runs.end());
+  const std::size_t mid = runs.size() / 2;
+  if (runs.size() % 2 == 1) return runs[mid];
+  return 0.5 * (runs[mid - 1] + runs[mid]);
+}
+
 /// Spatial sampling rate with the paper's 8K-sampled-objects floor applied
 /// to this trace.
 inline double paper_rate(const std::vector<Request>& trace, double base = 0.001,

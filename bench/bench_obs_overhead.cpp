@@ -1,0 +1,119 @@
+// bench_obs_overhead — the obs layer's own overhead budget, measured.
+//
+// Runs the end-to-end KrrProfiler over a synthetic Zipf trace three ways:
+//   detached   instrumentation compiled in but no metrics attached
+//              (the default library user's configuration)
+//   attached   full PipelineMetrics wired in (what --metrics-out pays)
+//   heartbeat  attached + a Heartbeat ticked per record (what --progress
+//              pays on top)
+// and reports throughput plus the relative slowdown. With --check it exits
+// non-zero when the attached overhead exceeds --max-overhead percent
+// (default 5) — the `make bench_smoke` gate.
+//
+// When the library is compiled with -DKRR_METRICS=OFF every configuration
+// collapses to the uninstrumented access path (attach_metrics is a no-op),
+// so the reported overhead is ~0% — that is the compiled-out verification,
+// not a measurement artifact; the binary prints which mode it is in.
+//
+//   bench_obs_overhead [--n=2000000] [--footprint=100000] [--alpha=0.9]
+//                      [--k=5] [--rate=1.0] [--repeats=5]
+//                      [--check] [--max-overhead=5]
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace krr;
+using namespace krrbench;
+
+double run_profile(const std::vector<Request>& trace, double k, double rate,
+                   obs::PipelineMetrics* metrics, obs::Heartbeat* heartbeat) {
+  KrrProfilerConfig cfg;
+  cfg.k_sample = k;
+  cfg.sampling_rate = rate;
+  cfg.seed = 7;
+  KrrProfiler profiler(cfg);
+  if (metrics != nullptr) profiler.attach_metrics(metrics);
+  if (heartbeat != nullptr) {
+    for (const Request& r : trace) {
+      profiler.access(r);
+      heartbeat->tick([&] {
+        obs::HeartbeatSnapshot s;
+        s.records = profiler.processed();
+        return s;
+      });
+    }
+  } else {
+    for (const Request& r : trace) profiler.access(r);
+  }
+  // Keep the run observable so the loop cannot be optimized away.
+  return profiler.mrc().eval(1.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const auto n = static_cast<std::size_t>(
+      scaled(static_cast<std::uint64_t>(opts.get_int("n", 2000000))));
+  const auto footprint =
+      static_cast<std::uint64_t>(opts.get_int("footprint", 100000));
+  const double alpha = opts.get_double("alpha", 0.9);
+  const double k = opts.get_double("k", 5.0);
+  const double rate = opts.get_double("rate", 1.0);
+  const int repeats = static_cast<int>(opts.get_int("repeats", 5));
+  const bool check = opts.has("check");
+  const double max_overhead_pct = opts.get_double("max-overhead", 5.0);
+
+  ZipfianGenerator gen(footprint, alpha, /*seed=*/21, /*scrambled=*/true);
+  const std::vector<Request> trace = materialize(gen, n);
+
+  obs::MetricsRegistry registry;
+  obs::PipelineMetrics metrics(registry);
+  // A muted heartbeat (stringstream sink, long interval): measures the
+  // per-record tick cost, not terminal IO.
+  std::ostringstream sink;
+
+  // One warmup per configuration, then the median of `repeats` runs.
+  run_profile(trace, k, rate, nullptr, nullptr);
+  const double detached = median_seconds(
+      repeats, [&] { run_profile(trace, k, rate, nullptr, nullptr); });
+  run_profile(trace, k, rate, &metrics, nullptr);
+  const double attached = median_seconds(
+      repeats, [&] { run_profile(trace, k, rate, &metrics, nullptr); });
+  const double with_heartbeat = median_seconds(repeats, [&] {
+    obs::Heartbeat hb(3600.0, sink);
+    run_profile(trace, k, rate, &metrics, &hb);
+  });
+
+  const double nrec = static_cast<double>(n);
+  const double attach_pct = (attached / detached - 1.0) * 100.0;
+  const double hb_pct = (with_heartbeat / detached - 1.0) * 100.0;
+
+  std::printf("obs overhead on zipf:%g (n=%zu, footprint=%llu, K=%g, R=%g)\n",
+              alpha, n, static_cast<unsigned long long>(footprint), k, rate);
+  std::printf("hot-path instrumentation compiled %s\n",
+              obs::kHotPathInstrumentation ? "IN" : "OUT");
+  Table table({"config", "median_s", "Mrec_per_s", "overhead_pct"});
+  table.add("detached", detached, nrec / detached / 1e6, 0.0);
+  table.add("attached", attached, nrec / attached / 1e6, attach_pct);
+  table.add("attached+heartbeat", with_heartbeat, nrec / with_heartbeat / 1e6,
+            hb_pct);
+  table.print(std::cout);
+
+  if (check) {
+    if (attach_pct > max_overhead_pct) {
+      std::fprintf(stderr,
+                   "FAIL: metrics-attached overhead %.2f%% exceeds budget "
+                   "%.2f%%\n",
+                   attach_pct, max_overhead_pct);
+      return 1;
+    }
+    std::printf("OK: attached overhead %.2f%% within %.2f%% budget\n",
+                attach_pct, max_overhead_pct);
+  }
+  return 0;
+}

@@ -13,6 +13,10 @@
 
 namespace krr {
 
+namespace obs {
+struct StackMetrics;
+}
+
 /// Configuration for the KRR probabilistic stack (§4).
 struct KrrStackConfig {
   /// KRR exponent. To model a K-LRU cache with sampling size K, pass
@@ -80,6 +84,17 @@ class KrrStack {
   /// (instrumentation for the Fig. 5.4 overhead experiment).
   std::uint64_t swaps_performed() const noexcept { return swaps_performed_; }
 
+  /// Attaches hot-path instrumentation: per-access swap counts, chain-
+  /// length distribution, and a sampled update-latency histogram (every
+  /// kTimingStride-th access is timed so the clock reads amortize to
+  /// ~nothing). The pointed-to metrics must outlive the stack; pass
+  /// nullptr to detach. No-op when KRR_METRICS is compiled out.
+  void attach_metrics(obs::StackMetrics* metrics) noexcept;
+
+  /// Every kTimingStride-th instrumented access reads the clock twice to
+  /// feed stack.update_ns; the rest record only integer counters.
+  static constexpr std::uint64_t kTimingStride = 64;
+
   const KrrStackConfig& config() const noexcept { return config_; }
 
   /// Key at stack position (1-based); test/diagnostic helper.
@@ -89,6 +104,11 @@ class KrrStack {
   const std::vector<std::uint64_t>& stack() const noexcept { return stack_; }
 
  private:
+  AccessResult access_impl(std::uint64_t key, std::uint32_t size);
+#ifdef KRR_METRICS_ENABLED
+  AccessResult access_instrumented(std::uint64_t key, std::uint32_t size);
+#endif
+
   KrrStackConfig config_;
   SwapSampler sampler_;
   Xoshiro256ss rng_;
@@ -100,6 +120,10 @@ class KrrStack {
   std::unique_ptr<ExactByteTracker> exact_bytes_;
   std::optional<std::uint64_t> last_exact_byte_distance_;
   std::uint64_t swaps_performed_ = 0;
+#ifdef KRR_METRICS_ENABLED
+  obs::StackMetrics* metrics_ = nullptr;
+  std::uint64_t metrics_seq_ = 0;
+#endif
 };
 
 }  // namespace krr

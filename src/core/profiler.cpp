@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace krr {
 
 namespace {
@@ -23,12 +25,46 @@ KrrProfiler::KrrProfiler(const KrrProfilerConfig& config)
     : config_(config),
       filter_(config.sampling_rate),
       stack_(make_stack_config(config)),
-      histogram_(config.histogram_quantum) {}
+      histogram_(config.histogram_quantum),
+      configured_rate_(filter_.rate()) {}
+
+void KrrProfiler::attach_metrics(obs::PipelineMetrics* metrics) noexcept {
+#ifdef KRR_METRICS_ENABLED
+  metrics_ = metrics;
+  stack_.attach_metrics(metrics != nullptr ? &metrics->stack : nullptr);
+#else
+  (void)metrics;
+#endif
+}
+
+void KrrProfiler::refresh_metrics_gauges() const noexcept {
+#ifdef KRR_METRICS_ENABLED
+  if (metrics_ == nullptr) return;
+  metrics_->stack_depth->set(static_cast<double>(stack_.depth()));
+  metrics_->resident_bytes->set(static_cast<double>(space_overhead_bytes()));
+  metrics_->sampling_rate->set(filter_.rate());
+  metrics_->histogram_bins->set(static_cast<double>(histogram_.bin_count()));
+#endif
+}
 
 void KrrProfiler::access(const Request& req) {
   ++processed_;
-  if (!filter_.sampled(req.key)) return;
+  if (!filter_.sampled(req.key)) {
+#ifdef KRR_METRICS_ENABLED
+    if (metrics_ != nullptr) {
+      metrics_->accesses->inc();
+      metrics_->filter_dropped->inc();
+    }
+#endif
+    return;
+  }
   ++sampled_;
+#ifdef KRR_METRICS_ENABLED
+  if (metrics_ != nullptr) {
+    metrics_->accesses->inc();
+    metrics_->filter_passed->inc();
+  }
+#endif
   const auto result = stack_.access(req.key, config_.byte_granularity ? req.size : 1);
   if (result.cold) {
     histogram_.record_infinite();
@@ -54,6 +90,12 @@ void KrrProfiler::maybe_degrade() {
     filter_.halve();
     stack_.retain([this](std::uint64_t key) { return filter_.sampled(key); });
     ++degradation_events_;
+#ifdef KRR_METRICS_ENABLED
+    if (metrics_ != nullptr) {
+      metrics_->degradations->inc();
+      metrics_->filter_halvings->inc();
+    }
+#endif
   }
 }
 
@@ -97,10 +139,25 @@ RunReport KrrProfiler::run_report(const TraceReadReport* ingest) const {
     report.records_read = processed_;
   }
   report.degradation_events = degradation_events_;
+  report.configured_sampling_rate = configured_rate_;
   report.final_sampling_rate = current_sampling_rate();
   report.stack_depth = stack_.depth();
   report.space_overhead_bytes = space_overhead_bytes();
   return report;
+}
+
+obs::Json to_json(const RunReport& report) {
+  obs::Json j = obs::Json::object();
+  j.set("records_read", obs::Json(report.records_read));
+  j.set("records_skipped", obs::Json(report.records_skipped));
+  j.set("checksum_failures", obs::Json(report.checksum_failures));
+  j.set("truncated_tail", obs::Json(report.truncated_tail));
+  j.set("degradation_events", obs::Json(report.degradation_events));
+  j.set("configured_sampling_rate", obs::Json(report.configured_sampling_rate));
+  j.set("final_sampling_rate", obs::Json(report.final_sampling_rate));
+  j.set("stack_depth", obs::Json(report.stack_depth));
+  j.set("space_overhead_bytes", obs::Json(report.space_overhead_bytes));
+  return j;
 }
 
 }  // namespace krr

@@ -6,12 +6,17 @@
 
 #include "core/krr_stack.h"
 #include "core/spatial_filter.h"
+#include "obs/json.h"
 #include "trace/request.h"
 #include "trace/trace_reader.h"
 #include "util/histogram.h"
 #include "util/mrc.h"
 
 namespace krr {
+
+namespace obs {
+struct PipelineMetrics;
+}
 
 /// End-to-end configuration for one-pass K-LRU MRC construction.
 struct KrrProfilerConfig {
@@ -57,10 +62,20 @@ struct RunReport {
   std::uint64_t checksum_failures = 0;
   bool truncated_tail = false;
   std::uint64_t degradation_events = 0;
+  /// The rate the run was configured with (realized against the filter
+  /// modulus). Defaults describe the no-sampling case; run_report() always
+  /// overwrites both rates, so a zero-access run reports the configured
+  /// rate, not the struct default.
+  double configured_sampling_rate = 1.0;
   double final_sampling_rate = 1.0;
   std::uint64_t stack_depth = 0;
   std::uint64_t space_overhead_bytes = 0;
 };
+
+/// The RunReport as a JSON object — the "run_report" section of the
+/// metrics snapshot, so the CLI's --metrics-out and library callers
+/// serialize identical numbers.
+obs::Json to_json(const RunReport& report);
 
 /// One-pass K-LRU miss-ratio-curve profiler: spatial filter -> KRR stack ->
 /// rescaled stack-distance histogram -> MRC. This is the library's primary
@@ -110,6 +125,19 @@ class KrrProfiler {
 
   const KrrProfilerConfig& config() const noexcept { return config_; }
 
+  /// Attaches hot-path instrumentation (and the stack's, see
+  /// KrrStack::attach_metrics): per-access counters for filter pass/drop,
+  /// degradations, and the stack update histograms. The metrics must
+  /// outlive the profiler; nullptr detaches. No-op (and truly zero-cost on
+  /// the access path) when the KRR_METRICS option is compiled out.
+  void attach_metrics(obs::PipelineMetrics* metrics) noexcept;
+
+  /// Pushes the instantaneous state into the attached metrics' gauges
+  /// (stack.depth, stack.resident_bytes, filter.rate, histogram.bins).
+  /// Called by heartbeat/export code, not the access path. No-op when
+  /// detached or compiled out.
+  void refresh_metrics_gauges() const noexcept;
+
  private:
   void maybe_degrade();
 
@@ -120,12 +148,18 @@ class KrrProfiler {
   std::uint64_t processed_ = 0;
   std::uint64_t sampled_ = 0;
   std::uint64_t degradation_events_ = 0;
+  /// The realized configured rate (filter rate before any degradation),
+  /// so run_report() reports it even on a zero-access run.
+  double configured_rate_ = 1.0;
   /// SHARDS-adj expectation bookkeeping under a dynamically degraded rate:
   /// expected sampled references accumulated over completed rate epochs,
   /// plus the count processed in the current epoch at the current rate.
   /// Equals processed * R exactly when the rate never changes.
   double expected_sampled_base_ = 0.0;
   std::uint64_t processed_at_rate_change_ = 0;
+#ifdef KRR_METRICS_ENABLED
+  obs::PipelineMetrics* metrics_ = nullptr;
+#endif
   double expected_sampled() const noexcept {
     return expected_sampled_base_ +
            static_cast<double>(processed_ - processed_at_rate_change_) *

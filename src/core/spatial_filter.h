@@ -30,8 +30,17 @@ class SpatialFilter {
   /// subset of the previous one — evicting keys that no longer pass keeps
   /// the sample statistically valid. The threshold never drops below 1.
   void halve() noexcept {
-    threshold_ = threshold_ > 1 ? threshold_ / 2 : 1;
+    if (threshold_ > 1) {
+      threshold_ /= 2;
+      ++halvings_;
+    }
   }
+
+  /// Rate-halving epochs: how many times halve() actually lowered the
+  /// threshold (a bottomed-out filter stops counting). Epoch boundaries
+  /// matter to readers of the obs layer because distances recorded in
+  /// different epochs were scaled by different factors.
+  std::uint64_t halvings() const noexcept { return halvings_; }
 
   /// The realized rate T/P (may differ slightly from the requested rate
   /// because T is integral).
@@ -48,6 +57,7 @@ class SpatialFilter {
  private:
   std::uint64_t modulus_;
   std::uint64_t threshold_;
+  std::uint64_t halvings_ = 0;
 };
 
 /// The paper keeps sampling error low by ensuring at least `min_objects`

@@ -33,6 +33,9 @@
 #include "core/spatial_filter.h"
 #include "core/swap_sampler.h"
 #include "core/windowed_profiler.h"
+#include "obs/heartbeat.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "sim/klru_cache.h"
 #include "sim/lru_cache.h"
 #include "sim/miniature.h"

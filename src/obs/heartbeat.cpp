@@ -1,0 +1,70 @@
+#include "obs/heartbeat.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace krr::obs {
+
+namespace {
+
+/// 12345678 -> "12.35M", 9301 -> "9.30k" — heartbeat lines stay narrow.
+std::string human_count(double v) {
+  char buf[32];
+  if (v >= 1e9) std::snprintf(buf, sizeof(buf), "%.2fG", v / 1e9);
+  else if (v >= 1e6) std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  else if (v >= 1e3) std::snprintf(buf, sizeof(buf), "%.2fk", v / 1e3);
+  else std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+std::string human_bytes(double v) {
+  char buf[32];
+  if (v >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fGiB", v / (1024.0 * 1024.0 * 1024.0));
+  } else if (v >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fMiB", v / (1024.0 * 1024.0));
+  } else if (v >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fKiB", v / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Heartbeat::Heartbeat(double interval_seconds, std::ostream& os)
+    : interval_seconds_(interval_seconds), os_(os) {}
+
+void Heartbeat::beat(const HeartbeatSnapshot& snapshot) {
+  emit(snapshot, /*final_beat=*/false);
+}
+
+void Heartbeat::finish(const HeartbeatSnapshot& snapshot) {
+  emit(snapshot, /*final_beat=*/true);
+}
+
+void Heartbeat::emit(const HeartbeatSnapshot& snapshot, bool final_beat) {
+  const double now = watch_.seconds();
+  // Interval throughput for periodic beats; whole-run throughput for the
+  // final summary line.
+  const double dt = final_beat ? now : now - last_beat_seconds_;
+  const double dn = final_beat
+                        ? static_cast<double>(snapshot.records)
+                        : static_cast<double>(snapshot.records - last_records_);
+  const double rate = dt > 0.0 ? dn / dt : 0.0;
+  char head[64];
+  std::snprintf(head, sizeof(head), "[krr%s] t=%.1fs", final_beat ? " done" : "",
+                now);
+  os_ << head << " records=" << snapshot.records << " ("
+      << human_count(rate) << "/s) sampled=" << snapshot.sampled
+      << " depth=" << snapshot.stack_depth << " mem="
+      << human_bytes(static_cast<double>(snapshot.resident_bytes))
+      << " rate=" << snapshot.sampling_rate
+      << " degraded=" << snapshot.degradation_events << std::endl;
+  last_beat_seconds_ = now;
+  last_records_ = snapshot.records;
+  ++beats_;
+}
+
+}  // namespace krr::obs

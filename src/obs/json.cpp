@@ -1,0 +1,413 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace krr::obs {
+
+double Json::as_double() const {
+  switch (type_) {
+    case Type::kUint: return static_cast<double>(uint_);
+    case Type::kInt: return static_cast<double>(int_);
+    case Type::kDouble: return double_;
+    default: throw std::logic_error("Json: not a number");
+  }
+}
+
+std::uint64_t Json::as_uint() const {
+  switch (type_) {
+    case Type::kUint: return uint_;
+    case Type::kInt:
+      if (int_ < 0) throw std::logic_error("Json: negative to as_uint");
+      return static_cast<std::uint64_t>(int_);
+    case Type::kDouble: return static_cast<std::uint64_t>(double_);
+    default: throw std::logic_error("Json: not a number");
+  }
+}
+
+std::int64_t Json::as_int() const {
+  switch (type_) {
+    case Type::kUint: return static_cast<std::int64_t>(uint_);
+    case Type::kInt: return int_;
+    case Type::kDouble: return static_cast<std::int64_t>(double_);
+    default: throw std::logic_error("Json: not a number");
+  }
+}
+
+void Json::push_back(Json value) {
+  if (type_ != Type::kArray) throw std::logic_error("Json: push_back on non-array");
+  array_.push_back(std::move(value));
+}
+
+std::size_t Json::size() const noexcept {
+  return type_ == Type::kArray ? array_.size() : object_.size();
+}
+
+const Json& Json::at(std::size_t i) const { return array_.at(i); }
+
+void Json::set(const std::string& key, Json value) {
+  if (type_ != Type::kObject) throw std::logic_error("Json: set on non-object");
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_double(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Make sure the token re-parses as a double, not an integer, so the
+  // numeric lane survives a round-trip.
+  std::string out(buf);
+  if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+  os << out;
+}
+
+void pad(std::ostream& os, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+}
+
+}  // namespace
+
+void Json::dump(std::ostream& os, int indent) const {
+  switch (type_) {
+    case Type::kNull: os << "null"; break;
+    case Type::kBool: os << (bool_ ? "true" : "false"); break;
+    case Type::kUint: os << uint_; break;
+    case Type::kInt: os << int_; break;
+    case Type::kDouble: write_double(os, double_); break;
+    case Type::kString: write_escaped(os, string_); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        pad(os, indent + 1);
+        array_[i].dump(os, indent + 1);
+        if (i + 1 < array_.size()) os << ',';
+        os << '\n';
+      }
+      pad(os, indent);
+      os << ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        pad(os, indent + 1);
+        write_escaped(os, object_[i].first);
+        os << ": ";
+        object_[i].second.dump(os, indent + 1);
+        if (i + 1 < object_.size()) os << ',';
+        os << '\n';
+      }
+      pad(os, indent);
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  dump(os, 0);
+  return os.str();
+}
+
+namespace {
+
+/// Recursive-descent parser over the in-memory text. Depth-limited so a
+/// hostile "[[[[..." cannot blow the stack.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  std::optional<Json> run() {
+    auto v = parse_value(0);
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      set_error("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void set_error(const std::string& what) {
+    if (error_ && error_->empty()) {
+      *error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) {
+      set_error("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              set_error("bad \\u escape");
+              return std::nullopt;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                set_error("bad \\u escape");
+                return std::nullopt;
+              }
+            }
+            // BMP-only UTF-8 encoding; the export never emits surrogates.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            set_error("bad escape");
+            return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    set_error("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      set_error("expected number");
+      return std::nullopt;
+    }
+    errno = 0;
+    char* end = nullptr;
+    if (is_double) {
+      const double d = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size()) {
+        set_error("malformed number");
+        return std::nullopt;
+      }
+      return Json(d);
+    }
+    if (token[0] == '-') {
+      const long long i = std::strtoll(token.c_str(), &end, 10);
+      if (errno == ERANGE || end != token.c_str() + token.size()) {
+        set_error("integer out of range");
+        return std::nullopt;
+      }
+      return Json(static_cast<std::int64_t>(i));
+    }
+    const unsigned long long u = std::strtoull(token.c_str(), &end, 10);
+    if (errno == ERANGE || end != token.c_str() + token.size()) {
+      set_error("integer out of range");
+      return std::nullopt;
+    }
+    return Json(static_cast<std::uint64_t>(u));
+  }
+
+  std::optional<Json> parse_value(int depth) {
+    if (depth > kMaxDepth) {
+      set_error("nesting too deep");
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      set_error("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == 'n') {
+      if (literal("null")) return Json();
+      set_error("bad literal");
+      return std::nullopt;
+    }
+    if (c == 't') {
+      if (literal("true")) return Json(true);
+      set_error("bad literal");
+      return std::nullopt;
+    }
+    if (c == 'f') {
+      if (literal("false")) return Json(false);
+      set_error("bad literal");
+      return std::nullopt;
+    }
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      return Json(std::move(*s));
+    }
+    if (c == '[') {
+      ++pos_;
+      Json arr = Json::array();
+      skip_ws();
+      if (consume(']')) return arr;
+      while (true) {
+        auto v = parse_value(depth + 1);
+        if (!v) return std::nullopt;
+        arr.push_back(std::move(*v));
+        if (consume(',')) continue;
+        if (consume(']')) return arr;
+        set_error("expected ',' or ']'");
+        return std::nullopt;
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      Json obj = Json::object();
+      skip_ws();
+      if (consume('}')) return obj;
+      while (true) {
+        skip_ws();
+        auto key = parse_string();
+        if (!key) return std::nullopt;
+        if (!consume(':')) {
+          set_error("expected ':'");
+          return std::nullopt;
+        }
+        auto v = parse_value(depth + 1);
+        if (!v) return std::nullopt;
+        obj.set(*key, std::move(*v));
+        if (consume(',')) continue;
+        if (consume('}')) return obj;
+        set_error("expected ',' or '}'");
+        return std::nullopt;
+      }
+    }
+    return parse_number();
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(const std::string& text, std::string* error) {
+  if (error) error->clear();
+  return Parser(text, error).run();
+}
+
+}  // namespace krr::obs

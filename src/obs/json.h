@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace krr::obs {
+
+/// Minimal JSON document model for the metrics export: enough to build the
+/// snapshot (`MetricsRegistry::to_json`), dump it deterministically, and
+/// parse it back in tests and tooling (`BENCH_*.json` round-trips). Not a
+/// general-purpose JSON library: numbers are kept in three lanes (uint64,
+/// int64, double) so 64-bit counters survive a round-trip bit-exactly
+/// instead of being squeezed through a double.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kUint, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(std::uint64_t u) : type_(Type::kUint), uint_(u) {}
+  Json(std::int64_t i) : type_(Type::kInt), int_(i) {}
+  Json(int i) : type_(Type::kInt), int_(i) {}
+  Json(double d) : type_(Type::kDouble), double_(d) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_number() const noexcept {
+    return type_ == Type::kUint || type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+
+  bool as_bool() const { return bool_; }
+  /// Any numeric lane widened to double (lossy above 2^53).
+  double as_double() const;
+  std::uint64_t as_uint() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const { return string_; }
+
+  /// Array access.
+  void push_back(Json value);
+  std::size_t size() const noexcept;
+  const Json& at(std::size_t i) const;
+
+  /// Object access. Insertion order is preserved (the export reads better
+  /// grouped than alphabetized). set() replaces an existing key in place.
+  void set(const std::string& key, Json value);
+  const Json* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const { return object_; }
+
+  /// Serializes with 2-space indentation (stable output: object member
+  /// order is insertion order). `indent` is the starting depth.
+  void dump(std::ostream& os, int indent = 0) const;
+  std::string dump() const;
+
+  /// Strict parser for the subset dump() emits (standard JSON minus
+  /// non-finite numbers). Returns nullopt and fills `error` (if given) on
+  /// malformed input; never throws on bad bytes.
+  static std::optional<Json> parse(const std::string& text, std::string* error = nullptr);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace krr::obs

@@ -6,12 +6,24 @@
 #include <istream>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "trace/trace_codec.h"
 #include "util/crc32.h"
 
 namespace krr {
 
 namespace c = codec;
+
+void fold_ingest_metrics(const TraceReadReport& report,
+                         obs::MetricsRegistry& registry) {
+  registry.counter("ingest.records_read").inc(report.records_read);
+  registry.counter("ingest.records_skipped").inc(report.records_skipped);
+  registry.counter("ingest.checksum_failures").inc(report.checksum_failures);
+  registry.counter("ingest.resyncs").inc(report.resyncs);
+  registry.counter("ingest.bytes_read").inc(report.bytes_read);
+  registry.counter("ingest.bytes_discarded").inc(report.bytes_discarded);
+  registry.counter("ingest.truncated_tail").inc(report.truncated_tail ? 1 : 0);
+}
 
 const char* recovery_policy_name(RecoveryPolicy policy) {
   switch (policy) {
@@ -62,6 +74,9 @@ std::size_t TraceReader::read_bytes(unsigned char* out, std::size_t n) {
   if (got < n) {
     is_.read(reinterpret_cast<char*>(out) + got,
              static_cast<std::streamsize>(n - got));
+    // Count only bytes pulled off the stream: pending_ bytes were already
+    // counted when first read, and resync pushback would double-bill them.
+    report_.bytes_read += static_cast<std::uint64_t>(is_.gcount());
     got += static_cast<std::size_t>(is_.gcount());
     is_.clear();
   }

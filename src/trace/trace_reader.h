@@ -49,11 +49,24 @@ struct TraceReadReport {
   std::uint64_t records_skipped = 0;   ///< records dropped by recovery
   std::uint64_t checksum_failures = 0; ///< v2 blocks whose CRC32 mismatched
   std::uint64_t resyncs = 0;           ///< scans forward to a v2 block magic
-  std::uint64_t bytes_discarded = 0;   ///< bytes consumed by those scans
+  std::uint64_t bytes_read = 0;        ///< stream bytes consumed (any purpose)
+  std::uint64_t bytes_discarded = 0;   ///< bytes consumed by resync scans
   std::uint64_t declared_records = 0;  ///< the header's record count claim
   std::uint32_t format_version = 0;    ///< 1 or 2 once the header parsed
   bool truncated_tail = false;         ///< stream ended before declared end
 };
+
+namespace obs {
+class MetricsRegistry;
+}
+
+/// Mirrors the ingestion accounting into `ingest.*` registry counters
+/// (records_read, records_skipped, checksum_failures, resyncs, bytes_read,
+/// bytes_discarded), so trace-reader telemetry lands in the same snapshot
+/// as the profiler's. Call once per finished read; the counters accumulate
+/// across multiple reads into the same registry.
+void fold_ingest_metrics(const TraceReadReport& report,
+                         obs::MetricsRegistry& registry);
 
 /// Streaming trace reader for the binary formats: v1 (unchecksummed 13-byte
 /// records) and v2 (CRC32-checksummed blocks, written by

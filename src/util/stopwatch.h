@@ -1,12 +1,21 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace krr {
 
-/// Monotonic wall-clock stopwatch for the timing benches (Tables 5.3/5.4).
+/// Monotonic wall-clock stopwatch for the timing benches (Tables 5.3/5.4)
+/// and the observability layer's phase timers.
 class Stopwatch {
  public:
+  using clock = std::chrono::steady_clock;
+
+  /// The obs layer assumes elapsed readings never go backwards; this is a
+  /// compile-time property of the clock, surfaced so callers can
+  /// static_assert on it (and so tests can document the assumption).
+  static constexpr bool is_steady = clock::is_steady;
+
   Stopwatch() : start_(clock::now()) {}
 
   void reset() { start_ = clock::now(); }
@@ -18,9 +27,43 @@ class Stopwatch {
 
   double millis() const { return seconds() * 1e3; }
 
+  /// Elapsed integral nanoseconds; the resolution the per-access update
+  /// timers record at (sub-microsecond costs round to 0 in micros).
+  std::uint64_t nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
  private:
-  using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+static_assert(Stopwatch::is_steady,
+              "steady_clock must be monotonic for phase timing");
+
+/// RAII phase timer: adds the scope's elapsed seconds into an accumulator
+/// on destruction, so one `double` can sum many entries into the same
+/// phase. Used by the obs layer's phase timings and the bench harnesses.
+///
+///   double load_seconds = 0.0;
+///   { ScopedTimer t(load_seconds); load_trace(...); }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& accumulator) : accumulator_(accumulator) {}
+  ~ScopedTimer() { accumulator_ += watch_.seconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed so far in this scope (the accumulator is only updated
+  /// at destruction).
+  double elapsed_seconds() const { return watch_.seconds(); }
+
+ private:
+  double& accumulator_;
+  Stopwatch watch_;
 };
 
 }  // namespace krr

@@ -1,0 +1,447 @@
+// Observability layer: registry semantics, log-histogram bucketing,
+// scoped-timer accumulation, JSON round-trips, heartbeat cadence, and the
+// key invariant that instrumentation never changes the model's output.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "core/profiler.h"
+#include "obs/heartbeat.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "trace/trace_reader.h"
+#include "trace/zipf.h"
+#include "util/stopwatch.h"
+
+namespace krr {
+namespace {
+
+using obs::Json;
+using obs::LogHistogram;
+
+TEST(Counter, IncrementsAndResets) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  obs::Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(LogHistogramTest, BucketIndexBoundaries) {
+  EXPECT_EQ(LogHistogram::bucket_index(0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_index(1), 1u);
+  EXPECT_EQ(LogHistogram::bucket_index(2), 2u);
+  EXPECT_EQ(LogHistogram::bucket_index(3), 2u);
+  EXPECT_EQ(LogHistogram::bucket_index(4), 3u);
+  EXPECT_EQ(LogHistogram::bucket_index(7), 3u);
+  EXPECT_EQ(LogHistogram::bucket_index(8), 4u);
+  EXPECT_EQ(LogHistogram::bucket_index(std::numeric_limits<std::uint64_t>::max()),
+            64u);
+  // Every value lands in the bucket whose [lo, hi] range contains it.
+  for (std::uint64_t v : {0ull, 1ull, 5ull, 1000ull, 123456789ull}) {
+    const std::size_t i = LogHistogram::bucket_index(v);
+    EXPECT_GE(v, LogHistogram::bucket_lo(i));
+    EXPECT_LE(v, LogHistogram::bucket_hi(i));
+  }
+}
+
+TEST(LogHistogramTest, CountSumMeanAndQuantiles) {
+  LogHistogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Quantiles are bucket-resolution approximations: monotone in q and
+  // within the recorded range.
+  double last = 0.0;
+  for (double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const double val = h.quantile(q);
+    EXPECT_GE(val, last);
+    EXPECT_LE(val, 128.0);  // hi bound of the bucket containing 100
+    last = val;
+  }
+  // The median of 1..100 must sit in the bucket [32, 63].
+  EXPECT_GE(h.quantile(0.5), 32.0);
+  EXPECT_LE(h.quantile(0.5), 63.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(MetricsRegistry, SameNameSameInstance) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("x.count");
+  obs::Counter& b = registry.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  // Namespaces are per metric kind: a gauge may share a counter's name.
+  obs::Gauge& g = registry.gauge("x.count");
+  g.set(1.5);
+  EXPECT_EQ(registry.counter("x.count").value(), 3u);
+  EXPECT_NE(static_cast<void*>(&g), static_cast<void*>(&a));
+}
+
+TEST(MetricsRegistry, StableAddressesAcrossRegistrations) {
+  obs::MetricsRegistry registry;
+  obs::Counter& first = registry.counter("first");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("c" + std::to_string(i));
+  }
+  EXPECT_EQ(&first, &registry.counter("first"));
+}
+
+TEST(MetricsRegistry, JsonRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.counter("profiler.accesses").inc(123456789012345ull);
+  registry.gauge("filter.rate").set(0.001);
+  LogHistogram& h = registry.histogram("stack.update_ns");
+  h.record(0);
+  h.record(100);
+  h.record(100000);
+
+  std::ostringstream os;
+  registry.write_json(os);
+  std::string error;
+  auto parsed = Json::parse(os.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  const Json* counters = parsed->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("profiler.accesses"), nullptr);
+  EXPECT_EQ(counters->find("profiler.accesses")->as_uint(), 123456789012345ull);
+  const Json* gauges = parsed->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("filter.rate")->as_double(), 0.001);
+  const Json* histograms = parsed->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const Json* hist = histograms->find("stack.update_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->as_uint(), 3u);
+  EXPECT_EQ(hist->find("sum")->as_uint(), 100100u);
+  // Bucket triples [lo, hi, count] must re-sum to the recorded count.
+  const Json* buckets = hist->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets->size(); ++i) {
+    total += buckets->at(i).at(2).as_uint();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(MetricsRegistry, TableOutputMentionsEveryMetric) {
+  obs::MetricsRegistry registry;
+  registry.counter("a.count").inc();
+  registry.gauge("b.value").set(2.0);
+  registry.histogram("c.dist").record(7);
+  std::ostringstream os;
+  registry.write_table(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("b.value"), std::string::npos);
+  EXPECT_NE(text.find("c.dist"), std::string::npos);
+}
+
+TEST(JsonTest, ScalarAndStructureRoundTrip) {
+  Json root = Json::object();
+  root.set("u64_max", Json(std::numeric_limits<std::uint64_t>::max()));
+  root.set("negative", Json(std::int64_t{-42}));
+  root.set("pi", Json(3.25));
+  root.set("flag", Json(true));
+  root.set("nothing", Json());
+  root.set("text", Json("quote \" backslash \\ newline \n tab \t"));
+  Json arr = Json::array();
+  arr.push_back(Json(std::uint64_t{1}));
+  arr.push_back(Json("two"));
+  root.set("arr", std::move(arr));
+
+  std::string error;
+  auto parsed = Json::parse(root.dump(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->find("u64_max")->as_uint(),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(parsed->find("negative")->as_int(), -42);
+  EXPECT_DOUBLE_EQ(parsed->find("pi")->as_double(), 3.25);
+  EXPECT_TRUE(parsed->find("flag")->as_bool());
+  EXPECT_TRUE(parsed->find("nothing")->is_null());
+  EXPECT_EQ(parsed->find("text")->as_string(),
+            "quote \" backslash \\ newline \n tab \t");
+  EXPECT_EQ(parsed->find("arr")->size(), 2u);
+  EXPECT_EQ(parsed->find("arr")->at(1).as_string(), "two");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "tru", "1.2.3", "{\"a\":1} extra",
+        "\"unterminated", "{\"a\":}", "[1 2]", "nul"}) {
+    std::string error;
+    EXPECT_FALSE(Json::parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonTest, DeepNestingIsBoundedNotFatal) {
+  std::string bomb(10000, '[');
+  EXPECT_FALSE(Json::parse(bomb).has_value());
+}
+
+TEST(StopwatchTest, IsSteadyAndMonotonicNanos) {
+  static_assert(Stopwatch::is_steady, "obs timing requires a steady clock");
+  Stopwatch w;
+  const std::uint64_t a = w.nanos();
+  // Burn a little time so the reading must advance on any realistic clock.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const std::uint64_t b = w.nanos();
+  EXPECT_GE(b, a);
+  EXPECT_GT(b, 0u);
+}
+
+TEST(ScopedTimerTest, AccumulatesAcrossScopes) {
+  double total = 0.0;
+  {
+    ScopedTimer t(total);
+    volatile double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+  }
+  const double first = total;
+  EXPECT_GT(first, 0.0);
+  {
+    ScopedTimer t(total);
+    EXPECT_GE(t.elapsed_seconds(), 0.0);
+  }
+  EXPECT_GE(total, first);
+}
+
+TEST(HeartbeatTest, BeatsOnStrideWithZeroInterval) {
+  std::ostringstream os;
+  obs::Heartbeat hb(0.0, os);
+  obs::HeartbeatSnapshot snap;
+  int snapshots_built = 0;
+  for (std::uint64_t i = 0; i < obs::Heartbeat::kStride * 3; ++i) {
+    hb.tick([&] {
+      ++snapshots_built;
+      snap.records = i + 1;
+      return snap;
+    });
+  }
+  EXPECT_EQ(hb.beats(), 3u);
+  EXPECT_EQ(snapshots_built, 3);
+  EXPECT_NE(os.str().find("records="), std::string::npos);
+}
+
+TEST(HeartbeatTest, LongIntervalSkipsSnapshotWork) {
+  std::ostringstream os;
+  obs::Heartbeat hb(3600.0, os);
+  int snapshots_built = 0;
+  for (std::uint64_t i = 0; i < obs::Heartbeat::kStride * 3; ++i) {
+    hb.tick([&] {
+      ++snapshots_built;
+      return obs::HeartbeatSnapshot{};
+    });
+  }
+  EXPECT_EQ(hb.beats(), 0u);
+  EXPECT_EQ(snapshots_built, 0);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(HeartbeatTest, FinishAlwaysEmitsSummary) {
+  std::ostringstream os;
+  obs::Heartbeat hb(3600.0, os);
+  obs::HeartbeatSnapshot snap;
+  snap.records = 7;
+  hb.finish(snap);
+  EXPECT_EQ(hb.beats(), 1u);
+  EXPECT_NE(os.str().find("done"), std::string::npos);
+  EXPECT_NE(os.str().find("records=7"), std::string::npos);
+}
+
+TEST(PipelineMetricsTest, RegistersTheDocumentedNames) {
+  obs::MetricsRegistry registry;
+  obs::PipelineMetrics metrics(registry);
+  const Json snapshot = registry.to_json();
+  const Json* counters = snapshot.find("counters");
+  ASSERT_NE(counters, nullptr);
+  for (const char* name :
+       {"profiler.accesses", "filter.passed", "filter.dropped",
+        "filter.halvings", "profiler.degradations", "stack.cold_misses",
+        "stack.swaps"}) {
+    EXPECT_NE(counters->find(name), nullptr) << name;
+  }
+  const Json* histograms = snapshot.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  EXPECT_NE(histograms->find("stack.chain_len"), nullptr);
+  EXPECT_NE(histograms->find("stack.update_ns"), nullptr);
+  ASSERT_NE(metrics.stack.swaps, nullptr);
+}
+
+std::vector<Request> zipf_trace(std::size_t n, std::uint64_t footprint,
+                                std::uint64_t seed) {
+  ZipfianGenerator gen(footprint, 0.9, seed, /*scrambled=*/true);
+  return materialize(gen, n);
+}
+
+TEST(ProfilerMetricsTest, CountersMatchProfilerAccounting) {
+  if (!obs::kHotPathInstrumentation) GTEST_SKIP() << "KRR_METRICS is OFF";
+  const auto trace = zipf_trace(50000, 5000, 3);
+  obs::MetricsRegistry registry;
+  obs::PipelineMetrics metrics(registry);
+  KrrProfilerConfig cfg;
+  cfg.k_sample = 5;
+  cfg.sampling_rate = 0.25;
+  KrrProfiler profiler(cfg);
+  profiler.attach_metrics(&metrics);
+  for (const Request& r : trace) profiler.access(r);
+  profiler.refresh_metrics_gauges();
+
+  EXPECT_EQ(metrics.accesses->value(), profiler.processed());
+  EXPECT_EQ(metrics.filter_passed->value(), profiler.sampled());
+  EXPECT_EQ(metrics.filter_passed->value() + metrics.filter_dropped->value(),
+            profiler.processed());
+  EXPECT_EQ(metrics.stack.cold_misses->value(), profiler.stack_depth());
+  EXPECT_EQ(metrics.stack.chain_len->count(), profiler.sampled());
+  // Every kTimingStride-th stack access is timed.
+  EXPECT_EQ(metrics.stack.update_ns->count(),
+            (profiler.sampled() + KrrStack::kTimingStride - 1) /
+                KrrStack::kTimingStride);
+  EXPECT_DOUBLE_EQ(registry.gauge("stack.depth").value(),
+                   static_cast<double>(profiler.stack_depth()));
+  EXPECT_DOUBLE_EQ(registry.gauge("filter.rate").value(),
+                   profiler.current_sampling_rate());
+}
+
+TEST(ProfilerMetricsTest, SwapCounterMatchesFigure54Instrumentation) {
+  if (!obs::kHotPathInstrumentation) GTEST_SKIP() << "KRR_METRICS is OFF";
+  const auto trace = zipf_trace(20000, 2000, 5);
+  obs::MetricsRegistry registry;
+  obs::PipelineMetrics metrics(registry);
+  KrrStackConfig cfg;
+  cfg.k = corrected_k(5);
+  KrrStack stack(cfg);
+  stack.attach_metrics(&metrics.stack);
+  for (const Request& r : trace) stack.access(r.key);
+  EXPECT_EQ(metrics.stack.swaps->value(), stack.swaps_performed());
+}
+
+TEST(ProfilerMetricsTest, DegradationEventsAreCounted) {
+  if (!obs::kHotPathInstrumentation) GTEST_SKIP() << "KRR_METRICS is OFF";
+  const auto trace = zipf_trace(80000, 60000, 7);
+  obs::MetricsRegistry registry;
+  obs::PipelineMetrics metrics(registry);
+  KrrProfilerConfig cfg;
+  cfg.k_sample = 5;
+  cfg.max_stack_bytes = 64 * 1024;
+  KrrProfiler profiler(cfg);
+  profiler.attach_metrics(&metrics);
+  for (const Request& r : trace) profiler.access(r);
+  ASSERT_GT(profiler.degradation_events(), 0u) << "trace too small to degrade";
+  EXPECT_EQ(metrics.degradations->value(), profiler.degradation_events());
+  EXPECT_EQ(metrics.filter_halvings->value(), profiler.degradation_events());
+}
+
+// The observability invariant: attaching metrics must not perturb the
+// model. Same trace, same seed, metrics on vs off — bit-identical MRC.
+TEST(ProfilerMetricsTest, MetricsOnAndOffProduceIdenticalMrc) {
+  const auto trace = zipf_trace(60000, 8000, 11);
+  KrrProfilerConfig cfg;
+  cfg.k_sample = 5;
+  cfg.sampling_rate = 0.5;
+  cfg.seed = 42;
+
+  KrrProfiler plain(cfg);
+  for (const Request& r : trace) plain.access(r);
+
+  obs::MetricsRegistry registry;
+  obs::PipelineMetrics metrics(registry);
+  KrrProfiler instrumented(cfg);
+  instrumented.attach_metrics(&metrics);
+  for (const Request& r : trace) instrumented.access(r);
+
+  const MissRatioCurve a = plain.mrc();
+  const MissRatioCurve b = instrumented.mrc();
+  ASSERT_EQ(a.points().size(), b.points().size());
+  for (std::size_t i = 0; i < a.points().size(); ++i) {
+    EXPECT_EQ(a.points()[i].size, b.points()[i].size);
+    EXPECT_EQ(a.points()[i].miss_ratio, b.points()[i].miss_ratio);
+  }
+  EXPECT_EQ(plain.stack_depth(), instrumented.stack_depth());
+  EXPECT_EQ(plain.sampled(), instrumented.sampled());
+}
+
+TEST(RunReportTest, ZeroAccessRunReportsConfiguredRate) {
+  KrrProfilerConfig cfg;
+  cfg.k_sample = 5;
+  cfg.sampling_rate = 0.25;  // realized exactly by the 2^24 modulus
+  KrrProfiler profiler(cfg);
+  const RunReport report = profiler.run_report();
+  EXPECT_DOUBLE_EQ(report.configured_sampling_rate, 0.25);
+  EXPECT_DOUBLE_EQ(report.final_sampling_rate, 0.25);
+  EXPECT_EQ(report.records_read, 0u);
+  EXPECT_EQ(report.stack_depth, 0u);
+}
+
+TEST(RunReportTest, JsonCarriesEveryField) {
+  RunReport report;
+  report.records_read = 10;
+  report.configured_sampling_rate = 0.5;
+  report.final_sampling_rate = 0.25;
+  const Json j = to_json(report);
+  for (const char* key :
+       {"records_read", "records_skipped", "checksum_failures",
+        "truncated_tail", "degradation_events", "configured_sampling_rate",
+        "final_sampling_rate", "stack_depth", "space_overhead_bytes"}) {
+    EXPECT_NE(j.find(key), nullptr) << key;
+  }
+  EXPECT_EQ(j.find("records_read")->as_uint(), 10u);
+  EXPECT_DOUBLE_EQ(j.find("final_sampling_rate")->as_double(), 0.25);
+}
+
+TEST(IngestMetricsTest, FoldMirrorsTheReadReport) {
+  const auto trace = zipf_trace(2000, 200, 13);
+  std::stringstream stream;
+  write_trace_binary_v2(stream, trace, 256);
+  const std::string bytes = stream.str();
+
+  TraceReadReport report;
+  auto result = read_trace(stream, {.policy = RecoveryPolicy::kStrict}, &report);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(report.records_read, trace.size());
+  EXPECT_EQ(report.bytes_read, bytes.size());
+
+  obs::MetricsRegistry registry;
+  fold_ingest_metrics(report, registry);
+  EXPECT_EQ(registry.counter("ingest.records_read").value(), trace.size());
+  EXPECT_EQ(registry.counter("ingest.bytes_read").value(), bytes.size());
+  EXPECT_EQ(registry.counter("ingest.records_skipped").value(), 0u);
+  EXPECT_EQ(registry.counter("ingest.checksum_failures").value(), 0u);
+}
+
+TEST(SpatialFilterMetricsTest, HalvingsCountOnlyRealHalvings) {
+  SpatialFilter f(1.0, 8);
+  EXPECT_EQ(f.halvings(), 0u);
+  f.halve();  // 8 -> 4
+  f.halve();  // 4 -> 2
+  f.halve();  // 2 -> 1
+  EXPECT_EQ(f.halvings(), 3u);
+  f.halve();  // bottomed out: no-op
+  EXPECT_EQ(f.halvings(), 3u);
+  EXPECT_EQ(f.threshold(), 1u);
+}
+
+}  // namespace
+}  // namespace krr

@@ -1,0 +1,172 @@
+// bench_snapshot — records the repo's perf baseline as a checked-in JSON
+// artifact (BENCH_pr<N>.json), so perf PRs have a number to beat and a
+// regression is a diff, not an anecdote.
+//
+// Everything runs in-process (no shelling out to bench binaries) and is
+// deliberately laptop-sized: a full run takes ~1 minute at the default
+// scale. KRR_BENCH_SCALE multiplies trace lengths as usual.
+//
+//   bench_snapshot [--out=BENCH_pr2.json] [--pr=2] [--repeats=3]
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "../bench/bench_common.h"
+
+namespace {
+
+using namespace krr;
+using namespace krrbench;
+
+double profile_seconds(const std::vector<Request>& trace, double k, double rate,
+                       UpdateStrategy strategy, obs::PipelineMetrics* metrics,
+                       int repeats) {
+  return median_seconds(repeats, [&] {
+    KrrProfilerConfig cfg;
+    cfg.k_sample = k;
+    cfg.sampling_rate = rate;
+    cfg.strategy = strategy;
+    cfg.seed = 7;
+    KrrProfiler profiler(cfg);
+    if (metrics != nullptr) profiler.attach_metrics(metrics);
+    for (const Request& r : trace) profiler.access(r);
+  });
+}
+
+std::string utc_timestamp() {
+  char buf[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const std::string out = opts.get_string("out", "BENCH_pr2.json");
+  const auto pr = opts.get_int("pr", 2);
+  const int repeats = static_cast<int>(opts.get_int("repeats", 3));
+
+  obs::Json root = obs::Json::object();
+  root.set("schema", obs::Json("krr-bench-snapshot"));
+  root.set("schema_version", obs::Json(std::uint64_t{1}));
+  root.set("pr", obs::Json(static_cast<std::int64_t>(pr)));
+  root.set("generated_utc", obs::Json(utc_timestamp()));
+  root.set("bench_scale", obs::Json(bench_scale()));
+  root.set("instrumentation_compiled_in",
+           obs::Json(obs::kHotPathInstrumentation));
+
+  // 1. End-to-end profile throughput across representative workloads.
+  struct Case {
+    const char* name;
+    std::vector<Request> trace;
+    double rate;
+  };
+  const auto n_zipf = static_cast<std::size_t>(scaled(1000000));
+  ZipfianGenerator zipf_hot(100000, 0.9, 21, /*scrambled=*/true);
+  ZipfianGenerator zipf_flat(1000000, 0.7, 22, /*scrambled=*/true);
+  std::vector<Case> cases;
+  cases.push_back({"zipf:0.9 footprint=100k", materialize(zipf_hot, n_zipf), 1.0});
+  cases.push_back(
+      {"zipf:0.7 footprint=1M R=0.01", materialize(zipf_flat, n_zipf), 0.01});
+  cases.push_back(
+      {"msr:web", make_msr("web", n_zipf, 200000, 1).trace, 1.0});
+
+  obs::Json throughput = obs::Json::array();
+  for (const Case& c : cases) {
+    const double secs = profile_seconds(c.trace, 5.0, c.rate,
+                                        UpdateStrategy::kBackward, nullptr,
+                                        repeats);
+    obs::Json row = obs::Json::object();
+    row.set("workload", obs::Json(c.name));
+    row.set("n", obs::Json(static_cast<std::uint64_t>(c.trace.size())));
+    row.set("k", obs::Json(5.0));
+    row.set("rate", obs::Json(c.rate));
+    row.set("seconds", obs::Json(secs));
+    row.set("mrec_per_s",
+            obs::Json(static_cast<double>(c.trace.size()) / secs / 1e6));
+    throughput.push_back(std::move(row));
+    std::printf("throughput %-28s %.3f s (%.3f Mrec/s)\n", c.name, secs,
+                static_cast<double>(c.trace.size()) / secs / 1e6);
+  }
+  root.set("profile_throughput", std::move(throughput));
+
+  // 2. Obs layer self-cost on the hot Zipf trace (the bench_smoke gate's
+  // quantity, recorded so the budget has a baseline).
+  {
+    obs::MetricsRegistry registry;
+    obs::PipelineMetrics metrics(registry);
+    const std::vector<Request>& trace = cases[0].trace;
+    const double detached = profile_seconds(trace, 5.0, 1.0,
+                                            UpdateStrategy::kBackward, nullptr,
+                                            repeats);
+    const double attached = profile_seconds(trace, 5.0, 1.0,
+                                            UpdateStrategy::kBackward, &metrics,
+                                            repeats);
+    obs::Json row = obs::Json::object();
+    row.set("trace", obs::Json(cases[0].name));
+    row.set("detached_seconds", obs::Json(detached));
+    row.set("attached_seconds", obs::Json(attached));
+    row.set("overhead_pct", obs::Json((attached / detached - 1.0) * 100.0));
+    root.set("obs_overhead", std::move(row));
+    std::printf("obs overhead: %.2f%%\n", (attached / detached - 1.0) * 100.0);
+  }
+
+  // 3. Update-strategy cost (Fig. 5.4's quantity, smaller trace so the
+  // linear strategy finishes).
+  {
+    const auto n_small = static_cast<std::size_t>(scaled(200000));
+    ZipfianGenerator gen(20000, 0.9, 23, /*scrambled=*/true);
+    const std::vector<Request> trace = materialize(gen, n_small);
+    obs::Json rows = obs::Json::array();
+    const struct {
+      const char* name;
+      UpdateStrategy strategy;
+    } strategies[] = {{"backward", UpdateStrategy::kBackward},
+                      {"top_down", UpdateStrategy::kTopDown},
+                      {"linear", UpdateStrategy::kLinear}};
+    for (const auto& s : strategies) {
+      const double secs =
+          profile_seconds(trace, 5.0, 1.0, s.strategy, nullptr, repeats);
+      obs::Json row = obs::Json::object();
+      row.set("strategy", obs::Json(s.name));
+      row.set("n", obs::Json(static_cast<std::uint64_t>(trace.size())));
+      row.set("ns_per_access",
+              obs::Json(secs * 1e9 / static_cast<double>(trace.size())));
+      rows.push_back(std::move(row));
+      std::printf("strategy %-9s %.0f ns/access\n", s.name,
+                  secs * 1e9 / static_cast<double>(trace.size()));
+    }
+    root.set("update_strategies", std::move(rows));
+  }
+
+  // 4. Space accounting (§5.6): bytes per tracked object at full rate.
+  {
+    KrrProfilerConfig cfg;
+    cfg.k_sample = 5.0;
+    KrrProfiler profiler(cfg);
+    for (const Request& r : cases[0].trace) profiler.access(r);
+    obs::Json row = obs::Json::object();
+    row.set("stack_depth", obs::Json(profiler.stack_depth()));
+    row.set("space_overhead_bytes", obs::Json(profiler.space_overhead_bytes()));
+    row.set("bytes_per_object",
+            obs::Json(static_cast<double>(profiler.space_overhead_bytes()) /
+                      static_cast<double>(profiler.stack_depth())));
+    root.set("space", std::move(row));
+  }
+
+  std::ofstream os(out);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  root.dump(os, 0);
+  os << '\n';
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

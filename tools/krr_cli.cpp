@@ -5,8 +5,17 @@
 //   krr_cli profile  --trace=trace.bin --k=5 [--rate=0.001] [--bytes]
 //                    [--strategy=backward|top_down|linear] [--no-correction]
 //                    [--max-stack-mb=64] [--out=mrc.csv]
+//                    [--metrics-out=FILE] [--format=json|table]
+//                    [--progress[=SECS]]
 //   krr_cli simulate --trace=trace.bin --policy=klru --k=5 --sizes=20
 //   krr_cli compare  --trace=trace.bin --k=5 --sizes=20
+//
+// Observability: --metrics-out writes the full telemetry snapshot
+// (counters, log-scale histograms, phase timings, run report) as JSON (or
+// a human table with --format=table); --metrics-out=- sends it to stdout
+// and suppresses the MRC CSV unless --out= redirects it, so stdout stays
+// machine-parseable. --progress prints a heartbeat line to stderr every
+// SECS seconds (default 2) plus a final summary.
 //
 // Every subcommand also accepts --workload=<spec> --n=<count> in place of
 // --trace, generating the trace on the fly (--seed, --footprint,
@@ -29,6 +38,7 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -53,7 +63,8 @@ void print_usage(std::FILE* to) {
                "  generate  --workload= --n= --out=   write a trace file\n"
                "  profile   --trace=|--workload= --k= [--rate=] [--bytes]\n"
                "            [--strategy=] [--no-correction] [--max-stack-mb=]\n"
-               "            [--out=]\n"
+               "            [--out=] [--metrics-out=] [--format=json|table]\n"
+               "            [--progress[=secs]]\n"
                "  simulate  --trace=|--workload= --policy=klru|redis|lru\n"
                "            [--k=] [--sizes=]\n"
                "  compare   --trace=|--workload= --k= [--sizes=]\n"
@@ -170,9 +181,55 @@ int cmd_generate(const Options& opts) {
   return 0;
 }
 
+/// The profiler's instantaneous state as one heartbeat snapshot.
+obs::HeartbeatSnapshot snapshot_of(const KrrProfiler& profiler) {
+  obs::HeartbeatSnapshot s;
+  s.records = profiler.processed();
+  s.sampled = profiler.sampled();
+  s.stack_depth = profiler.stack_depth();
+  s.resident_bytes = profiler.space_overhead_bytes();
+  s.sampling_rate = profiler.current_sampling_rate();
+  s.degradation_events = profiler.degradation_events();
+  return s;
+}
+
+/// Writes the telemetry snapshot. JSON is the machine format (registry
+/// sections + run_report, same numbers the library reports); table is the
+/// human format.
+void write_metrics(std::ostream& os, const std::string& format,
+                   const obs::MetricsRegistry& registry, const RunReport& report) {
+  if (format == "json") {
+    obs::Json root = registry.to_json();
+    root.set("instrumentation_compiled_in", obs::Json(obs::kHotPathInstrumentation));
+    root.set("run_report", to_json(report));
+    root.dump(os, 0);
+    os << '\n';
+    return;
+  }
+  registry.write_table(os);
+  os << "-- run report --\n";
+  const obs::Json report_json = to_json(report);
+  for (const auto& [name, value] : report_json.members()) {
+    os << "  " << name << "  " << value.dump() << '\n';
+  }
+}
+
 int cmd_profile(const Options& opts) {
+  const std::string metrics_out = opts.get_string("metrics-out", "");
+  const std::string metrics_format = opts.get_string("format", "json");
+  if (metrics_format != "json" && metrics_format != "table") {
+    usage("unknown --format for profile (use json or table)");
+  }
+  const bool want_metrics = !metrics_out.empty() || opts.has("progress");
+
+  double phase_load = 0.0, phase_profile = 0.0, phase_mrc = 0.0,
+         phase_output = 0.0;
   TraceReadReport ingest;
-  const auto trace = load_input(opts, &ingest);
+  std::vector<Request> trace;
+  {
+    ScopedTimer timer(phase_load);
+    trace = load_input(opts, &ingest);
+  }
   KrrProfilerConfig cfg;
   cfg.k_sample = opts.get_double("k", 5.0);
   cfg.sampling_rate = opts.get_double("rate", 1.0);
@@ -183,20 +240,76 @@ int cmd_profile(const Options& opts) {
   const auto max_stack_mb = opts.get_int("max-stack-mb", 0);
   if (max_stack_mb < 0) usage("--max-stack-mb must be >= 0");
   cfg.max_stack_bytes = static_cast<std::uint64_t>(max_stack_mb) << 20;
-  Stopwatch watch;
+
   KrrProfiler profiler(cfg);
-  for (const Request& r : trace) profiler.access(r);
-  const MissRatioCurve mrc = profiler.mrc();
-  const double secs = watch.seconds();
+  obs::MetricsRegistry registry;
+  std::optional<obs::PipelineMetrics> metrics;
+  if (want_metrics) {
+    metrics.emplace(registry);
+    profiler.attach_metrics(&*metrics);
+  }
+  std::optional<obs::Heartbeat> heartbeat;
+  if (opts.has("progress")) {
+    const double interval = opts.get_double("progress", 2.0);
+    if (interval < 0) usage("--progress must be >= 0 seconds");
+    heartbeat.emplace(interval, std::cerr);
+  }
+
+  {
+    ScopedTimer timer(phase_profile);
+    if (heartbeat) {
+      for (const Request& r : trace) {
+        profiler.access(r);
+        heartbeat->tick([&] {
+          profiler.refresh_metrics_gauges();
+          return snapshot_of(profiler);
+        });
+      }
+      heartbeat->finish(snapshot_of(profiler));
+    } else {
+      for (const Request& r : trace) profiler.access(r);
+    }
+  }
+  MissRatioCurve mrc;
+  {
+    ScopedTimer timer(phase_mrc);
+    mrc = profiler.mrc();
+  }
+  const double secs = phase_profile + phase_mrc;
   const std::string out = opts.get_string("out", "");
-  if (out.empty()) {
-    mrc.write_csv(std::cout);
-  } else {
-    std::ofstream os(out);
-    if (!os) throw StatusError(io_error("cannot open " + out));
-    mrc.write_csv(os);
+  // --metrics-out=- claims stdout for the snapshot: without an explicit
+  // --out the MRC CSV is skipped so stdout stays machine-parseable.
+  const bool metrics_claim_stdout = metrics_out == "-";
+  {
+    ScopedTimer timer(phase_output);
+    if (out.empty()) {
+      if (!metrics_claim_stdout) mrc.write_csv(std::cout);
+    } else {
+      std::ofstream os(out);
+      if (!os) throw StatusError(io_error("cannot open " + out));
+      mrc.write_csv(os);
+    }
   }
   const RunReport report = profiler.run_report(&ingest);
+  if (want_metrics) {
+    profiler.refresh_metrics_gauges();
+    fold_ingest_metrics(ingest, registry);
+    registry.gauge("phase.load_seconds").set(phase_load);
+    registry.gauge("phase.profile_seconds").set(phase_profile);
+    registry.gauge("phase.mrc_seconds").set(phase_mrc);
+    registry.gauge("phase.output_seconds").set(phase_output);
+    registry.gauge("phase.total_seconds")
+        .set(phase_load + phase_profile + phase_mrc + phase_output);
+    if (!metrics_out.empty()) {
+      if (metrics_out == "-") {
+        write_metrics(std::cout, metrics_format, registry, report);
+      } else {
+        std::ofstream os(metrics_out);
+        if (!os) throw StatusError(io_error("cannot open " + metrics_out));
+        write_metrics(os, metrics_format, registry, report);
+      }
+    }
+  }
   std::fprintf(stderr,
                "profiled %zu requests (%zu sampled) in %.3f s; stack depth %zu\n",
                trace.size(), static_cast<std::size_t>(profiler.sampled()), secs,

@@ -1,0 +1,91 @@
+// bench_parallel_scaling — throughput scaling of the sharded profiling
+// pipeline (ShardedKrrProfiler) against thread count on a synthetic Zipf
+// trace, plus the accuracy cost of sharding: the merged MRC's MAE against
+// the serial KrrProfiler on the same trace.
+//
+//   bench_parallel_scaling [--n=2000000] [--footprint=100000] [--alpha=0.9]
+//                          [--repeats=3] [--shards=0] [--max-threads=8]
+//
+// --shards=0 (default) gives every thread count its own shard count
+// (S = T, the CLI default); a fixed --shards=S instead holds the model
+// constant — then every row's MRC is identical by construction and only
+// the wall clock varies. KRR_BENCH_SCALE multiplies --n as usual.
+//
+// The baseline row (threads=1) is the plain serial KrrProfiler, i.e. the
+// exact configuration `krr_cli profile` runs by default, so "speedup" is
+// end-user speedup, not sharded-vs-sharded.
+
+#include <thread>
+
+#include "bench_common.h"
+
+using namespace krr;
+using namespace krrbench;
+
+namespace {
+
+double sharded_seconds(const std::vector<Request>& trace,
+                       const KrrProfilerConfig& base, std::uint32_t shards,
+                       unsigned threads, int repeats, MissRatioCurve* out_mrc) {
+  const double secs = median_seconds(repeats, [&] {
+    ShardedKrrProfilerConfig cfg;
+    cfg.base = base;
+    cfg.shards = shards;
+    cfg.threads = threads;
+    ShardedKrrProfiler profiler(cfg);
+    for (const Request& r : trace) profiler.access(r);
+    profiler.finish();
+    if (out_mrc != nullptr) *out_mrc = profiler.mrc();
+  });
+  return secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const auto n = static_cast<std::size_t>(
+      scaled(static_cast<std::uint64_t>(opts.get_int("n", 2000000))));
+  const auto footprint =
+      static_cast<std::uint64_t>(opts.get_int("footprint", 100000));
+  const double alpha = opts.get_double("alpha", 0.9);
+  const int repeats = static_cast<int>(opts.get_int("repeats", 3));
+  const auto fixed_shards =
+      static_cast<std::uint32_t>(opts.get_int("shards", 0));
+  const auto max_threads =
+      static_cast<unsigned>(opts.get_int("max-threads", 8));
+
+  ZipfianGenerator gen(footprint, alpha, 21, /*scrambled=*/true);
+  const std::vector<Request> trace = materialize(gen, n);
+
+  KrrProfilerConfig base;
+  base.k_sample = 5;
+  base.seed = 7;
+
+  // Serial baseline: the default krr_cli profile path.
+  MissRatioCurve serial;
+  const double serial_secs = median_seconds(repeats, [&] {
+    KrrProfiler profiler(base);
+    for (const Request& r : trace) profiler.access(r);
+    serial = profiler.mrc();
+  });
+  const std::vector<double> sizes = evenly_spaced_sizes(serial.max_size(), 40);
+
+  Table table({"threads", "shards", "seconds", "mrec_per_s", "speedup",
+               "mae_vs_serial"});
+  table.add(1u, 1u, serial_secs,
+            static_cast<double>(n) / serial_secs / 1e6, 1.0, 0.0);
+  for (unsigned threads = 2; threads <= max_threads; threads *= 2) {
+    const std::uint32_t shards = fixed_shards == 0 ? threads : fixed_shards;
+    MissRatioCurve merged;
+    const double secs =
+        sharded_seconds(trace, base, shards, threads, repeats, &merged);
+    table.add(threads, shards, secs, static_cast<double>(n) / secs / 1e6,
+              serial_secs / secs, serial.mae(merged, sizes));
+  }
+  print_table(table, "sharded profiler scaling, zipf:" +
+                         format_double(alpha, 2) + " n=" + std::to_string(n));
+  std::cout << "hardware_concurrency: "
+            << std::thread::hardware_concurrency() << "\n";
+  return 0;
+}

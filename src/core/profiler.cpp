@@ -73,8 +73,12 @@ void KrrProfiler::access(const Request& req) {
   }
   const std::uint64_t distance =
       config_.byte_granularity ? result.byte_distance : result.position;
-  // A sampled distance d estimates an unsampled distance d/R (§2.4).
-  const double scaled = static_cast<double>(distance) * filter_.scale();
+  // A sampled distance d estimates an unsampled distance d/R (§2.4); a
+  // hash shard is a further uniform sample at rate 1/shard_count, so the
+  // global estimate is d * shard_count / R (shard_count == 1 multiplies by
+  // exactly 1.0 — no effect on the unsharded path).
+  const double scaled = static_cast<double>(distance) * filter_.scale() *
+                        static_cast<double>(config_.shard_count);
   histogram_.record(static_cast<std::uint64_t>(std::llround(scaled)));
 }
 
@@ -99,19 +103,25 @@ void KrrProfiler::maybe_degrade() {
   }
 }
 
-MissRatioCurve KrrProfiler::mrc() const {
-  if (!config_.sampling_adjustment || current_sampling_rate() >= 1.0) {
-    return histogram_.to_mrc();
-  }
+DistanceHistogram KrrProfiler::adjusted_histogram() const {
   // SHARDS-adj first-bucket correction: hot objects falling in or out of
   // the sample inflate or deflate the sampled reference count; the
   // difference against the expectation (sum of the per-reference rate in
   // effect, == N*R without degradation) is credited (possibly negatively)
   // to the smallest-distance bucket.
   DistanceHistogram adjusted = histogram_;
-  const double diff = expected_sampled() - static_cast<double>(sampled_);
-  if (diff != 0.0) adjusted.record(1, diff);
-  return adjusted.to_mrc();
+  if (config_.sampling_adjustment && current_sampling_rate() < 1.0) {
+    const double diff = expected_sampled() - static_cast<double>(sampled_);
+    if (diff != 0.0) adjusted.record(1, diff);
+  }
+  return adjusted;
+}
+
+MissRatioCurve KrrProfiler::mrc() const {
+  if (!config_.sampling_adjustment || current_sampling_rate() >= 1.0) {
+    return histogram_.to_mrc();
+  }
+  return adjusted_histogram().to_mrc();
 }
 
 std::uint64_t KrrProfiler::space_overhead_bytes() const noexcept {

@@ -42,6 +42,14 @@ struct KrrProfilerConfig {
   /// between expected (N*R) and actual sampled reference counts. Only
   /// relevant when sampling_rate < 1.
   bool sampling_adjustment = true;
+  /// Hash-sharded operation (see ShardedKrrProfiler): this profiler models
+  /// one of `shard_count` hash-disjoint keyspace partitions, so its input
+  /// stream is itself a uniform spatial sample at rate 1/shard_count and a
+  /// shard-local stack distance d estimates a global distance
+  /// d * shard_count / R. 1 (the default) means unsharded; the distance
+  /// scale is then multiplied by exactly 1.0, so behaviour is bit-identical
+  /// to a build without this field.
+  std::uint32_t shard_count = 1;
   /// Graceful-degradation ceiling on the profiler's estimated resident
   /// memory (space_overhead_bytes()); 0 = unbounded. When the ceiling is
   /// reached, the spatial sampling rate is halved and residents falling
@@ -96,6 +104,13 @@ class KrrProfiler {
   /// been scaled back by 1/R so the curve is in unsampled units, and the
   /// SHARDS-adj correction is applied (see sampling_adjustment).
   MissRatioCurve mrc() const;
+
+  /// The histogram mrc() converts: a copy of the raw histogram with the
+  /// SHARDS-adj first-bucket correction applied (when enabled and
+  /// sampling). Shard merging sums these across shard profilers before one
+  /// global to_mrc(), which distributes: per-shard corrections add up to
+  /// the global correction because expectations are per-shard linear.
+  DistanceHistogram adjusted_histogram() const;
 
   const DistanceHistogram& histogram() const noexcept { return histogram_; }
 

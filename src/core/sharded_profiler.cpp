@@ -1,0 +1,348 @@
+#include "core/sharded_profiler.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/hashing.h"
+#include "util/stopwatch.h"
+
+namespace krr {
+
+namespace {
+
+/// Records a worker pulls from one shard queue before moving to its next
+/// owned shard (and before republishing that shard's live gauges). Large
+/// enough to amortize the gauge stores, small enough that a worker owning
+/// several shards does not starve any of them.
+constexpr int kDrainBatch = 256;
+
+}  // namespace
+
+struct ShardedKrrProfiler::Shard {
+  Shard(const KrrProfilerConfig& cfg, std::size_t queue_capacity)
+      : profiler(cfg), queue(queue_capacity) {}
+
+  KrrProfiler profiler;
+  SpscQueue<Request> queue;
+
+  // Live gauges the owning worker publishes once per drain batch so the
+  // producer thread can heartbeat without touching profiler internals.
+  std::atomic<std::uint64_t> live_sampled{0};
+  std::atomic<std::uint64_t> live_depth{0};
+  std::atomic<std::uint64_t> live_resident{0};
+  std::atomic<std::uint64_t> live_degradations{0};
+  std::atomic<double> live_rate{1.0};
+
+  void publish_live() noexcept {
+    live_sampled.store(profiler.sampled(), std::memory_order_relaxed);
+    live_depth.store(profiler.stack_depth(), std::memory_order_relaxed);
+    live_resident.store(profiler.space_overhead_bytes(),
+                        std::memory_order_relaxed);
+    live_degradations.store(profiler.degradation_events(),
+                            std::memory_order_relaxed);
+    live_rate.store(profiler.current_sampling_rate(),
+                    std::memory_order_relaxed);
+  }
+};
+
+ShardedKrrProfiler::ShardedKrrProfiler(const ShardedKrrProfilerConfig& config)
+    : config_(config) {
+  const std::uint32_t shard_n = config.shards == 0 ? 1 : config.shards;
+  shards_.reserve(shard_n);
+  for (std::uint32_t s = 0; s < shard_n; ++s) {
+    KrrProfilerConfig cfg = config.base;
+    cfg.shard_count = shard_n;
+    cfg.seed = config.base.seed + s;
+    if (cfg.max_stack_bytes != 0) {
+      // Split the global ceiling evenly; the floor of 1 keeps degradation
+      // armed even for absurd shard counts.
+      cfg.max_stack_bytes =
+          std::max<std::uint64_t>(cfg.max_stack_bytes / shard_n, 1);
+    }
+    shards_.push_back(std::make_unique<Shard>(cfg, config.queue_capacity));
+    shards_.back()->publish_live();
+  }
+  if (config.threads > 1) {
+    worker_count_ = std::min<unsigned>(config.threads, shard_n);
+    pool_ = std::make_unique<ThreadPool>(worker_count_);
+    for (unsigned t = 0; t < worker_count_; ++t) {
+      pool_->submit([this, t] { drain_loop(t); });
+    }
+  }
+}
+
+ShardedKrrProfiler::~ShardedKrrProfiler() {
+  done_.store(true, std::memory_order_release);
+  // ThreadPool's destructor joins after the drain tasks exit; worker
+  // exceptions that finish() never observed die with the pool.
+  pool_.reset();
+}
+
+std::uint32_t ShardedKrrProfiler::shard_of(std::uint64_t key) const noexcept {
+  // Top hash bits: disjoint from the low bits the SpatialFilter thresholds
+  // (modulus 2^24), so shard identity and sample membership are
+  // independent uniform functions of the key.
+  return static_cast<std::uint32_t>(hash64(key) >> 32) %
+         static_cast<std::uint32_t>(shards_.size());
+}
+
+void ShardedKrrProfiler::access(const Request& req) {
+  ++processed_;
+  const std::uint32_t index = shard_of(req.key);
+  Shard& shard = *shards_[index];
+#ifdef KRR_METRICS_ENABLED
+  if (metrics_ != nullptr) {
+    metrics_->sharded.enqueued->inc();
+    if ((processed_ & 1023u) == 0) {
+      metrics_->sharded.queue_depth->record(shard.queue.size_approx());
+    }
+  }
+#endif
+  if (worker_count_ == 0) {
+    if (config_.before_access_hook) config_.before_access_hook(index, req);
+    shard.profiler.access(req);
+    return;
+  }
+  if (shard.queue.try_push(req)) return;
+  // Backpressure: the shard's worker is behind. Yield-spin rather than
+  // block on a condvar — stalls are transient (a worker mid-batch) and the
+  // producer is the only thread that can relieve other shards.
+#ifdef KRR_METRICS_ENABLED
+  if (metrics_ != nullptr) metrics_->sharded.producer_stalls->inc();
+#endif
+  Stopwatch stall;
+  for (;;) {
+    if (failed_.load(std::memory_order_acquire)) {
+      // A worker died; its queues will never drain. Drop the record — the
+      // run is poisoned and finish() will rethrow the worker's error.
+      stall_seconds_ += stall.seconds();
+      return;
+    }
+    std::this_thread::yield();
+    if (shard.queue.try_push(req)) break;
+  }
+  stall_seconds_ += stall.seconds();
+}
+
+void ShardedKrrProfiler::drain_batch(Shard& shard, std::uint32_t index,
+                                     bool& did_work) {
+  Request req;
+  int budget = kDrainBatch;
+  bool popped = false;
+  while (budget-- > 0 && shard.queue.try_pop(req)) {
+    popped = true;
+    if (config_.before_access_hook) config_.before_access_hook(index, req);
+    shard.profiler.access(req);
+  }
+  if (popped) {
+    shard.publish_live();
+    did_work = true;
+  }
+}
+
+void ShardedKrrProfiler::drain_loop(unsigned worker_index) {
+  // Static shard ownership (shard s -> worker s % T) keeps every queue
+  // strictly single-consumer.
+  std::vector<std::uint32_t> owned;
+  for (std::uint32_t s = worker_index; s < shards_.size();
+       s += worker_count_) {
+    owned.push_back(s);
+  }
+  try {
+    for (;;) {
+      bool did_work = false;
+      for (std::uint32_t s : owned) drain_batch(*shards_[s], s, did_work);
+      if (did_work) continue;
+      if (done_.load(std::memory_order_acquire)) {
+        // done_ was released after the producer's last push, so an empty
+        // check after this acquire is conclusive.
+        bool all_empty = true;
+        for (std::uint32_t s : owned) {
+          if (!shards_[s]->queue.empty_approx()) {
+            all_empty = false;
+            break;
+          }
+        }
+        if (all_empty) return;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  } catch (...) {
+    // Flag first so the producer's stall loop cannot wait forever on this
+    // worker's queues, then let the pool capture the exception for
+    // finish() to rethrow.
+    failed_.store(true, std::memory_order_release);
+    throw;
+  }
+}
+
+void ShardedKrrProfiler::finish() {
+  if (finished_) return;
+  if (worker_count_ == 0) {
+    finished_ = true;
+    return;
+  }
+  done_.store(true, std::memory_order_release);
+  pool_->wait_idle();  // rethrows the first worker exception
+  finished_ = true;
+#ifdef KRR_METRICS_ENABLED
+  if (metrics_ != nullptr) {
+    metrics_->sharded.stall_seconds->set(stall_seconds_);
+  }
+#endif
+}
+
+namespace {
+
+[[noreturn]] void throw_unfinished(const char* what) {
+  throw std::logic_error(std::string("ShardedKrrProfiler::") + what +
+                         " requires finish() when running threaded");
+}
+
+}  // namespace
+
+const KrrProfiler& ShardedKrrProfiler::shard(std::uint32_t s) const {
+  if (worker_count_ != 0 && !finished_) throw_unfinished("shard()");
+  return shards_.at(s)->profiler;
+}
+
+DistanceHistogram ShardedKrrProfiler::merged_histogram() const {
+  if (worker_count_ != 0 && !finished_) throw_unfinished("merged_histogram()");
+  DistanceHistogram merged = shards_.front()->profiler.adjusted_histogram();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    merged.merge(shards_[s]->profiler.adjusted_histogram());
+  }
+  return merged;
+}
+
+MissRatioCurve ShardedKrrProfiler::mrc() const {
+  double merge_seconds = 0.0;
+  MissRatioCurve curve;
+  {
+    ScopedTimer timer(merge_seconds);
+    curve = merged_histogram().to_mrc();
+  }
+#ifdef KRR_METRICS_ENABLED
+  if (metrics_ != nullptr) {
+    metrics_->sharded.merge_seconds->set(merge_seconds);
+  }
+#endif
+  return curve;
+}
+
+std::uint64_t ShardedKrrProfiler::sampled() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->profiler.sampled();
+  return total;
+}
+
+std::uint64_t ShardedKrrProfiler::stack_depth() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->profiler.stack_depth();
+  return total;
+}
+
+std::uint64_t ShardedKrrProfiler::space_overhead_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->profiler.space_overhead_bytes();
+  }
+  return total;
+}
+
+std::uint64_t ShardedKrrProfiler::degradation_events() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->profiler.degradation_events();
+  }
+  return total;
+}
+
+RunReport ShardedKrrProfiler::run_report(const TraceReadReport* ingest) const {
+  if (worker_count_ != 0 && !finished_) throw_unfinished("run_report()");
+  RunReport report;
+  if (ingest != nullptr) {
+    report.records_read = ingest->records_read;
+    report.records_skipped = ingest->records_skipped;
+    report.checksum_failures = ingest->checksum_failures;
+    report.truncated_tail = ingest->truncated_tail;
+  } else {
+    report.records_read = processed_;
+  }
+  report.configured_sampling_rate =
+      shards_.front()->profiler.run_report(nullptr).configured_sampling_rate;
+  double final_rate = 1.0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const KrrProfiler& profiler = shards_[s]->profiler;
+    report.degradation_events += profiler.degradation_events();
+    report.stack_depth += profiler.stack_depth();
+    report.space_overhead_bytes += profiler.space_overhead_bytes();
+    final_rate = s == 0 ? profiler.current_sampling_rate()
+                        : std::min(final_rate, profiler.current_sampling_rate());
+  }
+  report.final_sampling_rate = final_rate;
+  return report;
+}
+
+obs::HeartbeatSnapshot ShardedKrrProfiler::snapshot() const {
+  obs::HeartbeatSnapshot snap;
+  snap.records = processed_;
+  double min_rate = 1.0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    if (worker_count_ == 0) {
+      // Inline mode: no concurrency, read the profiler directly.
+      snap.sampled += shard.profiler.sampled();
+      snap.stack_depth += shard.profiler.stack_depth();
+      snap.resident_bytes += shard.profiler.space_overhead_bytes();
+      snap.degradation_events += shard.profiler.degradation_events();
+      min_rate = s == 0 ? shard.profiler.current_sampling_rate()
+                        : std::min(min_rate,
+                                   shard.profiler.current_sampling_rate());
+    } else {
+      snap.sampled += shard.live_sampled.load(std::memory_order_relaxed);
+      snap.stack_depth += shard.live_depth.load(std::memory_order_relaxed);
+      snap.resident_bytes +=
+          shard.live_resident.load(std::memory_order_relaxed);
+      snap.degradation_events +=
+          shard.live_degradations.load(std::memory_order_relaxed);
+      const double rate = shard.live_rate.load(std::memory_order_relaxed);
+      min_rate = s == 0 ? rate : std::min(min_rate, rate);
+    }
+  }
+  snap.sampling_rate = min_rate;
+  return snap;
+}
+
+void ShardedKrrProfiler::attach_metrics(obs::PipelineMetrics* metrics) noexcept {
+#ifdef KRR_METRICS_ENABLED
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    metrics_->sharded.shards->set(static_cast<double>(shards_.size()));
+    metrics_->sharded.threads->set(static_cast<double>(worker_count_));
+  }
+#else
+  (void)metrics;
+#endif
+}
+
+void ShardedKrrProfiler::export_shard_gauges(
+    obs::MetricsRegistry& registry) const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const KrrProfiler& profiler = shards_[s]->profiler;
+    const std::string prefix = "sharded.shard" + std::to_string(s) + ".";
+    registry.gauge(prefix + "stack_depth")
+        .set(static_cast<double>(profiler.stack_depth()));
+    registry.gauge(prefix + "sampled")
+        .set(static_cast<double>(profiler.sampled()));
+    registry.gauge(prefix + "degradations")
+        .set(static_cast<double>(profiler.degradation_events()));
+    registry.gauge(prefix + "final_rate").set(profiler.current_sampling_rate());
+  }
+}
+
+}  // namespace krr

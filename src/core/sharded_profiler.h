@@ -1,0 +1,168 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/profiler.h"
+#include "obs/heartbeat.h"
+#include "trace/request.h"
+#include "util/parallel.h"
+
+namespace krr {
+
+namespace obs {
+struct PipelineMetrics;
+class MetricsRegistry;
+}  // namespace obs
+
+/// Configuration for the sharded (multi-threaded) profiling pipeline.
+struct ShardedKrrProfilerConfig {
+  /// The model configuration every shard runs with. `shard_count` and
+  /// `seed` are overwritten per shard (seed + shard index keeps shard
+  /// stacks on independent RNG streams); `max_stack_bytes`, when nonzero,
+  /// is divided evenly across shards so the configured ceiling stays a
+  /// global bound.
+  KrrProfilerConfig base;
+  /// Number of hash-disjoint keyspace partitions S (>= 1). Shard identity
+  /// is taken from the top 32 bits of the same SplitMix64 key hash the
+  /// spatial filter thresholds on its low bits, so shard membership and
+  /// sampling are independent and both are pure functions of the key.
+  std::uint32_t shards = 1;
+  /// Worker threads consuming shard queues. <= 1 runs the pipeline inline
+  /// on the calling thread (no pool, no queues) — with shards == 1 that is
+  /// bit-identical to a plain KrrProfiler. Shard results never depend on
+  /// the thread count, only on (config, trace): each shard consumes its
+  /// records in stream order whatever thread owns it.
+  unsigned threads = 1;
+  /// Per-shard SPSC ring capacity in records (rounded up to a power of
+  /// two). Bounds producer run-ahead: ~16 B/record, so the default is
+  /// ~1 MiB of buffered records per shard.
+  std::size_t queue_capacity = 1u << 16;
+  /// Test seam: invoked (on the consuming thread) immediately before each
+  /// record enters its shard's KrrProfiler. Lets fault-injection tests
+  /// throw from inside a shard worker; leave empty in production.
+  std::function<void(std::uint32_t shard, const Request&)> before_access_hook;
+};
+
+/// Multi-threaded sharded KRR profiling pipeline (the SHARDS-composition
+/// argument, DESIGN.md §8): the keyspace is hash-partitioned into S
+/// disjoint shards, each shard runs its own spatial filter + KRR stack +
+/// reuse histogram (a full KrrProfiler with shard-aware distance scaling),
+/// and the per-shard adjusted histograms are merged into one MRC. Because
+/// a hash shard is itself a uniform spatial sample of the keyspace, each
+/// shard's rescaled histogram is an unbiased estimate of 1/S of the global
+/// reuse mass, so the merge is a plain weight sum.
+///
+/// Threading model: the caller (typically the trace-reader thread) is the
+/// single producer, fanning records out to per-shard bounded SPSC queues;
+/// min(threads, shards) persistent workers each own a fixed subset of
+/// shards (shard s belongs to worker s % T) and drain them in stream
+/// order. One queue therefore has exactly one producer and one consumer,
+/// and no record path takes a global lock.
+///
+///   ShardedKrrProfiler profiler({.base = cfg, .shards = 8, .threads = 8});
+///   for (const Request& r : trace) profiler.access(r);
+///   profiler.finish();                 // join + rethrow worker errors
+///   MissRatioCurve mrc = profiler.mrc();
+class ShardedKrrProfiler {
+ public:
+  explicit ShardedKrrProfiler(const ShardedKrrProfilerConfig& config);
+
+  /// Blocks until workers drained (errors are swallowed here — call
+  /// finish() first to observe them).
+  ~ShardedKrrProfiler();
+
+  ShardedKrrProfiler(const ShardedKrrProfiler&) = delete;
+  ShardedKrrProfiler& operator=(const ShardedKrrProfiler&) = delete;
+
+  /// Producer side: routes one reference to its shard. With threads > 1
+  /// this enqueues (briefly yielding when the shard's ring is full —
+  /// backpressure, counted as producer stall time); inline mode profiles
+  /// synchronously. Single-producer: one thread at a time may call this.
+  void access(const Request& req);
+
+  /// Declares end of input, drains every queue, and rethrows the first
+  /// exception a shard worker hit (the pipeline shuts down cleanly first;
+  /// remaining workers stop at their queues' ends). Idempotent; must be
+  /// called before mrc()/run_report() results are meaningful.
+  void finish();
+
+  /// The merged miss ratio curve: per-shard SHARDS-adjusted histograms
+  /// summed, then converted. Requires finish().
+  MissRatioCurve mrc() const;
+
+  /// The merged adjusted histogram mrc() converts. Requires finish().
+  DistanceHistogram merged_histogram() const;
+
+  /// Aggregated run accounting (sums/extremes across shards): stack depth
+  /// and space are summed, degradations summed, the final sampling rate is
+  /// the minimum (most degraded shard). Requires finish().
+  RunReport run_report(const TraceReadReport* ingest = nullptr) const;
+
+  /// References routed so far (producer-side, exact).
+  std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Post-finish aggregates over shards.
+  std::uint64_t sampled() const;
+  std::uint64_t stack_depth() const;
+  std::uint64_t space_overhead_bytes() const;
+  std::uint64_t degradation_events() const;
+
+  std::uint32_t shards() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  unsigned threads() const noexcept { return worker_count_; }
+  bool finished() const noexcept { return finished_; }
+
+  /// Cumulative seconds the producer spent waiting on full shard queues.
+  double producer_stall_seconds() const noexcept { return stall_seconds_; }
+
+  /// Shard-local profiler, for tests/diagnostics. Post-finish only.
+  const KrrProfiler& shard(std::uint32_t s) const;
+
+  /// Which shard a key routes to (pure function of the key; exposed so
+  /// tests can assert disjointness).
+  std::uint32_t shard_of(std::uint64_t key) const noexcept;
+
+  /// Race-free live progress for heartbeats, readable from the producer
+  /// thread mid-run: producer-exact record count plus per-shard gauges the
+  /// workers publish batch-wise (so the numbers trail by at most one drain
+  /// batch).
+  obs::HeartbeatSnapshot snapshot() const;
+
+  /// Attaches fan-out instrumentation (sharded.* metrics) and nothing on
+  /// the per-shard hot paths (per-record shard metrics would serialize the
+  /// workers on shared cache lines). Same lifetime/no-op contract as
+  /// KrrProfiler::attach_metrics.
+  void attach_metrics(obs::PipelineMetrics* metrics) noexcept;
+
+  /// Publishes per-shard end-of-run gauges
+  /// (sharded.shard<N>.{stack_depth,sampled,degradations,final_rate}) into
+  /// the registry. Post-finish; works whether or not hot-path
+  /// instrumentation was compiled in.
+  void export_shard_gauges(obs::MetricsRegistry& registry) const;
+
+ private:
+  struct Shard;
+
+  void drain_loop(unsigned worker_index);
+  void drain_batch(Shard& shard, std::uint32_t index, bool& did_work);
+
+  ShardedKrrProfilerConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  unsigned worker_count_ = 0;             // 0 = inline mode
+  std::unique_ptr<ThreadPool> pool_;      // null in inline mode
+  std::atomic<bool> done_{false};         // producer closed the stream
+  std::atomic<bool> failed_{false};       // some worker threw
+  bool finished_ = false;
+  std::uint64_t processed_ = 0;           // producer-side
+  double stall_seconds_ = 0.0;            // producer-side
+#ifdef KRR_METRICS_ENABLED
+  obs::PipelineMetrics* metrics_ = nullptr;
+#endif
+};
+
+}  // namespace krr

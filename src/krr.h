@@ -29,6 +29,7 @@
 #include "core/dlru.h"
 #include "core/krr_stack.h"
 #include "core/profiler.h"
+#include "core/sharded_profiler.h"
 #include "core/size_tracker.h"
 #include "core/spatial_filter.h"
 #include "core/swap_sampler.h"

@@ -140,6 +140,13 @@ PipelineMetrics::PipelineMetrics(MetricsRegistry& registry)
   stack.swaps = &registry.counter("stack.swaps");
   stack.chain_len = &registry.histogram("stack.chain_len");
   stack.update_ns = &registry.histogram("stack.update_ns");
+  sharded.enqueued = &registry.counter("sharded.enqueued");
+  sharded.producer_stalls = &registry.counter("sharded.producer_stalls");
+  sharded.queue_depth = &registry.histogram("sharded.queue_depth");
+  sharded.shards = &registry.gauge("sharded.shards");
+  sharded.threads = &registry.gauge("sharded.threads");
+  sharded.merge_seconds = &registry.gauge("sharded.merge_seconds");
+  sharded.stall_seconds = &registry.gauge("sharded.producer_stall_seconds");
 }
 
 }  // namespace krr::obs

@@ -159,6 +159,21 @@ struct StackMetrics {
   LogHistogram* update_ns = nullptr;  ///< stack.update_ns — access cost (sampled)
 };
 
+/// The sharded-pipeline fan-out slice: what the producer/merge side of a
+/// ShardedKrrProfiler run can observe. Per-shard model metrics (stack
+/// depth, final rate, degradations) are exported as named gauges via
+/// ShardedKrrProfiler::export_shard_gauges, not through fixed pointers,
+/// because the shard count is a runtime choice.
+struct ShardedMetrics {
+  Counter* enqueued = nullptr;        ///< sharded.enqueued — records fanned out
+  Counter* producer_stalls = nullptr; ///< sharded.producer_stalls — full-queue waits
+  LogHistogram* queue_depth = nullptr;///< sharded.queue_depth — depth sampled at enqueue
+  Gauge* shards = nullptr;            ///< sharded.shards — shard count S
+  Gauge* threads = nullptr;           ///< sharded.threads — worker threads T
+  Gauge* merge_seconds = nullptr;     ///< sharded.merge_seconds — histogram merge+MRC time
+  Gauge* stall_seconds = nullptr;     ///< sharded.producer_stall_seconds — fan-out backpressure
+};
+
 /// The wiring between the profiling pipeline and a registry: one struct of
 /// resolved metric pointers handed to KrrProfiler::attach_metrics(). Kept
 /// in obs (not core) so the metric name table lives in one place.
@@ -178,6 +193,9 @@ struct PipelineMetrics {
 
   /// KrrStack update internals (handed to KrrStack::attach_metrics).
   StackMetrics stack;
+
+  /// Sharded fan-out internals (handed to ShardedKrrProfiler).
+  ShardedMetrics sharded;
 };
 
 }  // namespace krr::obs

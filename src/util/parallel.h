@@ -1,8 +1,11 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -15,7 +18,9 @@ namespace krr {
 ///
 /// fn must be safe to call concurrently for distinct indices. The first
 /// exception thrown by any worker is rethrown on the calling thread after
-/// all workers have drained.
+/// all workers have drained; once any worker throws, the remaining workers
+/// stop claiming new indices (each finishes at most the call it is already
+/// in), so a poisoned sweep does not run to completion.
 ///
 /// threads == 0 or 1, or n <= 1, degrades to a plain serial loop.
 template <typename Fn>
@@ -27,15 +32,18 @@ void parallel_for_index(std::size_t n, unsigned threads, Fn&& fn) {
   const unsigned worker_count =
       static_cast<unsigned>(std::min<std::size_t>(threads, n));
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> stop{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   auto worker = [&] {
     for (;;) {
+      if (stop.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
         fn(i);
       } catch (...) {
+        stop.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
         return;
@@ -55,5 +63,168 @@ inline unsigned default_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
+
+/// Bounded single-producer / single-consumer ring buffer. Lock-free in the
+/// strict sense: one push and one pop are each a couple of relaxed loads, a
+/// slot copy, and one release store, with the opposite index read (acquire)
+/// only when the cached copy says the queue looks full/empty. This is the
+/// fan-out lane between the trace-reader thread and one shard worker in the
+/// sharded profiling pipeline — exactly one thread may push and exactly one
+/// thread may pop for the queue's lifetime.
+///
+/// Capacity is rounded up to a power of two so the ring index is a mask.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when the ring is full (caller decides
+  /// whether to spin, yield, or drop).
+  bool try_push(const T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    buffer_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = buffer_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate (telemetry only: queue-depth gauges/histograms).
+  std::size_t size_approx() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail - head;
+  }
+
+  bool empty_approx() const noexcept { return size_approx() == 0; }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_ = 0;
+  /// Producer-owned line: the write index plus the producer's stale copy of
+  /// the read index (refreshed only when the ring looks full).
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+  /// Consumer-owned line, symmetric.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+};
+
+/// Persistent worker pool: N threads consuming a mutex+condvar task queue.
+/// Built for coarse, long-running tasks (a shard-drain loop, one sweep
+/// partition) — submission cost is a lock and a notify, so it is not a
+/// substitute for parallel_for_index on fine-grained indices.
+///
+/// The first exception that escapes a task is captured and rethrown from
+/// the next wait_idle() call; subsequent exceptions are dropped (same
+/// contract as parallel_for_index). The destructor runs every task still
+/// queued, then joins — destroying a pool never silently drops work, so
+/// call wait_idle() first if you need the error before teardown.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads) {
+    const unsigned n = threads == 0 ? 1 : threads;
+    workers_.reserve(n);
+    for (unsigned t = 0; t < n; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first captured task exception (if any). Safe to call repeatedly.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+    if (first_error_) {
+      std::exception_ptr error = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping, queue drained
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+        ++active_;
+      }
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --active_;
+        if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
 
 }  // namespace krr

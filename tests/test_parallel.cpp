@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "sim/sweep.h"
@@ -48,6 +50,99 @@ TEST(ParallelForIndex, MoreThreadsThanWorkIsFine) {
   std::atomic<int> sum{0};
   parallel_for_index(3, 64, [&](std::size_t i) { sum += static_cast<int>(i); });
   EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ParallelForIndex, StopsSchedulingAfterAThrow) {
+  // Regression: a poisoned sweep must not run to completion. After the
+  // throw, each surviving worker may finish at most the call it is already
+  // in, so the executed count stays far below n.
+  constexpr std::size_t kN = 1u << 20;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(parallel_for_index(kN, 4,
+                                  [&](std::size_t i) {
+                                    if (i == 0) throw std::runtime_error("boom");
+                                    executed.fetch_add(1,
+                                                       std::memory_order_relaxed);
+                                  }),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), kN / 2);
+}
+
+TEST(SpscQueue, FifoOrderSingleThread) {
+  SpscQueue<int> queue(8);
+  EXPECT_GE(queue.capacity(), 8u);
+  int out = 0;
+  EXPECT_FALSE(queue.try_pop(out));
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(queue.try_push(i));
+  EXPECT_FALSE(queue.try_push(99)) << "ring of capacity 8 must reject a 9th";
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  SpscQueue<int> queue(5);
+  EXPECT_EQ(queue.capacity(), 8u);
+  SpscQueue<int> tiny(1);
+  EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+TEST(SpscQueue, TransfersEverythingIntactAcrossThreads) {
+  constexpr std::uint64_t kItems = 200000;
+  SpscQueue<std::uint64_t> queue(1024);
+  std::uint64_t sum = 0, count = 0;
+  std::thread consumer([&] {
+    std::uint64_t v;
+    std::uint64_t expected = 0;
+    while (count < kItems) {
+      if (queue.try_pop(v)) {
+        ASSERT_EQ(v, expected++);  // FIFO, nothing lost or duplicated
+        sum += v;
+        ++count;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    while (!queue.try_push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_EQ(count, kItems);
+  EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsTheFirstTaskError) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable afterwards and the error is not re-reported.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran.store(true); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, DestructorRunsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 16);
 }
 
 TEST(ParallelSweep, KLruMatchesSerialExactly) {

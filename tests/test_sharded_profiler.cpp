@@ -1,0 +1,254 @@
+// The sharded profiling pipeline's contract: shard routing is a pure
+// disjoint partition of the keyspace, results depend only on (config,
+// trace) — never on the thread count — the merged MRC statistically
+// matches the serial profiler, and a worker failure propagates without
+// hanging the producer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/sharded_profiler.h"
+#include "obs/metrics.h"
+#include "trace/generator.h"
+#include "trace/msr.h"
+#include "trace/zipf.h"
+#include "util/mrc.h"
+
+namespace krr {
+namespace {
+
+std::vector<Request> zipf_trace(std::size_t n, std::uint64_t footprint,
+                                double alpha = 0.9, std::uint64_t seed = 3) {
+  ZipfianGenerator gen(footprint, alpha, seed, /*scrambled=*/true);
+  return materialize(gen, n);
+}
+
+MissRatioCurve serial_mrc(const std::vector<Request>& trace,
+                          const KrrProfilerConfig& cfg) {
+  KrrProfiler profiler(cfg);
+  for (const Request& r : trace) profiler.access(r);
+  return profiler.mrc();
+}
+
+MissRatioCurve sharded_mrc(const std::vector<Request>& trace,
+                           const KrrProfilerConfig& base, std::uint32_t shards,
+                           unsigned threads) {
+  ShardedKrrProfilerConfig cfg;
+  cfg.base = base;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  ShardedKrrProfiler profiler(cfg);
+  for (const Request& r : trace) profiler.access(r);
+  profiler.finish();
+  return profiler.mrc();
+}
+
+double mae_on_grid(const MissRatioCurve& a, const MissRatioCurve& b,
+                   std::size_t n_sizes = 40) {
+  const std::vector<double> sizes = evenly_spaced_sizes(a.max_size(), n_sizes);
+  return a.mae(b, sizes);
+}
+
+TEST(ShardedKrrProfiler, ShardRoutingIsAPureDisjointPartition) {
+  ShardedKrrProfilerConfig cfg;
+  cfg.shards = 7;
+  ShardedKrrProfiler profiler(cfg);
+  for (std::uint64_t key = 0; key < 10000; ++key) {
+    const std::uint32_t s = profiler.shard_of(key);
+    ASSERT_LT(s, 7u);
+    ASSERT_EQ(s, profiler.shard_of(key));  // pure function of the key
+  }
+}
+
+TEST(ShardedKrrProfiler, SingleShardInlineIsBitIdenticalToSerial) {
+  const auto trace = zipf_trace(50000, 4000);
+  KrrProfilerConfig base;
+  base.k_sample = 5;
+  base.sampling_rate = 0.5;
+  base.seed = 11;
+  const MissRatioCurve serial = serial_mrc(trace, base);
+  const MissRatioCurve sharded = sharded_mrc(trace, base, 1, 1);
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.points()[i].size, sharded.points()[i].size);
+    EXPECT_DOUBLE_EQ(serial.points()[i].miss_ratio,
+                     sharded.points()[i].miss_ratio);
+  }
+}
+
+TEST(ShardedKrrProfiler, DeterministicUnderFixedSeedAndShardCount) {
+  const auto trace = zipf_trace(60000, 5000);
+  KrrProfilerConfig base;
+  base.k_sample = 5;
+  base.seed = 7;
+  const MissRatioCurve reference = sharded_mrc(trace, base, 4, 1);
+  // Same shard count, any thread count (including re-runs): identical MRC.
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    const MissRatioCurve run = sharded_mrc(trace, base, 4, threads);
+    ASSERT_EQ(run.size(), reference.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_DOUBLE_EQ(run.points()[i].size, reference.points()[i].size)
+          << "threads=" << threads;
+      ASSERT_DOUBLE_EQ(run.points()[i].miss_ratio,
+                       reference.points()[i].miss_ratio)
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ShardedKrrProfiler, MergedMrcMatchesSerialOnZipf) {
+  const auto trace = zipf_trace(200000, 10000);
+  KrrProfilerConfig base;
+  base.k_sample = 5;
+  const MissRatioCurve serial = serial_mrc(trace, base);
+  for (std::uint32_t shards : {2u, 4u, 8u}) {
+    const MissRatioCurve merged = sharded_mrc(trace, base, shards, 2);
+    EXPECT_LE(mae_on_grid(serial, merged), 0.01) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedKrrProfiler, MergedMrcMatchesSerialOnMsrTrace) {
+  MsrGenerator gen(msr_profile("web"), 5, 12000, 1);
+  const auto trace = materialize(gen, 150000);
+  KrrProfilerConfig base;
+  base.k_sample = 5;
+  const MissRatioCurve serial = serial_mrc(trace, base);
+  const MissRatioCurve merged = sharded_mrc(trace, base, 4, 3);
+  EXPECT_LE(mae_on_grid(serial, merged), 0.01);
+}
+
+TEST(ShardedKrrProfiler, MergedMrcMatchesSerialUnderSpatialSampling) {
+  // Sampling + sharding compose: each shard applies the SHARDS-adj against
+  // its own expectation, and the merged curve still tracks the serial
+  // sampled profiler.
+  const auto trace = zipf_trace(200000, 20000);
+  KrrProfilerConfig base;
+  base.k_sample = 5;
+  base.sampling_rate = 0.1;
+  const MissRatioCurve serial = serial_mrc(trace, base);
+  const MissRatioCurve merged = sharded_mrc(trace, base, 4, 2);
+  EXPECT_LE(mae_on_grid(serial, merged), 0.02);
+}
+
+TEST(ShardedKrrProfiler, StackDepthSumsToDistinctKeysAtFullRate) {
+  const auto trace = zipf_trace(40000, 3000);
+  ShardedKrrProfilerConfig cfg;
+  cfg.base.k_sample = 5;
+  cfg.shards = 8;
+  cfg.threads = 2;
+  ShardedKrrProfiler profiler(cfg);
+  for (const Request& r : trace) profiler.access(r);
+  profiler.finish();
+  // Disjoint shards at rate 1.0 together track every distinct key once.
+  EXPECT_EQ(profiler.stack_depth(), count_distinct(trace));
+  EXPECT_EQ(profiler.sampled(), trace.size());
+  EXPECT_EQ(profiler.processed(), trace.size());
+}
+
+TEST(ShardedKrrProfiler, WorkerExceptionPropagatesFromFinish) {
+  const auto trace = zipf_trace(80000, 5000);
+  ShardedKrrProfilerConfig cfg;
+  cfg.base.k_sample = 5;
+  cfg.shards = 4;
+  cfg.threads = 2;
+  cfg.queue_capacity = 256;  // small ring so the producer hits backpressure
+  std::atomic<std::uint64_t> seen{0};
+  cfg.before_access_hook = [&seen](std::uint32_t shard, const Request&) {
+    if (shard == 1 && seen.fetch_add(1) == 100) {
+      throw std::runtime_error("shard worker fault injection");
+    }
+  };
+  ShardedKrrProfiler profiler(cfg);
+  // The producer must not hang even though shard 1's consumer dies with
+  // its queue full; poisoned-run records are dropped.
+  for (const Request& r : trace) profiler.access(r);
+  EXPECT_THROW(profiler.finish(), std::runtime_error);
+  // Clean shutdown: the pipeline is drained/joined; a second finish() no
+  // longer throws and the object destructs without deadlock.
+  profiler.finish();
+}
+
+TEST(ShardedKrrProfiler, WorkerExceptionInInlineModePropagatesImmediately) {
+  ShardedKrrProfilerConfig cfg;
+  cfg.shards = 2;
+  cfg.threads = 1;
+  cfg.before_access_hook = [](std::uint32_t, const Request&) {
+    throw std::runtime_error("inline fault");
+  };
+  ShardedKrrProfiler profiler(cfg);
+  EXPECT_THROW(profiler.access(Request{1, 1, Op::kGet}), std::runtime_error);
+}
+
+TEST(ShardedKrrProfiler, MemoryCeilingDegradesPerShard) {
+  const auto trace = zipf_trace(60000, 20000, 0.7);
+  ShardedKrrProfilerConfig cfg;
+  cfg.base.k_sample = 5;
+  cfg.base.max_stack_bytes = 64 << 10;  // global ceiling, split across shards
+  cfg.shards = 4;
+  cfg.threads = 2;
+  ShardedKrrProfiler profiler(cfg);
+  for (const Request& r : trace) profiler.access(r);
+  profiler.finish();
+  EXPECT_GT(profiler.degradation_events(), 0u);
+  // Every shard honors its slice of the ceiling.
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_LE(profiler.shard(s).space_overhead_bytes(), (64u << 10) / 4);
+  }
+  const RunReport report = profiler.run_report();
+  EXPECT_LT(report.final_sampling_rate, report.configured_sampling_rate);
+  EXPECT_EQ(report.degradation_events, profiler.degradation_events());
+}
+
+TEST(ShardedKrrProfiler, RunReportAndSnapshotAggregate) {
+  const auto trace = zipf_trace(30000, 2000);
+  ShardedKrrProfilerConfig cfg;
+  cfg.base.k_sample = 5;
+  cfg.shards = 3;
+  cfg.threads = 2;
+  ShardedKrrProfiler profiler(cfg);
+  for (const Request& r : trace) profiler.access(r);
+  profiler.finish();
+  const RunReport report = profiler.run_report();
+  EXPECT_EQ(report.records_read, trace.size());
+  EXPECT_EQ(report.stack_depth, profiler.stack_depth());
+  EXPECT_EQ(report.space_overhead_bytes, profiler.space_overhead_bytes());
+  const obs::HeartbeatSnapshot snap = profiler.snapshot();
+  EXPECT_EQ(snap.records, trace.size());
+  EXPECT_EQ(snap.sampled, profiler.sampled());
+  EXPECT_EQ(snap.stack_depth, profiler.stack_depth());
+}
+
+TEST(ShardedKrrProfiler, ThreadedAccessorsRequireFinish) {
+  ShardedKrrProfilerConfig cfg;
+  cfg.shards = 2;
+  cfg.threads = 2;
+  ShardedKrrProfiler profiler(cfg);
+  EXPECT_THROW(profiler.mrc(), std::logic_error);
+  EXPECT_THROW(profiler.run_report(), std::logic_error);
+  profiler.finish();
+  EXPECT_NO_THROW(profiler.mrc());
+}
+
+TEST(ShardedKrrProfiler, ExportsPerShardGauges) {
+  const auto trace = zipf_trace(20000, 1000);
+  ShardedKrrProfilerConfig cfg;
+  cfg.base.k_sample = 5;
+  cfg.shards = 2;
+  cfg.threads = 1;
+  ShardedKrrProfiler profiler(cfg);
+  for (const Request& r : trace) profiler.access(r);
+  profiler.finish();
+  obs::MetricsRegistry registry;
+  profiler.export_shard_gauges(registry);
+  const double d0 = registry.gauge("sharded.shard0.stack_depth").value();
+  const double d1 = registry.gauge("sharded.shard1.stack_depth").value();
+  EXPECT_EQ(static_cast<std::uint64_t>(d0 + d1), profiler.stack_depth());
+}
+
+}  // namespace
+}  // namespace krr

@@ -6,12 +6,13 @@
 // deliberately laptop-sized: a full run takes ~1 minute at the default
 // scale. KRR_BENCH_SCALE multiplies trace lengths as usual.
 //
-//   bench_snapshot [--out=BENCH_pr2.json] [--pr=2] [--repeats=3]
+//   bench_snapshot [--out=BENCH_pr3.json] [--pr=3] [--repeats=3]
 
 #include <cstdio>
 #include <ctime>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "../bench/bench_common.h"
 
@@ -48,8 +49,8 @@ std::string utc_timestamp() {
 
 int main(int argc, char** argv) {
   Options opts(argc, argv);
-  const std::string out = opts.get_string("out", "BENCH_pr2.json");
-  const auto pr = opts.get_int("pr", 2);
+  const std::string out = opts.get_string("out", "BENCH_pr3.json");
+  const auto pr = opts.get_int("pr", 3);
   const int repeats = static_cast<int>(opts.get_int("repeats", 3));
 
   obs::Json root = obs::Json::object();
@@ -60,6 +61,8 @@ int main(int argc, char** argv) {
   root.set("bench_scale", obs::Json(bench_scale()));
   root.set("instrumentation_compiled_in",
            obs::Json(obs::kHotPathInstrumentation));
+  root.set("hardware_concurrency",
+           obs::Json(std::uint64_t{std::thread::hardware_concurrency()}));
 
   // 1. End-to-end profile throughput across representative workloads.
   struct Case {
@@ -158,6 +161,60 @@ int main(int argc, char** argv) {
             obs::Json(static_cast<double>(profiler.space_overhead_bytes()) /
                       static_cast<double>(profiler.stack_depth())));
     root.set("space", std::move(row));
+  }
+
+  // 5. Sharded-pipeline scaling on the hot Zipf trace: speedup of
+  // ShardedKrrProfiler over the serial baseline per thread count, and the
+  // merged MRC's MAE against serial (the accuracy cost of sharding).
+  // Numbers are honest to the machine that ran them — see
+  // hardware_concurrency above; a 1-core runner records ~1x.
+  {
+    const std::vector<Request>& trace = cases[0].trace;
+    const double serial_secs = profile_seconds(
+        trace, 5.0, 1.0, UpdateStrategy::kBackward, nullptr, repeats);
+    MissRatioCurve serial_mrc;
+    {
+      KrrProfilerConfig cfg;
+      cfg.k_sample = 5.0;
+      cfg.seed = 7;
+      KrrProfiler profiler(cfg);
+      for (const Request& r : trace) profiler.access(r);
+      serial_mrc = profiler.mrc();
+    }
+    const std::vector<double> sizes =
+        evenly_spaced_sizes(serial_mrc.max_size(), 40);
+    obs::Json rows = obs::Json::array();
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      MissRatioCurve merged;
+      const double secs = median_seconds(repeats, [&] {
+        ShardedKrrProfilerConfig cfg;
+        cfg.base.k_sample = 5.0;
+        cfg.base.seed = 7;
+        cfg.shards = 8;
+        cfg.threads = threads;
+        ShardedKrrProfiler profiler(cfg);
+        for (const Request& r : trace) profiler.access(r);
+        profiler.finish();
+        merged = profiler.mrc();
+      });
+      obs::Json row = obs::Json::object();
+      row.set("threads", obs::Json(std::uint64_t{threads}));
+      row.set("shards", obs::Json(std::uint64_t{8}));
+      row.set("seconds", obs::Json(secs));
+      row.set("mrec_per_s",
+              obs::Json(static_cast<double>(trace.size()) / secs / 1e6));
+      row.set("speedup_vs_serial", obs::Json(serial_secs / secs));
+      row.set("mae_vs_serial", obs::Json(serial_mrc.mae(merged, sizes)));
+      rows.push_back(std::move(row));
+      std::printf("sharded threads=%u shards=8  %.3f s (%.2fx, mae %.5f)\n",
+                  threads, secs, serial_secs / secs,
+                  serial_mrc.mae(merged, sizes));
+    }
+    obs::Json section = obs::Json::object();
+    section.set("workload", obs::Json(cases[0].name));
+    section.set("serial_seconds", obs::Json(serial_secs));
+    section.set("rows", std::move(rows));
+    root.set("parallel_scaling", std::move(section));
   }
 
   std::ofstream os(out);

@@ -5,8 +5,15 @@
 //   krr_cli profile  --trace=trace.bin --k=5 [--rate=0.001] [--bytes]
 //                    [--strategy=backward|top_down|linear] [--no-correction]
 //                    [--max-stack-mb=64] [--out=mrc.csv]
+//                    [--threads=N] [--shards=S]
 //                    [--metrics-out=FILE] [--format=json|table]
 //                    [--progress[=SECS]]
+//
+// Parallelism: --threads=N (default 1) profiles on N shard-worker threads
+// fed from the reader thread; --shards=S (default: N) controls the hash
+// partition count independently of the thread count, and the MRC depends
+// only on S, never on N. The default --threads=1 --shards=1 runs the
+// serial profiler unchanged (bit-identical output).
 //   krr_cli simulate --trace=trace.bin --policy=klru --k=5 --sizes=20
 //   krr_cli compare  --trace=trace.bin --k=5 --sizes=20
 //
@@ -63,6 +70,7 @@ void print_usage(std::FILE* to) {
                "  generate  --workload= --n= --out=   write a trace file\n"
                "  profile   --trace=|--workload= --k= [--rate=] [--bytes]\n"
                "            [--strategy=] [--no-correction] [--max-stack-mb=]\n"
+               "            [--threads=N] [--shards=S]\n"
                "            [--out=] [--metrics-out=] [--format=json|table]\n"
                "            [--progress[=secs]]\n"
                "  simulate  --trace=|--workload= --policy=klru|redis|lru\n"
@@ -240,14 +248,19 @@ int cmd_profile(const Options& opts) {
   const auto max_stack_mb = opts.get_int("max-stack-mb", 0);
   if (max_stack_mb < 0) usage("--max-stack-mb must be >= 0");
   cfg.max_stack_bytes = static_cast<std::uint64_t>(max_stack_mb) << 20;
+  const auto threads_opt = opts.get_int("threads", 1);
+  if (threads_opt < 1) usage("--threads must be >= 1");
+  const auto shards_opt = opts.get_int("shards", 0);
+  if (shards_opt < 0) usage("--shards must be >= 1");
+  const auto threads = static_cast<unsigned>(threads_opt);
+  // --shards defaults to one shard per worker thread.
+  const auto shards = shards_opt == 0 ? static_cast<std::uint32_t>(threads)
+                                      : static_cast<std::uint32_t>(shards_opt);
+  const bool sharded_mode = threads > 1 || shards > 1;
 
-  KrrProfiler profiler(cfg);
   obs::MetricsRegistry registry;
   std::optional<obs::PipelineMetrics> metrics;
-  if (want_metrics) {
-    metrics.emplace(registry);
-    profiler.attach_metrics(&*metrics);
-  }
+  if (want_metrics) metrics.emplace(registry);
   std::optional<obs::Heartbeat> heartbeat;
   if (opts.has("progress")) {
     const double interval = opts.get_double("progress", 2.0);
@@ -255,25 +268,68 @@ int cmd_profile(const Options& opts) {
     heartbeat.emplace(interval, std::cerr);
   }
 
-  {
-    ScopedTimer timer(phase_profile);
-    if (heartbeat) {
-      for (const Request& r : trace) {
-        profiler.access(r);
-        heartbeat->tick([&] {
-          profiler.refresh_metrics_gauges();
-          return snapshot_of(profiler);
-        });
-      }
-      heartbeat->finish(snapshot_of(profiler));
-    } else {
-      for (const Request& r : trace) profiler.access(r);
-    }
-  }
   MissRatioCurve mrc;
-  {
-    ScopedTimer timer(phase_mrc);
-    mrc = profiler.mrc();
+  RunReport report;
+  std::uint64_t sampled = 0;
+  std::uint64_t stack_depth = 0;
+  if (!sharded_mode) {
+    KrrProfiler profiler(cfg);
+    if (want_metrics) profiler.attach_metrics(&*metrics);
+    {
+      ScopedTimer timer(phase_profile);
+      if (heartbeat) {
+        for (const Request& r : trace) {
+          profiler.access(r);
+          heartbeat->tick([&] {
+            profiler.refresh_metrics_gauges();
+            return snapshot_of(profiler);
+          });
+        }
+        heartbeat->finish(snapshot_of(profiler));
+      } else {
+        for (const Request& r : trace) profiler.access(r);
+      }
+    }
+    {
+      ScopedTimer timer(phase_mrc);
+      mrc = profiler.mrc();
+    }
+    report = profiler.run_report(&ingest);
+    if (want_metrics) profiler.refresh_metrics_gauges();
+    sampled = profiler.sampled();
+    stack_depth = profiler.stack_depth();
+  } else {
+    ShardedKrrProfilerConfig scfg;
+    scfg.base = cfg;
+    scfg.shards = shards;
+    scfg.threads = threads;
+    ShardedKrrProfiler profiler(scfg);
+    if (want_metrics) profiler.attach_metrics(&*metrics);
+    {
+      ScopedTimer timer(phase_profile);
+      if (heartbeat) {
+        for (const Request& r : trace) {
+          profiler.access(r);
+          heartbeat->tick([&] { return profiler.snapshot(); });
+        }
+      } else {
+        for (const Request& r : trace) profiler.access(r);
+      }
+      profiler.finish();
+      if (heartbeat) heartbeat->finish(profiler.snapshot());
+    }
+    {
+      ScopedTimer timer(phase_mrc);
+      mrc = profiler.mrc();
+    }
+    report = profiler.run_report(&ingest);
+    if (want_metrics) profiler.export_shard_gauges(registry);
+    sampled = profiler.sampled();
+    stack_depth = profiler.stack_depth();
+    if (profiler.producer_stall_seconds() > 0.01) {
+      std::fprintf(stderr, "fan-out backpressure: %.3f s producer stall\n",
+                   profiler.producer_stall_seconds());
+    }
   }
   const double secs = phase_profile + phase_mrc;
   const std::string out = opts.get_string("out", "");
@@ -290,9 +346,7 @@ int cmd_profile(const Options& opts) {
       mrc.write_csv(os);
     }
   }
-  const RunReport report = profiler.run_report(&ingest);
   if (want_metrics) {
-    profiler.refresh_metrics_gauges();
     fold_ingest_metrics(ingest, registry);
     registry.gauge("phase.load_seconds").set(phase_load);
     registry.gauge("phase.profile_seconds").set(phase_profile);
@@ -310,10 +364,18 @@ int cmd_profile(const Options& opts) {
       }
     }
   }
-  std::fprintf(stderr,
-               "profiled %zu requests (%zu sampled) in %.3f s; stack depth %zu\n",
-               trace.size(), static_cast<std::size_t>(profiler.sampled()), secs,
-               static_cast<std::size_t>(profiler.stack_depth()));
+  if (sharded_mode) {
+    std::fprintf(stderr,
+                 "profiled %zu requests (%zu sampled) in %.3f s across %u "
+                 "shards on %u threads; stack depth %zu\n",
+                 trace.size(), static_cast<std::size_t>(sampled), secs, shards,
+                 threads, static_cast<std::size_t>(stack_depth));
+  } else {
+    std::fprintf(stderr,
+                 "profiled %zu requests (%zu sampled) in %.3f s; stack depth %zu\n",
+                 trace.size(), static_cast<std::size_t>(sampled), secs,
+                 static_cast<std::size_t>(stack_depth));
+  }
   if (report.degradation_events > 0) {
     std::fprintf(stderr,
                  "degraded sampling rate %llu time(s) to stay under "

@@ -1,13 +1,17 @@
-// MRC model zoo: run every miss-ratio-curve technique in the library on one
+// MRC model zoo: run every estimator registered in EstimatorRegistry on one
 // workload and print their curves side by side — a quick way to see which
-// family of model fits which policy.
+// family of model fits which policy. Adding a model to the registry adds it
+// to this table with no changes here.
 //
 //   ./build/examples/mrc_zoo [--workload=msr:web] [--requests=N] [--k=5]
 //
 // Workload specs are the factory grammar (run `krr_cli workloads`).
+// reference_oracle models (O(M) per access) are skipped at zoo scale.
 
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <memory>
 
 #include "krr.h"
 
@@ -26,51 +30,55 @@ int main(int argc, char** argv) {
   std::printf("workload %s: %zu requests, %zu objects; K-LRU sampling size %u\n\n",
               gen->name().c_str(), trace.size(), krr::count_distinct(trace), k);
 
-  // Ground truths.
+  // Ground truth: what a Redis-style K-LRU cache actually does.
   const krr::MissRatioCurve klru = krr::sweep_klru(trace, sizes, k, true, 3);
-  krr::LruStackProfiler lru_exact;
 
-  // One-pass models, all fed in a single sweep over the trace.
-  krr::KrrProfilerConfig krr_cfg;
-  krr_cfg.k_sample = k;
-  krr::KrrProfiler krr_model(krr_cfg);
-  krr::ShardsProfiler shards(0.1);
-  krr::AetProfiler aet;
-  krr::StatStackProfiler statstack;
-  krr::HotlProfiler hotl;
-  krr::MimirProfiler mimir(128);
-  krr::CounterStacksProfiler counter_stacks(
-      std::max<std::uint64_t>(100, requests / 400));
-  for (const krr::Request& r : trace) {
-    lru_exact.access(r);
-    krr_model.access(r);
-    shards.access(r);
-    aet.access(r);
-    statstack.access(r);
-    hotl.access(r);
-    mimir.access(r);
-    counter_stacks.access(r);
-  }
+  // Historic knob choices, expressed as registry options.
+  std::map<std::string, krr::EstimatorOptions> overrides;
+  overrides["shards"].set("rate", "0.1");
+  overrides["mimir"].set("buckets", "128");
+  overrides["counter_stacks"].set(
+      "interval", std::to_string(std::max<std::uint64_t>(100, requests / 400)));
 
+  // Every non-oracle registered model, all fed in a single sweep.
+  auto& registry = krr::EstimatorRegistry::instance();
   struct Row {
-    const char* name;
+    std::string name;
+    std::unique_ptr<krr::MrcEstimator> est;
     krr::MissRatioCurve curve;
   };
-  const std::vector<Row> rows = {
-      {"simulated_KLRU", klru},
-      {"KRR (models K-LRU)", krr_model.mrc()},
-      {"exact_LRU", lru_exact.mrc()},
-      {"SHARDS_R0.1", shards.mrc()},
-      {"AET", aet.mrc(sizes)},
-      {"StatStack", statstack.mrc()},
-      {"HOTL", hotl.mrc(128)},
-      {"MIMIR_128", mimir.mrc()},
-      {"CounterStacks", counter_stacks.mrc()},
-  };
+  std::vector<Row> rows;
+  for (const krr::EstimatorInfo& info : registry.list()) {
+    if (info.caps.reference_oracle) continue;
+    krr::EstimatorOptions options;
+    options.set("k", std::to_string(k));
+    if (const auto it = overrides.find(info.name); it != overrides.end()) {
+      options.merge(it->second);
+    }
+    auto est = registry.create(info.name, options);
+    if (!est.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", info.name.c_str(),
+                   est.status().message().c_str());
+      return 1;
+    }
+    rows.push_back(Row{info.name, std::move(*est), {}});
+  }
+  for (const krr::Request& r : trace) {
+    for (Row& row : rows) row.est->access(r);
+  }
+  for (Row& row : rows) {
+    row.est->finish();
+    row.curve = row.est->mrc(sizes);
+  }
 
   std::vector<std::string> header{"model"};
   for (double s : sizes) header.push_back(krr::format_double(s, 4));
   krr::Table table(header);
+  {
+    std::vector<std::string> cells{"simulated_KLRU"};
+    for (double s : sizes) cells.push_back(krr::format_double(klru.eval(s), 3));
+    table.add_row(std::move(cells));
+  }
   for (const Row& row : rows) {
     std::vector<std::string> cells{row.name};
     for (double s : sizes) cells.push_back(krr::format_double(row.curve.eval(s), 3));
@@ -80,13 +88,13 @@ int main(int argc, char** argv) {
 
   std::printf("\nMAE vs the simulated K-LRU cache (what an operator of a\n"
               "Redis-style cache actually needs to predict):\n");
-  krr::Table mae({"model", "mae_vs_klru"});
+  krr::Table mae({"model", "policy", "mae_vs_klru"});
   for (const Row& row : rows) {
-    if (row.name == rows.front().name) continue;
-    mae.add(row.name, row.curve.mae(klru, sizes));
+    mae.add(row.name, row.est->info().policy, row.curve.mae(klru, sizes));
   }
   mae.print(std::cout);
-  std::printf("\nOnly KRR targets the K-LRU policy; the LRU-family models\n"
-              "agree with each other but miss the sampling effect (Fig. 5.2).\n");
+  std::printf("\nOnly the krr family targets the K-LRU policy; the LRU-family\n"
+              "models agree with each other but miss the sampling effect\n"
+              "(Fig. 5.2).\n");
   return 0;
 }

@@ -1,0 +1,194 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace krr {
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const char* kind) {
+  throw std::invalid_argument("estimator option '" + key + "': bad " + kind +
+                              " '" + value + "'");
+}
+
+}  // namespace
+
+StatusOr<EstimatorOptions> EstimatorOptions::parse(const std::string& spec) {
+  EstimatorOptions options;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    const std::string key = item.substr(0, eq);
+    if (key.empty()) {
+      return invalid_argument_error("estimator options: empty key in '" + spec + "'");
+    }
+    // A bare `flag` is shorthand for `flag=1`.
+    options.set(key, eq == std::string::npos ? "1" : item.substr(eq + 1));
+  }
+  return options;
+}
+
+void EstimatorOptions::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+
+void EstimatorOptions::merge(const EstimatorOptions& other) {
+  for (const auto& [key, value] : other.values_) values_[key] = value;
+}
+
+bool EstimatorOptions::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string EstimatorOptions::get_string(const std::string& key,
+                                         const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t EstimatorOptions::get_int(const std::string& key,
+                                       std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (it->second.empty() || end == nullptr || *end != '\0') {
+    bad_value(key, it->second, "integer");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+double EstimatorOptions::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (it->second.empty() || end == nullptr || *end != '\0') {
+    bad_value(key, it->second, "number");
+  }
+  return v;
+}
+
+bool EstimatorOptions::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  bad_value(key, v, "boolean");
+}
+
+const std::set<std::string>& common_estimator_option_keys() {
+  static const std::set<std::string> keys = {
+      "k", "rate", "bytes", "strategy", "correction", "adjustment",
+      "seed", "quantum"};
+  return keys;
+}
+
+RunReport MrcEstimator::run_report(const TraceReadReport* ingest) const {
+  RunReport report;
+  report.records_read = processed();
+  if (ingest != nullptr) {
+    report.records_read = ingest->records_read;
+    report.records_skipped = ingest->records_skipped;
+    report.checksum_failures = ingest->checksum_failures;
+    report.truncated_tail = ingest->truncated_tail;
+  }
+  return report;
+}
+
+obs::HeartbeatSnapshot MrcEstimator::snapshot() const {
+  obs::HeartbeatSnapshot s;
+  s.records = processed();
+  return s;
+}
+
+void MrcEstimator::attach_metrics(obs::PipelineMetrics*) noexcept {}
+
+void MrcEstimator::export_gauges(obs::MetricsRegistry&) const {}
+
+EstimatorRegistry& EstimatorRegistry::instance() {
+  // Leaked singleton: registrations from static initializers in other
+  // translation units may run before main and must never observe teardown.
+  static EstimatorRegistry* registry = [] {
+    auto* r = new EstimatorRegistry();
+    detail::register_builtin_estimators(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void EstimatorRegistry::add(EstimatorInfo info, Factory factory) {
+  const std::string name = info.name;
+  if (name.empty()) throw std::logic_error("estimator registered without a name");
+  const bool inserted =
+      entries_.emplace(name, std::make_pair(std::move(info), std::move(factory)))
+          .second;
+  if (!inserted) {
+    throw std::logic_error("estimator '" + name + "' registered twice");
+  }
+}
+
+StatusOr<std::unique_ptr<MrcEstimator>> EstimatorRegistry::create(
+    const std::string& name, const EstimatorOptions& options) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [n, entry] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return invalid_argument_error("unknown estimator '" + name + "' (known: " + known +
+                            ")");
+  }
+  const auto& [info, factory] = it->second;
+  for (const auto& [key, value] : options.entries()) {
+    if (common_estimator_option_keys().count(key) != 0) continue;
+    if (std::find(info.option_keys.begin(), info.option_keys.end(), key) !=
+        info.option_keys.end()) {
+      continue;
+    }
+    std::string accepted;
+    for (const auto& k : info.option_keys) {
+      if (!accepted.empty()) accepted += ", ";
+      accepted += k;
+    }
+    return invalid_argument_error("estimator '" + name + "' does not accept option '" +
+                            key + "'" +
+                            (accepted.empty() ? "" : " (accepts: " + accepted + ")"));
+  }
+  try {
+    auto estimator = factory(options);
+    estimator->set_info(info);
+    return estimator;
+  } catch (const std::invalid_argument& e) {
+    return invalid_argument_error(std::string("estimator '") + name + "': " + e.what());
+  }
+}
+
+const EstimatorInfo* EstimatorRegistry::find(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second.first;
+}
+
+std::vector<EstimatorInfo> EstimatorRegistry::list() const {
+  std::vector<EstimatorInfo> infos;
+  infos.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) infos.push_back(entry.first);
+  return infos;  // std::map iteration is already name-sorted
+}
+
+EstimatorRegistrar::EstimatorRegistrar(EstimatorInfo info,
+                                       EstimatorRegistry::Factory factory) {
+  EstimatorRegistry::instance().add(std::move(info), std::move(factory));
+}
+
+}  // namespace krr

@@ -1,0 +1,207 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "obs/heartbeat.h"
+#include "trace/request.h"
+#include "trace/trace_reader.h"
+#include "util/mrc.h"
+#include "util/status.h"
+
+namespace krr {
+
+namespace obs {
+struct PipelineMetrics;
+class MetricsRegistry;
+}  // namespace obs
+
+/// Typed key=value option bag for estimator construction — the common
+/// currency between CLI flags, bench overrides, and the registry factories.
+/// Values are stored as strings and converted on access; a malformed
+/// numeric/boolean value throws std::invalid_argument (which the CLI maps
+/// onto its usage exit code).
+class EstimatorOptions {
+ public:
+  EstimatorOptions() = default;
+
+  /// Parses a comma-separated "key=value,key2=value2,flag" spec (a bare
+  /// `flag` is shorthand for `flag=1`). Empty spec parses to an empty bag;
+  /// an empty key (",=3") is kInvalidArgument.
+  static StatusOr<EstimatorOptions> parse(const std::string& spec);
+
+  void set(const std::string& key, std::string value);
+  /// Copies every entry of `other` into this bag (overwriting duplicates).
+  void merge(const EstimatorOptions& other);
+
+  bool has(const std::string& key) const;
+  std::string get_string(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  const std::map<std::string, std::string>& entries() const noexcept {
+    return values_;
+  }
+  bool empty() const noexcept { return values_.empty(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Option keys every estimator accepts (mapped from the shared CLI flags:
+/// --k, --rate, --bytes, --strategy, --no-correction, --seed, --quantum).
+/// A model that has no use for a common key silently ignores it — the
+/// capability flags say which knobs actually bite. Model-specific keys must
+/// be declared in EstimatorInfo::option_keys; anything else is rejected by
+/// EstimatorRegistry::create.
+const std::set<std::string>& common_estimator_option_keys();
+
+/// What an estimator can do — the registry's capability matrix, surfaced by
+/// `krr_cli models` and used by bench/zoo code to pick the right ground
+/// truth and skip knobs a model lacks.
+struct EstimatorCapabilities {
+  /// Targets the K-LRU (random sampling) eviction process; false means the
+  /// model predicts exact LRU (or another policy named in `policy`).
+  bool models_klru = false;
+  /// Byte-granularity curves over variable object sizes (`bytes` option).
+  bool byte_granularity = false;
+  /// Hash-based spatial sampling (`rate` or threshold-adaptive).
+  bool spatial_sampling = false;
+  /// Multi-threaded sharded operation (`threads`/`shards` options).
+  bool sharded = false;
+  /// Hot-path metrics attachment (attach_metrics is more than a no-op).
+  bool metrics = false;
+  /// O(stack depth) per access: a reference oracle for correctness work,
+  /// excluded from the perf zoo/bench sweeps that would take hours on it.
+  bool reference_oracle = false;
+};
+
+/// Registry metadata for one estimator.
+struct EstimatorInfo {
+  std::string name;         ///< registry key, e.g. "krr", "shards", "aet"
+  std::string policy;       ///< eviction policy modeled, e.g. "K-LRU", "LRU"
+  std::string description;  ///< one-liner for `krr_cli models`
+  EstimatorCapabilities caps;
+  /// Model-specific EstimatorOptions keys beyond the common set.
+  std::vector<std::string> option_keys;
+};
+
+/// Abstract one-pass miss-ratio-curve estimator: the polymorphic citizen
+/// every model in src/core/ and src/baselines/ is adapted to, so the whole
+/// pipeline (CLI, bench, zoo, conformance tests) is written once against
+/// this interface and a new model is a one-file registration.
+///
+/// Lifecycle: access() per reference, then finish() exactly once (declares
+/// end of input — queue-fed estimators drain and join here), then
+/// mrc()/run_report(). An estimator that has processed no references
+/// returns the empty curve (which eval()s to 1.0 everywhere).
+class MrcEstimator {
+ public:
+  virtual ~MrcEstimator() = default;
+
+  /// Processes one reference (sampling/filtering applied internally).
+  virtual void access(const Request& req) = 0;
+
+  /// Declares end of input. Default is a no-op; pipelined estimators drain
+  /// their queues and rethrow worker errors here. Must be called before
+  /// mrc()/run_report() results are meaningful.
+  virtual void finish() {}
+
+  /// The predicted miss ratio curve. `sizes` is an evaluation-grid hint
+  /// (cache sizes in objects, or bytes for byte-granularity models): models
+  /// that solve for specific sizes (e.g. AET) evaluate there, stack-based
+  /// models ignore it and return their native breakpoints. An empty hint is
+  /// always acceptable.
+  virtual MissRatioCurve mrc(const std::vector<double>& sizes = {}) const = 0;
+
+  /// References seen by access() so far.
+  virtual std::uint64_t processed() const = 0;
+
+  /// End-of-run accounting. The default folds the ingestion report and the
+  /// processed count into an otherwise-empty RunReport; estimators with
+  /// sampling/degradation machinery override with the real numbers.
+  virtual RunReport run_report(const TraceReadReport* ingest = nullptr) const;
+
+  /// Instantaneous progress for heartbeats. The default reports only the
+  /// processed count; estimators with stacks/filters fill the other gauges.
+  virtual obs::HeartbeatSnapshot snapshot() const;
+
+  /// Hot-path instrumentation hooks, no-ops by default (capability flag
+  /// `metrics` says whether a model forwards them). Same lifetime contract
+  /// as KrrProfiler::attach_metrics.
+  virtual void attach_metrics(obs::PipelineMetrics* metrics) noexcept;
+  virtual void refresh_metrics_gauges() const noexcept {}
+  /// Publishes end-of-run gauges into the registry (e.g. per-shard state).
+  virtual void export_gauges(obs::MetricsRegistry& registry) const;
+
+  /// Registry metadata (set by EstimatorRegistry::create; an estimator
+  /// constructed by hand reports a default-constructed info).
+  const EstimatorInfo& info() const noexcept { return info_; }
+  void set_info(EstimatorInfo info) { info_ = std::move(info); }
+
+ private:
+  EstimatorInfo info_;
+};
+
+/// String-keyed estimator factory registry. All built-in models register on
+/// first use; external code can add more via EstimatorRegistrar (one static
+/// object in one translation unit is a complete registration).
+class EstimatorRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<MrcEstimator>(const EstimatorOptions&)>;
+
+  /// The process-wide registry, with every built-in model registered.
+  static EstimatorRegistry& instance();
+
+  /// Registers a model. Throws std::logic_error on a duplicate name —
+  /// silent shadowing of an estimator would invalidate comparisons.
+  void add(EstimatorInfo info, Factory factory);
+
+  /// Instantiates `name` with `options`. kInvalidArgument when the name is
+  /// unknown, an option key is neither common nor declared by the model, or
+  /// the factory rejects an option value.
+  StatusOr<std::unique_ptr<MrcEstimator>> create(
+      const std::string& name, const EstimatorOptions& options = {}) const;
+
+  /// Metadata lookup; nullptr when unknown.
+  const EstimatorInfo* find(const std::string& name) const;
+
+  /// Every registered model, sorted by name.
+  std::vector<EstimatorInfo> list() const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool contains(const std::string& name) const {
+    return entries_.count(name) != 0;
+  }
+
+ private:
+  EstimatorRegistry() = default;
+
+  std::map<std::string, std::pair<EstimatorInfo, Factory>> entries_;
+};
+
+/// Self-registration handle:
+///
+///   static EstimatorRegistrar my_model_registrar(
+///       {.name = "my_model", .policy = "LRU", .description = "..."},
+///       [](const EstimatorOptions& o) { return std::make_unique<...>(o); });
+struct EstimatorRegistrar {
+  EstimatorRegistrar(EstimatorInfo info, EstimatorRegistry::Factory factory);
+};
+
+namespace detail {
+/// Defined in estimators_builtin.cpp; called once by instance(). Keeping
+/// the built-in registrations behind a direct call (rather than static
+/// initializers alone) guarantees they survive static-library linking.
+void register_builtin_estimators(EstimatorRegistry& registry);
+}  // namespace detail
+
+}  // namespace krr

@@ -1,0 +1,582 @@
+// Built-in MrcEstimator registrations: every MRC model in src/core/ and
+// src/baselines/ adapted to the polymorphic interface. Divergent native
+// constructor signatures are normalized here into EstimatorOptions keys;
+// the adapters own their wrapped model and add nothing on the access path
+// beyond one virtual dispatch.
+//
+// All registrations run from EstimatorRegistry::instance() via
+// detail::register_builtin_estimators, so they survive static-library
+// linking (a registrar-only translation unit would be dropped).
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/aet.h"
+#include "baselines/counter_stacks.h"
+#include "baselines/hotl.h"
+#include "baselines/lru_stack.h"
+#include "baselines/mimir.h"
+#include "baselines/naive_stack.h"
+#include "baselines/olken_tree.h"
+#include "baselines/priority_stack.h"
+#include "baselines/shards.h"
+#include "baselines/shards_fixed.h"
+#include "baselines/statstack.h"
+#include "core/estimator.h"
+#include "core/profiler.h"
+#include "core/sharded_profiler.h"
+#include "core/windowed_profiler.h"
+
+namespace krr {
+namespace {
+
+UpdateStrategy parse_strategy(const std::string& name) {
+  if (name == "backward") return UpdateStrategy::kBackward;
+  if (name == "top_down") return UpdateStrategy::kTopDown;
+  if (name == "linear") return UpdateStrategy::kLinear;
+  throw std::invalid_argument("unknown strategy: " + name +
+                              " (use backward, top_down or linear)");
+}
+
+std::uint64_t get_u64(const EstimatorOptions& o, const std::string& key,
+                      std::uint64_t def) {
+  const std::int64_t v = o.get_int(key, static_cast<std::int64_t>(def));
+  if (v < 0) {
+    throw std::invalid_argument("estimator option '" + key +
+                                "' must be >= 0");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+/// The shared mapping from option keys onto KrrProfilerConfig — one place,
+/// so `krr`, `krr_sharded` and `krr_windowed` agree on every knob.
+KrrProfilerConfig krr_config_from(const EstimatorOptions& o) {
+  KrrProfilerConfig cfg;
+  cfg.k_sample = o.get_double("k", cfg.k_sample);
+  cfg.sampling_rate = o.get_double("rate", cfg.sampling_rate);
+  cfg.byte_granularity = o.get_bool("bytes", cfg.byte_granularity);
+  cfg.apply_correction = o.get_bool("correction", cfg.apply_correction);
+  cfg.sampling_adjustment = o.get_bool("adjustment", cfg.sampling_adjustment);
+  cfg.strategy = parse_strategy(o.get_string("strategy", "backward"));
+  cfg.seed = get_u64(o, "seed", cfg.seed);
+  cfg.histogram_quantum = get_u64(o, "quantum", cfg.histogram_quantum);
+  cfg.max_stack_bytes = get_u64(o, "max_stack_bytes", cfg.max_stack_bytes);
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// KRR core family
+// ---------------------------------------------------------------------------
+
+class KrrEstimator final : public MrcEstimator {
+ public:
+  explicit KrrEstimator(const EstimatorOptions& o)
+      : profiler_(krr_config_from(o)) {}
+
+  void access(const Request& req) override { profiler_.access(req); }
+  MissRatioCurve mrc(const std::vector<double>&) const override {
+    return profiler_.mrc();
+  }
+  std::uint64_t processed() const override { return profiler_.processed(); }
+  RunReport run_report(const TraceReadReport* ingest) const override {
+    return profiler_.run_report(ingest);
+  }
+  obs::HeartbeatSnapshot snapshot() const override {
+    obs::HeartbeatSnapshot s;
+    s.records = profiler_.processed();
+    s.sampled = profiler_.sampled();
+    s.stack_depth = profiler_.stack_depth();
+    s.resident_bytes = profiler_.space_overhead_bytes();
+    s.sampling_rate = profiler_.current_sampling_rate();
+    s.degradation_events = profiler_.degradation_events();
+    return s;
+  }
+  void attach_metrics(obs::PipelineMetrics* metrics) noexcept override {
+    profiler_.attach_metrics(metrics);
+  }
+  void refresh_metrics_gauges() const noexcept override {
+    profiler_.refresh_metrics_gauges();
+  }
+
+ private:
+  KrrProfiler profiler_;
+};
+
+class ShardedKrrEstimator final : public MrcEstimator {
+ public:
+  explicit ShardedKrrEstimator(const EstimatorOptions& o)
+      : profiler_(sharded_config_from(o)) {}
+
+  void access(const Request& req) override { profiler_.access(req); }
+  void finish() override { profiler_.finish(); }
+  MissRatioCurve mrc(const std::vector<double>&) const override {
+    return profiler_.mrc();
+  }
+  std::uint64_t processed() const override { return profiler_.processed(); }
+  RunReport run_report(const TraceReadReport* ingest) const override {
+    return profiler_.run_report(ingest);
+  }
+  obs::HeartbeatSnapshot snapshot() const override {
+    // Mid-run the live gauges are the (possibly slightly stale) values the
+    // workers last published; once the pipeline has joined, the aggregate
+    // accessors are exact, so the end-of-run summary reports them instead.
+    if (!profiler_.finished()) return profiler_.snapshot();
+    obs::HeartbeatSnapshot s;
+    s.records = profiler_.processed();
+    s.sampled = profiler_.sampled();
+    s.stack_depth = profiler_.stack_depth();
+    const RunReport report = profiler_.run_report();
+    s.resident_bytes = report.space_overhead_bytes;
+    s.sampling_rate = report.final_sampling_rate;
+    s.degradation_events = report.degradation_events;
+    return s;
+  }
+  void attach_metrics(obs::PipelineMetrics* metrics) noexcept override {
+    profiler_.attach_metrics(metrics);
+  }
+  void export_gauges(obs::MetricsRegistry& registry) const override {
+    profiler_.export_shard_gauges(registry);
+  }
+
+ private:
+  static ShardedKrrProfilerConfig sharded_config_from(const EstimatorOptions& o) {
+    ShardedKrrProfilerConfig cfg;
+    cfg.base = krr_config_from(o);
+    const std::uint64_t shards = get_u64(o, "shards", 1);
+    const std::uint64_t threads = get_u64(o, "threads", 1);
+    if (shards < 1) throw std::invalid_argument("shards must be >= 1");
+    if (threads < 1) throw std::invalid_argument("threads must be >= 1");
+    cfg.shards = static_cast<std::uint32_t>(shards);
+    cfg.threads = static_cast<unsigned>(threads);
+    cfg.queue_capacity = static_cast<std::size_t>(
+        get_u64(o, "queue_capacity", cfg.queue_capacity));
+    return cfg;
+  }
+
+  ShardedKrrProfiler profiler_;
+};
+
+class WindowedKrrEstimator final : public MrcEstimator {
+ public:
+  explicit WindowedKrrEstimator(const EstimatorOptions& o)
+      : profiler_(windowed_config_from(o)) {}
+
+  void access(const Request& req) override { profiler_.access(req); }
+  MissRatioCurve mrc(const std::vector<double>&) const override {
+    if (profiler_.processed() == 0) return {};
+    return profiler_.mrc();
+  }
+  std::uint64_t processed() const override { return profiler_.processed(); }
+
+ private:
+  static WindowedKrrConfig windowed_config_from(const EstimatorOptions& o) {
+    WindowedKrrConfig cfg;
+    cfg.profiler = krr_config_from(o);
+    cfg.window = get_u64(o, "window", cfg.window);
+    if (cfg.window == 0) throw std::invalid_argument("window must be >= 1");
+    return cfg;
+  }
+
+  WindowedKrrProfiler profiler_;
+};
+
+// ---------------------------------------------------------------------------
+// Exact stack baselines (reference oracles and O(log M) profilers)
+// ---------------------------------------------------------------------------
+
+class LruStackEstimator final : public MrcEstimator {
+ public:
+  explicit LruStackEstimator(const EstimatorOptions& o)
+      : profiler_(o.get_bool("bytes", false), get_u64(o, "quantum", 1)) {}
+
+  void access(const Request& req) override { profiler_.access(req); }
+  MissRatioCurve mrc(const std::vector<double>&) const override {
+    return profiler_.mrc();
+  }
+  std::uint64_t processed() const override { return profiler_.processed(); }
+  obs::HeartbeatSnapshot snapshot() const override {
+    obs::HeartbeatSnapshot s;
+    s.records = profiler_.processed();
+    s.sampled = profiler_.processed();
+    s.stack_depth = profiler_.distinct_objects();
+    return s;
+  }
+
+ private:
+  LruStackProfiler profiler_;
+};
+
+class OlkenTreeEstimator final : public MrcEstimator {
+ public:
+  explicit OlkenTreeEstimator(const EstimatorOptions& o)
+      : profiler_(o.get_bool("bytes", false), get_u64(o, "quantum", 1),
+                  get_u64(o, "seed", 1)) {}
+
+  void access(const Request& req) override { profiler_.access(req); }
+  MissRatioCurve mrc(const std::vector<double>&) const override {
+    return profiler_.mrc();
+  }
+  std::uint64_t processed() const override { return profiler_.processed(); }
+
+ private:
+  OlkenTreeProfiler profiler_;
+};
+
+class NaiveStackEstimator final : public MrcEstimator {
+ public:
+  explicit NaiveStackEstimator(const EstimatorOptions& o)
+      : stack_(make_stack(o)) {}
+
+  void access(const Request& req) override {
+    stack_.access(req);
+    ++processed_;
+  }
+  MissRatioCurve mrc(const std::vector<double>&) const override {
+    return stack_.mrc();
+  }
+  std::uint64_t processed() const override { return processed_; }
+
+ private:
+  static GenericMattsonStack make_stack(const EstimatorOptions& o) {
+    const std::string variant = o.get_string("variant", "krr");
+    const std::uint64_t seed = get_u64(o, "seed", 1);
+    if (variant == "krr") {
+      return GenericMattsonStack::krr(o.get_double("k", 5.0), seed);
+    }
+    if (variant == "lru") return GenericMattsonStack::lru(seed);
+    if (variant == "rr") return GenericMattsonStack::rr(seed);
+    throw std::invalid_argument("unknown variant: " + variant +
+                                " (use krr, lru or rr)");
+  }
+
+  GenericMattsonStack stack_;
+  std::uint64_t processed_ = 0;
+};
+
+class PriorityStackEstimator final : public MrcEstimator {
+ public:
+  explicit PriorityStackEstimator(const EstimatorOptions& o)
+      : stack_(parse_policy(o.get_string("policy", "lru"))) {}
+
+  void access(const Request& req) override {
+    stack_.access(req);
+    ++processed_;
+  }
+  MissRatioCurve mrc(const std::vector<double>&) const override {
+    return stack_.mrc();
+  }
+  std::uint64_t processed() const override { return processed_; }
+
+ private:
+  static PriorityPolicy parse_policy(const std::string& name) {
+    if (name == "lru") return PriorityPolicy::kLru;
+    if (name == "mru") return PriorityPolicy::kMru;
+    if (name == "lfu") return PriorityPolicy::kLfu;
+    if (name == "opt") {
+      throw std::invalid_argument(
+          "policy 'opt' needs the offline next-use pass and cannot stream; "
+          "use the PriorityMattsonStack API directly");
+    }
+    throw std::invalid_argument("unknown policy: " + name +
+                                " (use lru, mru or lfu)");
+  }
+
+  PriorityMattsonStack stack_;
+  std::uint64_t processed_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Sampling and sketch baselines
+// ---------------------------------------------------------------------------
+
+class ShardsEstimator final : public MrcEstimator {
+ public:
+  explicit ShardsEstimator(const EstimatorOptions& o)
+      : profiler_(checked_rate(o.get_double("rate", 0.1)),
+                  o.get_bool("adjustment", true), o.get_bool("bytes", false),
+                  get_u64(o, "quantum", 1)) {}
+
+  void access(const Request& req) override { profiler_.access(req); }
+  MissRatioCurve mrc(const std::vector<double>&) const override {
+    return profiler_.mrc();
+  }
+  std::uint64_t processed() const override { return profiler_.processed(); }
+  obs::HeartbeatSnapshot snapshot() const override {
+    obs::HeartbeatSnapshot s;
+    s.records = profiler_.processed();
+    s.sampled = profiler_.sampled();
+    s.sampling_rate = profiler_.filter().rate();
+    return s;
+  }
+
+ private:
+  static double checked_rate(double rate) {
+    if (!(rate > 0.0) || rate > 1.0) {
+      throw std::invalid_argument("rate must be in (0, 1]");
+    }
+    return rate;
+  }
+
+  ShardsProfiler profiler_;
+};
+
+class ShardsFixedEstimator final : public MrcEstimator {
+ public:
+  explicit ShardsFixedEstimator(const EstimatorOptions& o)
+      : profiler_(checked_max(get_u64(o, "max_objects", 4096)),
+                  get_u64(o, "modulus", 1ULL << 24), get_u64(o, "quantum", 1)) {}
+
+  void access(const Request& req) override { profiler_.access(req); }
+  MissRatioCurve mrc(const std::vector<double>&) const override {
+    return profiler_.mrc();
+  }
+  std::uint64_t processed() const override { return profiler_.processed(); }
+  obs::HeartbeatSnapshot snapshot() const override {
+    obs::HeartbeatSnapshot s;
+    s.records = profiler_.processed();
+    s.sampled = profiler_.sampled();
+    s.stack_depth = profiler_.tracked_objects();
+    s.sampling_rate = profiler_.current_rate();
+    return s;
+  }
+
+ private:
+  static std::size_t checked_max(std::uint64_t max_objects) {
+    if (max_objects == 0) {
+      throw std::invalid_argument("max_objects must be >= 1");
+    }
+    return static_cast<std::size_t>(max_objects);
+  }
+
+  ShardsFixedSizeProfiler profiler_;
+};
+
+class CounterStacksEstimator final : public MrcEstimator {
+ public:
+  explicit CounterStacksEstimator(const EstimatorOptions& o)
+      : profiler_(get_u64(o, "interval", 1000),
+                  o.get_double("prune_delta", 0.02),
+                  static_cast<std::uint32_t>(get_u64(o, "precision", 12))) {}
+
+  void access(const Request& req) override { profiler_.access(req); }
+  MissRatioCurve mrc(const std::vector<double>&) const override {
+    if (profiler_.processed() == 0) return {};
+    return profiler_.mrc();
+  }
+  std::uint64_t processed() const override { return profiler_.processed(); }
+
+ private:
+  CounterStacksProfiler profiler_;
+};
+
+// ---------------------------------------------------------------------------
+// Reuse-time model baselines
+// ---------------------------------------------------------------------------
+
+class AetEstimator final : public MrcEstimator {
+ public:
+  explicit AetEstimator(const EstimatorOptions& o)
+      : points_(get_u64(o, "points", 64)),
+        profiler_(static_cast<std::uint32_t>(get_u64(o, "sub_buckets", 256))) {}
+
+  void access(const Request& req) override { profiler_.access(req); }
+  MissRatioCurve mrc(const std::vector<double>& sizes) const override {
+    if (profiler_.processed() == 0) return {};
+    if (sizes.empty()) return profiler_.mrc(static_cast<std::size_t>(points_));
+    return profiler_.mrc(sizes);
+  }
+  std::uint64_t processed() const override { return profiler_.processed(); }
+
+ private:
+  std::uint64_t points_;
+  AetProfiler profiler_;
+};
+
+class StatStackEstimator final : public MrcEstimator {
+ public:
+  explicit StatStackEstimator(const EstimatorOptions& o)
+      : profiler_(static_cast<std::uint32_t>(get_u64(o, "sub_buckets", 256))) {}
+
+  void access(const Request& req) override { profiler_.access(req); }
+  MissRatioCurve mrc(const std::vector<double>&) const override {
+    if (profiler_.processed() == 0) return {};
+    return profiler_.mrc();
+  }
+  std::uint64_t processed() const override { return profiler_.processed(); }
+
+ private:
+  StatStackProfiler profiler_;
+};
+
+class HotlEstimator final : public MrcEstimator {
+ public:
+  explicit HotlEstimator(const EstimatorOptions& o)
+      : points_(get_u64(o, "points", 128)),
+        profiler_(static_cast<std::uint32_t>(get_u64(o, "sub_buckets", 256))) {}
+
+  void access(const Request& req) override { profiler_.access(req); }
+  MissRatioCurve mrc(const std::vector<double>&) const override {
+    if (profiler_.processed() == 0) return {};
+    return profiler_.mrc(static_cast<std::size_t>(points_));
+  }
+  std::uint64_t processed() const override { return profiler_.processed(); }
+
+ private:
+  std::uint64_t points_;
+  HotlProfiler profiler_;
+};
+
+class MimirEstimator final : public MrcEstimator {
+ public:
+  explicit MimirEstimator(const EstimatorOptions& o)
+      : profiler_(static_cast<std::uint32_t>(get_u64(o, "buckets", 128)),
+                  get_u64(o, "quantum", 1)) {}
+
+  void access(const Request& req) override { profiler_.access(req); }
+  MissRatioCurve mrc(const std::vector<double>&) const override {
+    return profiler_.mrc();
+  }
+  std::uint64_t processed() const override { return profiler_.processed(); }
+
+ private:
+  MimirProfiler profiler_;
+};
+
+template <typename T>
+EstimatorRegistry::Factory make_factory() {
+  return [](const EstimatorOptions& o) -> std::unique_ptr<MrcEstimator> {
+    return std::make_unique<T>(o);
+  };
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin_estimators(EstimatorRegistry& registry) {
+  registry.add(
+      {.name = "krr",
+       .policy = "K-LRU",
+       .description = "one-pass KRR stack model of random sampling-based LRU "
+                      "(the paper's contribution)",
+       .caps = {.models_klru = true,
+                .byte_granularity = true,
+                .spatial_sampling = true,
+                .metrics = true},
+       .option_keys = {"max_stack_bytes"}},
+      make_factory<KrrEstimator>());
+  registry.add(
+      {.name = "krr_sharded",
+       .policy = "K-LRU",
+       .description = "hash-sharded multi-threaded KRR pipeline (merged "
+                      "per-shard histograms)",
+       .caps = {.models_klru = true,
+                .byte_granularity = true,
+                .spatial_sampling = true,
+                .sharded = true,
+                .metrics = true},
+       .option_keys = {"max_stack_bytes", "threads", "shards",
+                       "queue_capacity"}},
+      make_factory<ShardedKrrEstimator>());
+  registry.add(
+      {.name = "krr_windowed",
+       .policy = "K-LRU",
+       .description = "sliding-window online KRR with bounded staleness "
+                      "(two staggered windows)",
+       .caps = {.models_klru = true,
+                .byte_granularity = true,
+                .spatial_sampling = true},
+       .option_keys = {"max_stack_bytes", "window"}},
+      make_factory<WindowedKrrEstimator>());
+  registry.add(
+      {.name = "naive_stack",
+       .policy = "K-LRU/LRU/RR",
+       .description = "Mattson's generic stack with injected stay "
+                      "probabilities (variant=krr|lru|rr), the O(M) oracle",
+       .caps = {.models_klru = true, .reference_oracle = true},
+       .option_keys = {"variant"}},
+      make_factory<NaiveStackEstimator>());
+  registry.add(
+      {.name = "lru_stack",
+       .policy = "LRU",
+       .description = "exact LRU stack distances in O(log M) "
+                      "(Fenwick-over-timestamps formulation)",
+       .caps = {.byte_granularity = true},
+       .option_keys = {}},
+      make_factory<LruStackEstimator>());
+  registry.add(
+      {.name = "olken_tree",
+       .policy = "LRU",
+       .description = "exact LRU stack distances via a size-augmented treap "
+                      "(Olken 1981)",
+       .caps = {.byte_granularity = true},
+       .option_keys = {}},
+      make_factory<OlkenTreeEstimator>());
+  registry.add(
+      {.name = "priority_stack",
+       .policy = "LRU/MRU/LFU",
+       .description = "deterministic priority Mattson stack "
+                      "(policy=lru|mru|lfu), an O(M) reference oracle",
+       .caps = {.reference_oracle = true},
+       .option_keys = {"policy"}},
+      make_factory<PriorityStackEstimator>());
+  registry.add(
+      {.name = "shards",
+       .policy = "LRU",
+       .description = "SHARDS fixed-rate spatial sampling over an exact LRU "
+                      "stack (FAST '15)",
+       .caps = {.byte_granularity = true, .spatial_sampling = true},
+       .option_keys = {}},
+      make_factory<ShardsEstimator>());
+  registry.add(
+      {.name = "shards_fixed",
+       .policy = "LRU",
+       .description = "fixed-size SHARDS_smax: bounded memory, "
+                      "threshold-adaptive sampling rate",
+       .caps = {.spatial_sampling = true},
+       .option_keys = {"max_objects", "modulus"}},
+      make_factory<ShardsFixedEstimator>());
+  registry.add(
+      {.name = "aet",
+       .policy = "LRU",
+       .description = "AET kinetic reuse-time model of exact LRU (ATC '16)",
+       .caps = {},
+       .option_keys = {"sub_buckets", "points"}},
+      make_factory<AetEstimator>());
+  registry.add(
+      {.name = "counter_stacks",
+       .policy = "LRU",
+       .description = "Counter Stacks: HyperLogLog counter stack with "
+                      "pruning (OSDI '14)",
+       .caps = {},
+       .option_keys = {"interval", "prune_delta", "precision"}},
+      make_factory<CounterStacksEstimator>());
+  registry.add(
+      {.name = "statstack",
+       .policy = "LRU",
+       .description = "StatStack expected-stack-distance model from reuse "
+                      "times (ISPASS '10)",
+       .caps = {},
+       .option_keys = {"sub_buckets"}},
+      make_factory<StatStackEstimator>());
+  registry.add(
+      {.name = "mimir",
+       .policy = "LRU",
+       .description = "MIMIR bucketed ghost list with ROUNDER aging "
+                      "(SoCC '14)",
+       .caps = {},
+       .option_keys = {"buckets"}},
+      make_factory<MimirEstimator>());
+  registry.add(
+      {.name = "hotl",
+       .policy = "LRU",
+       .description = "HOTL footprint theory of locality (ASPLOS '13)",
+       .caps = {},
+       .option_keys = {"sub_buckets", "points"}},
+      make_factory<HotlEstimator>());
+}
+
+}  // namespace detail
+}  // namespace krr

@@ -167,6 +167,7 @@ obs::Json to_json(const RunReport& report) {
   j.set("final_sampling_rate", obs::Json(report.final_sampling_rate));
   j.set("stack_depth", obs::Json(report.stack_depth));
   j.set("space_overhead_bytes", obs::Json(report.space_overhead_bytes));
+  j.set("producer_stall_seconds", obs::Json(report.producer_stall_seconds));
   return j;
 }
 

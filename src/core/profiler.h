@@ -78,6 +78,9 @@ struct RunReport {
   double final_sampling_rate = 1.0;
   std::uint64_t stack_depth = 0;
   std::uint64_t space_overhead_bytes = 0;
+  /// Seconds the producer spent blocked on full shard queues (sharded
+  /// pipeline only; 0 for serial profilers).
+  double producer_stall_seconds = 0.0;
 };
 
 /// The RunReport as a JSON object — the "run_report" section of the

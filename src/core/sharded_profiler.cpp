@@ -285,6 +285,7 @@ RunReport ShardedKrrProfiler::run_report(const TraceReadReport* ingest) const {
                         : std::min(final_rate, profiler.current_sampling_rate());
   }
   report.final_sampling_rate = final_rate;
+  report.producer_stall_seconds = stall_seconds_;
   return report;
 }
 

@@ -27,6 +27,7 @@
 #include "baselines/shards_fixed.h"
 #include "baselines/statstack.h"
 #include "core/dlru.h"
+#include "core/estimator.h"
 #include "core/krr_stack.h"
 #include "core/profiler.h"
 #include "core/sharded_profiler.h"

@@ -6,7 +6,7 @@
 // deliberately laptop-sized: a full run takes ~1 minute at the default
 // scale. KRR_BENCH_SCALE multiplies trace lengths as usual.
 //
-//   bench_snapshot [--out=BENCH_pr3.json] [--pr=3] [--repeats=3]
+//   bench_snapshot [--out=BENCH_pr4.json] [--pr=4] [--repeats=3]
 
 #include <cstdio>
 #include <ctime>
@@ -49,8 +49,8 @@ std::string utc_timestamp() {
 
 int main(int argc, char** argv) {
   Options opts(argc, argv);
-  const std::string out = opts.get_string("out", "BENCH_pr3.json");
-  const auto pr = opts.get_int("pr", 3);
+  const std::string out = opts.get_string("out", "BENCH_pr4.json");
+  const auto pr = opts.get_int("pr", 4);
   const int repeats = static_cast<int>(opts.get_int("repeats", 3));
 
   obs::Json root = obs::Json::object();
@@ -215,6 +215,54 @@ int main(int argc, char** argv) {
     section.set("serial_seconds", obs::Json(serial_secs));
     section.set("rows", std::move(rows));
     root.set("parallel_scaling", std::move(section));
+  }
+
+  // 6. Model zoo (the estimator registry, PR 4): per-model one-pass wall
+  // time and MAE against the simulated K-LRU cache on a medium Zipf trace.
+  // Gives every registered estimator a recorded perf+accuracy baseline;
+  // reference_oracle models are skipped (O(M) per access).
+  {
+    const auto n_zoo = static_cast<std::size_t>(scaled(200000));
+    ZipfianGenerator gen(20000, 0.9, 24, /*scrambled=*/true);
+    const std::vector<Request> trace = materialize(gen, n_zoo);
+    const auto sizes = capacity_grid_objects(trace, 20);
+    const MissRatioCurve klru_truth = sweep_klru(trace, sizes, 5, true, 33);
+    auto& registry = EstimatorRegistry::instance();
+    obs::Json rows = obs::Json::array();
+    for (const EstimatorInfo& info : registry.list()) {
+      if (info.caps.reference_oracle) continue;
+      MissRatioCurve curve;
+      const double secs = median_seconds(repeats, [&] {
+        EstimatorOptions options;
+        options.set("k", "5");
+        auto est = registry.create(info.name, options);
+        if (!est.is_ok()) {
+          std::fprintf(stderr, "%s: %s\n", info.name.c_str(),
+                       est.status().message().c_str());
+          std::exit(1);
+        }
+        for (const Request& r : trace) (*est)->access(r);
+        (*est)->finish();
+        curve = (*est)->mrc(sizes);
+      });
+      obs::Json row = obs::Json::object();
+      row.set("model", obs::Json(info.name));
+      row.set("policy", obs::Json(info.policy));
+      row.set("models_klru", obs::Json(info.caps.models_klru));
+      row.set("seconds", obs::Json(secs));
+      row.set("mrec_per_s",
+              obs::Json(static_cast<double>(trace.size()) / secs / 1e6));
+      row.set("mae_vs_klru", obs::Json(curve.mae(klru_truth, sizes)));
+      rows.push_back(std::move(row));
+      std::printf("model_zoo %-14s %.3f s (mae vs K-LRU %.5f)\n",
+                  info.name.c_str(), secs, curve.mae(klru_truth, sizes));
+    }
+    obs::Json section = obs::Json::object();
+    section.set("workload", obs::Json("zipf:0.9 footprint=20k"));
+    section.set("n", obs::Json(static_cast<std::uint64_t>(trace.size())));
+    section.set("k", obs::Json(5.0));
+    section.set("rows", std::move(rows));
+    root.set("model_zoo", std::move(section));
   }
 
   std::ofstream os(out);

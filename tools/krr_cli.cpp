@@ -1,21 +1,40 @@
 // krr_cli — command-line front end for the library.
 //
 //   krr_cli workloads
+//   krr_cli models   [--format=table|names|json]
 //   krr_cli generate --workload=msr:src1 --n=1000000 --out=trace.bin
-//   krr_cli profile  --trace=trace.bin --k=5 [--rate=0.001] [--bytes]
-//                    [--strategy=backward|top_down|linear] [--no-correction]
-//                    [--max-stack-mb=64] [--out=mrc.csv]
+//   krr_cli profile  --trace=trace.bin [--model=krr] --k=5 [--rate=0.001]
+//                    [--bytes] [--strategy=backward|top_down|linear]
+//                    [--no-correction] [--quantum=Q] [--max-stack-mb=64]
+//                    [--model-opts=key=val,...] [--out=mrc.csv]
 //                    [--threads=N] [--shards=S]
 //                    [--metrics-out=FILE] [--format=json|table]
 //                    [--progress[=SECS]]
 //
+// Every MRC model is a registered MrcEstimator: `models` lists the
+// registry (name, policy, capability flags, model-specific options), and
+// `profile --model=<name>` runs any of them through the same pipeline.
+// Shared flags (--k, --rate, --strategy, ...) map onto the common option
+// keys every estimator accepts; model-specific knobs go through
+// --model-opts=key=val,... and are validated against the model's declared
+// option keys. The default --model=krr is bit-identical to the
+// pre-registry profiler.
+//
 // Parallelism: --threads=N (default 1) profiles on N shard-worker threads
 // fed from the reader thread; --shards=S (default: N) controls the hash
 // partition count independently of the thread count, and the MRC depends
-// only on S, never on N. The default --threads=1 --shards=1 runs the
-// serial profiler unchanged (bit-identical output).
+// only on S, never on N. --threads/--shards imply --model=krr_sharded and
+// are only meaningful for the krr family. The default --threads=1
+// --shards=1 runs the serial profiler unchanged (bit-identical output).
 //   krr_cli simulate --trace=trace.bin --policy=klru --k=5 --sizes=20
-//   krr_cli compare  --trace=trace.bin --k=5 --sizes=20
+//   krr_cli compare  --trace=trace.bin --models=krr,shards,aet --k=5
+//                    [--sizes=20] [--rate=] [--strategy=] [--no-correction]
+//                    [--quantum=] [--format=table|csv|json] [--progress]
+//
+// compare streams the input twice (no full-trace buffering): pass 1 feeds
+// every requested estimator, pass 2 runs the ground-truth K-LRU simulation
+// at each grid size, then a per-model MAE is reported. File inputs are
+// re-read per pass; workload inputs are re-generated from the same seed.
 //
 // Observability: --metrics-out writes the full telemetry snapshot
 // (counters, log-scale histograms, phase timings, run report) as JSON (or
@@ -36,18 +55,23 @@
 // Exit codes (stable contract):
 //   0  success
 //   1  runtime failure (I/O error, out of resources, internal error)
-//   2  usage error (unknown command/flag value, bad workload spec)
+//   2  usage error (unknown command/flag/model, bad option value)
 //   3  corrupt input rejected (strict mode, or the --max-bad-records
 //      budget was exhausted in the default skip mode)
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "krr.h"
@@ -64,18 +88,24 @@ class UsageError : public std::runtime_error {
 
 void print_usage(std::FILE* to) {
   std::fprintf(to,
-               "usage: krr_cli <workloads|generate|profile|simulate|compare> "
-               "[--options]\n"
+               "usage: krr_cli <workloads|models|generate|profile|simulate|"
+               "compare> [--options]\n"
                "  workloads                      list workload specs\n"
+               "  models    [--format=table|names|json]   list MRC estimators\n"
                "  generate  --workload= --n= --out=   write a trace file\n"
-               "  profile   --trace=|--workload= --k= [--rate=] [--bytes]\n"
-               "            [--strategy=] [--no-correction] [--max-stack-mb=]\n"
+               "  profile   --trace=|--workload= [--model=krr] --k= [--rate=]\n"
+               "            [--bytes] [--strategy=] [--no-correction]\n"
+               "            [--quantum=] [--max-stack-mb=]\n"
+               "            [--model-opts=key=val,...]\n"
                "            [--threads=N] [--shards=S]\n"
                "            [--out=] [--metrics-out=] [--format=json|table]\n"
                "            [--progress[=secs]]\n"
                "  simulate  --trace=|--workload= --policy=klru|redis|lru\n"
                "            [--k=] [--sizes=]\n"
-               "  compare   --trace=|--workload= --k= [--sizes=]\n"
+               "  compare   --trace=|--workload= [--models=krr,shards,...]\n"
+               "            --k= [--sizes=] [--rate=] [--strategy=]\n"
+               "            [--no-correction] [--quantum=]\n"
+               "            [--format=table|csv|json] [--progress[=secs]]\n"
                "ingestion:  [--strict] [--recovery=strict|skip|best-effort]\n"
                "            [--max-bad-records=N] [--format=v1|v2]\n"
                "exit codes: 0 ok, 1 runtime failure, 2 usage,\n"
@@ -156,17 +186,114 @@ std::vector<Request> load_input(const Options& opts, TraceReadReport* ingest) {
   return materialize(**gen, n);
 }
 
-UpdateStrategy parse_strategy(const std::string& name) {
-  if (name == "backward") return UpdateStrategy::kBackward;
-  if (name == "top_down") return UpdateStrategy::kTopDown;
-  if (name == "linear") return UpdateStrategy::kLinear;
-  usage("unknown strategy: " + name);
+/// Maps the shared CLI flags onto the common EstimatorOptions keys. Only
+/// flags the user actually passed are set, so estimator defaults stay in
+/// charge (and the default `profile --model=krr` run is configured
+/// identically to the pre-registry profiler). --model-opts entries are
+/// merged last and win over the shared flags.
+EstimatorOptions estimator_options_from(const Options& opts) {
+  EstimatorOptions eo;
+  for (const char* key : {"k", "rate", "strategy", "seed", "quantum"}) {
+    if (auto value = opts.get(key); value) eo.set(key, *value);
+  }
+  if (opts.has("bytes")) eo.set("bytes", "1");
+  if (opts.has("no-correction")) eo.set("correction", "0");
+  if (opts.has("max-stack-mb")) {
+    const auto mb = opts.get_int("max-stack-mb", 0);
+    if (mb < 0) usage("--max-stack-mb must be >= 0");
+    eo.set("max_stack_bytes", std::to_string(static_cast<std::uint64_t>(mb) << 20));
+  }
+  const std::string extra_spec = opts.get_string("model-opts", "");
+  if (!extra_spec.empty()) {
+    auto extra = EstimatorOptions::parse(extra_spec);
+    if (!extra.is_ok()) usage(extra.status().message());
+    eo.merge(*extra);
+  }
+  return eo;
+}
+
+std::vector<std::string> split_list(const std::string& spec) {
+  std::vector<std::string> out;
+  std::string item;
+  for (char c : spec) {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
 }
 
 int cmd_workloads() {
   for (const std::string& spec : known_workload_specs()) {
     std::printf("%s\n", spec.c_str());
   }
+  return 0;
+}
+
+std::string caps_string(const EstimatorCapabilities& caps) {
+  std::string s;
+  const auto add = [&s](const char* flag) {
+    if (!s.empty()) s += ',';
+    s += flag;
+  };
+  if (caps.models_klru) add("klru");
+  if (caps.byte_granularity) add("bytes");
+  if (caps.spatial_sampling) add("sampling");
+  if (caps.sharded) add("sharded");
+  if (caps.metrics) add("metrics");
+  if (caps.reference_oracle) add("oracle");
+  return s.empty() ? "-" : s;
+}
+
+int cmd_models(const Options& opts) {
+  const std::string format = opts.get_string("format", "table");
+  const auto infos = EstimatorRegistry::instance().list();
+  if (format == "names") {
+    for (const auto& info : infos) std::printf("%s\n", info.name.c_str());
+    return 0;
+  }
+  if (format == "json") {
+    obs::Json root = obs::Json::array();
+    for (const auto& info : infos) {
+      obs::Json entry = obs::Json::object();
+      entry.set("name", obs::Json(info.name));
+      entry.set("policy", obs::Json(info.policy));
+      entry.set("description", obs::Json(info.description));
+      obs::Json caps = obs::Json::object();
+      caps.set("models_klru", obs::Json(info.caps.models_klru));
+      caps.set("byte_granularity", obs::Json(info.caps.byte_granularity));
+      caps.set("spatial_sampling", obs::Json(info.caps.spatial_sampling));
+      caps.set("sharded", obs::Json(info.caps.sharded));
+      caps.set("metrics", obs::Json(info.caps.metrics));
+      caps.set("reference_oracle", obs::Json(info.caps.reference_oracle));
+      entry.set("capabilities", std::move(caps));
+      obs::Json keys = obs::Json::array();
+      for (const auto& key : info.option_keys) keys.push_back(obs::Json(key));
+      entry.set("option_keys", std::move(keys));
+      root.push_back(std::move(entry));
+    }
+    root.dump(std::cout, 0);
+    std::cout << '\n';
+    return 0;
+  }
+  if (format != "table") {
+    usage("unknown --format for models (use table, names or json)");
+  }
+  Table table({"model", "policy", "capabilities", "options", "description"});
+  for (const auto& info : infos) {
+    std::string keys;
+    for (const auto& key : info.option_keys) {
+      if (!keys.empty()) keys += ',';
+      keys += key;
+    }
+    table.add(info.name, info.policy, caps_string(info.caps),
+              keys.empty() ? "-" : keys, info.description);
+  }
+  table.print(std::cout);
   return 0;
 }
 
@@ -187,18 +314,6 @@ int cmd_generate(const Options& opts) {
   std::fprintf(stderr, "wrote %zu requests (%zu distinct keys) to %s\n",
                trace.size(), count_distinct(trace), out.c_str());
   return 0;
-}
-
-/// The profiler's instantaneous state as one heartbeat snapshot.
-obs::HeartbeatSnapshot snapshot_of(const KrrProfiler& profiler) {
-  obs::HeartbeatSnapshot s;
-  s.records = profiler.processed();
-  s.sampled = profiler.sampled();
-  s.stack_depth = profiler.stack_depth();
-  s.resident_bytes = profiler.space_overhead_bytes();
-  s.sampling_rate = profiler.current_sampling_rate();
-  s.degradation_events = profiler.degradation_events();
-  return s;
 }
 
 /// Writes the telemetry snapshot. JSON is the machine format (registry
@@ -238,16 +353,9 @@ int cmd_profile(const Options& opts) {
     ScopedTimer timer(phase_load);
     trace = load_input(opts, &ingest);
   }
-  KrrProfilerConfig cfg;
-  cfg.k_sample = opts.get_double("k", 5.0);
-  cfg.sampling_rate = opts.get_double("rate", 1.0);
-  cfg.byte_granularity = opts.has("bytes");
-  cfg.apply_correction = !opts.has("no-correction");
-  cfg.strategy = parse_strategy(opts.get_string("strategy", "backward"));
-  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
-  const auto max_stack_mb = opts.get_int("max-stack-mb", 0);
-  if (max_stack_mb < 0) usage("--max-stack-mb must be >= 0");
-  cfg.max_stack_bytes = static_cast<std::uint64_t>(max_stack_mb) << 20;
+
+  std::string model = opts.get_string("model", "krr");
+  EstimatorOptions eopts = estimator_options_from(opts);
   const auto threads_opt = opts.get_int("threads", 1);
   if (threads_opt < 1) usage("--threads must be >= 1");
   const auto shards_opt = opts.get_int("shards", 0);
@@ -256,7 +364,22 @@ int cmd_profile(const Options& opts) {
   // --shards defaults to one shard per worker thread.
   const auto shards = shards_opt == 0 ? static_cast<std::uint32_t>(threads)
                                       : static_cast<std::uint32_t>(shards_opt);
-  const bool sharded_mode = threads > 1 || shards > 1;
+  if (threads > 1 || shards > 1) {
+    // The fan-out flags select the sharded pipeline; they only exist for
+    // the krr family, so reject silent no-ops on other models.
+    if (model != "krr" && model != "krr_sharded") {
+      usage("--threads/--shards need --model=krr or krr_sharded (got " +
+            model + ")");
+    }
+    model = "krr_sharded";
+  }
+  if (model == "krr_sharded") {
+    if (!eopts.has("threads")) eopts.set("threads", std::to_string(threads));
+    if (!eopts.has("shards")) eopts.set("shards", std::to_string(shards));
+  }
+  auto created = EstimatorRegistry::instance().create(model, eopts);
+  if (!created.is_ok()) throw StatusError(created.status());
+  std::unique_ptr<MrcEstimator> est = std::move(*created);
 
   obs::MetricsRegistry registry;
   std::optional<obs::PipelineMetrics> metrics;
@@ -268,69 +391,39 @@ int cmd_profile(const Options& opts) {
     heartbeat.emplace(interval, std::cerr);
   }
 
+  if (want_metrics) est->attach_metrics(&*metrics);
   MissRatioCurve mrc;
-  RunReport report;
-  std::uint64_t sampled = 0;
-  std::uint64_t stack_depth = 0;
-  if (!sharded_mode) {
-    KrrProfiler profiler(cfg);
-    if (want_metrics) profiler.attach_metrics(&*metrics);
-    {
-      ScopedTimer timer(phase_profile);
-      if (heartbeat) {
-        for (const Request& r : trace) {
-          profiler.access(r);
-          heartbeat->tick([&] {
-            profiler.refresh_metrics_gauges();
-            return snapshot_of(profiler);
-          });
-        }
-        heartbeat->finish(snapshot_of(profiler));
-      } else {
-        for (const Request& r : trace) profiler.access(r);
+  {
+    ScopedTimer timer(phase_profile);
+    if (heartbeat) {
+      for (const Request& r : trace) {
+        est->access(r);
+        heartbeat->tick([&] {
+          est->refresh_metrics_gauges();
+          return est->snapshot();
+        });
       }
+    } else {
+      for (const Request& r : trace) est->access(r);
     }
-    {
-      ScopedTimer timer(phase_mrc);
-      mrc = profiler.mrc();
-    }
-    report = profiler.run_report(&ingest);
-    if (want_metrics) profiler.refresh_metrics_gauges();
-    sampled = profiler.sampled();
-    stack_depth = profiler.stack_depth();
-  } else {
-    ShardedKrrProfilerConfig scfg;
-    scfg.base = cfg;
-    scfg.shards = shards;
-    scfg.threads = threads;
-    ShardedKrrProfiler profiler(scfg);
-    if (want_metrics) profiler.attach_metrics(&*metrics);
-    {
-      ScopedTimer timer(phase_profile);
-      if (heartbeat) {
-        for (const Request& r : trace) {
-          profiler.access(r);
-          heartbeat->tick([&] { return profiler.snapshot(); });
-        }
-      } else {
-        for (const Request& r : trace) profiler.access(r);
-      }
-      profiler.finish();
-      if (heartbeat) heartbeat->finish(profiler.snapshot());
-    }
-    {
-      ScopedTimer timer(phase_mrc);
-      mrc = profiler.mrc();
-    }
-    report = profiler.run_report(&ingest);
-    if (want_metrics) profiler.export_shard_gauges(registry);
-    sampled = profiler.sampled();
-    stack_depth = profiler.stack_depth();
-    if (profiler.producer_stall_seconds() > 0.01) {
-      std::fprintf(stderr, "fan-out backpressure: %.3f s producer stall\n",
-                   profiler.producer_stall_seconds());
-    }
+    est->finish();
+    if (heartbeat) heartbeat->finish(est->snapshot());
   }
+  {
+    ScopedTimer timer(phase_mrc);
+    mrc = est->mrc();
+  }
+  const RunReport report = est->run_report(&ingest);
+  if (want_metrics) {
+    est->refresh_metrics_gauges();
+    est->export_gauges(registry);
+  }
+  const obs::HeartbeatSnapshot final_state = est->snapshot();
+  if (report.producer_stall_seconds > 0.01) {
+    std::fprintf(stderr, "fan-out backpressure: %.3f s producer stall\n",
+                 report.producer_stall_seconds);
+  }
+
   const double secs = phase_profile + phase_mrc;
   const std::string out = opts.get_string("out", "");
   // --metrics-out=- claims stdout for the snapshot: without an explicit
@@ -364,24 +457,28 @@ int cmd_profile(const Options& opts) {
       }
     }
   }
-  if (sharded_mode) {
+  if (model == "krr_sharded") {
     std::fprintf(stderr,
                  "profiled %zu requests (%zu sampled) in %.3f s across %u "
                  "shards on %u threads; stack depth %zu\n",
-                 trace.size(), static_cast<std::size_t>(sampled), secs, shards,
-                 threads, static_cast<std::size_t>(stack_depth));
-  } else {
+                 trace.size(), static_cast<std::size_t>(final_state.sampled),
+                 secs, shards, threads,
+                 static_cast<std::size_t>(final_state.stack_depth));
+  } else if (model == "krr") {
     std::fprintf(stderr,
                  "profiled %zu requests (%zu sampled) in %.3f s; stack depth %zu\n",
-                 trace.size(), static_cast<std::size_t>(sampled), secs,
-                 static_cast<std::size_t>(stack_depth));
+                 trace.size(), static_cast<std::size_t>(final_state.sampled),
+                 secs, static_cast<std::size_t>(final_state.stack_depth));
+  } else {
+    std::fprintf(stderr, "profiled %zu requests in %.3f s with model %s\n",
+                 trace.size(), secs, model.c_str());
   }
   if (report.degradation_events > 0) {
     std::fprintf(stderr,
                  "degraded sampling rate %llu time(s) to stay under "
                  "--max-stack-mb=%lld; final rate %g\n",
                  static_cast<unsigned long long>(report.degradation_events),
-                 static_cast<long long>(max_stack_mb),
+                 static_cast<long long>(opts.get_int("max-stack-mb", 0)),
                  report.final_sampling_rate);
   }
   return 0;
@@ -411,25 +508,267 @@ int cmd_simulate(const Options& opts) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// compare: streaming multi-model evaluation
+// ---------------------------------------------------------------------------
+
+/// A replayable request stream: compare needs two identical passes (one to
+/// feed the estimators, one for the ground-truth simulation) without
+/// buffering the whole trace in memory for file inputs.
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+  /// Streams one full pass of the input through `fn`.
+  virtual void pass(const std::function<void(const Request&)>& fn) = 0;
+  /// Ingestion accounting for the most recent pass.
+  virtual const TraceReadReport& report() const noexcept = 0;
+};
+
+/// Binary trace file, re-read (and re-validated) per pass.
+class BinaryFileSource final : public RequestSource {
+ public:
+  BinaryFileSource(std::string path, const TraceReaderOptions& options)
+      : path_(std::move(path)), options_(options) {}
+
+  void pass(const std::function<void(const Request&)>& fn) override {
+    std::ifstream is(path_, std::ios::binary);
+    if (!is) throw StatusError(io_error("cannot open for read: " + path_));
+    TraceReader reader(is, options_);
+    Request r;
+    while (reader.next(r)) fn(r);
+    report_ = reader.report();
+    if (!reader.status().is_ok()) throw StatusError(reader.status());
+  }
+  const TraceReadReport& report() const noexcept override { return report_; }
+
+ private:
+  std::string path_;
+  TraceReaderOptions options_;
+  TraceReadReport report_;
+};
+
+/// In-memory trace (CSV inputs, which the reader cannot stream twice).
+class MemorySource final : public RequestSource {
+ public:
+  MemorySource(std::vector<Request> trace, const TraceReadReport& report)
+      : trace_(std::move(trace)), report_(report) {}
+
+  void pass(const std::function<void(const Request&)>& fn) override {
+    for (const Request& r : trace_) fn(r);
+  }
+  const TraceReadReport& report() const noexcept override { return report_; }
+
+ private:
+  std::vector<Request> trace_;
+  TraceReadReport report_;
+};
+
+/// Synthetic workload, re-generated from the same seed per pass (generators
+/// are replayable by contract).
+class GeneratorSource final : public RequestSource {
+ public:
+  GeneratorSource(std::string spec, const WorkloadFactoryOptions& options,
+                  std::uint64_t n)
+      : spec_(std::move(spec)), options_(options), n_(n) {
+    report_.records_read = n_;
+  }
+
+  void pass(const std::function<void(const Request&)>& fn) override {
+    auto gen = try_make_workload(spec_, options_);
+    if (!gen.is_ok()) usage(gen.status().message());
+    for (std::uint64_t i = 0; i < n_; ++i) fn((*gen)->next());
+  }
+  const TraceReadReport& report() const noexcept override { return report_; }
+
+ private:
+  std::string spec_;
+  WorkloadFactoryOptions options_;
+  std::uint64_t n_;
+  TraceReadReport report_;
+};
+
+std::unique_ptr<RequestSource> make_source(const Options& opts) {
+  const TraceReaderOptions ro = reader_options(opts);
+  if (auto path = opts.get("trace"); path && !path->empty()) {
+    if (path->size() > 4 && path->substr(path->size() - 4) == ".csv") {
+      std::ifstream is(*path);
+      if (!is) throw StatusError(io_error("cannot open for read: " + *path));
+      TraceReadReport report;
+      auto csv = read_trace_csv(is, ro, &report);
+      if (!csv.is_ok()) throw StatusError(csv.status());
+      return std::make_unique<MemorySource>(std::move(csv).value(), report);
+    }
+    return std::make_unique<BinaryFileSource>(*path, ro);
+  }
+  const std::string spec = opts.get_string("workload", "");
+  if (spec.empty()) usage("need --trace=<file> or --workload=<spec>");
+  WorkloadFactoryOptions wf;
+  wf.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  wf.footprint = static_cast<std::uint64_t>(opts.get_int("footprint", 0));
+  wf.uniform_size = static_cast<std::uint32_t>(opts.get_int("uniform-size", 0));
+  // Validate the spec eagerly so a typo is a usage error before pass 1.
+  if (auto gen = try_make_workload(spec, wf); !gen.is_ok()) {
+    usage(gen.status().message());
+  }
+  const auto n = opts.get_int("n", 1000000);
+  if (n < 0) usage("--n must be >= 0");
+  return std::make_unique<GeneratorSource>(spec, wf,
+                                           static_cast<std::uint64_t>(n));
+}
+
 int cmd_compare(const Options& opts) {
-  const auto trace = load_input(opts, nullptr);
+  if (opts.has("bytes")) {
+    usage("compare evaluates object-granularity curves; --bytes is not "
+          "supported here");
+  }
   const auto k = static_cast<std::uint32_t>(opts.get_int("k", 5));
   const auto n_sizes = static_cast<std::size_t>(opts.get_int("sizes", 20));
-  const auto sizes = capacity_grid_objects(trace, n_sizes);
-  const MissRatioCurve actual = sweep_klru(trace, sizes, k);
-  KrrProfilerConfig cfg;
-  cfg.k_sample = k;
-  KrrProfiler profiler(cfg);
-  for (const Request& r : trace) profiler.access(r);
-  const MissRatioCurve predicted = profiler.mrc();
-  Table table({"size", "simulated", "krr_predicted", "abs_error"});
+  const std::string format = opts.get_string("format", "table");
+  if (format != "table" && format != "csv" && format != "json") {
+    usage("unknown --format for compare (use table, csv or json)");
+  }
+  const std::vector<std::string> models =
+      split_list(opts.get_string("models", opts.get_string("model", "krr")));
+  if (models.empty()) usage("--models needs at least one model name");
+
+  const EstimatorOptions shared = estimator_options_from(opts);
+  auto& registry = EstimatorRegistry::instance();
+  std::vector<std::unique_ptr<MrcEstimator>> estimators;
+  estimators.reserve(models.size());
+  for (const std::string& name : models) {
+    auto est = registry.create(name, shared);
+    if (!est.is_ok()) throw StatusError(est.status());
+    estimators.push_back(std::move(*est));
+  }
+
+  std::optional<obs::Heartbeat> heartbeat;
+  if (opts.has("progress")) {
+    const double interval = opts.get_double("progress", 2.0);
+    if (interval < 0) usage("--progress must be >= 0 seconds");
+    heartbeat.emplace(interval, std::cerr);
+  }
+
+  // Pass 1 (predict): every estimator sees every reference; the distinct
+  // key count fixes the evaluation grid for pass 2.
+  std::unordered_set<std::uint64_t> distinct;
+  std::uint64_t fed = 0;
+  auto source = make_source(opts);
+  source->pass([&](const Request& r) {
+    distinct.insert(r.key);
+    for (auto& est : estimators) est->access(r);
+    ++fed;
+    if (heartbeat) {
+      heartbeat->tick([&] {
+        obs::HeartbeatSnapshot s;
+        s.records = fed;
+        s.stack_depth = distinct.size();
+        return s;
+      });
+    }
+  });
+  report_ingest(source->report());
+  for (auto& est : estimators) est->finish();
+  const std::uint64_t requests = fed;
+  if (requests == 0) {
+    std::fprintf(stderr, "compare: empty input, nothing to evaluate\n");
+    return 0;
+  }
+
+  const std::vector<double> sizes =
+      evenly_spaced_sizes(static_cast<double>(distinct.size()), n_sizes);
+
+  // Pass 2 (simulate): one K-LRU cache per grid size, all fed from a single
+  // streaming pass — per-cache results are identical to sweep_klru's
+  // one-capacity-at-a-time replay because the caches are independent.
+  std::vector<KLruCache> caches;
+  caches.reserve(sizes.size());
+  for (double c : sizes) {
+    KLruConfig cfg;
+    cfg.capacity = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(c));
+    cfg.sample_size = k;
+    caches.emplace_back(cfg);
+  }
+  source->pass([&](const Request& r) {
+    for (auto& cache : caches) cache.access(r);
+    ++fed;
+    if (heartbeat) {
+      heartbeat->tick([&] {
+        obs::HeartbeatSnapshot s;
+        s.records = fed;
+        return s;
+      });
+    }
+  });
+  if (heartbeat) {
+    obs::HeartbeatSnapshot s;
+    s.records = fed;
+    heartbeat->finish(s);
+  }
+  MissRatioCurve actual;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    actual.add_point(sizes[i], caches[i].miss_ratio());
+  }
+
+  std::vector<MissRatioCurve> predicted;
+  std::vector<double> maes;
+  predicted.reserve(estimators.size());
+  for (const auto& est : estimators) {
+    predicted.push_back(est->mrc(sizes));
+    maes.push_back(predicted.back().mae(actual, sizes));
+  }
+
+  if (format == "json") {
+    obs::Json root = obs::Json::object();
+    root.set("k", obs::Json(static_cast<std::uint64_t>(k)));
+    root.set("requests", obs::Json(requests));
+    root.set("distinct_keys",
+             obs::Json(static_cast<std::uint64_t>(distinct.size())));
+    obs::Json jsizes = obs::Json::array();
+    obs::Json jsim = obs::Json::array();
+    for (double s : sizes) {
+      jsizes.push_back(obs::Json(s));
+      jsim.push_back(obs::Json(actual.eval(s)));
+    }
+    root.set("sizes", std::move(jsizes));
+    root.set("simulated", std::move(jsim));
+    obs::Json jmodels = obs::Json::object();
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      obs::Json entry = obs::Json::object();
+      obs::Json jmrc = obs::Json::array();
+      for (double s : sizes) jmrc.push_back(obs::Json(predicted[m].eval(s)));
+      entry.set("mrc", std::move(jmrc));
+      entry.set("mae", obs::Json(maes[m]));
+      jmodels.set(models[m], std::move(entry));
+    }
+    root.set("models", std::move(jmodels));
+    root.dump(std::cout, 0);
+    std::cout << '\n';
+    return 0;
+  }
+
+  std::vector<std::string> header{"size", "simulated"};
+  header.insert(header.end(), models.begin(), models.end());
+  Table table(header);
   for (double s : sizes) {
-    const double a = actual.eval(s);
-    const double p = predicted.eval(s);
-    table.add(s, a, p, std::abs(a - p));
+    std::vector<std::string> row{format_double(s),
+                                 format_double(actual.eval(s))};
+    for (const auto& curve : predicted) {
+      row.push_back(format_double(curve.eval(s)));
+    }
+    table.add_row(std::move(row));
+  }
+  if (format == "csv") {
+    // The grid goes to stdout machine-parseable; MAEs go to stderr.
+    table.print_csv(std::cout);
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      std::fprintf(stderr, "MAE[%s]: %g\n", models[m].c_str(), maes[m]);
+    }
+    return 0;
   }
   table.print(std::cout);
-  std::printf("MAE: %g\n", predicted.mae(actual, sizes));
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    std::printf("MAE[%s]: %g\n", models[m].c_str(), maes[m]);
+  }
   return 0;
 }
 
@@ -464,6 +803,7 @@ int run(int argc, char** argv) {
   }
   const Options opts(argc - 1, argv + 1);
   if (command == "workloads") return cmd_workloads();
+  if (command == "models") return cmd_models(opts);
   if (command == "generate") return cmd_generate(opts);
   if (command == "profile") return cmd_profile(opts);
   if (command == "simulate") return cmd_simulate(opts);

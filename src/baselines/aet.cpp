@@ -47,8 +47,9 @@ MissRatioCurve AetProfiler::mrc(const std::vector<double>& sizes) const {
 
 MissRatioCurve AetProfiler::mrc(std::size_t n_points) const {
   if (collector_.distinct_objects() == 0) return MissRatioCurve{};
-  return mrc(evenly_spaced_sizes(static_cast<double>(collector_.distinct_objects()),
-                                 n_points));
+  // estimated_distinct() == distinct_objects() while unsampled; under
+  // governance it rescales the grid back to full-stream units.
+  return mrc(evenly_spaced_sizes(collector_.estimated_distinct(), n_points));
 }
 
 }  // namespace krr

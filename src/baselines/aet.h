@@ -28,12 +28,21 @@ class AetProfiler {
   /// MRC over the given cache sizes (in objects).
   MissRatioCurve mrc(const std::vector<double>& sizes) const;
 
-  /// MRC over n sizes evenly spaced up to the distinct-object count.
+  /// MRC over n sizes evenly spaced up to the (estimated) distinct-object
+  /// count.
   MissRatioCurve mrc(std::size_t n_points = 64) const;
 
   std::uint64_t processed() const noexcept { return collector_.processed(); }
   std::size_t distinct_objects() const noexcept {
     return collector_.distinct_objects();
+  }
+
+  /// Memory governance: spatially down-samples the tracked object set
+  /// (primary step) or coarsens the reuse-time histogram (secondary).
+  bool halve_sample() { return collector_.halve_sample(); }
+  bool coarsen_histogram() { return collector_.coarsen_histogram(); }
+  std::uint64_t space_overhead_bytes() const noexcept {
+    return collector_.space_overhead_bytes();
   }
 
  private:

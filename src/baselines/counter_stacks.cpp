@@ -73,17 +73,50 @@ void CounterStacksProfiler::close_interval() {
   if (counters_[0].delta > 0.0) histogram_.record_infinite(counters_[0].delta);
 
   // Prune younger counters that have converged onto their older neighbour.
+  prune_converged();
+  // Start the next interval's counter.
+  counters_.push_back(Counter{HyperLogLog(hll_precision_), 0.0, 0.0});
+  in_interval_ = 0;
+}
+
+std::size_t CounterStacksProfiler::prune_converged() {
+  std::size_t removed = 0;
   for (std::size_t i = 0; i + 1 < counters_.size();) {
     if (counters_[i].last_count <=
         counters_[i + 1].last_count * (1.0 + prune_delta_)) {
       counters_.erase(counters_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      ++removed;
     } else {
       ++i;
     }
   }
-  // Start the next interval's counter.
-  counters_.push_back(Counter{HyperLogLog(hll_precision_), 0.0, 0.0});
-  in_interval_ = 0;
+  return removed;
+}
+
+bool CounterStacksProfiler::degrade() {
+  if (counters_.size() <= 2) return false;
+  // Refresh counts at an interval boundary so pruning sees current state
+  // (mid-run degradation shifts the boundary; the histogram stays valid
+  // because every closed interval is self-contained).
+  if (in_interval_ > 0) close_interval();
+  while (counters_.size() > 2) {
+    prune_delta_ = prune_delta_ * 2.0 + 0.01;
+    if (prune_converged() > 0) {
+      ++degradations_;
+      return true;
+    }
+    // A younger counter with a zero count (never estimated) can never
+    // satisfy the convergence test; once the tolerance is this large the
+    // remaining counters are unprunable.
+    if (prune_delta_ > 1e6) break;
+  }
+  return false;
+}
+
+std::uint64_t CounterStacksProfiler::space_overhead_bytes() const noexcept {
+  const std::uint64_t per_counter =
+      (1ULL << hll_precision_) + sizeof(Counter) + 16;
+  return counters_.size() * per_counter + histogram_.bin_count() * 16;
 }
 
 MissRatioCurve CounterStacksProfiler::mrc() const {

@@ -41,6 +41,19 @@ class CounterStacksProfiler {
   std::uint64_t processed() const noexcept { return processed_; }
   std::size_t live_counters() const noexcept { return counters_.size(); }
 
+  /// Memory governance: inflates the prune tolerance until at least one
+  /// live counter converges away. Returns false once the stack is down to
+  /// two counters (the oldest plus the in-flight one — the minimum that
+  /// still yields a curve) or no further convergence is possible.
+  bool degrade();
+
+  /// Times degrade() actually removed counters.
+  std::uint64_t degradation_events() const noexcept { return degradations_; }
+
+  /// Estimated resident bytes: one byte-register array per live counter
+  /// plus the histogram.
+  std::uint64_t space_overhead_bytes() const noexcept;
+
  private:
   struct Counter {
     HyperLogLog sketch;
@@ -49,12 +62,14 @@ class CounterStacksProfiler {
   };
 
   void close_interval();
+  std::size_t prune_converged();
 
   std::uint64_t counter_interval_;
   double prune_delta_;
   std::uint32_t hll_precision_;
   std::uint64_t processed_ = 0;
   std::uint64_t in_interval_ = 0;
+  std::uint64_t degradations_ = 0;
   std::deque<Counter> counters_;  // front = oldest
   DistanceHistogram histogram_;
 };

@@ -11,7 +11,11 @@ void HotlProfiler::access(const Request& req) { collector_.access(req.key); }
 
 double HotlProfiler::footprint(std::uint64_t w) const {
   const std::uint64_t n = collector_.processed();
-  const double m = static_cast<double>(collector_.distinct_objects());
+  // Under governance the collector tracks a spatial sample; m and the
+  // per-object edge corrections scale by 1/R (exactly 1.0 unsampled),
+  // while the histogram term already carries scaled weights.
+  const double s = collector_.scale();
+  const double m = collector_.estimated_distinct();
   if (n == 0 || w == 0) return 0.0;
   if (w >= n) return m;
   double deficit = 0.0;
@@ -24,11 +28,11 @@ double HotlProfiler::footprint(std::uint64_t w) const {
   // the ft - w windows that end before ft; symmetrically for the reverse
   // last-access time.
   for (const auto& [key, ft] : collector_.first_access_times()) {
-    if (ft > w) deficit += static_cast<double>(ft - w);
+    if (ft > w) deficit += static_cast<double>(ft - w) * s;
   }
   for (const auto& [key, last] : collector_.last_access_times()) {
     const std::uint64_t lt = n - last + 1;
-    if (lt > w) deficit += static_cast<double>(lt - w);
+    if (lt > w) deficit += static_cast<double>(lt - w) * s;
   }
   const double windows = static_cast<double>(n - w + 1);
   return std::clamp(m - deficit / windows, 0.0, m);

@@ -55,4 +55,26 @@ void MimirProfiler::access(const Request& req) {
   }
 }
 
+bool MimirProfiler::evict_oldest_bucket() {
+  if (sizes_.size() <= 1) return false;
+  // Keys clamped into the oldest bucket (id <= front_id_, lazily merged by
+  // ROUNDER aging) leave the ghost list entirely.
+  for (auto it = bucket_of_.begin(); it != bucket_of_.end();) {
+    if (it->second <= front_id_) {
+      it = bucket_of_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  sizes_.pop_front();
+  ++front_id_;
+  ++degradations_;
+  return true;
+}
+
+std::uint64_t MimirProfiler::space_overhead_bytes() const noexcept {
+  return bucket_of_.size() * (2 * sizeof(std::uint64_t) + 32) +
+         sizes_.size() * sizeof(std::uint64_t) + histogram_.bin_count() * 16;
+}
+
 }  // namespace krr

@@ -35,6 +35,18 @@ class MimirProfiler {
   std::size_t bucket_count() const noexcept { return sizes_.size(); }
   std::uint64_t processed() const noexcept { return processed_; }
 
+  /// Memory governance: drops the oldest ghost-list bucket and every key
+  /// it holds (future references to them read as cold — a conservative
+  /// error confined to the largest cache sizes). Returns false once a
+  /// single bucket remains.
+  bool evict_oldest_bucket();
+
+  /// Times evict_oldest_bucket() actually dropped a bucket.
+  std::uint64_t degradation_events() const noexcept { return degradations_; }
+
+  /// Estimated resident bytes (ghost map + bucket sizes + histogram).
+  std::uint64_t space_overhead_bytes() const noexcept;
+
  private:
   void open_new_bucket();
 
@@ -48,6 +60,7 @@ class MimirProfiler {
   std::uint64_t front_id_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> bucket_of_;  // key -> bucket id
   std::uint64_t processed_ = 0;
+  std::uint64_t degradations_ = 0;
 };
 
 }  // namespace krr

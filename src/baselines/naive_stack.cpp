@@ -66,4 +66,20 @@ std::uint64_t GenericMattsonStack::access(const Request& req) {
   return cold ? 0 : phi;
 }
 
+std::size_t GenericMattsonStack::evict_bottom(std::size_t count) {
+  std::size_t evicted = 0;
+  while (evicted < count && !stack_.empty()) {
+    position_.erase(stack_.back());
+    stack_.pop_back();
+    ++evicted;
+  }
+  return evicted;
+}
+
+std::uint64_t GenericMattsonStack::space_overhead_bytes() const noexcept {
+  return stack_.size() * sizeof(std::uint64_t) +
+         position_.size() * (sizeof(std::uint64_t) + sizeof(std::size_t) + 32) +
+         histogram_.bin_count() * 16;
+}
+
 }  // namespace krr

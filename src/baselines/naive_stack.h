@@ -53,6 +53,15 @@ class GenericMattsonStack {
   /// Keys from stack top to bottom (test/diagnostic helper).
   const std::vector<std::uint64_t>& stack() const noexcept { return stack_; }
 
+  /// Memory governance (Mattson bounded eviction): drops up to `count`
+  /// objects from the stack bottom. Re-references to dropped objects read
+  /// as cold, so the curve stays exact below the retained depth and only
+  /// degrades above it. Returns the number actually evicted.
+  std::size_t evict_bottom(std::size_t count);
+
+  /// Estimated resident bytes (stack + position map + histogram).
+  std::uint64_t space_overhead_bytes() const noexcept;
+
  private:
   StayProbabilityFn stay_probability_;
   Xoshiro256ss rng_;

@@ -1,5 +1,9 @@
 #include "baselines/olken_tree.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 namespace krr {
 
 OlkenTreeProfiler::OlkenTreeProfiler(bool byte_granularity,
@@ -108,6 +112,40 @@ void OlkenTreeProfiler::remove(std::uint64_t key) {
   if (it == last_access_.end()) return;
   erase(it->second.last_time);
   last_access_.erase(it);
+}
+
+std::uint64_t OlkenTreeProfiler::evict_oldest(std::size_t count) {
+  if (count == 0 || last_access_.empty()) return 0;
+  count = std::min(count, last_access_.size());
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> by_time;  // (time, key)
+  by_time.reserve(last_access_.size());
+  for (const auto& [key, state] : last_access_) {
+    by_time.emplace_back(state.last_time, key);
+  }
+  std::nth_element(by_time.begin(), by_time.begin() + (count - 1),
+                   by_time.end());
+  by_time.resize(count);
+  for (const auto& [t, key] : by_time) remove(key);
+  return count;
+}
+
+std::uint64_t OlkenTreeProfiler::retain(
+    const std::function<bool(std::uint64_t)>& keep) {
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [key, state] : last_access_) {
+    if (!keep(key)) doomed.push_back(key);
+  }
+  for (const std::uint64_t key : doomed) remove(key);
+  return doomed.size();
+}
+
+std::uint64_t OlkenTreeProfiler::space_overhead_bytes() const noexcept {
+  const std::uint64_t live_nodes = nodes_.size() - free_.size();
+  // ~48 B per unordered_map entry (key, value, bucket/next overhead);
+  // 16 B per histogram bin (key + weight).
+  return live_nodes * sizeof(Node) +
+         last_access_.size() * (sizeof(ObjectState) + 48) +
+         histogram_.bin_count() * 16;
 }
 
 }  // namespace krr

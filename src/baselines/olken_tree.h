@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "trace/request.h"
@@ -31,6 +32,23 @@ class OlkenTreeProfiler {
   /// Removes an object from the stack entirely (fixed-size SHARDS
   /// eviction). No-op if the key is not tracked.
   void remove(std::uint64_t key);
+
+  /// Evicts the `count` least-recently-used objects — Mattson's bounded-
+  /// eviction trick: reuses of evicted keys come back as cold misses,
+  /// which is exactly what a cache smaller than the retained depth would
+  /// see, so the curve stays correct below that depth. Returns the number
+  /// actually evicted.
+  std::uint64_t evict_oldest(std::size_t count);
+
+  /// Removes every tracked object whose key fails the predicate (SHARDS
+  /// rate-halving: survivors of a threshold drop are an exact subset).
+  /// Returns the eviction count.
+  std::uint64_t retain(const std::function<bool(std::uint64_t)>& keep);
+
+  /// Estimated resident bytes (governance accounting): live treap nodes +
+  /// last-access map entries + histogram bins. Logical accounting, like
+  /// the KRR stack's — freed slots on the node free-list are not charged.
+  std::uint64_t space_overhead_bytes() const noexcept;
 
   const DistanceHistogram& histogram() const noexcept { return histogram_; }
   MissRatioCurve mrc() const { return histogram_.to_mrc(); }

@@ -85,6 +85,25 @@ std::uint64_t PriorityMattsonStack::access(const Request& req, std::uint64_t nex
   return cold ? 0 : phi;
 }
 
+std::size_t PriorityMattsonStack::evict_bottom(std::size_t count) {
+  std::size_t evicted = 0;
+  while (evicted < count && !stack_.empty()) {
+    const std::uint64_t key = stack_.back();
+    stack_.pop_back();
+    position_.erase(key);
+    state_.erase(key);
+    ++evicted;
+  }
+  return evicted;
+}
+
+std::uint64_t PriorityMattsonStack::space_overhead_bytes() const noexcept {
+  return stack_.size() * sizeof(std::uint64_t) +
+         position_.size() * (sizeof(std::uint64_t) + sizeof(std::size_t) + 32) +
+         state_.size() * (sizeof(std::uint64_t) + sizeof(ObjectState) + 32) +
+         histogram_.bin_count() * 16;
+}
+
 std::vector<std::uint64_t> preprocess_next_uses(const std::vector<Request>& trace) {
   std::vector<std::uint64_t> next(trace.size(), PriorityMattsonStack::kNever);
   std::unordered_map<std::uint64_t, std::uint64_t> upcoming;

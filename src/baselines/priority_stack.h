@@ -55,6 +55,16 @@ class PriorityMattsonStack {
   /// Keys from stack top to bottom (diagnostics).
   const std::vector<std::uint64_t>& stack() const noexcept { return stack_; }
 
+  /// Memory governance (Mattson bounded eviction): drops up to `count`
+  /// objects from the stack bottom, including their priority state — a
+  /// re-reference reads as cold (for kLfu this also forgets the evicted
+  /// object's frequency, so the degraded stack is no longer "perfect"
+  /// LFU above the retained depth). Returns the number actually evicted.
+  std::size_t evict_bottom(std::size_t count);
+
+  /// Estimated resident bytes (stack + position/state maps + histogram).
+  std::uint64_t space_overhead_bytes() const noexcept;
+
  private:
   struct ObjectState {
     std::uint64_t last_access = 0;

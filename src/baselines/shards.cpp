@@ -8,38 +8,51 @@ ShardsProfiler::ShardsProfiler(double rate, bool adjustment, bool byte_granulari
                                std::uint64_t histogram_quantum)
     : filter_(rate),
       adjustment_(adjustment),
-      histogram_quantum_(histogram_quantum),
-      stack_(byte_granularity, histogram_quantum) {}
+      stack_(byte_granularity, histogram_quantum),
+      histogram_(histogram_quantum) {}
 
 void ShardsProfiler::access(const Request& req) {
   ++processed_;
   if (!filter_.sampled(req.key)) return;
   ++sampled_;
-  stack_.access(req);
+  const std::uint64_t distance = stack_.access(req);
+  if (distance == 0) {
+    histogram_.record_infinite();
+    return;
+  }
+  // A sampled distance d estimates an unsampled distance d/R, at the rate
+  // in force when the reference was seen (scaling at access time is what
+  // lets the rate change mid-run).
+  histogram_.record(static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(distance) * filter_.scale())));
+}
+
+bool ShardsProfiler::halve_rate() {
+  if (filter_.threshold() <= 1) return false;
+  expected_base_ = expected_sampled();
+  processed_at_change_ = processed_;
+  filter_.halve();
+  stack_.retain([this](std::uint64_t key) { return filter_.sampled(key); });
+  ++degradations_;
+  return true;
+}
+
+std::uint64_t ShardsProfiler::space_overhead_bytes() const noexcept {
+  return stack_.space_overhead_bytes() + histogram_.bin_count() * 16;
 }
 
 MissRatioCurve ShardsProfiler::mrc() const {
-  // Rebuild the rescaled histogram from the sampled one: each sampled
-  // distance d estimates an unsampled distance d/R.
-  DistanceHistogram scaled(histogram_quantum_);
-  const double factor = filter_.scale();
-  for (const auto& [dist, weight] : stack_.histogram().sorted_bins()) {
-    scaled.record(static_cast<std::uint64_t>(
-                      std::llround(static_cast<double>(dist) * factor)),
-                  weight);
-  }
+  DistanceHistogram adjusted = histogram_;
   if (adjustment_) {
     // SHARDS-adj (FAST '15, §3.2): the sample should contain N*R
     // references; the shortfall or excess — dominated by over/under-
     // represented hot objects, whose reuse distances are tiny — is applied
     // to the first histogram bucket. The correction may be negative; the
     // MRC construction clamps ratios into [0, 1].
-    const double expected = static_cast<double>(processed_) * filter_.rate();
-    const double diff = expected - static_cast<double>(sampled_);
-    if (diff != 0.0) scaled.record(1, diff);
+    const double diff = expected_sampled() - static_cast<double>(sampled_);
+    if (diff != 0.0) adjusted.record(1, diff);
   }
-  scaled.record_infinite(stack_.histogram().infinite_weight());
-  return scaled.to_mrc();
+  return adjusted.to_mrc();
 }
 
 }  // namespace krr

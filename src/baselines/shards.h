@@ -2,7 +2,7 @@
 
 #include <cstdint>
 
-#include "baselines/lru_stack.h"
+#include "baselines/olken_tree.h"
 #include "core/spatial_filter.h"
 #include "trace/request.h"
 #include "util/histogram.h"
@@ -16,10 +16,18 @@ namespace krr {
 /// distance d estimates an unsampled distance d/R, so the histogram is
 /// built over rescaled distances with per-reference weight 1.
 ///
+/// Distances are rescaled at access time by the rate then in force, with
+/// the same epoch bookkeeping the KRR profiler uses, so the rate may be
+/// halved mid-run (halve_rate(), the memory-governance degradation step)
+/// without invalidating what was already recorded. The exact stack is the
+/// Olken treap rather than the Fenwick formulation because rate halving
+/// must evict residents that fall out of the sample.
+///
 /// This is the fixed-rate variant with the optional SHARDS-adj correction:
-/// the difference between the expected sampled reference count (N*R) and
-/// the actual count is added to the first histogram bin, compensating the
-/// miss-ratio bias of over/under-sampled workloads.
+/// the difference between the expected sampled reference count (N*R,
+/// accumulated per rate epoch) and the actual count is added to the first
+/// histogram bin, compensating the miss-ratio bias of over/under-sampled
+/// workloads.
 ///
 /// SHARDS models the exact LRU policy only; the paper's point (§5.3) is
 /// that it cannot capture K-LRU for small K, which bench_fig5_2 shows.
@@ -38,17 +46,43 @@ class ShardsProfiler {
   /// enabled.
   MissRatioCurve mrc() const;
 
+  /// Graceful degradation: halves the sampling rate and evicts residents
+  /// that fall out of the sample (their reuse behaviour stays valid — the
+  /// surviving key set is an exact subset). Returns false once the filter
+  /// has bottomed out at threshold 1.
+  bool halve_rate();
+
+  /// Estimated resident bytes (exact stack + rescaled histogram).
+  std::uint64_t space_overhead_bytes() const noexcept;
+
+  /// Times halve_rate() actually lowered the rate.
+  std::uint64_t degradation_events() const noexcept { return degradations_; }
+
   std::uint64_t processed() const noexcept { return processed_; }
   std::uint64_t sampled() const noexcept { return sampled_; }
+  std::size_t tracked_objects() const noexcept {
+    return stack_.tracked_objects();
+  }
   const SpatialFilter& filter() const noexcept { return filter_; }
 
  private:
+  /// Expected sampled references: sum over rate epochs of (epoch length *
+  /// epoch rate). Equals processed * R exactly while the rate is constant.
+  double expected_sampled() const noexcept {
+    return expected_base_ +
+           static_cast<double>(processed_ - processed_at_change_) *
+               filter_.rate();
+  }
+
   SpatialFilter filter_;
   bool adjustment_;
-  std::uint64_t histogram_quantum_;
-  LruStackProfiler stack_;
+  OlkenTreeProfiler stack_;
+  DistanceHistogram histogram_;
   std::uint64_t processed_ = 0;
   std::uint64_t sampled_ = 0;
+  std::uint64_t degradations_ = 0;
+  double expected_base_ = 0.0;
+  std::uint64_t processed_at_change_ = 0;
 };
 
 }  // namespace krr

@@ -54,6 +54,23 @@ void ShardsFixedSizeProfiler::evict_largest_hash() {
   threshold_ = largest;
 }
 
+bool ShardsFixedSizeProfiler::shrink_capacity() {
+  if (max_objects_ <= 1) return false;
+  max_objects_ /= 2;
+  while (tracked_.size() > max_objects_) evict_largest_hash();
+  ++degradations_;
+  return true;
+}
+
+std::uint64_t ShardsFixedSizeProfiler::space_overhead_bytes() const noexcept {
+  // The heap can briefly hold stale entries for already-evicted keys (one
+  // push per cold insert, group pops on evict), so it is charged by its
+  // own size, not the tracked count.
+  return stack_.space_overhead_bytes() + heap_.size() * sizeof(HeapEntry) +
+         tracked_.size() * (2 * sizeof(std::uint64_t) + 32) +
+         histogram_.bin_count() * 16;
+}
+
 MissRatioCurve ShardsFixedSizeProfiler::mrc() const {
   // SHARDS-adj: the recorded weights should integrate to the processed
   // request count; apply the residual to the first bucket.

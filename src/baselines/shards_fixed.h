@@ -39,8 +39,21 @@ class ShardsFixedSizeProfiler {
     return static_cast<double>(threshold_) / static_cast<double>(modulus_);
   }
   std::size_t tracked_objects() const noexcept { return tracked_.size(); }
+  std::size_t max_objects() const noexcept { return max_objects_; }
   std::uint64_t processed() const noexcept { return processed_; }
   std::uint64_t sampled() const noexcept { return sampled_; }
+
+  /// Graceful degradation: halves the object budget and immediately evicts
+  /// down to it via the normal largest-hash mechanism (so the threshold
+  /// keeps its only-decreases invariant). Returns false once the budget
+  /// has bottomed out at 1 object.
+  bool shrink_capacity();
+
+  /// Times shrink_capacity() actually lowered the budget.
+  std::uint64_t degradation_events() const noexcept { return degradations_; }
+
+  /// Estimated resident bytes (stack + heap + tracked map + histogram).
+  std::uint64_t space_overhead_bytes() const noexcept;
 
  private:
   struct HeapEntry {
@@ -65,6 +78,7 @@ class ShardsFixedSizeProfiler {
   double expected_weight_ = 0.0;  // sum over requests of the rate in force
   std::uint64_t processed_ = 0;
   std::uint64_t sampled_ = 0;
+  std::uint64_t degradations_ = 0;
 };
 
 }  // namespace krr

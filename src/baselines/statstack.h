@@ -39,6 +39,14 @@ class StatStackProfiler {
     return collector_.distinct_objects();
   }
 
+  /// Memory governance: spatially down-samples the tracked object set
+  /// (primary step) or coarsens the reuse-time histogram (secondary).
+  bool halve_sample() { return collector_.halve_sample(); }
+  bool coarsen_histogram() { return collector_.coarsen_histogram(); }
+  std::uint64_t space_overhead_bytes() const noexcept {
+    return collector_.space_overhead_bytes();
+  }
+
  private:
   ReuseTimeCollector collector_;
 };

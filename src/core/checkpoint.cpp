@@ -1,0 +1,125 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/estimator.h"
+#include "util/crc32.h"
+
+namespace krr {
+
+namespace {
+
+constexpr char kMagic[8] = {'K', 'R', 'R', 'S', 'N', 'A', 'P', '1'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8;
+// Snapshots hold histograms and stacks, not traces; anything past this is
+// a corrupt length field, not a real payload.
+constexpr std::uint64_t kMaxPayloadBytes = 1ULL << 32;
+
+}  // namespace
+
+std::uint32_t checkpoint_fingerprint(const std::string& model,
+                                     const EstimatorOptions& options) {
+  Crc32 crc;
+  crc.update(model.data(), model.size());
+  crc.update("\0", 1);
+  // std::map iteration is key-sorted, so the fingerprint is canonical
+  // regardless of the order options were set in.
+  for (const auto& [key, value] : options.entries()) {
+    crc.update(key.data(), key.size());
+    crc.update("=", 1);
+    crc.update(value.data(), value.size());
+    crc.update("\n", 1);
+  }
+  return crc.value();
+}
+
+Status write_checkpoint_atomic(const std::string& path,
+                               const CheckpointHeader& header,
+                               const std::string& payload) {
+  if (payload.size() > kMaxPayloadBytes) {
+    return invalid_argument_error("checkpoint payload too large");
+  }
+  std::string blob;
+  blob.reserve(kHeaderBytes + payload.size() + 4);
+  blob.append(kMagic, sizeof(kMagic));
+  ckpt::append_u32(blob, header.version);
+  ckpt::append_u32(blob, header.config_crc);
+  ckpt::append_u64(blob, header.records);
+  ckpt::append_u64(blob, payload.size());
+  blob += payload;
+  ckpt::append_u32(blob, crc32(blob.data(), blob.size()));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return io_error("cannot open checkpoint temp file '" + tmp + "'");
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return io_error("short write to checkpoint temp file '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return io_error("cannot rename checkpoint into place at '" + path + "'");
+  }
+  return Status::ok();
+}
+
+StatusOr<CheckpointHeader> read_checkpoint(const std::string& path,
+                                           std::string* payload) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return io_error("cannot open checkpoint '" + path + "'");
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (blob.size() < kHeaderBytes + 4) {
+    return corrupt_header_error("checkpoint '" + path +
+                                "' is too short to be a snapshot");
+  }
+  if (std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    return corrupt_header_error("checkpoint '" + path +
+                                "' has a bad magic (not a KRRSNAP file)");
+  }
+
+  // Validate the trailing CRC before trusting any field beyond the magic.
+  const std::uint32_t stored_crc =
+      static_cast<std::uint32_t>(static_cast<unsigned char>(blob[blob.size() - 4])) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(blob[blob.size() - 3]))
+       << 8) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(blob[blob.size() - 2]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(blob[blob.size() - 1]))
+       << 24);
+  const std::uint32_t computed = crc32(blob.data(), blob.size() - 4);
+  if (stored_crc != computed) {
+    return checksum_mismatch_error("checkpoint '" + path +
+                                   "' failed its CRC32 integrity check");
+  }
+
+  std::string body = blob.substr(sizeof(kMagic), blob.size() - sizeof(kMagic) - 4);
+  ckpt::ByteReader reader(body);
+  CheckpointHeader header;
+  std::uint64_t payload_len = 0;
+  if (!reader.read_u32(&header.version) || !reader.read_u32(&header.config_crc) ||
+      !reader.read_u64(&header.records) || !reader.read_u64(&payload_len)) {
+    return corrupt_header_error("checkpoint '" + path + "' header is truncated");
+  }
+  if (header.version != kCheckpointVersion) {
+    return unsupported_version_error(
+        "checkpoint '" + path + "' has format version " +
+        std::to_string(header.version) + "; this build reads version " +
+        std::to_string(kCheckpointVersion));
+  }
+  if (payload_len > kMaxPayloadBytes || payload_len != reader.remaining()) {
+    return corrupt_header_error("checkpoint '" + path +
+                                "' payload length disagrees with the file size");
+  }
+  if (payload != nullptr) {
+    *payload = body.substr(body.size() - payload_len);
+  }
+  return header;
+}
+
+}  // namespace krr

@@ -105,6 +105,16 @@ RunReport MrcEstimator::run_report(const TraceReadReport* ingest) const {
   return report;
 }
 
+Status MrcEstimator::save_state(std::string*) const {
+  return invalid_argument_error("estimator '" + info_.name +
+                                "' does not support checkpointing");
+}
+
+Status MrcEstimator::load_state(const std::string&) {
+  return invalid_argument_error("estimator '" + info_.name +
+                                "' does not support checkpointing");
+}
+
 obs::HeartbeatSnapshot MrcEstimator::snapshot() const {
   obs::HeartbeatSnapshot s;
   s.records = processed();
@@ -150,6 +160,16 @@ StatusOr<std::unique_ptr<MrcEstimator>> EstimatorRegistry::create(
                             ")");
   }
   const auto& [info, factory] = it->second;
+  // A memory budget on a model that cannot bound its state is a usage
+  // error, not a silently ignored knob: running it would grow unbounded and
+  // OOM long traces (the exact trap governance exists to close).
+  if (!info.caps.governed_memory && options.has("max_stack_bytes") &&
+      options.get_int("max_stack_bytes", 0) != 0) {
+    return invalid_argument_error(
+        "estimator '" + name +
+        "' cannot bound its memory; --max-stack-mb / max_stack_bytes is not "
+        "supported for this model");
+  }
   for (const auto& [key, value] : options.entries()) {
     if (common_estimator_option_keys().count(key) != 0) continue;
     if (std::find(info.option_keys.begin(), info.option_keys.end(), key) !=

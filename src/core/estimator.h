@@ -81,6 +81,14 @@ struct EstimatorCapabilities {
   /// O(stack depth) per access: a reference oracle for correctness work,
   /// excluded from the perf zoo/bench sweeps that would take hours on it.
   bool reference_oracle = false;
+  /// Honors a `max_stack_bytes` memory budget: space_overhead_bytes() is
+  /// meaningful and degrade() can shed state (rate halving, histogram
+  /// coarsening, or bounded eviction). A model without this flag rejects
+  /// the option at create() time instead of silently growing unbounded.
+  bool governed_memory = false;
+  /// save_state()/load_state() round-trip a mid-run snapshot exactly, so
+  /// the CLI checkpoint/resume flags work with this model.
+  bool checkpoint = false;
 };
 
 /// Registry metadata for one estimator.
@@ -132,6 +140,31 @@ class MrcEstimator {
   /// Instantaneous progress for heartbeats. The default reports only the
   /// processed count; estimators with stacks/filters fill the other gauges.
   virtual obs::HeartbeatSnapshot snapshot() const;
+
+  /// --- Run-lifecycle governance hooks (capability flag `governed_memory`).
+
+  /// Current data-dependent state footprint in bytes (same accounting the
+  /// RunGovernor compares against `max_stack_bytes`). Ungoverned models
+  /// report 0, which the governor treats as "always within budget".
+  virtual std::uint64_t space_overhead_bytes() const { return 0; }
+
+  /// Sheds one increment of state (one rate halving, one histogram
+  /// coarsening step, one bounded eviction batch, ...). Returns false when
+  /// the model cannot shrink any further — the governor then reports the
+  /// budget as exhausted rather than looping. Default: cannot degrade.
+  virtual bool degrade() { return false; }
+
+  /// --- Checkpoint hooks (capability flag `checkpoint`).
+
+  /// Serializes the complete mid-run state into `out` such that a fresh
+  /// instance built from identical options, after load_state(), continues
+  /// the run bit-identically. Default: kInvalidArgument (unsupported).
+  virtual Status save_state(std::string* out) const;
+
+  /// Restores state produced by save_state() on an identically configured
+  /// instance. Corrupt payloads yield a corrupt/checksum status; calling it
+  /// on a model without checkpoint support yields kInvalidArgument.
+  virtual Status load_state(const std::string& payload);
 
   /// Hot-path instrumentation hooks, no-ops by default (capability flag
   /// `metrics` says whether a model forwards them). Same lifetime contract

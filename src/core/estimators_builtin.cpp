@@ -8,6 +8,7 @@
 // detail::register_builtin_estimators, so they survive static-library
 // linking (a registrar-only translation unit would be dropped).
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -99,6 +100,16 @@ class KrrEstimator final : public MrcEstimator {
   void refresh_metrics_gauges() const noexcept override {
     profiler_.refresh_metrics_gauges();
   }
+  std::uint64_t space_overhead_bytes() const override {
+    return profiler_.space_overhead_bytes();
+  }
+  bool degrade() override { return profiler_.degrade_step(); }
+  Status save_state(std::string* out) const override {
+    return profiler_.save_state(out);
+  }
+  Status load_state(const std::string& payload) override {
+    return profiler_.load_state(payload);
+  }
 
  private:
   KrrProfiler profiler_;
@@ -139,6 +150,12 @@ class ShardedKrrEstimator final : public MrcEstimator {
   void export_gauges(obs::MetricsRegistry& registry) const override {
     profiler_.export_shard_gauges(registry);
   }
+  // Governance is internal: the budget is split across shards, each of
+  // which runs the single-threaded enforcement on its own worker. The
+  // external hooks report nothing so the producer-side governor never
+  // races the workers.
+  std::uint64_t space_overhead_bytes() const override { return 0; }
+  bool degrade() override { return false; }
 
  private:
   static ShardedKrrProfilerConfig sharded_config_from(const EstimatorOptions& o) {
@@ -152,6 +169,19 @@ class ShardedKrrEstimator final : public MrcEstimator {
     cfg.threads = static_cast<unsigned>(threads);
     cfg.queue_capacity = static_cast<std::size_t>(
         get_u64(o, "queue_capacity", cfg.queue_capacity));
+    if (cfg.base.max_stack_bytes > 0) {
+      cfg.base.max_stack_bytes =
+          std::max<std::uint64_t>(1, cfg.base.max_stack_bytes / cfg.shards);
+    }
+    const std::string mode = o.get_string("failure_mode", "strict");
+    if (mode == "strict") {
+      cfg.failure_mode = ShardFailureMode::kStrict;
+    } else if (mode == "best_effort") {
+      cfg.failure_mode = ShardFailureMode::kBestEffort;
+    } else {
+      throw std::invalid_argument("unknown failure_mode: " + mode +
+                                  " (use strict or best_effort)");
+    }
     return cfg;
   }
 
@@ -169,6 +199,10 @@ class WindowedKrrEstimator final : public MrcEstimator {
     return profiler_.mrc();
   }
   std::uint64_t processed() const override { return profiler_.processed(); }
+  std::uint64_t space_overhead_bytes() const override {
+    return profiler_.space_overhead_bytes();
+  }
+  bool degrade() override { return profiler_.degrade_step(); }
 
  private:
   static WindowedKrrConfig windowed_config_from(const EstimatorOptions& o) {
@@ -176,6 +210,12 @@ class WindowedKrrEstimator final : public MrcEstimator {
     cfg.profiler = krr_config_from(o);
     cfg.window = get_u64(o, "window", cfg.window);
     if (cfg.window == 0) throw std::invalid_argument("window must be >= 1");
+    // Two staggered windows are live at once; give each half the budget so
+    // the pair honours the configured ceiling.
+    if (cfg.profiler.max_stack_bytes > 0) {
+      cfg.profiler.max_stack_bytes =
+          std::max<std::uint64_t>(1, cfg.profiler.max_stack_bytes / 2);
+    }
     return cfg;
   }
 
@@ -219,6 +259,16 @@ class OlkenTreeEstimator final : public MrcEstimator {
     return profiler_.mrc();
   }
   std::uint64_t processed() const override { return profiler_.processed(); }
+  std::uint64_t space_overhead_bytes() const override {
+    return profiler_.space_overhead_bytes();
+  }
+  bool degrade() override {
+    // Mattson bounded eviction: drop the coldest eighth of the tracked
+    // set; the curve stays exact below the retained depth.
+    const std::size_t tracked = profiler_.tracked_objects();
+    if (tracked <= 1) return false;
+    return profiler_.evict_oldest(std::max<std::size_t>(1, tracked / 8)) > 0;
+  }
 
  private:
   OlkenTreeProfiler profiler_;
@@ -251,6 +301,17 @@ class NaiveStackEstimator final : public MrcEstimator {
                                 " (use krr, lru or rr)");
   }
 
+ public:
+  std::uint64_t space_overhead_bytes() const override {
+    return stack_.space_overhead_bytes();
+  }
+  bool degrade() override {
+    const std::size_t depth = stack_.depth();
+    if (depth <= 1) return false;
+    return stack_.evict_bottom(std::max<std::size_t>(1, depth / 8)) > 0;
+  }
+
+ private:
   GenericMattsonStack stack_;
   std::uint64_t processed_ = 0;
 };
@@ -283,6 +344,17 @@ class PriorityStackEstimator final : public MrcEstimator {
                                 " (use lru, mru or lfu)");
   }
 
+ public:
+  std::uint64_t space_overhead_bytes() const override {
+    return stack_.space_overhead_bytes();
+  }
+  bool degrade() override {
+    const std::size_t depth = stack_.depth();
+    if (depth <= 1) return false;
+    return stack_.evict_bottom(std::max<std::size_t>(1, depth / 8)) > 0;
+  }
+
+ private:
   PriorityMattsonStack stack_;
   std::uint64_t processed_ = 0;
 };
@@ -308,8 +380,14 @@ class ShardsEstimator final : public MrcEstimator {
     s.records = profiler_.processed();
     s.sampled = profiler_.sampled();
     s.sampling_rate = profiler_.filter().rate();
+    s.resident_bytes = profiler_.space_overhead_bytes();
+    s.degradation_events = profiler_.degradation_events();
     return s;
   }
+  std::uint64_t space_overhead_bytes() const override {
+    return profiler_.space_overhead_bytes();
+  }
+  bool degrade() override { return profiler_.halve_rate(); }
 
  private:
   static double checked_rate(double rate) {
@@ -339,8 +417,14 @@ class ShardsFixedEstimator final : public MrcEstimator {
     s.sampled = profiler_.sampled();
     s.stack_depth = profiler_.tracked_objects();
     s.sampling_rate = profiler_.current_rate();
+    s.resident_bytes = profiler_.space_overhead_bytes();
+    s.degradation_events = profiler_.degradation_events();
     return s;
   }
+  std::uint64_t space_overhead_bytes() const override {
+    return profiler_.space_overhead_bytes();
+  }
+  bool degrade() override { return profiler_.shrink_capacity(); }
 
  private:
   static std::size_t checked_max(std::uint64_t max_objects) {
@@ -366,6 +450,10 @@ class CounterStacksEstimator final : public MrcEstimator {
     return profiler_.mrc();
   }
   std::uint64_t processed() const override { return profiler_.processed(); }
+  std::uint64_t space_overhead_bytes() const override {
+    return profiler_.space_overhead_bytes();
+  }
+  bool degrade() override { return profiler_.degrade(); }
 
  private:
   CounterStacksProfiler profiler_;
@@ -388,6 +476,14 @@ class AetEstimator final : public MrcEstimator {
     return profiler_.mrc(sizes);
   }
   std::uint64_t processed() const override { return profiler_.processed(); }
+  std::uint64_t space_overhead_bytes() const override {
+    return profiler_.space_overhead_bytes();
+  }
+  bool degrade() override {
+    // Down-sample the tracked set first (the dominant cost); once the
+    // filter bottoms out, coarsen the reuse-time histogram.
+    return profiler_.halve_sample() || profiler_.coarsen_histogram();
+  }
 
  private:
   std::uint64_t points_;
@@ -405,6 +501,12 @@ class StatStackEstimator final : public MrcEstimator {
     return profiler_.mrc();
   }
   std::uint64_t processed() const override { return profiler_.processed(); }
+  std::uint64_t space_overhead_bytes() const override {
+    return profiler_.space_overhead_bytes();
+  }
+  bool degrade() override {
+    return profiler_.halve_sample() || profiler_.coarsen_histogram();
+  }
 
  private:
   StatStackProfiler profiler_;
@@ -422,6 +524,12 @@ class HotlEstimator final : public MrcEstimator {
     return profiler_.mrc(static_cast<std::size_t>(points_));
   }
   std::uint64_t processed() const override { return profiler_.processed(); }
+  std::uint64_t space_overhead_bytes() const override {
+    return profiler_.space_overhead_bytes();
+  }
+  bool degrade() override {
+    return profiler_.halve_sample() || profiler_.coarsen_histogram();
+  }
 
  private:
   std::uint64_t points_;
@@ -439,6 +547,10 @@ class MimirEstimator final : public MrcEstimator {
     return profiler_.mrc();
   }
   std::uint64_t processed() const override { return profiler_.processed(); }
+  std::uint64_t space_overhead_bytes() const override {
+    return profiler_.space_overhead_bytes();
+  }
+  bool degrade() override { return profiler_.evict_oldest_bucket(); }
 
  private:
   MimirProfiler profiler_;
@@ -464,7 +576,9 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .caps = {.models_klru = true,
                 .byte_granularity = true,
                 .spatial_sampling = true,
-                .metrics = true},
+                .metrics = true,
+                .governed_memory = true,
+                .checkpoint = true},
        .option_keys = {"max_stack_bytes"}},
       make_factory<KrrEstimator>());
   registry.add(
@@ -476,9 +590,10 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
                 .byte_granularity = true,
                 .spatial_sampling = true,
                 .sharded = true,
-                .metrics = true},
+                .metrics = true,
+                .governed_memory = true},
        .option_keys = {"max_stack_bytes", "threads", "shards",
-                       "queue_capacity"}},
+                       "queue_capacity", "failure_mode"}},
       make_factory<ShardedKrrEstimator>());
   registry.add(
       {.name = "krr_windowed",
@@ -487,7 +602,8 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
                       "(two staggered windows)",
        .caps = {.models_klru = true,
                 .byte_granularity = true,
-                .spatial_sampling = true},
+                .spatial_sampling = true,
+                .governed_memory = true},
        .option_keys = {"max_stack_bytes", "window"}},
       make_factory<WindowedKrrEstimator>());
   registry.add(
@@ -495,8 +611,10 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .policy = "K-LRU/LRU/RR",
        .description = "Mattson's generic stack with injected stay "
                       "probabilities (variant=krr|lru|rr), the O(M) oracle",
-       .caps = {.models_klru = true, .reference_oracle = true},
-       .option_keys = {"variant"}},
+       .caps = {.models_klru = true,
+                .reference_oracle = true,
+                .governed_memory = true},
+       .option_keys = {"variant", "max_stack_bytes"}},
       make_factory<NaiveStackEstimator>());
   registry.add(
       {.name = "lru_stack",
@@ -511,70 +629,73 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .policy = "LRU",
        .description = "exact LRU stack distances via a size-augmented treap "
                       "(Olken 1981)",
-       .caps = {.byte_granularity = true},
-       .option_keys = {}},
+       .caps = {.byte_granularity = true, .governed_memory = true},
+       .option_keys = {"max_stack_bytes"}},
       make_factory<OlkenTreeEstimator>());
   registry.add(
       {.name = "priority_stack",
        .policy = "LRU/MRU/LFU",
        .description = "deterministic priority Mattson stack "
                       "(policy=lru|mru|lfu), an O(M) reference oracle",
-       .caps = {.reference_oracle = true},
-       .option_keys = {"policy"}},
+       .caps = {.reference_oracle = true, .governed_memory = true},
+       .option_keys = {"policy", "max_stack_bytes"}},
       make_factory<PriorityStackEstimator>());
   registry.add(
       {.name = "shards",
        .policy = "LRU",
        .description = "SHARDS fixed-rate spatial sampling over an exact LRU "
                       "stack (FAST '15)",
-       .caps = {.byte_granularity = true, .spatial_sampling = true},
-       .option_keys = {}},
+       .caps = {.byte_granularity = true,
+                .spatial_sampling = true,
+                .governed_memory = true},
+       .option_keys = {"max_stack_bytes"}},
       make_factory<ShardsEstimator>());
   registry.add(
       {.name = "shards_fixed",
        .policy = "LRU",
        .description = "fixed-size SHARDS_smax: bounded memory, "
                       "threshold-adaptive sampling rate",
-       .caps = {.spatial_sampling = true},
-       .option_keys = {"max_objects", "modulus"}},
+       .caps = {.spatial_sampling = true, .governed_memory = true},
+       .option_keys = {"max_objects", "modulus", "max_stack_bytes"}},
       make_factory<ShardsFixedEstimator>());
   registry.add(
       {.name = "aet",
        .policy = "LRU",
        .description = "AET kinetic reuse-time model of exact LRU (ATC '16)",
-       .caps = {},
-       .option_keys = {"sub_buckets", "points"}},
+       .caps = {.governed_memory = true},
+       .option_keys = {"sub_buckets", "points", "max_stack_bytes"}},
       make_factory<AetEstimator>());
   registry.add(
       {.name = "counter_stacks",
        .policy = "LRU",
        .description = "Counter Stacks: HyperLogLog counter stack with "
                       "pruning (OSDI '14)",
-       .caps = {},
-       .option_keys = {"interval", "prune_delta", "precision"}},
+       .caps = {.governed_memory = true},
+       .option_keys = {"interval", "prune_delta", "precision",
+                       "max_stack_bytes"}},
       make_factory<CounterStacksEstimator>());
   registry.add(
       {.name = "statstack",
        .policy = "LRU",
        .description = "StatStack expected-stack-distance model from reuse "
                       "times (ISPASS '10)",
-       .caps = {},
-       .option_keys = {"sub_buckets"}},
+       .caps = {.governed_memory = true},
+       .option_keys = {"sub_buckets", "max_stack_bytes"}},
       make_factory<StatStackEstimator>());
   registry.add(
       {.name = "mimir",
        .policy = "LRU",
        .description = "MIMIR bucketed ghost list with ROUNDER aging "
                       "(SoCC '14)",
-       .caps = {},
-       .option_keys = {"buckets"}},
+       .caps = {.governed_memory = true},
+       .option_keys = {"buckets", "max_stack_bytes"}},
       make_factory<MimirEstimator>());
   registry.add(
       {.name = "hotl",
        .policy = "LRU",
        .description = "HOTL footprint theory of locality (ASPLOS '13)",
-       .caps = {},
-       .option_keys = {"sub_buckets", "points"}},
+       .caps = {.governed_memory = true},
+       .option_keys = {"sub_buckets", "points", "max_stack_bytes"}},
       make_factory<HotlEstimator>());
 }
 

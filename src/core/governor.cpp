@@ -1,0 +1,83 @@
+#include "core/governor.h"
+
+#include <algorithm>
+
+#include "core/estimator.h"
+#include "obs/metrics.h"
+
+namespace krr {
+
+namespace {
+// Safety valve on the per-check degradation loop: every model's degrade()
+// chain bottoms out (filters reach threshold 1, stacks reach depth 1), but
+// a budget check must never be able to spin unbounded on a misbehaving
+// model. Remaining excess is retried at the next stride.
+constexpr int kMaxDegradeStepsPerCheck = 64;
+}  // namespace
+
+RunGovernor::RunGovernor(const RunGovernorConfig& config,
+                         MrcEstimator* estimator,
+                         obs::MetricsRegistry* registry)
+    : config_(config), estimator_(estimator) {
+  if (config_.check_stride == 0) config_.check_stride = 1;
+  next_check_ = config_.check_stride;
+  next_checkpoint_ = config_.checkpoint_every;
+  if (registry != nullptr) {
+    checks_metric_ = &registry->counter("governor.budget_checks");
+    degrade_metric_ = &registry->counter("governor.degrade_steps");
+    checkpoint_metric_ = &registry->counter("governor.checkpoints_written");
+    peak_space_metric_ = &registry->gauge("governor.peak_space_bytes");
+  }
+}
+
+bool RunGovernor::on_access() {
+  ++accesses_;
+  if (accesses_ >= next_check_) {
+    next_check_ = accesses_ + config_.check_stride;
+    check_limits();
+  }
+  if (config_.checkpoint_every != 0 && config_.checkpoint_fn &&
+      accesses_ >= next_checkpoint_) {
+    next_checkpoint_ = accesses_ + config_.checkpoint_every;
+    Status status = config_.checkpoint_fn(accesses_);
+    if (!status.is_ok()) throw StatusError(std::move(status));
+    ++report_.checkpoints_written;
+    report_.last_checkpoint_records = accesses_;
+    if (checkpoint_metric_ != nullptr) checkpoint_metric_->inc();
+  }
+  return !report_.deadline_hit;
+}
+
+void RunGovernor::finalize() { check_limits(); }
+
+void RunGovernor::check_limits() {
+  ++report_.checks;
+  if (checks_metric_ != nullptr) checks_metric_->inc();
+  enforce_budget();
+  if (config_.deadline_secs > 0.0 && !report_.deadline_hit &&
+      watch_.seconds() >= config_.deadline_secs) {
+    report_.deadline_hit = true;
+  }
+}
+
+void RunGovernor::enforce_budget() {
+  std::uint64_t space = estimator_->space_overhead_bytes();
+  report_.peak_space_bytes = std::max(report_.peak_space_bytes, space);
+  if (peak_space_metric_ != nullptr) {
+    peak_space_metric_->set(static_cast<double>(report_.peak_space_bytes));
+  }
+  if (config_.max_stack_bytes == 0) return;
+  int steps = 0;
+  while (space > config_.max_stack_bytes && steps < kMaxDegradeStepsPerCheck) {
+    if (!estimator_->degrade()) {
+      report_.budget_exhausted = true;
+      return;
+    }
+    ++steps;
+    ++report_.degrade_steps;
+    if (degrade_metric_ != nullptr) degrade_metric_->inc();
+    space = estimator_->space_overhead_bytes();
+  }
+}
+
+}  // namespace krr

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace krr {
+
+class MrcEstimator;
+
+namespace obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace obs
+
+/// Knobs for one governed run. All limits are optional; a zero value
+/// disarms that limb of the governor.
+struct RunGovernorConfig {
+  /// Memory budget the estimator's space_overhead_bytes() is held under by
+  /// calling degrade() until it fits (or the model bottoms out).
+  std::uint64_t max_stack_bytes = 0;
+  /// Wall-clock deadline measured from governor construction; once it
+  /// expires, on_access() returns false and the caller finishes early with
+  /// a partial curve.
+  double deadline_secs = 0.0;
+  /// Accesses between limit checks. Checks walk the estimator's state
+  /// accounting, so they are stride-gated off the per-access hot path.
+  std::uint64_t check_stride = 4096;
+  /// Records between durable checkpoints (0 disables checkpointing).
+  std::uint64_t checkpoint_every = 0;
+  /// Writes one durable snapshot; receives the number of accesses governed
+  /// so far. A non-OK return aborts the run via StatusError (a checkpoint
+  /// the caller asked for but cannot write is not a survivable condition —
+  /// resuming from it would silently lose work).
+  std::function<Status(std::uint64_t records)> checkpoint_fn;
+};
+
+/// What the governor did during the run, folded into RunReport/metrics by
+/// the caller at end of run.
+struct GovernanceReport {
+  std::uint64_t checks = 0;
+  std::uint64_t degrade_steps = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t last_checkpoint_records = 0;
+  std::uint64_t peak_space_bytes = 0;
+  /// The estimator could not degrade below the budget (degrade() returned
+  /// false while over). The run continues — partial information beats none
+  /// — but the report flags that the budget was not honored.
+  bool budget_exhausted = false;
+  bool deadline_hit = false;
+};
+
+/// Periodic run-lifecycle enforcement every registered estimator plugs
+/// into: memory budget (via the MrcEstimator governance hooks), wall-clock
+/// deadline, and durable checkpoint cadence. Drive it from the ingest loop:
+///
+///   RunGovernor governor(cfg, estimator.get());
+///   for (const Request& req : trace) {
+///     estimator->access(req);
+///     if (!governor.on_access()) break;  // deadline expired
+///   }
+///   governor.finalize();
+///
+/// The governor holds a non-owning estimator pointer and must not outlive
+/// it. It is not thread-safe; drive it from the producer thread only (the
+/// sharded profiler governs its own shards internally).
+class RunGovernor {
+ public:
+  RunGovernor(const RunGovernorConfig& config, MrcEstimator* estimator,
+              obs::MetricsRegistry* registry = nullptr);
+
+  /// Call after every access. Returns false once the deadline has expired
+  /// (callers should stop feeding and finish with a partial curve). Throws
+  /// StatusError if a requested checkpoint cannot be written.
+  bool on_access();
+
+  /// One final budget-enforcement pass, so the end-of-run state respects
+  /// the budget even when the trace length is not a stride multiple.
+  void finalize();
+
+  const GovernanceReport& report() const noexcept { return report_; }
+
+  /// Accesses governed so far (== number of on_access() calls).
+  std::uint64_t accesses() const noexcept { return accesses_; }
+
+ private:
+  void check_limits();
+  void enforce_budget();
+
+  RunGovernorConfig config_;
+  MrcEstimator* estimator_;
+  Stopwatch watch_;
+  GovernanceReport report_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t next_check_ = 0;
+  std::uint64_t next_checkpoint_ = 0;
+
+  // Optional obs wiring (counters live in the registry, stable addresses).
+  obs::Counter* checks_metric_ = nullptr;
+  obs::Counter* degrade_metric_ = nullptr;
+  obs::Counter* checkpoint_metric_ = nullptr;
+  obs::Gauge* peak_space_metric_ = nullptr;
+};
+
+}  // namespace krr

@@ -4,6 +4,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "core/checkpoint.h"
 #include "obs/metrics.h"
 #include "util/stopwatch.h"
 
@@ -62,6 +63,63 @@ std::uint64_t KrrStack::retain(const std::function<bool(std::uint64_t)>& keep) {
   }
   last_exact_byte_distance_.reset();
   return evicted;
+}
+
+void KrrStack::save_state(std::string& out) const {
+  ckpt::append_u64(out, stack_.size());
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    ckpt::append_u64(out, stack_[i]);
+    ckpt::append_u32(out, sizes_[i]);
+  }
+  ckpt::append_u64(out, swaps_performed_);
+  std::uint64_t rng_state[4];
+  rng_.save_state(rng_state);
+  for (const std::uint64_t word : rng_state) ckpt::append_u64(out, word);
+}
+
+bool KrrStack::load_state(ckpt::ByteReader& reader) {
+  stack_.clear();
+  sizes_.clear();
+  position_.clear();
+  last_exact_byte_distance_.reset();
+  std::uint64_t depth = 0;
+  if (!reader.read_u64(&depth)) return false;
+  // Each entry needs 12 payload bytes; a depth the payload cannot hold is
+  // a corrupt length field, not a real stack.
+  if (depth > reader.remaining() / 12) return false;
+  stack_.reserve(depth);
+  sizes_.reserve(depth);
+  position_.reserve(depth);
+  for (std::uint64_t i = 0; i < depth; ++i) {
+    std::uint64_t key = 0;
+    std::uint32_t size = 0;
+    if (!reader.read_u64(&key) || !reader.read_u32(&size)) return false;
+    // Duplicate keys would desynchronize the position index.
+    if (!position_.emplace(key, stack_.size()).second) return false;
+    stack_.push_back(key);
+    sizes_.push_back(size);
+  }
+  if (!reader.read_u64(&swaps_performed_)) return false;
+  std::uint64_t rng_state[4];
+  for (std::uint64_t& word : rng_state) {
+    if (!reader.read_u64(&word)) return false;
+  }
+  rng_.load_state(rng_state);
+  // Prefix byte trackers are rebuilt by replaying appends, top first (the
+  // same reconstruction retain() uses after compaction).
+  if (size_array_) {
+    size_array_ = std::make_unique<SizeArray>(config_.size_array_base);
+    for (std::size_t i = 0; i < stack_.size(); ++i) {
+      size_array_->on_append(sizes_[i], i + 1);
+    }
+  }
+  if (exact_bytes_) {
+    exact_bytes_ = std::make_unique<ExactByteTracker>();
+    for (std::size_t i = 0; i < stack_.size(); ++i) {
+      exact_bytes_->on_append(sizes_[i], i + 1);
+    }
+  }
+  return true;
 }
 
 void KrrStack::attach_metrics(obs::StackMetrics* metrics) noexcept {

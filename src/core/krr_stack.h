@@ -17,6 +17,10 @@ namespace obs {
 struct StackMetrics;
 }
 
+namespace ckpt {
+class ByteReader;
+}
+
 /// Configuration for the KRR probabilistic stack (§4).
 struct KrrStackConfig {
   /// KRR exponent. To model a K-LRU cache with sampling size K, pass
@@ -102,6 +106,16 @@ class KrrStack {
 
   /// Keys from top to bottom; test/diagnostic helper.
   const std::vector<std::uint64_t>& stack() const noexcept { return stack_; }
+
+  /// Checkpoint support: appends the complete stack state (keys, sizes,
+  /// PRNG stream, swap count) to `out` in the ckpt byte format.
+  void save_state(std::string& out) const;
+
+  /// Restores state written by save_state() into a stack built from the
+  /// same config; auxiliary structures (position index, byte trackers) are
+  /// rebuilt by replay, exactly as retain() does. Returns false when the
+  /// payload is truncated or inconsistent (the stack is left cleared).
+  bool load_state(ckpt::ByteReader& reader);
 
  private:
   AccessResult access_impl(std::uint64_t key, std::uint32_t size);

@@ -1,7 +1,10 @@
 #include "core/profiler.h"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
+#include "core/checkpoint.h"
 #include "obs/metrics.h"
 
 namespace krr {
@@ -87,20 +90,25 @@ void KrrProfiler::maybe_degrade() {
   // exactly. Halve until back under the ceiling (one halving evicts about
   // half the residents) or until the filter bottoms out at threshold 1.
   while (config_.max_stack_bytes != 0 &&
-         space_overhead_bytes() > config_.max_stack_bytes &&
-         filter_.threshold() > 1) {
-    expected_sampled_base_ = expected_sampled();
-    processed_at_rate_change_ = processed_;
-    filter_.halve();
-    stack_.retain([this](std::uint64_t key) { return filter_.sampled(key); });
-    ++degradation_events_;
-#ifdef KRR_METRICS_ENABLED
-    if (metrics_ != nullptr) {
-      metrics_->degradations->inc();
-      metrics_->filter_halvings->inc();
-    }
-#endif
+         space_overhead_bytes() > config_.max_stack_bytes) {
+    if (!degrade_step()) break;
   }
+}
+
+bool KrrProfiler::degrade_step() {
+  if (filter_.threshold() <= 1) return false;
+  expected_sampled_base_ = expected_sampled();
+  processed_at_rate_change_ = processed_;
+  filter_.halve();
+  stack_.retain([this](std::uint64_t key) { return filter_.sampled(key); });
+  ++degradation_events_;
+#ifdef KRR_METRICS_ENABLED
+  if (metrics_ != nullptr) {
+    metrics_->degradations->inc();
+    metrics_->filter_halvings->inc();
+  }
+#endif
+  return true;
 }
 
 DistanceHistogram KrrProfiler::adjusted_histogram() const {
@@ -138,6 +146,76 @@ std::uint64_t KrrProfiler::space_overhead_bytes() const noexcept {
   return bytes;
 }
 
+Status KrrProfiler::save_state(std::string* out) const {
+  if (out == nullptr) return invalid_argument_error("save_state: null output");
+  std::string& buf = *out;
+  buf.clear();
+  ckpt::append_u64(buf, processed_);
+  ckpt::append_u64(buf, sampled_);
+  ckpt::append_u64(buf, degradation_events_);
+  ckpt::append_u64(buf, processed_at_rate_change_);
+  ckpt::append_double(buf, configured_rate_);
+  ckpt::append_double(buf, expected_sampled_base_);
+  ckpt::append_u64(buf, filter_.modulus());
+  ckpt::append_u64(buf, filter_.threshold());
+  ckpt::append_u64(buf, filter_.halvings());
+  const auto bins = histogram_.sorted_bins();
+  ckpt::append_u64(buf, bins.size());
+  for (const auto& [dist, weight] : bins) {
+    ckpt::append_u64(buf, dist);
+    ckpt::append_double(buf, weight);
+  }
+  ckpt::append_double(buf, histogram_.infinite_weight());
+  ckpt::append_double(buf, histogram_.total_weight());
+  stack_.save_state(buf);
+  return Status::ok();
+}
+
+Status KrrProfiler::load_state(const std::string& payload) {
+  ckpt::ByteReader reader(payload);
+  std::uint64_t filter_modulus = 0, filter_threshold = 0, filter_halvings = 0;
+  std::uint64_t bin_count = 0;
+  if (!reader.read_u64(&processed_) || !reader.read_u64(&sampled_) ||
+      !reader.read_u64(&degradation_events_) ||
+      !reader.read_u64(&processed_at_rate_change_) ||
+      !reader.read_double(&configured_rate_) ||
+      !reader.read_double(&expected_sampled_base_) ||
+      !reader.read_u64(&filter_modulus) || !reader.read_u64(&filter_threshold) ||
+      !reader.read_u64(&filter_halvings) || !reader.read_u64(&bin_count)) {
+    return truncated_error("profiler snapshot payload is truncated");
+  }
+  if (filter_modulus != filter_.modulus()) {
+    return bad_record_error(
+        "profiler snapshot was taken with a different filter modulus");
+  }
+  filter_.restore(filter_threshold, filter_halvings);
+  if (bin_count > reader.remaining() / 16) {
+    return bad_record_error("profiler snapshot histogram length is impossible");
+  }
+  std::vector<std::pair<std::uint64_t, double>> bins;
+  bins.reserve(bin_count);
+  for (std::uint64_t i = 0; i < bin_count; ++i) {
+    std::uint64_t dist = 0;
+    double weight = 0.0;
+    if (!reader.read_u64(&dist) || !reader.read_double(&weight)) {
+      return truncated_error("profiler snapshot histogram is truncated");
+    }
+    bins.emplace_back(dist, weight);
+  }
+  double infinite = 0.0, total = 0.0;
+  if (!reader.read_double(&infinite) || !reader.read_double(&total)) {
+    return truncated_error("profiler snapshot histogram is truncated");
+  }
+  histogram_.restore(bins, infinite, total);
+  if (!stack_.load_state(reader)) {
+    return bad_record_error("profiler snapshot stack section is corrupt");
+  }
+  if (!reader.exhausted()) {
+    return bad_record_error("profiler snapshot has trailing bytes");
+  }
+  return Status::ok();
+}
+
 RunReport KrrProfiler::run_report(const TraceReadReport* ingest) const {
   RunReport report;
   if (ingest) {
@@ -168,6 +246,8 @@ obs::Json to_json(const RunReport& report) {
   j.set("stack_depth", obs::Json(report.stack_depth));
   j.set("space_overhead_bytes", obs::Json(report.space_overhead_bytes));
   j.set("producer_stall_seconds", obs::Json(report.producer_stall_seconds));
+  j.set("partial", obs::Json(report.partial));
+  j.set("shards_failed", obs::Json(report.shards_failed));
   return j;
 }
 

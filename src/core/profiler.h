@@ -11,6 +11,7 @@
 #include "trace/trace_reader.h"
 #include "util/histogram.h"
 #include "util/mrc.h"
+#include "util/status.h"
 
 namespace krr {
 
@@ -81,6 +82,12 @@ struct RunReport {
   /// Seconds the producer spent blocked on full shard queues (sharded
   /// pipeline only; 0 for serial profilers).
   double producer_stall_seconds = 0.0;
+  /// The run finished early (deadline watchdog); the curve covers only the
+  /// prefix of the trace that was processed.
+  bool partial = false;
+  /// Shards dropped by best-effort failure recovery (sharded pipeline
+  /// only); the merged histogram was rescaled by the surviving fraction.
+  std::uint64_t shards_failed = 0;
 };
 
 /// The RunReport as a JSON object — the "run_report" section of the
@@ -136,6 +143,18 @@ class KrrProfiler {
   /// The rate currently in effect (== the configured rate until the first
   /// degradation event halves it).
   double current_sampling_rate() const noexcept { return filter_.rate(); }
+
+  /// One graceful-degradation step (a single rate halving + eviction),
+  /// exposed for external governors: maybe_degrade() applies the same step
+  /// until the internal ceiling is met. Returns false once the filter has
+  /// bottomed out at threshold 1 (no further shrinking is possible).
+  bool degrade_step();
+
+  /// Checkpoint support: serializes the complete profiler state (filter
+  /// epoch, stack, histogram, counters, PRNG) so an identically configured
+  /// profiler resumes bit-identically after load_state().
+  Status save_state(std::string* out) const;
+  Status load_state(const std::string& payload);
 
   /// Profiler-side run accounting; pass the ingestion report to fold in
   /// what the TraceReader read, skipped, and failed to checksum.

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "util/hashing.h"
+#include "util/status.h"
 #include "util/stopwatch.h"
 
 namespace krr {
@@ -27,6 +28,11 @@ struct ShardedKrrProfiler::Shard {
 
   KrrProfiler profiler;
   SpscQueue<Request> queue;
+
+  // Best-effort failure mode: set (by the owning worker, or the producer
+  // in inline mode) when this shard's pipeline threw. A dead shard's queue
+  // is drained to the bit bucket and its state is excluded from merges.
+  std::atomic<bool> dead{false};
 
   // Live gauges the owning worker publishes once per drain batch so the
   // producer thread can heartbeat without touching profiler internals.
@@ -101,7 +107,22 @@ void ShardedKrrProfiler::access(const Request& req) {
     }
   }
 #endif
+  if (shard.dead.load(std::memory_order_acquire)) {
+    dropped_records_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (worker_count_ == 0) {
+    if (config_.failure_mode == ShardFailureMode::kBestEffort) {
+      try {
+        if (config_.before_access_hook) config_.before_access_hook(index, req);
+        shard.profiler.access(req);
+      } catch (...) {
+        shard.dead.store(true, std::memory_order_release);
+        shards_failed_.fetch_add(1, std::memory_order_relaxed);
+        dropped_records_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
     if (config_.before_access_hook) config_.before_access_hook(index, req);
     shard.profiler.access(req);
     return;
@@ -121,6 +142,12 @@ void ShardedKrrProfiler::access(const Request& req) {
       stall_seconds_ += stall.seconds();
       return;
     }
+    if (shard.dead.load(std::memory_order_acquire)) {
+      // Best-effort: this shard just died under us; stop waiting on it.
+      dropped_records_.fetch_add(1, std::memory_order_relaxed);
+      stall_seconds_ += stall.seconds();
+      return;
+    }
     std::this_thread::yield();
     if (shard.queue.try_push(req)) break;
   }
@@ -131,11 +158,32 @@ void ShardedKrrProfiler::drain_batch(Shard& shard, std::uint32_t index,
                                      bool& did_work) {
   Request req;
   int budget = kDrainBatch;
+  if (shard.dead.load(std::memory_order_relaxed)) {
+    // Discard what the producer enqueued before it noticed the death; the
+    // queue must keep draining or the producer's backpressure spin would
+    // wait on a shard that will never consume.
+    while (budget-- > 0 && shard.queue.try_pop(req)) {
+      dropped_records_.fetch_add(1, std::memory_order_relaxed);
+      did_work = true;
+    }
+    return;
+  }
   bool popped = false;
-  while (budget-- > 0 && shard.queue.try_pop(req)) {
-    popped = true;
-    if (config_.before_access_hook) config_.before_access_hook(index, req);
-    shard.profiler.access(req);
+  try {
+    while (budget-- > 0 && shard.queue.try_pop(req)) {
+      popped = true;
+      if (config_.before_access_hook) config_.before_access_hook(index, req);
+      shard.profiler.access(req);
+    }
+  } catch (...) {
+    if (config_.failure_mode == ShardFailureMode::kStrict) throw;
+    // Best-effort: only this shard dies; the worker keeps serving its
+    // other shards and the producer keeps the run alive.
+    shard.dead.store(true, std::memory_order_release);
+    shards_failed_.fetch_add(1, std::memory_order_relaxed);
+    dropped_records_.fetch_add(1, std::memory_order_relaxed);
+    did_work = true;
+    return;
   }
   if (popped) {
     shard.publish_live();
@@ -182,18 +230,24 @@ void ShardedKrrProfiler::drain_loop(unsigned worker_index) {
 
 void ShardedKrrProfiler::finish() {
   if (finished_) return;
-  if (worker_count_ == 0) {
-    finished_ = true;
-    return;
+  if (worker_count_ != 0) {
+    done_.store(true, std::memory_order_release);
+    pool_->wait_idle();  // rethrows the first worker exception (strict mode)
   }
-  done_.store(true, std::memory_order_release);
-  pool_->wait_idle();  // rethrows the first worker exception
   finished_ = true;
 #ifdef KRR_METRICS_ENABLED
   if (metrics_ != nullptr) {
     metrics_->sharded.stall_seconds->set(stall_seconds_);
+    metrics_->sharded.shard_failures->inc(shards_failed());
   }
 #endif
+  // Best-effort recovery extrapolates from the survivors; with none left
+  // there is nothing to extrapolate from and the run has truly failed.
+  if (shards_failed() >= shards_.size()) {
+    throw StatusError(resource_limit_error(
+        "all " + std::to_string(shards_.size()) +
+        " shards failed; no surviving shard to merge"));
+  }
 }
 
 namespace {
@@ -212,9 +266,22 @@ const KrrProfiler& ShardedKrrProfiler::shard(std::uint32_t s) const {
 
 DistanceHistogram ShardedKrrProfiler::merged_histogram() const {
   if (worker_count_ != 0 && !finished_) throw_unfinished("merged_histogram()");
-  DistanceHistogram merged = shards_.front()->profiler.adjusted_histogram();
-  for (std::size_t s = 1; s < shards_.size(); ++s) {
-    merged.merge(shards_[s]->profiler.adjusted_histogram());
+  DistanceHistogram merged(config_.base.histogram_quantum);
+  std::size_t live = 0;
+  for (const auto& shard : shards_) {
+    if (shard->dead.load(std::memory_order_acquire)) continue;
+    merged.merge(shard->profiler.adjusted_histogram());
+    ++live;
+  }
+  if (live == 0) {
+    throw StatusError(resource_limit_error(
+        "every shard failed; no histogram to merge"));
+  }
+  if (live < shards_.size()) {
+    // Each shard is an unbiased 1/S spatial sample, so scaling the
+    // survivors' mass by S/(S-F) extrapolates the dropped shards' share.
+    merged.scale(static_cast<double>(shards_.size()) /
+                 static_cast<double>(live));
   }
   return merged;
 }
@@ -236,19 +303,26 @@ MissRatioCurve ShardedKrrProfiler::mrc() const {
 
 std::uint64_t ShardedKrrProfiler::sampled() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->profiler.sampled();
+  for (const auto& shard : shards_) {
+    if (shard->dead.load(std::memory_order_acquire)) continue;
+    total += shard->profiler.sampled();
+  }
   return total;
 }
 
 std::uint64_t ShardedKrrProfiler::stack_depth() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->profiler.stack_depth();
+  for (const auto& shard : shards_) {
+    if (shard->dead.load(std::memory_order_acquire)) continue;
+    total += shard->profiler.stack_depth();
+  }
   return total;
 }
 
 std::uint64_t ShardedKrrProfiler::space_overhead_bytes() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
+    if (shard->dead.load(std::memory_order_acquire)) continue;
     total += shard->profiler.space_overhead_bytes();
   }
   return total;
@@ -257,6 +331,7 @@ std::uint64_t ShardedKrrProfiler::space_overhead_bytes() const {
 std::uint64_t ShardedKrrProfiler::degradation_events() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
+    if (shard->dead.load(std::memory_order_acquire)) continue;
     total += shard->profiler.degradation_events();
   }
   return total;
@@ -276,16 +351,20 @@ RunReport ShardedKrrProfiler::run_report(const TraceReadReport* ingest) const {
   report.configured_sampling_rate =
       shards_.front()->profiler.run_report(nullptr).configured_sampling_rate;
   double final_rate = 1.0;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    const KrrProfiler& profiler = shards_[s]->profiler;
+  bool first = true;
+  for (const auto& shard : shards_) {
+    if (shard->dead.load(std::memory_order_acquire)) continue;
+    const KrrProfiler& profiler = shard->profiler;
     report.degradation_events += profiler.degradation_events();
     report.stack_depth += profiler.stack_depth();
     report.space_overhead_bytes += profiler.space_overhead_bytes();
-    final_rate = s == 0 ? profiler.current_sampling_rate()
-                        : std::min(final_rate, profiler.current_sampling_rate());
+    final_rate = first ? profiler.current_sampling_rate()
+                       : std::min(final_rate, profiler.current_sampling_rate());
+    first = false;
   }
   report.final_sampling_rate = final_rate;
   report.producer_stall_seconds = stall_seconds_;
+  report.shards_failed = shards_failed();
   return report;
 }
 
@@ -343,6 +422,8 @@ void ShardedKrrProfiler::export_shard_gauges(
     registry.gauge(prefix + "degradations")
         .set(static_cast<double>(profiler.degradation_events()));
     registry.gauge(prefix + "final_rate").set(profiler.current_sampling_rate());
+    registry.gauge(prefix + "failed")
+        .set(shards_[s]->dead.load(std::memory_order_acquire) ? 1.0 : 0.0);
   }
 }
 

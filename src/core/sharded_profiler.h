@@ -18,6 +18,20 @@ struct PipelineMetrics;
 class MetricsRegistry;
 }  // namespace obs
 
+/// How the sharded pipeline reacts when a shard worker throws mid-run.
+enum class ShardFailureMode {
+  /// Fail fast (default): the producer stops feeding and finish() rethrows
+  /// the first worker exception.
+  kStrict,
+  /// Drop the failed shard and keep the run alive: the shard's queue is
+  /// discarded, records routed to it are dropped, and at merge time the
+  /// surviving shards' histogram is rescaled by S/(S-F) — each shard is an
+  /// unbiased 1/S sample of the keyspace, so the extrapolation stays
+  /// unbiased. Failures are counted in RunReport::shards_failed; the run
+  /// only fails if every shard dies.
+  kBestEffort,
+};
+
 /// Configuration for the sharded (multi-threaded) profiling pipeline.
 struct ShardedKrrProfilerConfig {
   /// The model configuration every shard runs with. `shard_count` and
@@ -45,6 +59,8 @@ struct ShardedKrrProfilerConfig {
   /// record enters its shard's KrrProfiler. Lets fault-injection tests
   /// throw from inside a shard worker; leave empty in production.
   std::function<void(std::uint32_t shard, const Request&)> before_access_hook;
+  /// Worker-failure policy; see ShardFailureMode.
+  ShardFailureMode failure_mode = ShardFailureMode::kStrict;
 };
 
 /// Multi-threaded sharded KRR profiling pipeline (the SHARDS-composition
@@ -105,11 +121,24 @@ class ShardedKrrProfiler {
   /// References routed so far (producer-side, exact).
   std::uint64_t processed() const noexcept { return processed_; }
 
-  /// Post-finish aggregates over shards.
+  /// Post-finish aggregates over shards (best-effort mode: surviving
+  /// shards only — a dead shard's partial state is not trustworthy).
   std::uint64_t sampled() const;
   std::uint64_t stack_depth() const;
   std::uint64_t space_overhead_bytes() const;
   std::uint64_t degradation_events() const;
+
+  /// Shards dropped by best-effort recovery (0 in strict mode: a failure
+  /// there aborts the run before this is readable).
+  std::uint64_t shards_failed() const noexcept {
+    return shards_failed_.load(std::memory_order_relaxed);
+  }
+
+  /// Records discarded because their shard was already dead (producer
+  /// drops plus queued records the worker discarded after failing).
+  std::uint64_t dropped_records() const noexcept {
+    return dropped_records_.load(std::memory_order_relaxed);
+  }
 
   std::uint32_t shards() const noexcept {
     return static_cast<std::uint32_t>(shards_.size());
@@ -156,7 +185,9 @@ class ShardedKrrProfiler {
   unsigned worker_count_ = 0;             // 0 = inline mode
   std::unique_ptr<ThreadPool> pool_;      // null in inline mode
   std::atomic<bool> done_{false};         // producer closed the stream
-  std::atomic<bool> failed_{false};       // some worker threw
+  std::atomic<bool> failed_{false};       // some worker threw (strict mode)
+  std::atomic<std::uint64_t> shards_failed_{0};
+  std::atomic<std::uint64_t> dropped_records_{0};
   bool finished_ = false;
   std::uint64_t processed_ = 0;           // producer-side
   double stall_seconds_ = 0.0;            // producer-side

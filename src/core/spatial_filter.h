@@ -54,6 +54,16 @@ class SpatialFilter {
   std::uint64_t modulus() const noexcept { return modulus_; }
   std::uint64_t threshold() const noexcept { return threshold_; }
 
+  /// Checkpoint support: reinstates a previously observed (threshold,
+  /// halvings) pair. The threshold is clamped to [1, modulus] so a corrupt
+  /// snapshot cannot produce a filter that samples nothing or oversamples.
+  void restore(std::uint64_t threshold, std::uint64_t halvings) noexcept {
+    if (threshold < 1) threshold = 1;
+    if (threshold > modulus_) threshold = modulus_;
+    threshold_ = threshold;
+    halvings_ = halvings;
+  }
+
  private:
   std::uint64_t modulus_;
   std::uint64_t threshold_;

@@ -32,6 +32,7 @@ void WindowedKrrProfiler::access(const Request& req) {
   }
   if (active_fill_ >= config_.window) {
     // Retire the old window; the half-filled one takes over.
+    retired_degradations_ += active_->degradation_events();
     active_ = std::move(warming_);
     active_fill_ = warming_fill_;
     warming_ = make_profiler();
@@ -41,5 +42,23 @@ void WindowedKrrProfiler::access(const Request& req) {
 }
 
 MissRatioCurve WindowedKrrProfiler::mrc() const { return active_->mrc(); }
+
+std::uint64_t WindowedKrrProfiler::space_overhead_bytes() const noexcept {
+  std::uint64_t bytes = active_->space_overhead_bytes();
+  if (warming_) bytes += warming_->space_overhead_bytes();
+  return bytes;
+}
+
+bool WindowedKrrProfiler::degrade_step() {
+  bool any = active_->degrade_step();
+  if (warming_) any = warming_->degrade_step() || any;
+  return any;
+}
+
+std::uint64_t WindowedKrrProfiler::degradation_events() const noexcept {
+  std::uint64_t events = retired_degradations_ + active_->degradation_events();
+  if (warming_) events += warming_->degradation_events();
+  return events;
+}
 
 }  // namespace krr

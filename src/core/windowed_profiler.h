@@ -39,6 +39,17 @@ class WindowedKrrProfiler {
   std::uint64_t processed() const noexcept { return processed_; }
   std::uint64_t windows_retired() const noexcept { return retired_; }
 
+  /// Combined state footprint of both live windows (governance hook).
+  std::uint64_t space_overhead_bytes() const noexcept;
+
+  /// One graceful-degradation step applied to every live window; false
+  /// once both windows' filters have bottomed out.
+  bool degrade_step();
+
+  /// Rate halvings across the live windows (retired windows' events are
+  /// folded in so the count is monotone over the run).
+  std::uint64_t degradation_events() const noexcept;
+
  private:
   std::unique_ptr<KrrProfiler> make_profiler();
 
@@ -51,6 +62,7 @@ class WindowedKrrProfiler {
   std::uint64_t processed_ = 0;
   std::uint64_t retired_ = 0;
   std::uint64_t seed_counter_ = 0;
+  std::uint64_t retired_degradations_ = 0;
 };
 
 }  // namespace krr

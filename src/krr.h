@@ -26,8 +26,10 @@
 #include "baselines/shards.h"
 #include "baselines/shards_fixed.h"
 #include "baselines/statstack.h"
+#include "core/checkpoint.h"
 #include "core/dlru.h"
 #include "core/estimator.h"
+#include "core/governor.h"
 #include "core/krr_stack.h"
 #include "core/profiler.h"
 #include "core/sharded_profiler.h"

@@ -147,6 +147,7 @@ PipelineMetrics::PipelineMetrics(MetricsRegistry& registry)
   sharded.threads = &registry.gauge("sharded.threads");
   sharded.merge_seconds = &registry.gauge("sharded.merge_seconds");
   sharded.stall_seconds = &registry.gauge("sharded.producer_stall_seconds");
+  sharded.shard_failures = &registry.counter("sharded.shard_failures");
 }
 
 }  // namespace krr::obs

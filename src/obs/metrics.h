@@ -172,6 +172,7 @@ struct ShardedMetrics {
   Gauge* threads = nullptr;           ///< sharded.threads — worker threads T
   Gauge* merge_seconds = nullptr;     ///< sharded.merge_seconds — histogram merge+MRC time
   Gauge* stall_seconds = nullptr;     ///< sharded.producer_stall_seconds — fan-out backpressure
+  Counter* shard_failures = nullptr;  ///< sharded.shard_failures — shards dropped (best-effort)
 };
 
 /// The wiring between the profiling pipeline and a registry: one struct of

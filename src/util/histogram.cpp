@@ -56,6 +56,22 @@ void DistanceHistogram::clear() {
   total_ = 0.0;
 }
 
+void DistanceHistogram::scale(double factor) {
+  if (factor < 0.0) throw std::invalid_argument("histogram scale factor must be >= 0");
+  for (auto& [dist, weight] : bins_) weight *= factor;
+  infinite_ *= factor;
+  total_ *= factor;
+}
+
+void DistanceHistogram::restore(
+    const std::vector<std::pair<std::uint64_t, double>>& bins,
+    double infinite_weight, double total_weight) {
+  bins_.clear();
+  for (const auto& [dist, weight] : bins) bins_[dist] = weight;
+  infinite_ = infinite_weight;
+  total_ = total_weight;
+}
+
 void DistanceHistogram::merge(const DistanceHistogram& other) {
   if (other.quantum_ != quantum_) {
     throw std::invalid_argument("cannot merge histograms with different quanta");

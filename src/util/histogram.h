@@ -54,6 +54,18 @@ class DistanceHistogram {
   /// Merges another histogram into this one (bins must share the quantum).
   void merge(const DistanceHistogram& other);
 
+  /// Multiplies every weight (finite bins, infinite mass, and the total)
+  /// by `factor`. Used by the sharded profiler to extrapolate a merged
+  /// histogram when some shards were dropped in best-effort mode.
+  void scale(double factor);
+
+  /// Checkpoint support: replaces the contents with previously captured
+  /// state. Bin keys must already be quantized (as produced by
+  /// sorted_bins()); total/infinite are reinstated verbatim so a restored
+  /// histogram is bit-identical to the one that was saved.
+  void restore(const std::vector<std::pair<std::uint64_t, double>>& bins,
+               double infinite_weight, double total_weight);
+
  private:
   std::uint64_t quantum_;
   std::unordered_map<std::uint64_t, double> bins_;

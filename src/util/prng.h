@@ -76,6 +76,23 @@ class Xoshiro256ss {
     return std::numeric_limits<result_type>::max();
   }
 
+  /// Checkpoint support: copies the four raw state words out/in so a
+  /// snapshotted run resumes on the exact same random stream. An all-zero
+  /// state is invalid for xoshiro; load_state falls back to reseeding from
+  /// word 0 in that case rather than wedging the generator.
+  void save_state(std::uint64_t out[4]) const noexcept {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  void load_state(const std::uint64_t in[4]) noexcept {
+    std::uint64_t any = 0;
+    for (int i = 0; i < 4; ++i) any |= in[i];
+    if (any == 0) {
+      *this = Xoshiro256ss(0);
+      return;
+    }
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

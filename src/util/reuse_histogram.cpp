@@ -1,7 +1,11 @@
 #include "util/reuse_histogram.h"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
+#include <utility>
+
+#include "util/hashing.h"
 
 namespace krr {
 
@@ -47,21 +51,59 @@ double ReuseTimeHistogram::tail_weight(std::uint64_t t) const {
   return tail;
 }
 
+bool ReuseTimeHistogram::coarsen() {
+  if (sub_buckets_ <= 2) return false;
+  ReuseTimeHistogram coarse(sub_buckets_ / 2);
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] > 0.0) {
+      coarse.record(std::max<std::uint64_t>(1, bin_upper_bound(i)), bins_[i]);
+    }
+  }
+  *this = std::move(coarse);
+  return true;
+}
+
 ReuseTimeCollector::ReuseTimeCollector(std::uint32_t sub_buckets)
     : histogram_(sub_buckets) {}
 
+bool ReuseTimeCollector::in_sample(std::uint64_t key) const noexcept {
+  return hash64(key) % sample_modulus_ < sample_threshold_;
+}
+
 std::uint64_t ReuseTimeCollector::access(std::uint64_t key) {
-  ++time_;
+  ++time_;  // reuse times stay on the global clock even when sampling
+  if (sample_threshold_ < sample_modulus_ && !in_sample(key)) return 0;
   auto [it, inserted] = last_access_.try_emplace(key, time_);
   if (inserted) {
-    cold_ += 1.0;
+    cold_ += scale();
     first_access_.emplace(key, time_);
     return 0;
   }
   const std::uint64_t reuse_time = time_ - it->second;
   it->second = time_;
-  histogram_.record(reuse_time);
+  histogram_.record(reuse_time, scale());
   return reuse_time;
+}
+
+bool ReuseTimeCollector::halve_sample() {
+  if (sample_threshold_ <= 1) return false;
+  sample_threshold_ /= 2;
+  for (auto it = last_access_.begin(); it != last_access_.end();) {
+    if (!in_sample(it->first)) {
+      first_access_.erase(it->first);
+      it = last_access_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return true;
+}
+
+std::uint64_t ReuseTimeCollector::space_overhead_bytes() const noexcept {
+  // Two hash-map entries per tracked object (key, timestamp, bucket/node
+  // overhead) plus the log-binned histogram.
+  return last_access_.size() * 2 * (2 * sizeof(std::uint64_t) + 32) +
+         histogram_.bin_count() * sizeof(double);
 }
 
 }  // namespace krr

@@ -43,6 +43,15 @@ class ReuseTimeHistogram {
   /// Weight of reuses with reuse time > t (bin-resolution tail count).
   double tail_weight(std::uint64_t t) const;
 
+  std::uint32_t sub_buckets() const noexcept { return sub_buckets_; }
+  std::size_t bin_count() const noexcept { return bins_.size(); }
+
+  /// Graceful degradation: halves the sub-bucket resolution, re-binning
+  /// every recorded weight at its bin's upper bound (so mass only moves
+  /// within a bin's covered range and tail counts stay conservative).
+  /// Returns false once the resolution has bottomed out.
+  bool coarsen();
+
  private:
   std::uint32_t sub_buckets_;
   std::vector<double> bins_;
@@ -51,12 +60,47 @@ class ReuseTimeHistogram {
 
 /// Per-object last-access bookkeeping shared by reuse-time models: feeds
 /// reuse times into a histogram and counts cold references.
+///
+/// Supports SHARDS-style spatial down-sampling as its memory-governance
+/// degradation: halve_sample() halves a hash threshold and drops tracked
+/// objects that fall out of the sample; subsequent records carry weight
+/// 1/R so histogram mass and cold counts stay in unsampled units (reuse
+/// times themselves are measured on the global clock and need no
+/// rescaling — a property of spatial sampling the reuse-time family
+/// shares with SHARDS). At the initial rate 1.0 every weight is exactly
+/// 1.0 and behaviour is bit-identical to the unsampled collector.
 class ReuseTimeCollector {
  public:
   explicit ReuseTimeCollector(std::uint32_t sub_buckets = 256);
 
-  /// Records one reference to `key`; returns the reuse time (0 when cold).
+  /// Records one reference to `key`; returns the reuse time (0 when cold
+  /// or filtered out of the sample).
   std::uint64_t access(std::uint64_t key);
+
+  /// Halves the sampling threshold and evicts tracked objects that no
+  /// longer pass (an exact subset survives). False once bottomed out.
+  bool halve_sample();
+
+  /// Current sampling rate (1.0 until the first halve_sample()).
+  double sampling_rate() const noexcept {
+    return static_cast<double>(sample_threshold_) /
+           static_cast<double>(sample_modulus_);
+  }
+
+  /// 1/rate: the weight each sampled reference is recorded with.
+  double scale() const noexcept { return 1.0 / sampling_rate(); }
+
+  /// Estimated distinct objects in the full stream: tracked * scale.
+  double estimated_distinct() const noexcept {
+    return static_cast<double>(last_access_.size()) * scale();
+  }
+
+  /// Forwards ReuseTimeHistogram::coarsen (the cheaper degradation step).
+  bool coarsen_histogram() { return histogram_.coarsen(); }
+
+  /// Estimated resident bytes (governance accounting): both per-object
+  /// maps plus the log-binned histogram.
+  std::uint64_t space_overhead_bytes() const noexcept;
 
   const ReuseTimeHistogram& histogram() const noexcept { return histogram_; }
   double cold_count() const noexcept { return cold_; }
@@ -74,11 +118,18 @@ class ReuseTimeCollector {
   }
 
  private:
+  bool in_sample(std::uint64_t key) const noexcept;
+
   ReuseTimeHistogram histogram_;
   double cold_ = 0.0;
   std::uint64_t time_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> last_access_;
   std::unordered_map<std::uint64_t, std::uint64_t> first_access_;
+  // SHARDS-style hash threshold (same convention as SpatialFilter, kept
+  // local so util/ stays independent of core/): sampled iff
+  // hash64(key) % modulus < threshold.
+  std::uint64_t sample_modulus_ = 1ULL << 24;
+  std::uint64_t sample_threshold_ = 1ULL << 24;
 };
 
 }  // namespace krr

@@ -118,6 +118,87 @@ INSTANTIATE_TEST_SUITE_P(AllModels, RegistryConformance,
                          ::testing::ValuesIn(registered_names()),
                          [](const auto& info) { return info.param; });
 
+// --- Byte-granularity battery: every model that advertises the `bytes`
+// capability must hold the same contract over variable object sizes. Sizes
+// are a per-key pure function so the trace stays deterministic and an
+// object never changes size mid-trace.
+
+std::vector<Request> sized_zipf_trace() {
+  auto trace = small_zipf_trace();
+  for (Request& r : trace) {
+    r.size = 1 + static_cast<std::uint32_t>((r.key * 2654435761ULL) % 256);
+  }
+  return trace;
+}
+
+std::vector<std::string> byte_capable_names() {
+  std::vector<std::string> names;
+  for (const auto& info : EstimatorRegistry::instance().list()) {
+    if (info.caps.byte_granularity) names.push_back(info.name);
+  }
+  return names;
+}
+
+class ByteGranularityConformance
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ByteGranularityConformance, ByteCurveIsAValidMrc) {
+  const auto trace = sized_zipf_trace();
+  EstimatorOptions options;
+  options.set("bytes", "1");
+  auto est = make(GetParam(), options);
+  const MissRatioCurve curve =
+      run(*est, trace, {4096, 16384, 65536});
+  ASSERT_FALSE(curve.points().empty()) << GetParam();
+  double prev_size = -1.0;
+  double prev_ratio = 2.0;
+  for (const auto& [size, ratio] : curve.points()) {
+    EXPECT_GE(ratio, 0.0) << GetParam() << " at " << size << " bytes";
+    EXPECT_LE(ratio, 1.0) << GetParam() << " at " << size << " bytes";
+    EXPECT_GT(size, prev_size) << GetParam() << ": sizes must increase";
+    EXPECT_LE(ratio, prev_ratio + 1e-9) << GetParam() << " at " << size;
+    prev_size = size;
+    prev_ratio = ratio;
+  }
+  // Byte curves must extend to byte scale: the largest breakpoint covers
+  // more than the object count (sizes average far above 1 byte).
+  EXPECT_GT(curve.max_size(), 600.0) << GetParam();
+}
+
+TEST_P(ByteGranularityConformance, ByteModeIsDeterministic) {
+  const auto trace = sized_zipf_trace();
+  EstimatorOptions options;
+  options.set("bytes", "1");
+  options.set("seed", "42");
+  auto a = make(GetParam(), options);
+  auto b = make(GetParam(), options);
+  const MissRatioCurve ca = run(*a, trace);
+  const MissRatioCurve cb = run(*b, trace);
+  ASSERT_EQ(ca.points().size(), cb.points().size()) << GetParam();
+  for (std::size_t i = 0; i < ca.points().size(); ++i) {
+    EXPECT_DOUBLE_EQ(ca.points()[i].size, cb.points()[i].size) << GetParam();
+    EXPECT_DOUBLE_EQ(ca.points()[i].miss_ratio, cb.points()[i].miss_ratio)
+        << GetParam();
+  }
+}
+
+TEST_P(ByteGranularityConformance, ByteModeSafeOnEmptyTrace) {
+  EstimatorOptions options;
+  options.set("bytes", "1");
+  auto est = make(GetParam(), options);
+  est->finish();
+  const MissRatioCurve curve = est->mrc();
+  EXPECT_EQ(est->processed(), 0u) << GetParam();
+  for (const auto& [size, ratio] : curve.points()) {
+    EXPECT_GE(ratio, 0.0) << GetParam();
+    EXPECT_LE(ratio, 1.0) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ByteCapableModels, ByteGranularityConformance,
+                         ::testing::ValuesIn(byte_capable_names()),
+                         [](const auto& info) { return info.param; });
+
 TEST(EstimatorRegistry, HasEveryExpectedBuiltin) {
   auto& registry = EstimatorRegistry::instance();
   EXPECT_GE(registry.size(), 14u);

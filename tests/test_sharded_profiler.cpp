@@ -18,6 +18,7 @@
 #include "trace/msr.h"
 #include "trace/zipf.h"
 #include "util/mrc.h"
+#include "util/status.h"
 
 namespace krr {
 namespace {
@@ -182,6 +183,87 @@ TEST(ShardedKrrProfiler, WorkerExceptionInInlineModePropagatesImmediately) {
   };
   ShardedKrrProfiler profiler(cfg);
   EXPECT_THROW(profiler.access(Request{1, 1, Op::kGet}), std::runtime_error);
+}
+
+TEST(ShardedKrrProfiler, BestEffortDropsFailedShardAndKeepsRunAlive) {
+  const auto trace = zipf_trace(80000, 5000);
+  ShardedKrrProfilerConfig cfg;
+  cfg.base.k_sample = 5;
+  cfg.shards = 4;
+  cfg.threads = 2;
+  cfg.queue_capacity = 256;  // small ring so the producer hits backpressure
+  cfg.failure_mode = ShardFailureMode::kBestEffort;
+  std::atomic<std::uint64_t> seen{0};
+  cfg.before_access_hook = [&seen](std::uint32_t shard, const Request&) {
+    if (shard == 1 && seen.fetch_add(1) == 100) {
+      throw std::runtime_error("shard worker fault injection");
+    }
+  };
+  ShardedKrrProfiler profiler(cfg);
+  for (const Request& r : trace) profiler.access(r);
+  // The run survives: finish() joins cleanly instead of rethrowing.
+  EXPECT_NO_THROW(profiler.finish());
+  EXPECT_EQ(profiler.shards_failed(), 1u);
+  EXPECT_GT(profiler.dropped_records(), 0u);
+  EXPECT_EQ(profiler.processed(), trace.size());
+  EXPECT_FALSE(profiler.mrc().points().empty());
+  const RunReport report = profiler.run_report();
+  EXPECT_EQ(report.shards_failed, 1u);
+  obs::MetricsRegistry registry;
+  profiler.export_shard_gauges(registry);
+  EXPECT_EQ(registry.gauge("sharded.shard1.failed").value(), 1.0);
+  EXPECT_EQ(registry.gauge("sharded.shard0.failed").value(), 0.0);
+}
+
+TEST(ShardedKrrProfiler, BestEffortRescaledCurveTracksTheFullRun) {
+  // Each shard is an unbiased 1/S spatial sample, so dropping one and
+  // rescaling the survivors by S/(S-1) must land near the no-failure curve.
+  const auto trace = zipf_trace(120000, 8000);
+  ShardedKrrProfilerConfig cfg;
+  cfg.base.k_sample = 5;
+  cfg.shards = 6;
+  cfg.threads = 1;  // inline: deterministic failure point
+  MissRatioCurve healthy;
+  {
+    ShardedKrrProfiler profiler(cfg);
+    for (const Request& r : trace) profiler.access(r);
+    profiler.finish();
+    healthy = profiler.mrc();
+  }
+  cfg.failure_mode = ShardFailureMode::kBestEffort;
+  cfg.before_access_hook = [](std::uint32_t shard, const Request&) {
+    if (shard == 2) throw std::runtime_error("injected");
+  };
+  ShardedKrrProfiler degraded(cfg);
+  for (const Request& r : trace) degraded.access(r);
+  degraded.finish();
+  EXPECT_EQ(degraded.shards_failed(), 1u);
+  // Extrapolated total mass stays close: the histogram was rescaled by 6/5.
+  const double total_healthy = healthy.max_size();
+  const double total_degraded = degraded.mrc().max_size();
+  EXPECT_NEAR(total_degraded / total_healthy, 1.0, 0.15);
+  EXPECT_LT(mae_on_grid(healthy, degraded.mrc()), 0.05);
+}
+
+TEST(ShardedKrrProfiler, BestEffortWithEveryShardDeadIsARealFailure) {
+  ShardedKrrProfilerConfig cfg;
+  cfg.shards = 2;
+  cfg.threads = 1;
+  cfg.failure_mode = ShardFailureMode::kBestEffort;
+  cfg.before_access_hook = [](std::uint32_t, const Request&) {
+    throw std::runtime_error("injected");
+  };
+  ShardedKrrProfiler profiler(cfg);
+  const auto trace = zipf_trace(1000, 100);
+  for (const Request& r : trace) profiler.access(r);
+  EXPECT_EQ(profiler.shards_failed(), 2u);
+  // No survivor to extrapolate from: this is not a recoverable run.
+  EXPECT_THROW(profiler.finish(), StatusError);
+}
+
+TEST(ShardedKrrProfiler, StrictModeIsTheDefault) {
+  ShardedKrrProfilerConfig cfg;
+  EXPECT_EQ(cfg.failure_mode, ShardFailureMode::kStrict);
 }
 
 TEST(ShardedKrrProfiler, MemoryCeilingDegradesPerShard) {

@@ -10,6 +10,8 @@
 //                    [--threads=N] [--shards=S]
 //                    [--metrics-out=FILE] [--format=json|table]
 //                    [--progress[=SECS]]
+//                    [--checkpoint-out=PATH] [--checkpoint-every=N]
+//                    [--resume-from=PATH] [--deadline-secs=S]
 //
 // Every MRC model is a registered MrcEstimator: `models` lists the
 // registry (name, policy, capability flags, model-specific options), and
@@ -52,12 +54,23 @@
 // skip/corruption accounting is printed to stderr. --strict fails fast on
 // the first sign of corruption instead.
 //
+// Run-lifecycle governance (profile): --max-stack-mb holds the model under
+// a memory budget via its degradation hooks (models without the
+// `governed_memory` capability reject the flag as a usage error);
+// --deadline-secs finishes early with a partial MRC (exit 4);
+// --checkpoint-out/--checkpoint-every write periodic CRC-validated
+// snapshots and --resume-from continues from one, byte-identically
+// (models with the `checkpoint` capability only).
+//
 // Exit codes (stable contract):
 //   0  success
 //   1  runtime failure (I/O error, out of resources, internal error)
 //   2  usage error (unknown command/flag/model, bad option value)
 //   3  corrupt input rejected (strict mode, or the --max-bad-records
-//      budget was exhausted in the default skip mode)
+//      budget was exhausted in the default skip mode; also a corrupt
+//      checkpoint passed to --resume-from)
+//   4  deadline reached: the run finished early and the curve/report are
+//      partial (valid over the processed prefix)
 
 #include <algorithm>
 #include <cmath>
@@ -100,17 +113,21 @@ void print_usage(std::FILE* to) {
                "            [--threads=N] [--shards=S]\n"
                "            [--out=] [--metrics-out=] [--format=json|table]\n"
                "            [--progress[=secs]]\n"
+               "            [--checkpoint-out=] [--checkpoint-every=N]\n"
+               "            [--resume-from=] [--deadline-secs=S]\n"
                "  simulate  --trace=|--workload= --policy=klru|redis|lru\n"
                "            [--k=] [--sizes=]\n"
                "  compare   --trace=|--workload= [--models=krr,shards,...]\n"
                "            --k= [--sizes=] [--rate=] [--strategy=]\n"
                "            [--no-correction] [--quantum=]\n"
+               "            [--target=klru|lru|auto]\n"
                "            [--format=table|csv|json] [--progress[=secs]]\n"
                "ingestion:  [--strict] [--recovery=strict|skip|best-effort]\n"
                "            [--max-bad-records=N] [--format=v1|v2]\n"
                "exit codes: 0 ok, 1 runtime failure, 2 usage,\n"
                "            3 corrupt input (strict mode or bad-record "
-               "budget exhausted)\n");
+               "budget exhausted),\n"
+               "            4 deadline reached (partial results)\n");
 }
 
 [[noreturn]] void usage(const std::string& error) { throw UsageError(error); }
@@ -246,6 +263,8 @@ std::string caps_string(const EstimatorCapabilities& caps) {
   if (caps.sharded) add("sharded");
   if (caps.metrics) add("metrics");
   if (caps.reference_oracle) add("oracle");
+  if (caps.governed_memory) add("governed");
+  if (caps.checkpoint) add("checkpoint");
   return s.empty() ? "-" : s;
 }
 
@@ -270,6 +289,8 @@ int cmd_models(const Options& opts) {
       caps.set("sharded", obs::Json(info.caps.sharded));
       caps.set("metrics", obs::Json(info.caps.metrics));
       caps.set("reference_oracle", obs::Json(info.caps.reference_oracle));
+      caps.set("governed_memory", obs::Json(info.caps.governed_memory));
+      caps.set("checkpoint", obs::Json(info.caps.checkpoint));
       entry.set("capabilities", std::move(caps));
       obs::Json keys = obs::Json::array();
       for (const auto& key : info.option_keys) keys.push_back(obs::Json(key));
@@ -381,6 +402,46 @@ int cmd_profile(const Options& opts) {
   if (!created.is_ok()) throw StatusError(created.status());
   std::unique_ptr<MrcEstimator> est = std::move(*created);
 
+  // Run-lifecycle governance flags.
+  const std::string checkpoint_out = opts.get_string("checkpoint-out", "");
+  const std::string resume_from = opts.get_string("resume-from", "");
+  const auto checkpoint_every = opts.get_int("checkpoint-every", 0);
+  if (checkpoint_every < 0) usage("--checkpoint-every must be >= 0");
+  if (checkpoint_every > 0 && checkpoint_out.empty()) {
+    usage("--checkpoint-every needs --checkpoint-out=<path>");
+  }
+  const double deadline_secs = opts.get_double("deadline-secs", 0.0);
+  if (deadline_secs < 0) usage("--deadline-secs must be >= 0");
+  if ((!checkpoint_out.empty() || !resume_from.empty()) &&
+      !est->info().caps.checkpoint) {
+    usage("model '" + model +
+          "' does not support checkpoint/resume (no `checkpoint` "
+          "capability; see krr_cli models)");
+  }
+
+  std::uint64_t resume_offset = 0;
+  if (!resume_from.empty()) {
+    std::string payload;
+    auto header = read_checkpoint(resume_from, &payload);
+    if (!header.is_ok()) throw StatusError(header.status());
+    if (header->config_crc != checkpoint_fingerprint(model, eopts)) {
+      usage("checkpoint " + resume_from +
+            " was written under a different model/option configuration and "
+            "cannot resume this run");
+    }
+    if (header->records > trace.size()) {
+      throw StatusError(bad_record_error(
+          "checkpoint claims " + std::to_string(header->records) +
+          " records already processed but the input has only " +
+          std::to_string(trace.size())));
+    }
+    if (Status s = est->load_state(payload); !s.is_ok()) throw StatusError(s);
+    resume_offset = header->records;
+    std::fprintf(stderr, "resumed from %s at record %llu\n",
+                 resume_from.c_str(),
+                 static_cast<unsigned long long>(resume_offset));
+  }
+
   obs::MetricsRegistry registry;
   std::optional<obs::PipelineMetrics> metrics;
   if (want_metrics) metrics.emplace(registry);
@@ -392,28 +453,68 @@ int cmd_profile(const Options& opts) {
   }
 
   if (want_metrics) est->attach_metrics(&*metrics);
+
+  // The governor enforces the memory budget / deadline / checkpoint cadence
+  // from the producer loop; it is armed only when one of those limbs is.
+  RunGovernorConfig gcfg;
+  gcfg.max_stack_bytes =
+      static_cast<std::uint64_t>(eopts.get_int("max_stack_bytes", 0));
+  gcfg.deadline_secs = deadline_secs;
+  gcfg.checkpoint_every = static_cast<std::uint64_t>(checkpoint_every);
+  const auto write_snapshot = [&est, &model, &eopts, checkpoint_out,
+                               resume_offset](std::uint64_t records) {
+    std::string payload;
+    if (Status s = est->save_state(&payload); !s.is_ok()) return s;
+    CheckpointHeader header;
+    header.config_crc = checkpoint_fingerprint(model, eopts);
+    header.records = resume_offset + records;
+    return write_checkpoint_atomic(checkpoint_out, header, payload);
+  };
+  if (!checkpoint_out.empty() && gcfg.checkpoint_every > 0) {
+    gcfg.checkpoint_fn = write_snapshot;
+  }
+  std::optional<RunGovernor> governor;
+  if (gcfg.max_stack_bytes > 0 || gcfg.deadline_secs > 0 ||
+      gcfg.checkpoint_fn) {
+    governor.emplace(gcfg, est.get(), want_metrics ? &registry : nullptr);
+  }
+
+  bool deadline_partial = false;
+  std::uint64_t fed = resume_offset;
   MissRatioCurve mrc;
   {
     ScopedTimer timer(phase_profile);
-    if (heartbeat) {
-      for (const Request& r : trace) {
-        est->access(r);
+    for (std::size_t i = resume_offset; i < trace.size(); ++i) {
+      est->access(trace[i]);
+      ++fed;
+      if (governor && !governor->on_access()) {
+        deadline_partial = true;
+        break;
+      }
+      if (heartbeat) {
         heartbeat->tick([&] {
           est->refresh_metrics_gauges();
           return est->snapshot();
         });
       }
-    } else {
-      for (const Request& r : trace) est->access(r);
     }
     est->finish();
+    if (governor) governor->finalize();
     if (heartbeat) heartbeat->finish(est->snapshot());
+  }
+  // A final snapshot so the checkpoint file always reflects the last state
+  // (completed or deadline-cut), ready for a later resume.
+  if (!checkpoint_out.empty()) {
+    if (Status s = write_snapshot(fed - resume_offset); !s.is_ok()) {
+      throw StatusError(s);
+    }
   }
   {
     ScopedTimer timer(phase_mrc);
     mrc = est->mrc();
   }
-  const RunReport report = est->run_report(&ingest);
+  RunReport report = est->run_report(&ingest);
+  if (deadline_partial) report.partial = true;
   if (want_metrics) {
     est->refresh_metrics_gauges();
     est->export_gauges(registry);
@@ -480,6 +581,22 @@ int cmd_profile(const Options& opts) {
                  static_cast<unsigned long long>(report.degradation_events),
                  static_cast<long long>(opts.get_int("max-stack-mb", 0)),
                  report.final_sampling_rate);
+  }
+  if (governor && governor->report().budget_exhausted) {
+    std::fprintf(stderr,
+                 "warning: model '%s' could not degrade below the "
+                 "--max-stack-mb budget; peak resident %llu bytes\n",
+                 model.c_str(),
+                 static_cast<unsigned long long>(
+                     governor->report().peak_space_bytes));
+  }
+  if (deadline_partial) {
+    std::fprintf(stderr,
+                 "deadline of %.3f s reached after %llu of %zu records; "
+                 "the curve covers the processed prefix only\n",
+                 deadline_secs, static_cast<unsigned long long>(fed),
+                 trace.size());
+    return 4;
   }
   return 0;
 }
@@ -627,6 +744,14 @@ int cmd_compare(const Options& opts) {
   if (format != "table" && format != "csv" && format != "json") {
     usage("unknown --format for compare (use table, csv or json)");
   }
+  // Ground-truth policy: klru (default), lru, or auto — which picks each
+  // model's natural target from its capability flags (models_klru -> the
+  // K-LRU sweep, everything else -> exact LRU), so e.g. `shards` or `aet`
+  // is scored against the policy it actually models.
+  const std::string target = opts.get_string("target", "klru");
+  if (target != "klru" && target != "lru" && target != "auto") {
+    usage("unknown --target for compare (use klru, lru or auto)");
+  }
   const std::vector<std::string> models =
       split_list(opts.get_string("models", opts.get_string("model", "krr")));
   if (models.empty()) usage("--models needs at least one model name");
@@ -677,19 +802,37 @@ int cmd_compare(const Options& opts) {
   const std::vector<double> sizes =
       evenly_spaced_sizes(static_cast<double>(distinct.size()), n_sizes);
 
-  // Pass 2 (simulate): one K-LRU cache per grid size, all fed from a single
-  // streaming pass — per-cache results are identical to sweep_klru's
-  // one-capacity-at-a-time replay because the caches are independent.
-  std::vector<KLruCache> caches;
-  caches.reserve(sizes.size());
+  // Pass 2 (simulate): one cache per grid size and target policy, all fed
+  // from a single streaming pass — per-cache results are identical to the
+  // sweep's one-capacity-at-a-time replay because the caches are
+  // independent. `auto` simulates both policies in the same pass.
+  const bool any_klru_model = std::any_of(
+      estimators.begin(), estimators.end(),
+      [](const auto& est) { return est->info().caps.models_klru; });
+  const bool want_klru =
+      target == "klru" || (target == "auto" && any_klru_model);
+  const bool want_lru =
+      target == "lru" ||
+      (target == "auto" &&
+       std::any_of(estimators.begin(), estimators.end(), [](const auto& est) {
+         return !est->info().caps.models_klru;
+       }));
+  std::vector<KLruCache> klru_caches;
+  std::vector<LruCache> lru_caches;
   for (double c : sizes) {
-    KLruConfig cfg;
-    cfg.capacity = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(c));
-    cfg.sample_size = k;
-    caches.emplace_back(cfg);
+    const auto capacity =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(c));
+    if (want_klru) {
+      KLruConfig cfg;
+      cfg.capacity = capacity;
+      cfg.sample_size = k;
+      klru_caches.emplace_back(cfg);
+    }
+    if (want_lru) lru_caches.emplace_back(capacity);
   }
   source->pass([&](const Request& r) {
-    for (auto& cache : caches) cache.access(r);
+    for (auto& cache : klru_caches) cache.access(r);
+    for (auto& cache : lru_caches) cache.access(r);
     ++fed;
     if (heartbeat) {
       heartbeat->tick([&] {
@@ -704,33 +847,54 @@ int cmd_compare(const Options& opts) {
     s.records = fed;
     heartbeat->finish(s);
   }
-  MissRatioCurve actual;
+  MissRatioCurve actual_klru, actual_lru;
   for (std::size_t i = 0; i < sizes.size(); ++i) {
-    actual.add_point(sizes[i], caches[i].miss_ratio());
+    if (want_klru) actual_klru.add_point(sizes[i], klru_caches[i].miss_ratio());
+    if (want_lru) actual_lru.add_point(sizes[i], lru_caches[i].miss_ratio());
   }
+  // The truth curve each model is scored against.
+  const auto truth_for = [&](std::size_t m) -> const MissRatioCurve& {
+    if (target == "klru") return actual_klru;
+    if (target == "lru") return actual_lru;
+    return estimators[m]->info().caps.models_klru ? actual_klru : actual_lru;
+  };
 
   std::vector<MissRatioCurve> predicted;
   std::vector<double> maes;
   predicted.reserve(estimators.size());
-  for (const auto& est : estimators) {
-    predicted.push_back(est->mrc(sizes));
-    maes.push_back(predicted.back().mae(actual, sizes));
+  for (std::size_t m = 0; m < estimators.size(); ++m) {
+    predicted.push_back(estimators[m]->mrc(sizes));
+    maes.push_back(predicted.back().mae(truth_for(m), sizes));
   }
 
   if (format == "json") {
     obs::Json root = obs::Json::object();
     root.set("k", obs::Json(static_cast<std::uint64_t>(k)));
+    root.set("target", obs::Json(target));
     root.set("requests", obs::Json(requests));
     root.set("distinct_keys",
              obs::Json(static_cast<std::uint64_t>(distinct.size())));
     obs::Json jsizes = obs::Json::array();
-    obs::Json jsim = obs::Json::array();
-    for (double s : sizes) {
-      jsizes.push_back(obs::Json(s));
-      jsim.push_back(obs::Json(actual.eval(s)));
-    }
+    for (double s : sizes) jsizes.push_back(obs::Json(s));
     root.set("sizes", std::move(jsizes));
-    root.set("simulated", std::move(jsim));
+    if (target == "auto") {
+      if (want_klru) {
+        obs::Json jsim = obs::Json::array();
+        for (double s : sizes) jsim.push_back(obs::Json(actual_klru.eval(s)));
+        root.set("simulated_klru", std::move(jsim));
+      }
+      if (want_lru) {
+        obs::Json jsim = obs::Json::array();
+        for (double s : sizes) jsim.push_back(obs::Json(actual_lru.eval(s)));
+        root.set("simulated_lru", std::move(jsim));
+      }
+    } else {
+      const MissRatioCurve& actual =
+          target == "klru" ? actual_klru : actual_lru;
+      obs::Json jsim = obs::Json::array();
+      for (double s : sizes) jsim.push_back(obs::Json(actual.eval(s)));
+      root.set("simulated", std::move(jsim));
+    }
     obs::Json jmodels = obs::Json::object();
     for (std::size_t m = 0; m < models.size(); ++m) {
       obs::Json entry = obs::Json::object();
@@ -738,6 +902,12 @@ int cmd_compare(const Options& opts) {
       for (double s : sizes) jmrc.push_back(obs::Json(predicted[m].eval(s)));
       entry.set("mrc", std::move(jmrc));
       entry.set("mae", obs::Json(maes[m]));
+      if (target == "auto") {
+        entry.set("truth",
+                  obs::Json(std::string(estimators[m]->info().caps.models_klru
+                                            ? "klru"
+                                            : "lru")));
+      }
       jmodels.set(models[m], std::move(entry));
     }
     root.set("models", std::move(jmodels));
@@ -746,12 +916,24 @@ int cmd_compare(const Options& opts) {
     return 0;
   }
 
-  std::vector<std::string> header{"size", "simulated"};
+  std::vector<std::string> header{"size"};
+  if (target == "auto") {
+    if (want_klru) header.push_back("simulated_klru");
+    if (want_lru) header.push_back("simulated_lru");
+  } else {
+    header.push_back("simulated");
+  }
   header.insert(header.end(), models.begin(), models.end());
   Table table(header);
   for (double s : sizes) {
-    std::vector<std::string> row{format_double(s),
-                                 format_double(actual.eval(s))};
+    std::vector<std::string> row{format_double(s)};
+    if (target == "auto") {
+      if (want_klru) row.push_back(format_double(actual_klru.eval(s)));
+      if (want_lru) row.push_back(format_double(actual_lru.eval(s)));
+    } else {
+      row.push_back(format_double(
+          (target == "klru" ? actual_klru : actual_lru).eval(s)));
+    }
     for (const auto& curve : predicted) {
       row.push_back(format_double(curve.eval(s)));
     }

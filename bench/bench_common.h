@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -91,6 +92,37 @@ double median_seconds(int repeats, Fn&& fn) {
   const std::size_t mid = runs.size() / 2;
   if (runs.size() % 2 == 1) return runs[mid];
   return 0.5 * (runs[mid - 1] + runs[mid]);
+}
+
+/// Interleaved medians: one timed pass of every configuration per round,
+/// `repeats` rounds, median taken per configuration. Because each round
+/// sees the same machine state, slow drift (thermal throttling, a noisy
+/// neighbor ramping up) lands on every configuration equally instead of
+/// biasing whichever one happened to run last — essential when the
+/// quantity of interest is a percent-level ratio between configurations,
+/// as in the bench_smoke obs-overhead gate.
+inline std::vector<double> interleaved_median_seconds(
+    int repeats, const std::vector<std::function<void()>>& configs) {
+  std::vector<std::vector<double>> runs(configs.size());
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      double seconds = 0.0;
+      {
+        ScopedTimer timer(seconds);
+        configs[c]();
+      }
+      runs[c].push_back(seconds);
+    }
+  }
+  std::vector<double> medians;
+  medians.reserve(runs.size());
+  for (auto& r : runs) {
+    std::sort(r.begin(), r.end());
+    const std::size_t mid = r.size() / 2;
+    medians.push_back(r.size() % 2 == 1 ? r[mid]
+                                        : 0.5 * (r[mid - 1] + r[mid]));
+  }
+  return medians;
 }
 
 /// Spatial sampling rate with the paper's 8K-sampled-objects floor applied

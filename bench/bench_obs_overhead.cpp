@@ -6,9 +6,12 @@
 //   attached   full PipelineMetrics wired in (what --metrics-out pays)
 //   heartbeat  attached + a Heartbeat ticked per record (what --progress
 //              pays on top)
+//   traced     attached + a Tracer recording what --trace-out records: a
+//              span around the profile loop and a stride-gated instant
+//              event every 4096 records
 // and reports throughput plus the relative slowdown. With --check it exits
-// non-zero when the attached overhead exceeds --max-overhead percent
-// (default 5) — the `make bench_smoke` gate.
+// non-zero when the attached or traced overhead exceeds --max-overhead
+// percent (default 5) — the `make bench_smoke` gate.
 //
 // When the library is compiled with -DKRR_METRICS=OFF every configuration
 // collapses to the uninstrumented access path (attach_metrics is a no-op),
@@ -30,7 +33,8 @@ using namespace krr;
 using namespace krrbench;
 
 double run_profile(const std::vector<Request>& trace, double k, double rate,
-                   obs::PipelineMetrics* metrics, obs::Heartbeat* heartbeat) {
+                   obs::PipelineMetrics* metrics, obs::Heartbeat* heartbeat,
+                   obs::Tracer* tracer = nullptr) {
   KrrProfilerConfig cfg;
   cfg.k_sample = k;
   cfg.sampling_rate = rate;
@@ -45,6 +49,21 @@ double run_profile(const std::vector<Request>& trace, double k, double rate,
         s.records = profiler.processed();
         return s;
       });
+    }
+  } else if (tracer != nullptr) {
+    // What a --trace-out run pays: one span around the loop plus a
+    // stride-gated instant (the same cadence the heartbeat uses).
+    constexpr std::uint64_t kTraceStride = 4096;
+    obs::ScopedTraceSpan span(tracer, "phase.profile", "phase");
+    std::uint64_t since_instant = 0;
+    for (const Request& r : trace) {
+      profiler.access(r);
+      if (++since_instant == kTraceStride) {
+        since_instant = 0;
+        tracer->instant("profile.progress", "bench", 0,
+                        {{"records",
+                          static_cast<double>(profiler.processed())}});
+      }
     }
   } else {
     for (const Request& r : trace) profiler.access(r);
@@ -77,21 +96,30 @@ int main(int argc, char** argv) {
   // per-record tick cost, not terminal IO.
   std::ostringstream sink;
 
-  // One warmup per configuration, then the median of `repeats` runs.
+  // One warmup, then round-robin over the configurations so machine-state
+  // drift (throttling, noisy neighbors) cancels out of the ratios.
   run_profile(trace, k, rate, nullptr, nullptr);
-  const double detached = median_seconds(
-      repeats, [&] { run_profile(trace, k, rate, nullptr, nullptr); });
-  run_profile(trace, k, rate, &metrics, nullptr);
-  const double attached = median_seconds(
-      repeats, [&] { run_profile(trace, k, rate, &metrics, nullptr); });
-  const double with_heartbeat = median_seconds(repeats, [&] {
-    obs::Heartbeat hb(3600.0, sink);
-    run_profile(trace, k, rate, &metrics, &hb);
-  });
+  const std::vector<double> medians = interleaved_median_seconds(
+      repeats,
+      {[&] { run_profile(trace, k, rate, nullptr, nullptr); },
+       [&] { run_profile(trace, k, rate, &metrics, nullptr); },
+       [&] {
+         obs::Heartbeat hb(3600.0, sink);
+         run_profile(trace, k, rate, &metrics, &hb);
+       },
+       [&] {
+         obs::Tracer tracer;
+         run_profile(trace, k, rate, &metrics, nullptr, &tracer);
+       }});
+  const double detached = medians[0];
+  const double attached = medians[1];
+  const double with_heartbeat = medians[2];
+  const double traced = medians[3];
 
   const double nrec = static_cast<double>(n);
   const double attach_pct = (attached / detached - 1.0) * 100.0;
   const double hb_pct = (with_heartbeat / detached - 1.0) * 100.0;
+  const double traced_pct = (traced / detached - 1.0) * 100.0;
 
   std::printf("obs overhead on zipf:%g (n=%zu, footprint=%llu, K=%g, R=%g)\n",
               alpha, n, static_cast<unsigned long long>(footprint), k, rate);
@@ -102,6 +130,7 @@ int main(int argc, char** argv) {
   table.add("attached", attached, nrec / attached / 1e6, attach_pct);
   table.add("attached+heartbeat", with_heartbeat, nrec / with_heartbeat / 1e6,
             hb_pct);
+  table.add("attached+traced", traced, nrec / traced / 1e6, traced_pct);
   table.print(std::cout);
 
   if (check) {
@@ -112,8 +141,16 @@ int main(int argc, char** argv) {
                    attach_pct, max_overhead_pct);
       return 1;
     }
-    std::printf("OK: attached overhead %.2f%% within %.2f%% budget\n",
-                attach_pct, max_overhead_pct);
+    if (traced_pct > max_overhead_pct) {
+      std::fprintf(stderr,
+                   "FAIL: traced overhead %.2f%% exceeds budget %.2f%%\n",
+                   traced_pct, max_overhead_pct);
+      return 1;
+    }
+    std::printf(
+        "OK: attached overhead %.2f%% and traced overhead %.2f%% within "
+        "%.2f%% budget\n",
+        attach_pct, traced_pct, max_overhead_pct);
   }
   return 0;
 }

@@ -46,6 +46,10 @@ class StatStackProfiler {
   std::uint64_t space_overhead_bytes() const noexcept {
     return collector_.space_overhead_bytes();
   }
+  double sampling_rate() const noexcept { return collector_.sampling_rate(); }
+  std::size_t histogram_bins() const noexcept {
+    return collector_.histogram().bin_count();
+  }
 
  private:
   ReuseTimeCollector collector_;

@@ -121,7 +121,34 @@ obs::HeartbeatSnapshot MrcEstimator::snapshot() const {
   return s;
 }
 
-void MrcEstimator::attach_metrics(obs::PipelineMetrics*) noexcept {}
+void MrcEstimator::attach_metrics(obs::PipelineMetrics* metrics) noexcept {
+  metrics_ = metrics;
+}
+
+void MrcEstimator::refresh_metrics_gauges() const noexcept {
+  if (metrics_ == nullptr) return;
+  const ModelGaugeSnapshot g = model_gauges();
+  metrics_->model.depth->set(g.depth);
+  metrics_->model.resident_bytes->set(g.resident_bytes);
+  metrics_->model.sampling_rate->set(g.sampling_rate);
+  metrics_->model.samples->set(g.samples);
+  metrics_->model.degradations->set(g.degradations);
+  metrics_->model.histogram_bins->set(g.histogram_bins);
+}
+
+ModelGaugeSnapshot MrcEstimator::model_gauges() const {
+  const obs::HeartbeatSnapshot s = snapshot();
+  ModelGaugeSnapshot g;
+  g.depth = static_cast<double>(s.stack_depth);
+  g.resident_bytes = static_cast<double>(
+      s.resident_bytes != 0 ? s.resident_bytes : space_overhead_bytes());
+  g.sampling_rate = s.sampling_rate;
+  g.samples = static_cast<double>(s.sampled);
+  g.degradations = static_cast<double>(s.degradation_events);
+  return g;
+}
+
+void MrcEstimator::attach_tracer(obs::Tracer*) noexcept {}
 
 void MrcEstimator::export_gauges(obs::MetricsRegistry&) const {}
 

@@ -20,7 +20,23 @@ namespace krr {
 namespace obs {
 struct PipelineMetrics;
 class MetricsRegistry;
+class Tracer;
 }  // namespace obs
+
+/// The model-agnostic gauge values behind the `model.*` metric slice
+/// (obs::ModelMetrics). Each estimator family maps its own notions onto
+/// these: a stack model's depth is its stack depth, a tree model's its
+/// tracked objects, a sketch's its live counters; `samples` is whatever
+/// the model actually ingested past its own sampling, and `degradations`
+/// counts shed/prune/halving steps.
+struct ModelGaugeSnapshot {
+  double depth = 0.0;
+  double resident_bytes = 0.0;
+  double sampling_rate = 1.0;
+  double samples = 0.0;
+  double degradations = 0.0;
+  double histogram_bins = 0.0;
+};
 
 /// Typed key=value option bag for estimator construction — the common
 /// currency between CLI flags, bench overrides, and the registry factories.
@@ -76,7 +92,11 @@ struct EstimatorCapabilities {
   bool spatial_sampling = false;
   /// Multi-threaded sharded operation (`threads`/`shards` options).
   bool sharded = false;
-  /// Hot-path metrics attachment (attach_metrics is more than a no-op).
+  /// Telemetry attachment: refresh_metrics_gauges publishes real model.*
+  /// gauges (depth, samples, degradations, ... — see ModelGaugeSnapshot)
+  /// and passes the registry-wide metrics conformance test. Models of the
+  /// KRR family additionally instrument their hot paths when KRR_METRICS
+  /// is compiled in.
   bool metrics = false;
   /// O(stack depth) per access: a reference oracle for correctness work,
   /// excluded from the perf zoo/bench sweeps that would take hours on it.
@@ -166,21 +186,41 @@ class MrcEstimator {
   /// on a model without checkpoint support yields kInvalidArgument.
   virtual Status load_state(const std::string& payload);
 
-  /// Hot-path instrumentation hooks, no-ops by default (capability flag
-  /// `metrics` says whether a model forwards them). Same lifetime contract
-  /// as KrrProfiler::attach_metrics.
+  /// Instrumentation hooks (capability flag `metrics`). The base
+  /// attach_metrics stores the slice so refresh_metrics_gauges can publish
+  /// the model.* gauges; models with hot-path instrumentation (the KRR
+  /// family) additionally forward the pointer into their pipelines. Same
+  /// lifetime contract as KrrProfiler::attach_metrics.
   virtual void attach_metrics(obs::PipelineMetrics* metrics) noexcept;
-  virtual void refresh_metrics_gauges() const noexcept {}
+  /// Publishes model_gauges() into the attached model.* slice (plus any
+  /// family-specific gauges an override adds). No-op while detached.
+  virtual void refresh_metrics_gauges() const noexcept;
   /// Publishes end-of-run gauges into the registry (e.g. per-shard state).
   virtual void export_gauges(obs::MetricsRegistry& registry) const;
+
+  /// The model.* gauge values (see ModelGaugeSnapshot). The default derives
+  /// them from snapshot() and space_overhead_bytes(); estimators with
+  /// richer native accounting (histogram bins, native prune counters)
+  /// override with the real numbers.
+  virtual ModelGaugeSnapshot model_gauges() const;
+
+  /// Attaches span/event tracing. Default is a no-op; estimators with
+  /// internal pipelines (krr_sharded's per-shard lanes) forward the tracer.
+  /// Non-owning; the tracer must outlive the estimator.
+  virtual void attach_tracer(obs::Tracer* tracer) noexcept;
 
   /// Registry metadata (set by EstimatorRegistry::create; an estimator
   /// constructed by hand reports a default-constructed info).
   const EstimatorInfo& info() const noexcept { return info_; }
   void set_info(EstimatorInfo info) { info_ = std::move(info); }
 
+ protected:
+  /// The slice stored by the base attach_metrics (null while detached).
+  obs::PipelineMetrics* pipeline_metrics() const noexcept { return metrics_; }
+
  private:
   EstimatorInfo info_;
+  obs::PipelineMetrics* metrics_ = nullptr;
 };
 
 /// String-keyed estimator factory registry. All built-in models register on

@@ -95,10 +95,17 @@ class KrrEstimator final : public MrcEstimator {
     return s;
   }
   void attach_metrics(obs::PipelineMetrics* metrics) noexcept override {
+    MrcEstimator::attach_metrics(metrics);
     profiler_.attach_metrics(metrics);
   }
   void refresh_metrics_gauges() const noexcept override {
     profiler_.refresh_metrics_gauges();
+    MrcEstimator::refresh_metrics_gauges();
+  }
+  ModelGaugeSnapshot model_gauges() const override {
+    ModelGaugeSnapshot g = MrcEstimator::model_gauges();
+    g.histogram_bins = static_cast<double>(profiler_.histogram().bin_count());
+    return g;
   }
   std::uint64_t space_overhead_bytes() const override {
     return profiler_.space_overhead_bytes();
@@ -145,7 +152,11 @@ class ShardedKrrEstimator final : public MrcEstimator {
     return s;
   }
   void attach_metrics(obs::PipelineMetrics* metrics) noexcept override {
+    MrcEstimator::attach_metrics(metrics);
     profiler_.attach_metrics(metrics);
+  }
+  void attach_tracer(obs::Tracer* tracer) noexcept override {
+    profiler_.attach_tracer(tracer);
   }
   void export_gauges(obs::MetricsRegistry& registry) const override {
     profiler_.export_shard_gauges(registry);
@@ -203,6 +214,15 @@ class WindowedKrrEstimator final : public MrcEstimator {
     return profiler_.space_overhead_bytes();
   }
   bool degrade() override { return profiler_.degrade_step(); }
+  obs::HeartbeatSnapshot snapshot() const override {
+    obs::HeartbeatSnapshot s;
+    s.records = profiler_.processed();
+    s.sampled = profiler_.processed();
+    s.stack_depth = profiler_.active_window_fill();
+    s.resident_bytes = profiler_.space_overhead_bytes();
+    s.degradation_events = profiler_.degradation_events();
+    return s;
+  }
 
  private:
   static WindowedKrrConfig windowed_config_from(const EstimatorOptions& o) {
@@ -267,11 +287,25 @@ class OlkenTreeEstimator final : public MrcEstimator {
     // set; the curve stays exact below the retained depth.
     const std::size_t tracked = profiler_.tracked_objects();
     if (tracked <= 1) return false;
-    return profiler_.evict_oldest(std::max<std::size_t>(1, tracked / 8)) > 0;
+    if (profiler_.evict_oldest(std::max<std::size_t>(1, tracked / 8)) == 0) {
+      return false;
+    }
+    ++degradations_;
+    return true;
+  }
+  obs::HeartbeatSnapshot snapshot() const override {
+    obs::HeartbeatSnapshot s;
+    s.records = profiler_.processed();
+    s.sampled = profiler_.processed();
+    s.stack_depth = profiler_.tracked_objects();
+    s.resident_bytes = profiler_.space_overhead_bytes();
+    s.degradation_events = degradations_;
+    return s;
   }
 
  private:
   OlkenTreeProfiler profiler_;
+  std::uint64_t degradations_ = 0;
 };
 
 class NaiveStackEstimator final : public MrcEstimator {
@@ -308,12 +342,26 @@ class NaiveStackEstimator final : public MrcEstimator {
   bool degrade() override {
     const std::size_t depth = stack_.depth();
     if (depth <= 1) return false;
-    return stack_.evict_bottom(std::max<std::size_t>(1, depth / 8)) > 0;
+    if (stack_.evict_bottom(std::max<std::size_t>(1, depth / 8)) == 0) {
+      return false;
+    }
+    ++degradations_;
+    return true;
+  }
+  obs::HeartbeatSnapshot snapshot() const override {
+    obs::HeartbeatSnapshot s;
+    s.records = processed_;
+    s.sampled = processed_;
+    s.stack_depth = stack_.depth();
+    s.resident_bytes = stack_.space_overhead_bytes();
+    s.degradation_events = degradations_;
+    return s;
   }
 
  private:
   GenericMattsonStack stack_;
   std::uint64_t processed_ = 0;
+  std::uint64_t degradations_ = 0;
 };
 
 class PriorityStackEstimator final : public MrcEstimator {
@@ -351,12 +399,26 @@ class PriorityStackEstimator final : public MrcEstimator {
   bool degrade() override {
     const std::size_t depth = stack_.depth();
     if (depth <= 1) return false;
-    return stack_.evict_bottom(std::max<std::size_t>(1, depth / 8)) > 0;
+    if (stack_.evict_bottom(std::max<std::size_t>(1, depth / 8)) == 0) {
+      return false;
+    }
+    ++degradations_;
+    return true;
+  }
+  obs::HeartbeatSnapshot snapshot() const override {
+    obs::HeartbeatSnapshot s;
+    s.records = processed_;
+    s.sampled = processed_;
+    s.stack_depth = stack_.depth();
+    s.resident_bytes = stack_.space_overhead_bytes();
+    s.degradation_events = degradations_;
+    return s;
   }
 
  private:
   PriorityMattsonStack stack_;
   std::uint64_t processed_ = 0;
+  std::uint64_t degradations_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -379,6 +441,7 @@ class ShardsEstimator final : public MrcEstimator {
     obs::HeartbeatSnapshot s;
     s.records = profiler_.processed();
     s.sampled = profiler_.sampled();
+    s.stack_depth = profiler_.tracked_objects();
     s.sampling_rate = profiler_.filter().rate();
     s.resident_bytes = profiler_.space_overhead_bytes();
     s.degradation_events = profiler_.degradation_events();
@@ -454,6 +517,15 @@ class CounterStacksEstimator final : public MrcEstimator {
     return profiler_.space_overhead_bytes();
   }
   bool degrade() override { return profiler_.degrade(); }
+  obs::HeartbeatSnapshot snapshot() const override {
+    obs::HeartbeatSnapshot s;
+    s.records = profiler_.processed();
+    s.sampled = profiler_.processed();
+    s.stack_depth = profiler_.live_counters();
+    s.resident_bytes = profiler_.space_overhead_bytes();
+    s.degradation_events = profiler_.degradation_events();
+    return s;
+  }
 
  private:
   CounterStacksProfiler profiler_;
@@ -462,6 +534,22 @@ class CounterStacksEstimator final : public MrcEstimator {
 // ---------------------------------------------------------------------------
 // Reuse-time model baselines
 // ---------------------------------------------------------------------------
+
+/// Shared progress/gauge mapping for the reuse-time family (AET, StatStack,
+/// HOTL): the collector's tracked set is the "stack" and its spatial
+/// threshold the realized sampling rate.
+template <typename Profiler>
+obs::HeartbeatSnapshot reuse_time_snapshot(const Profiler& profiler,
+                                           std::uint64_t degradations) {
+  obs::HeartbeatSnapshot s;
+  s.records = profiler.processed();
+  s.sampled = profiler.distinct_objects();
+  s.stack_depth = profiler.distinct_objects();
+  s.resident_bytes = profiler.space_overhead_bytes();
+  s.sampling_rate = profiler.sampling_rate();
+  s.degradation_events = degradations;
+  return s;
+}
 
 class AetEstimator final : public MrcEstimator {
  public:
@@ -482,12 +570,25 @@ class AetEstimator final : public MrcEstimator {
   bool degrade() override {
     // Down-sample the tracked set first (the dominant cost); once the
     // filter bottoms out, coarsen the reuse-time histogram.
-    return profiler_.halve_sample() || profiler_.coarsen_histogram();
+    if (!profiler_.halve_sample() && !profiler_.coarsen_histogram()) {
+      return false;
+    }
+    ++degradations_;
+    return true;
+  }
+  obs::HeartbeatSnapshot snapshot() const override {
+    return reuse_time_snapshot(profiler_, degradations_);
+  }
+  ModelGaugeSnapshot model_gauges() const override {
+    ModelGaugeSnapshot g = MrcEstimator::model_gauges();
+    g.histogram_bins = static_cast<double>(profiler_.histogram_bins());
+    return g;
   }
 
  private:
   std::uint64_t points_;
   AetProfiler profiler_;
+  std::uint64_t degradations_ = 0;
 };
 
 class StatStackEstimator final : public MrcEstimator {
@@ -505,11 +606,24 @@ class StatStackEstimator final : public MrcEstimator {
     return profiler_.space_overhead_bytes();
   }
   bool degrade() override {
-    return profiler_.halve_sample() || profiler_.coarsen_histogram();
+    if (!profiler_.halve_sample() && !profiler_.coarsen_histogram()) {
+      return false;
+    }
+    ++degradations_;
+    return true;
+  }
+  obs::HeartbeatSnapshot snapshot() const override {
+    return reuse_time_snapshot(profiler_, degradations_);
+  }
+  ModelGaugeSnapshot model_gauges() const override {
+    ModelGaugeSnapshot g = MrcEstimator::model_gauges();
+    g.histogram_bins = static_cast<double>(profiler_.histogram_bins());
+    return g;
   }
 
  private:
   StatStackProfiler profiler_;
+  std::uint64_t degradations_ = 0;
 };
 
 class HotlEstimator final : public MrcEstimator {
@@ -528,12 +642,25 @@ class HotlEstimator final : public MrcEstimator {
     return profiler_.space_overhead_bytes();
   }
   bool degrade() override {
-    return profiler_.halve_sample() || profiler_.coarsen_histogram();
+    if (!profiler_.halve_sample() && !profiler_.coarsen_histogram()) {
+      return false;
+    }
+    ++degradations_;
+    return true;
+  }
+  obs::HeartbeatSnapshot snapshot() const override {
+    return reuse_time_snapshot(profiler_, degradations_);
+  }
+  ModelGaugeSnapshot model_gauges() const override {
+    ModelGaugeSnapshot g = MrcEstimator::model_gauges();
+    g.histogram_bins = static_cast<double>(profiler_.histogram_bins());
+    return g;
   }
 
  private:
   std::uint64_t points_;
   HotlProfiler profiler_;
+  std::uint64_t degradations_ = 0;
 };
 
 class MimirEstimator final : public MrcEstimator {
@@ -551,6 +678,20 @@ class MimirEstimator final : public MrcEstimator {
     return profiler_.space_overhead_bytes();
   }
   bool degrade() override { return profiler_.evict_oldest_bucket(); }
+  obs::HeartbeatSnapshot snapshot() const override {
+    obs::HeartbeatSnapshot s;
+    s.records = profiler_.processed();
+    s.sampled = profiler_.processed();
+    s.stack_depth = profiler_.tracked_objects();
+    s.resident_bytes = profiler_.space_overhead_bytes();
+    s.degradation_events = profiler_.degradation_events();
+    return s;
+  }
+  ModelGaugeSnapshot model_gauges() const override {
+    ModelGaugeSnapshot g = MrcEstimator::model_gauges();
+    g.histogram_bins = static_cast<double>(profiler_.bucket_count());
+    return g;
+  }
 
  private:
   MimirProfiler profiler_;
@@ -603,6 +744,7 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .caps = {.models_klru = true,
                 .byte_granularity = true,
                 .spatial_sampling = true,
+                .metrics = true,
                 .governed_memory = true},
        .option_keys = {"max_stack_bytes", "window"}},
       make_factory<WindowedKrrEstimator>());
@@ -612,6 +754,7 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .description = "Mattson's generic stack with injected stay "
                       "probabilities (variant=krr|lru|rr), the O(M) oracle",
        .caps = {.models_klru = true,
+                .metrics = true,
                 .reference_oracle = true,
                 .governed_memory = true},
        .option_keys = {"variant", "max_stack_bytes"}},
@@ -621,7 +764,7 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .policy = "LRU",
        .description = "exact LRU stack distances in O(log M) "
                       "(Fenwick-over-timestamps formulation)",
-       .caps = {.byte_granularity = true},
+       .caps = {.byte_granularity = true, .metrics = true},
        .option_keys = {}},
       make_factory<LruStackEstimator>());
   registry.add(
@@ -629,7 +772,7 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .policy = "LRU",
        .description = "exact LRU stack distances via a size-augmented treap "
                       "(Olken 1981)",
-       .caps = {.byte_granularity = true, .governed_memory = true},
+       .caps = {.byte_granularity = true, .metrics = true, .governed_memory = true},
        .option_keys = {"max_stack_bytes"}},
       make_factory<OlkenTreeEstimator>());
   registry.add(
@@ -637,7 +780,9 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .policy = "LRU/MRU/LFU",
        .description = "deterministic priority Mattson stack "
                       "(policy=lru|mru|lfu), an O(M) reference oracle",
-       .caps = {.reference_oracle = true, .governed_memory = true},
+       .caps = {.metrics = true,
+                .reference_oracle = true,
+                .governed_memory = true},
        .option_keys = {"policy", "max_stack_bytes"}},
       make_factory<PriorityStackEstimator>());
   registry.add(
@@ -647,6 +792,7 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
                       "stack (FAST '15)",
        .caps = {.byte_granularity = true,
                 .spatial_sampling = true,
+                .metrics = true,
                 .governed_memory = true},
        .option_keys = {"max_stack_bytes"}},
       make_factory<ShardsEstimator>());
@@ -655,14 +801,14 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .policy = "LRU",
        .description = "fixed-size SHARDS_smax: bounded memory, "
                       "threshold-adaptive sampling rate",
-       .caps = {.spatial_sampling = true, .governed_memory = true},
+       .caps = {.spatial_sampling = true, .metrics = true, .governed_memory = true},
        .option_keys = {"max_objects", "modulus", "max_stack_bytes"}},
       make_factory<ShardsFixedEstimator>());
   registry.add(
       {.name = "aet",
        .policy = "LRU",
        .description = "AET kinetic reuse-time model of exact LRU (ATC '16)",
-       .caps = {.governed_memory = true},
+       .caps = {.metrics = true, .governed_memory = true},
        .option_keys = {"sub_buckets", "points", "max_stack_bytes"}},
       make_factory<AetEstimator>());
   registry.add(
@@ -670,7 +816,7 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .policy = "LRU",
        .description = "Counter Stacks: HyperLogLog counter stack with "
                       "pruning (OSDI '14)",
-       .caps = {.governed_memory = true},
+       .caps = {.metrics = true, .governed_memory = true},
        .option_keys = {"interval", "prune_delta", "precision",
                        "max_stack_bytes"}},
       make_factory<CounterStacksEstimator>());
@@ -679,7 +825,7 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .policy = "LRU",
        .description = "StatStack expected-stack-distance model from reuse "
                       "times (ISPASS '10)",
-       .caps = {.governed_memory = true},
+       .caps = {.metrics = true, .governed_memory = true},
        .option_keys = {"sub_buckets", "max_stack_bytes"}},
       make_factory<StatStackEstimator>());
   registry.add(
@@ -687,14 +833,14 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .policy = "LRU",
        .description = "MIMIR bucketed ghost list with ROUNDER aging "
                       "(SoCC '14)",
-       .caps = {.governed_memory = true},
+       .caps = {.metrics = true, .governed_memory = true},
        .option_keys = {"buckets", "max_stack_bytes"}},
       make_factory<MimirEstimator>());
   registry.add(
       {.name = "hotl",
        .policy = "LRU",
        .description = "HOTL footprint theory of locality (ASPLOS '13)",
-       .caps = {.governed_memory = true},
+       .caps = {.metrics = true, .governed_memory = true},
        .option_keys = {"sub_buckets", "points", "max_stack_bytes"}},
       make_factory<HotlEstimator>());
 }

@@ -4,6 +4,7 @@
 
 #include "core/estimator.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace krr {
 
@@ -17,8 +18,8 @@ constexpr int kMaxDegradeStepsPerCheck = 64;
 
 RunGovernor::RunGovernor(const RunGovernorConfig& config,
                          MrcEstimator* estimator,
-                         obs::MetricsRegistry* registry)
-    : config_(config), estimator_(estimator) {
+                         obs::MetricsRegistry* registry, obs::Tracer* tracer)
+    : config_(config), estimator_(estimator), tracer_(tracer) {
   if (config_.check_stride == 0) config_.check_stride = 1;
   next_check_ = config_.check_stride;
   next_checkpoint_ = config_.checkpoint_every;
@@ -39,11 +40,26 @@ bool RunGovernor::on_access() {
   if (config_.checkpoint_every != 0 && config_.checkpoint_fn &&
       accesses_ >= next_checkpoint_) {
     next_checkpoint_ = accesses_ + config_.checkpoint_every;
-    Status status = config_.checkpoint_fn(accesses_);
-    if (!status.is_ok()) throw StatusError(std::move(status));
+    const std::uint64_t start_ns =
+        tracer_ != nullptr ? tracer_->now_ns() : 0;
+    double write_seconds = 0.0;
+    StatusOr<std::uint64_t> bytes = [&] {
+      ScopedTimer timer(write_seconds);
+      return config_.checkpoint_fn(accesses_);
+    }();
+    report_.checkpoint_seconds += write_seconds;
+    if (!bytes.is_ok()) throw StatusError(bytes.status());
     ++report_.checkpoints_written;
     report_.last_checkpoint_records = accesses_;
+    report_.last_checkpoint_bytes = bytes.value();
     if (checkpoint_metric_ != nullptr) checkpoint_metric_->inc();
+    if (tracer_ != nullptr) {
+      tracer_->complete(
+          "governor.checkpoint", "governor", 0, start_ns,
+          tracer_->now_ns() - start_ns,
+          {{"records", static_cast<double>(accesses_)},
+           {"bytes", static_cast<double>(bytes.value())}});
+    }
   }
   return !report_.deadline_hit;
 }
@@ -57,6 +73,11 @@ void RunGovernor::check_limits() {
   if (config_.deadline_secs > 0.0 && !report_.deadline_hit &&
       watch_.seconds() >= config_.deadline_secs) {
     report_.deadline_hit = true;
+    if (tracer_ != nullptr) {
+      tracer_->instant("governor.deadline_cut", "governor", 0,
+                       {{"deadline_secs", config_.deadline_secs},
+                        {"records", static_cast<double>(accesses_)}});
+    }
   }
 }
 
@@ -69,14 +90,26 @@ void RunGovernor::enforce_budget() {
   if (config_.max_stack_bytes == 0) return;
   int steps = 0;
   while (space > config_.max_stack_bytes && steps < kMaxDegradeStepsPerCheck) {
+    const std::uint64_t before = space;
     if (!estimator_->degrade()) {
       report_.budget_exhausted = true;
+      if (tracer_ != nullptr) {
+        tracer_->instant("governor.budget_exhausted", "governor", 0,
+                         {{"space_bytes", static_cast<double>(space)},
+                          {"budget_bytes", static_cast<double>(
+                               config_.max_stack_bytes)}});
+      }
       return;
     }
     ++steps;
     ++report_.degrade_steps;
     if (degrade_metric_ != nullptr) degrade_metric_->inc();
     space = estimator_->space_overhead_bytes();
+    if (tracer_ != nullptr) {
+      tracer_->instant("governor.degrade", "governor", 0,
+                       {{"before_bytes", static_cast<double>(before)},
+                        {"after_bytes", static_cast<double>(space)}});
+    }
   }
 }
 

@@ -14,6 +14,7 @@ namespace obs {
 class MetricsRegistry;
 class Counter;
 class Gauge;
+class Tracer;
 }  // namespace obs
 
 /// Knobs for one governed run. All limits are optional; a zero value
@@ -32,10 +33,12 @@ struct RunGovernorConfig {
   /// Records between durable checkpoints (0 disables checkpointing).
   std::uint64_t checkpoint_every = 0;
   /// Writes one durable snapshot; receives the number of accesses governed
-  /// so far. A non-OK return aborts the run via StatusError (a checkpoint
-  /// the caller asked for but cannot write is not a survivable condition —
-  /// resuming from it would silently lose work).
-  std::function<Status(std::uint64_t records)> checkpoint_fn;
+  /// so far and returns the snapshot's size in bytes (reported in
+  /// GovernanceReport and traced per write). A non-OK return aborts the run
+  /// via StatusError (a checkpoint the caller asked for but cannot write is
+  /// not a survivable condition — resuming from it would silently lose
+  /// work).
+  std::function<StatusOr<std::uint64_t>(std::uint64_t records)> checkpoint_fn;
 };
 
 /// What the governor did during the run, folded into RunReport/metrics by
@@ -45,6 +48,9 @@ struct GovernanceReport {
   std::uint64_t degrade_steps = 0;
   std::uint64_t checkpoints_written = 0;
   std::uint64_t last_checkpoint_records = 0;
+  std::uint64_t last_checkpoint_bytes = 0;
+  /// Wall-clock seconds spent inside checkpoint_fn across the run.
+  double checkpoint_seconds = 0.0;
   std::uint64_t peak_space_bytes = 0;
   /// The estimator could not degrade below the budget (degrade() returned
   /// false while over). The run continues — partial information beats none
@@ -69,8 +75,12 @@ struct GovernanceReport {
 /// sharded profiler governs its own shards internally).
 class RunGovernor {
  public:
+  /// `tracer` (optional, non-owning) receives the governor's limb events:
+  /// degrade steps with before/after bytes, checkpoint spans with
+  /// duration + size, and the deadline cut.
   RunGovernor(const RunGovernorConfig& config, MrcEstimator* estimator,
-              obs::MetricsRegistry* registry = nullptr);
+              obs::MetricsRegistry* registry = nullptr,
+              obs::Tracer* tracer = nullptr);
 
   /// Call after every access. Returns false once the deadline has expired
   /// (callers should stop feeding and finish with a partial curve). Throws
@@ -103,6 +113,7 @@ class RunGovernor {
   obs::Counter* degrade_metric_ = nullptr;
   obs::Counter* checkpoint_metric_ = nullptr;
   obs::Gauge* peak_space_metric_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace krr

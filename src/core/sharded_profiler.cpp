@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "util/hashing.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -20,6 +21,11 @@ namespace {
 /// several shards does not starve any of them.
 constexpr int kDrainBatch = 256;
 
+/// Drain batches between traced drain spans. A span costs two clock reads,
+/// so with 256-record batches a traced worker reads the clock once per
+/// ~4096 records — the same stride Heartbeat::tick gates at.
+constexpr std::uint64_t kDrainTraceStride = 16;
+
 }  // namespace
 
 struct ShardedKrrProfiler::Shard {
@@ -33,6 +39,10 @@ struct ShardedKrrProfiler::Shard {
   // in inline mode) when this shard's pipeline threw. A dead shard's queue
   // is drained to the bit bucket and its state is excluded from merges.
   std::atomic<bool> dead{false};
+
+  // Worker-owned drain-batch counter gating traced spans (no atomics: one
+  // consumer per shard).
+  std::uint64_t drain_batches = 0;
 
   // Live gauges the owning worker publishes once per drain batch so the
   // producer thread can heartbeat without touching profiler internals.
@@ -120,6 +130,10 @@ void ShardedKrrProfiler::access(const Request& req) {
         shard.dead.store(true, std::memory_order_release);
         shards_failed_.fetch_add(1, std::memory_order_relaxed);
         dropped_records_.fetch_add(1, std::memory_order_relaxed);
+        if (tracer_ != nullptr) {
+          tracer_->instant("sharded.shard_failed", "sharded", index + 1,
+                           {{"shard", static_cast<double>(index)}});
+        }
       }
       return;
     }
@@ -134,24 +148,36 @@ void ShardedKrrProfiler::access(const Request& req) {
 #ifdef KRR_METRICS_ENABLED
   if (metrics_ != nullptr) metrics_->sharded.producer_stalls->inc();
 #endif
+  const std::uint64_t stall_start_ns =
+      tracer_ != nullptr ? tracer_->now_ns() : 0;
+  const auto trace_stall = [&] {
+    if (tracer_ != nullptr) {
+      tracer_->complete("sharded.queue_stall", "sharded", 0, stall_start_ns,
+                        tracer_->now_ns() - stall_start_ns,
+                        {{"shard", static_cast<double>(index)}});
+    }
+  };
   Stopwatch stall;
   for (;;) {
     if (failed_.load(std::memory_order_acquire)) {
       // A worker died; its queues will never drain. Drop the record — the
       // run is poisoned and finish() will rethrow the worker's error.
       stall_seconds_ += stall.seconds();
+      trace_stall();
       return;
     }
     if (shard.dead.load(std::memory_order_acquire)) {
       // Best-effort: this shard just died under us; stop waiting on it.
       dropped_records_.fetch_add(1, std::memory_order_relaxed);
       stall_seconds_ += stall.seconds();
+      trace_stall();
       return;
     }
     std::this_thread::yield();
     if (shard.queue.try_push(req)) break;
   }
   stall_seconds_ += stall.seconds();
+  trace_stall();
 }
 
 void ShardedKrrProfiler::drain_batch(Shard& shard, std::uint32_t index,
@@ -168,10 +194,15 @@ void ShardedKrrProfiler::drain_batch(Shard& shard, std::uint32_t index,
     }
     return;
   }
-  bool popped = false;
+  // Stride-gated drain spans: one traced batch (two clock reads) every
+  // kDrainTraceStride batches; untraced batches pay one branch.
+  const bool traced =
+      tracer_ != nullptr && (shard.drain_batches++ % kDrainTraceStride) == 0;
+  const std::uint64_t batch_start_ns = traced ? tracer_->now_ns() : 0;
+  int drained = 0;
   try {
     while (budget-- > 0 && shard.queue.try_pop(req)) {
-      popped = true;
+      ++drained;
       if (config_.before_access_hook) config_.before_access_hook(index, req);
       shard.profiler.access(req);
     }
@@ -183,11 +214,22 @@ void ShardedKrrProfiler::drain_batch(Shard& shard, std::uint32_t index,
     shards_failed_.fetch_add(1, std::memory_order_relaxed);
     dropped_records_.fetch_add(1, std::memory_order_relaxed);
     did_work = true;
+    if (tracer_ != nullptr) {
+      tracer_->instant("sharded.shard_failed", "sharded", index + 1,
+                       {{"shard", static_cast<double>(index)}});
+    }
     return;
   }
-  if (popped) {
+  if (drained > 0) {
     shard.publish_live();
     did_work = true;
+    if (traced) {
+      tracer_->complete("sharded.drain", "sharded", index + 1, batch_start_ns,
+                        tracer_->now_ns() - batch_start_ns,
+                        {{"records", static_cast<double>(drained)},
+                         {"depth", static_cast<double>(
+                              shard.profiler.stack_depth())}});
+    }
   }
 }
 
@@ -231,8 +273,14 @@ void ShardedKrrProfiler::drain_loop(unsigned worker_index) {
 void ShardedKrrProfiler::finish() {
   if (finished_) return;
   if (worker_count_ != 0) {
+    const std::uint64_t join_start_ns =
+        tracer_ != nullptr ? tracer_->now_ns() : 0;
     done_.store(true, std::memory_order_release);
     pool_->wait_idle();  // rethrows the first worker exception (strict mode)
+    if (tracer_ != nullptr) {
+      tracer_->complete("sharded.drain_join", "sharded", 0, join_start_ns,
+                        tracer_->now_ns() - join_start_ns);
+    }
   }
   finished_ = true;
 #ifdef KRR_METRICS_ENABLED
@@ -282,6 +330,11 @@ DistanceHistogram ShardedKrrProfiler::merged_histogram() const {
     // survivors' mass by S/(S-F) extrapolates the dropped shards' share.
     merged.scale(static_cast<double>(shards_.size()) /
                  static_cast<double>(live));
+    if (tracer_ != nullptr) {
+      tracer_->instant("sharded.survivor_rescale", "sharded", 0,
+                       {{"shards", static_cast<double>(shards_.size())},
+                        {"survivors", static_cast<double>(live)}});
+    }
   }
   return merged;
 }
@@ -289,9 +342,16 @@ DistanceHistogram ShardedKrrProfiler::merged_histogram() const {
 MissRatioCurve ShardedKrrProfiler::mrc() const {
   double merge_seconds = 0.0;
   MissRatioCurve curve;
+  const std::uint64_t merge_start_ns =
+      tracer_ != nullptr ? tracer_->now_ns() : 0;
   {
     ScopedTimer timer(merge_seconds);
     curve = merged_histogram().to_mrc();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->complete("sharded.merge", "sharded", 0, merge_start_ns,
+                      tracer_->now_ns() - merge_start_ns,
+                      {{"shards", static_cast<double>(shards_.size())}});
   }
 #ifdef KRR_METRICS_ENABLED
   if (metrics_ != nullptr) {
@@ -408,6 +468,16 @@ void ShardedKrrProfiler::attach_metrics(obs::PipelineMetrics* metrics) noexcept 
 #else
   (void)metrics;
 #endif
+}
+
+void ShardedKrrProfiler::attach_tracer(obs::Tracer* tracer) noexcept {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) return;
+  tracer_->set_lane_name(0, "producer");
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    tracer_->set_lane_name(static_cast<std::uint32_t>(s) + 1,
+                           "shard " + std::to_string(s));
+  }
 }
 
 void ShardedKrrProfiler::export_shard_gauges(

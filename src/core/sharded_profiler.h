@@ -16,6 +16,7 @@ namespace krr {
 namespace obs {
 struct PipelineMetrics;
 class MetricsRegistry;
+class Tracer;
 }  // namespace obs
 
 /// How the sharded pipeline reacts when a shard worker throws mid-run.
@@ -168,6 +169,14 @@ class ShardedKrrProfiler {
   /// KrrProfiler::attach_metrics.
   void attach_metrics(obs::PipelineMetrics* metrics) noexcept;
 
+  /// Attaches span/event tracing: lane 0 is the producer, lane s+1 is
+  /// shard s (named in the export). Workers emit one drain span per
+  /// kDrainTraceStride batches (stride-gated clock reads, Heartbeat-style);
+  /// queue stalls, shard deaths, survivor rescale, and the merge are traced
+  /// unconditionally. Call before the first access(); detached cost is one
+  /// branch per batch. Non-owning; the tracer must outlive the profiler.
+  void attach_tracer(obs::Tracer* tracer) noexcept;
+
   /// Publishes per-shard end-of-run gauges
   /// (sharded.shard<N>.{stack_depth,sampled,degradations,final_rate}) into
   /// the registry. Post-finish; works whether or not hot-path
@@ -191,6 +200,7 @@ class ShardedKrrProfiler {
   bool finished_ = false;
   std::uint64_t processed_ = 0;           // producer-side
   double stall_seconds_ = 0.0;            // producer-side
+  obs::Tracer* tracer_ = nullptr;         // unconditional: gauge-grade events
 #ifdef KRR_METRICS_ENABLED
   obs::PipelineMetrics* metrics_ = nullptr;
 #endif

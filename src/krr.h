@@ -40,6 +40,7 @@
 #include "obs/heartbeat.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/klru_cache.h"
 #include "sim/lru_cache.h"
 #include "sim/miniature.h"

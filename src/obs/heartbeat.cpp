@@ -1,5 +1,6 @@
 #include "obs/heartbeat.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 
@@ -41,7 +42,11 @@ void Heartbeat::beat(const HeartbeatSnapshot& snapshot) {
 }
 
 void Heartbeat::finish(const HeartbeatSnapshot& snapshot) {
-  emit(snapshot, /*final_beat=*/true);
+  // Fold in the final partial stride: the snapshot may predate the last
+  // (ticks_ % kStride) records, but the tick counter saw every one.
+  HeartbeatSnapshot reconciled = snapshot;
+  reconciled.records = std::max(reconciled.records, baseline_ + ticks_);
+  emit(reconciled, /*final_beat=*/true);
 }
 
 void Heartbeat::emit(const HeartbeatSnapshot& snapshot, bool final_beat) {

@@ -46,9 +46,20 @@ class Heartbeat {
   void beat(const HeartbeatSnapshot& snapshot);
 
   /// Emits the final summary line (marked "done") with whole-run rates.
+  /// The last periodic beat lands at most kStride ticks before the end of
+  /// input, so the caller's snapshot can trail the true count by a partial
+  /// stride; finish() folds the remaining ticks in by reporting
+  /// max(snapshot.records, baseline + ticks) — with one tick per record,
+  /// the summary's `records` always equals the true processed count.
   void finish(const HeartbeatSnapshot& snapshot);
 
+  /// Records processed before this heartbeat was constructed (a resumed
+  /// run); added to the tick count when finish() reconciles `records`.
+  void set_baseline(std::uint64_t records) noexcept { baseline_ = records; }
+
   std::uint64_t beats() const noexcept { return beats_; }
+  /// tick() calls so far — the records this heartbeat itself witnessed.
+  std::uint64_t ticks() const noexcept { return ticks_; }
   double elapsed_seconds() const { return watch_.seconds(); }
 
  private:
@@ -58,6 +69,7 @@ class Heartbeat {
   std::ostream& os_;
   Stopwatch watch_;
   std::uint64_t ticks_ = 0;
+  std::uint64_t baseline_ = 0;
   std::uint64_t beats_ = 0;
   double last_beat_seconds_ = 0.0;
   std::uint64_t last_records_ = 0;

@@ -239,30 +239,42 @@ class Parser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) {
-              set_error("bad \\u escape");
-              return std::nullopt;
-            }
             unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else {
-                set_error("bad \\u escape");
+            if (!parse_hex4(&code)) return std::nullopt;
+            // Surrogate pair: a high surrogate must be followed by
+            // \uDC00..\uDFFF, and the pair combines into one supplementary
+            // code point. Lone or out-of-order surrogates are rejected —
+            // emitting them raw would produce invalid UTF-8.
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                set_error("lone high surrogate in \\u escape");
                 return std::nullopt;
               }
+              pos_ += 2;
+              unsigned low = 0;
+              if (!parse_hex4(&low)) return std::nullopt;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                set_error("bad low surrogate in \\u escape");
+                return std::nullopt;
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              set_error("lone low surrogate in \\u escape");
+              return std::nullopt;
             }
-            // BMP-only UTF-8 encoding; the export never emits surrogates.
             if (code < 0x80) {
               out += static_cast<char>(code);
             } else if (code < 0x800) {
               out += static_cast<char>(0xC0 | (code >> 6));
               out += static_cast<char>(0x80 | (code & 0x3F));
-            } else {
+            } else if (code < 0x10000) {
               out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xF0 | (code >> 18));
+              out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
               out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
               out += static_cast<char>(0x80 | (code & 0x3F));
             }
@@ -278,6 +290,28 @@ class Parser {
     }
     set_error("unterminated string");
     return std::nullopt;
+  }
+
+  /// Reads exactly four hex digits at pos_ into *code.
+  bool parse_hex4(unsigned* code) {
+    if (pos_ + 4 > text_.size()) {
+      set_error("bad \\u escape");
+      return false;
+    }
+    unsigned out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      out <<= 4;
+      if (h >= '0' && h <= '9') out |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') out |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') out |= static_cast<unsigned>(h - 'A' + 10);
+      else {
+        set_error("bad \\u escape");
+        return false;
+      }
+    }
+    *code = out;
+    return true;
   }
 
   std::optional<Json> parse_number() {

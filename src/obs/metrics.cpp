@@ -148,6 +148,12 @@ PipelineMetrics::PipelineMetrics(MetricsRegistry& registry)
   sharded.merge_seconds = &registry.gauge("sharded.merge_seconds");
   sharded.stall_seconds = &registry.gauge("sharded.producer_stall_seconds");
   sharded.shard_failures = &registry.counter("sharded.shard_failures");
+  model.depth = &registry.gauge("model.depth");
+  model.resident_bytes = &registry.gauge("model.resident_bytes");
+  model.sampling_rate = &registry.gauge("model.sampling_rate");
+  model.samples = &registry.gauge("model.samples");
+  model.degradations = &registry.gauge("model.degradations");
+  model.histogram_bins = &registry.gauge("model.histogram_bins");
 }
 
 }  // namespace krr::obs

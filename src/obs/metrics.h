@@ -175,6 +175,21 @@ struct ShardedMetrics {
   Counter* shard_failures = nullptr;  ///< sharded.shard_failures — shards dropped (best-effort)
 };
 
+/// The model-agnostic gauge slice every registered estimator publishes via
+/// MrcEstimator::refresh_metrics_gauges, whatever its family: stack models
+/// report stack depth, tree models tracked objects, reuse-time collectors
+/// their sampled set, sketches their live counters. One shared name table
+/// lets the conformance tests and the CLI's --metrics output treat the
+/// whole zoo uniformly.
+struct ModelMetrics {
+  Gauge* depth = nullptr;           ///< model.depth — stack/tree/tracked-set size
+  Gauge* resident_bytes = nullptr;  ///< model.resident_bytes — state footprint
+  Gauge* sampling_rate = nullptr;   ///< model.sampling_rate — realized rate
+  Gauge* samples = nullptr;         ///< model.samples — refs/objects ingested
+  Gauge* degradations = nullptr;    ///< model.degradations — shed/prune steps
+  Gauge* histogram_bins = nullptr;  ///< model.histogram_bins — distinct bins
+};
+
 /// The wiring between the profiling pipeline and a registry: one struct of
 /// resolved metric pointers handed to KrrProfiler::attach_metrics(). Kept
 /// in obs (not core) so the metric name table lives in one place.
@@ -197,6 +212,9 @@ struct PipelineMetrics {
 
   /// Sharded fan-out internals (handed to ShardedKrrProfiler).
   ShardedMetrics sharded;
+
+  /// Registry-wide per-model gauges (filled by refresh_metrics_gauges).
+  ModelMetrics model;
 };
 
 }  // namespace krr::obs

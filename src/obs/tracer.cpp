@@ -1,0 +1,204 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace krr::obs {
+
+namespace {
+
+/// Process-unique tracer ids key the thread-local ring cache, so a cache
+/// entry can never alias a ring of a destroyed tracer whose address was
+/// reused by a later one.
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+struct RingCache {
+  std::uint64_t tracer_id = 0;
+  void* ring = nullptr;
+};
+
+thread_local RingCache t_ring_cache;
+
+}  // namespace
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      ring_capacity_(std::max<std::size_t>(ring_capacity, 16)) {}
+
+Tracer::Ring* Tracer::ring_for_current_thread() noexcept {
+  if (t_ring_cache.tracer_id == id_) {
+    return static_cast<Ring*>(t_ring_cache.ring);
+  }
+  Ring* ring = nullptr;
+  try {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ring_by_thread_.find(std::this_thread::get_id());
+    if (it != ring_by_thread_.end()) {
+      ring = it->second;
+    } else {
+      rings_.push_back(std::make_unique<Ring>(ring_capacity_));
+      ring = rings_.back().get();
+      ring_by_thread_.emplace(std::this_thread::get_id(), ring);
+    }
+  } catch (...) {
+    // Allocation failure while registering: drop the event rather than
+    // propagate out of a noexcept instrumentation call.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  t_ring_cache = {id_, ring};
+  return ring;
+}
+
+void Tracer::record(TraceEvent ev,
+                    std::initializer_list<TraceArg> args) noexcept {
+  ev.n_args = 0;
+  for (const TraceArg& arg : args) {
+    if (ev.n_args == TraceEvent::kMaxArgs) break;
+    ev.args[ev.n_args++] = arg;
+  }
+  Ring* ring = ring_for_current_thread();
+  if (ring == nullptr) return;
+  const std::uint64_t n = ring->count.load(std::memory_order_relaxed);
+  if (n >= ring->events.size()) {
+    // Drop-newest: the front of the run (phase starts, first degradations)
+    // is usually the interesting part, and overwriting old events would
+    // need a second index the hot path doesn't want to maintain.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring->events[n] = ev;
+  // Release pairs with the drain's acquire so the event payload is visible
+  // once the count is.
+  ring->count.store(n + 1, std::memory_order_release);
+}
+
+void Tracer::instant(const char* name, const char* cat, std::uint32_t lane,
+                     std::initializer_list<TraceArg> args) noexcept {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'i';
+  ev.lane = lane;
+  ev.ts_ns = now_ns();
+  record(ev, args);
+}
+
+void Tracer::complete(const char* name, const char* cat, std::uint32_t lane,
+                      std::uint64_t ts_ns, std::uint64_t dur_ns,
+                      std::initializer_list<TraceArg> args) noexcept {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'X';
+  ev.lane = lane;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  record(ev, args);
+}
+
+void Tracer::set_lane_name(std::uint32_t lane, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lane_names_[lane] = std::move(name);
+}
+
+std::uint64_t Tracer::recorded() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+namespace {
+
+Json metadata_event(const char* name, std::uint32_t tid,
+                    const std::string& value) {
+  Json ev = Json::object();
+  ev.set("name", Json(name));
+  ev.set("ph", Json("M"));
+  ev.set("pid", Json(std::uint64_t{0}));
+  ev.set("tid", Json(static_cast<std::uint64_t>(tid)));
+  Json args = Json::object();
+  args.set("name", Json(value));
+  ev.set("args", std::move(args));
+  return ev;
+}
+
+}  // namespace
+
+Json Tracer::to_json() const {
+  std::vector<TraceEvent> events;
+  std::map<std::uint32_t, std::string> lanes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t total = 0;
+    for (const auto& ring : rings_) {
+      total += ring->count.load(std::memory_order_acquire);
+    }
+    events.reserve(total);
+    for (const auto& ring : rings_) {
+      const std::uint64_t n = ring->count.load(std::memory_order_acquire);
+      events.insert(events.end(), ring->events.begin(),
+                    ring->events.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    lanes = lane_names_;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  if (lanes.find(0) == lanes.end()) lanes[0] = "main";
+
+  Json trace_events = Json::array();
+  trace_events.push_back(metadata_event("process_name", 0, "krr"));
+  for (const auto& [lane, name] : lanes) {
+    trace_events.push_back(metadata_event("thread_name", lane, name));
+  }
+  for (const TraceEvent& ev : events) {
+    Json out = Json::object();
+    out.set("name", Json(ev.name));
+    out.set("cat", Json(ev.cat));
+    out.set("ph", Json(std::string(1, ev.phase)));
+    // Chrome trace-event timestamps are microseconds; fractional µs keep
+    // nanosecond resolution.
+    out.set("ts", Json(static_cast<double>(ev.ts_ns) / 1e3));
+    if (ev.phase == 'X') {
+      out.set("dur", Json(static_cast<double>(ev.dur_ns) / 1e3));
+    } else {
+      out.set("s", Json("t"));  // instant scope: thread
+    }
+    out.set("pid", Json(std::uint64_t{0}));
+    out.set("tid", Json(static_cast<std::uint64_t>(ev.lane)));
+    if (ev.n_args != 0) {
+      Json args = Json::object();
+      for (std::uint8_t i = 0; i < ev.n_args; ++i) {
+        args.set(ev.args[i].key, Json(ev.args[i].value));
+      }
+      out.set("args", std::move(args));
+    }
+    trace_events.push_back(std::move(out));
+  }
+
+  Json root = Json::object();
+  root.set("traceEvents", std::move(trace_events));
+  root.set("displayTimeUnit", Json("ms"));
+  Json other = Json::object();
+  other.set("recorded", Json(static_cast<std::uint64_t>(events.size())));
+  other.set("dropped", Json(dropped()));
+  root.set("otherData", std::move(other));
+  return root;
+}
+
+Status Tracer::write_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return io_error("cannot open trace output file: " + path);
+  to_json().dump(os, 0);
+  os << '\n';
+  os.flush();
+  if (!os) return io_error("short write to trace output file: " + path);
+  return Status::ok();
+}
+
+}  // namespace krr::obs

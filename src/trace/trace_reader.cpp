@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "trace/trace_codec.h"
 #include "util/crc32.h"
 
@@ -47,6 +48,12 @@ bool TraceReader::fail(Status status) {
 void TraceReader::finish_truncated() {
   report_.truncated_tail = true;
   state_ = State::kDone;
+  if (options_.tracer != nullptr) {
+    options_.tracer->instant(
+        "ingest.truncated_tail", "ingest", 0,
+        {{"records_read", static_cast<double>(report_.records_read)},
+         {"bytes_read", static_cast<double>(report_.bytes_read)}});
+  }
 }
 
 /// Accounts n dropped records against the kSkipAndCount budget.
@@ -151,7 +158,12 @@ void TraceReader::open() {
     const bool crc_ok = crc32(header, 24) == header_crc;
     const bool rpb_ok =
         records_per_block_ >= 1 && records_per_block_ <= c::kMaxRecordsPerBlock;
-    if (!crc_ok) ++report_.checksum_failures;
+    if (!crc_ok) {
+      ++report_.checksum_failures;
+      if (options_.tracer != nullptr) {
+        options_.tracer->instant("ingest.header_checksum_failure", "ingest", 0);
+      }
+    }
     if (strict && (!crc_ok || !rpb_ok)) {
       fail(corrupt_header_error(!crc_ok ? "header CRC32 mismatch"
                                         : "implausible records-per-block"));
@@ -252,6 +264,7 @@ bool TraceReader::next_v2(Request& out) {
 /// are consumed; the caller resumes with the rest of the block header.
 bool TraceReader::resync_to_block_magic() {
   ++report_.resyncs;
+  const std::uint64_t discarded_before = report_.bytes_discarded;
   unsigned char magic_bytes[4];
   c::encode_u32(magic_bytes, c::kBlockMagic);
   std::size_t matched = 0;
@@ -261,6 +274,12 @@ bool TraceReader::resync_to_block_magic() {
     if (byte == magic_bytes[matched]) {
       if (++matched == sizeof(magic_bytes)) {
         report_.bytes_discarded -= sizeof(magic_bytes);
+        if (options_.tracer != nullptr) {
+          options_.tracer->instant(
+              "ingest.resync", "ingest", 0,
+              {{"bytes_discarded", static_cast<double>(report_.bytes_discarded -
+                                                       discarded_before)}});
+        }
         return true;
       }
     } else {
@@ -369,6 +388,12 @@ bool TraceReader::load_block() {
 
     if (crc32(payload_.data(), payload_.size()) != payload_crc) {
       ++report_.checksum_failures;
+      if (options_.tracer != nullptr) {
+        options_.tracer->instant(
+            "ingest.checksum_failure", "ingest", 0,
+            {{"block_records", static_cast<double>(block_records)},
+             {"records_read", static_cast<double>(report_.records_read)}});
+      }
       if (strict) {
         return fail(checksum_mismatch_error(
             "block CRC32 mismatch after record " +

@@ -10,6 +10,11 @@
 
 namespace krr {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
 /// What the ingestion layer does when it meets corruption (flipped bytes,
 /// truncation, hostile headers). KRR is a statistical model (§4), so a
 /// profile built from a trace with records dropped is still sound — the
@@ -39,6 +44,11 @@ struct TraceReaderOptions {
   /// seekable and the header's declared count cannot be cross-checked
   /// against the stream size (hostile-header OOM guard).
   std::uint64_t max_preallocate_records = 1u << 20;
+  /// Optional recovery-event tracing (cat "ingest", lane 0): checksum
+  /// failures, resync scans with bytes discarded, and the truncation cut.
+  /// Corruption events are rare by construction, so these are emitted
+  /// inline, not stride-gated. Non-owning; may be null.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Ingestion accounting, valid whether or not reading succeeded. A clean
@@ -55,10 +65,6 @@ struct TraceReadReport {
   std::uint32_t format_version = 0;    ///< 1 or 2 once the header parsed
   bool truncated_tail = false;         ///< stream ended before declared end
 };
-
-namespace obs {
-class MetricsRegistry;
-}
 
 /// Mirrors the ingestion accounting into `ingest.*` registry counters
 /// (records_read, records_skipped, checksum_failures, resyncs, bytes_read,

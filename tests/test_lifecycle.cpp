@@ -233,9 +233,10 @@ TEST(RunGovernor, CheckpointCadenceAndFailurePropagation) {
   RunGovernorConfig cfg;
   cfg.checkpoint_every = 2000;
   std::vector<std::uint64_t> at_records;
-  cfg.checkpoint_fn = [&at_records](std::uint64_t records) {
+  cfg.checkpoint_fn =
+      [&at_records](std::uint64_t records) -> StatusOr<std::uint64_t> {
     at_records.push_back(records);
-    return Status::ok();
+    return std::uint64_t{64};  // pretend snapshot size, echoed in the report
   };
   RunGovernor governor(cfg, est.get());
   for (const Request& r : trace) {
@@ -249,12 +250,14 @@ TEST(RunGovernor, CheckpointCadenceAndFailurePropagation) {
   }
   EXPECT_EQ(governor.report().checkpoints_written, at_records.size());
   EXPECT_EQ(governor.report().last_checkpoint_records, at_records.back());
+  EXPECT_EQ(governor.report().last_checkpoint_bytes, 64u);
+  EXPECT_GE(governor.report().checkpoint_seconds, 0.0);
 
   // A checkpoint the caller asked for but cannot write aborts the run:
   // resuming from it would silently lose work.
   auto est2 = make("krr");
   RunGovernorConfig bad = cfg;
-  bad.checkpoint_fn = [](std::uint64_t) {
+  bad.checkpoint_fn = [](std::uint64_t) -> StatusOr<std::uint64_t> {
     return io_error("disk full (injected)");
   };
   RunGovernor doomed(bad, est2.get());

@@ -59,6 +59,34 @@ TEST(LogHistogramTest, BucketIndexBoundaries) {
   }
 }
 
+TEST(LogHistogramTest, ExtremeValueBucketEdges) {
+  // 0, 1, and UINT64_MAX are the degenerate corners of the log bucketing:
+  // each must land in a bucket whose [lo, hi] range contains it, and
+  // recording them must not disturb count/sum accounting.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1}, kMax}) {
+    const std::size_t i = LogHistogram::bucket_index(v);
+    EXPECT_GE(v, LogHistogram::bucket_lo(i)) << v;
+    EXPECT_LE(v, LogHistogram::bucket_hi(i)) << v;
+  }
+  // The 0 and 1 buckets are exact singletons.
+  EXPECT_EQ(LogHistogram::bucket_lo(0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_hi(0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_lo(1), 1u);
+  EXPECT_EQ(LogHistogram::bucket_hi(1), 1u);
+  // The top bucket's hi edge is saturated, not overflowed to 0.
+  EXPECT_EQ(LogHistogram::bucket_hi(LogHistogram::bucket_index(kMax)), kMax);
+
+  LogHistogram h;
+  h.record(0);
+  h.record(1);
+  h.record(kMax);
+  EXPECT_EQ(h.count(), 3u);
+  // Sum wraps mod 2^64 by design (unsigned); the count is what must hold.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_GE(h.quantile(1.0), 1.0);
+}
+
 TEST(LogHistogramTest, CountSumMeanAndQuantiles) {
   LogHistogram h;
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
@@ -200,6 +228,59 @@ TEST(JsonTest, DeepNestingIsBoundedNotFatal) {
   EXPECT_FALSE(Json::parse(bomb).has_value());
 }
 
+TEST(JsonTest, NestingAcceptedUpToTheDepthGuard) {
+  // Just under the parser's recursion guard must round-trip; at or past it
+  // must be rejected (not crash). The guard is 64 levels.
+  const auto nested = [](int depth) {
+    std::string s(static_cast<std::size_t>(depth), '[');
+    s += "1";
+    s.append(static_cast<std::size_t>(depth), ']');
+    return s;
+  };
+  auto ok = Json::parse(nested(63));
+  ASSERT_TRUE(ok.has_value());
+  const Json* inner = &*ok;
+  for (int i = 0; i < 63; ++i) inner = &inner->at(0);
+  EXPECT_EQ(inner->as_uint(), 1u);
+  EXPECT_FALSE(Json::parse(nested(65)).has_value());
+}
+
+TEST(JsonTest, UnicodeEscapesRoundTrip) {
+  // \u escapes decode to UTF-8, including surrogate pairs; the dumper
+  // re-escapes control characters so the result re-parses to the same text.
+  auto parsed = Json::parse("\"a\\u0041\\u00e9\\u4e2d\\ud83d\\ude00\\u0000z\"");
+  ASSERT_TRUE(parsed.has_value());
+  const std::string decoded = parsed->as_string();
+  EXPECT_EQ(decoded,
+            std::string("aA\xc3\xa9\xe4\xb8\xad\xf0\x9f\x98\x80\0z", 13));
+  auto reparsed = Json::parse(parsed->dump());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->as_string(), decoded);
+  // Malformed escapes are rejected, not mangled.
+  EXPECT_FALSE(Json::parse("\"\\u12\"").has_value());
+  EXPECT_FALSE(Json::parse("\"\\ud83d\"").has_value());  // lone surrogate
+}
+
+TEST(JsonTest, IntegerBoundariesKeepTheirLane) {
+  // INT64_MIN, -1, and UINT64_MAX each exercise a numeric lane boundary:
+  // negatives must parse into the int lane, values past INT64_MAX into the
+  // uint lane, and all must survive a dump/parse round trip exactly.
+  Json root = Json::object();
+  root.set("i64_min", Json(std::numeric_limits<std::int64_t>::min()));
+  root.set("i64_max_plus1",
+           Json(std::uint64_t{1} << 63));
+  root.set("u64_max", Json(std::numeric_limits<std::uint64_t>::max()));
+  root.set("minus_one", Json(std::int64_t{-1}));
+  auto parsed = Json::parse(root.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("i64_min")->as_int(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(parsed->find("i64_max_plus1")->as_uint(), std::uint64_t{1} << 63);
+  EXPECT_EQ(parsed->find("u64_max")->as_uint(),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(parsed->find("minus_one")->as_int(), -1);
+}
+
 TEST(StopwatchTest, IsSteadyAndMonotonicNanos) {
   static_assert(Stopwatch::is_steady, "obs timing requires a steady clock");
   Stopwatch w;
@@ -258,6 +339,43 @@ TEST(HeartbeatTest, LongIntervalSkipsSnapshotWork) {
   EXPECT_EQ(hb.beats(), 0u);
   EXPECT_EQ(snapshots_built, 0);
   EXPECT_TRUE(os.str().empty());
+}
+
+TEST(HeartbeatTest, FinishFoldsInTheFinalPartialStride) {
+  // The last periodic beat can trail the end of input by up to one stride;
+  // the caller's final snapshot may be equally stale. finish() must still
+  // report the true processed count: one tick per record means
+  // ticks() == records, and the summary reconciles against it.
+  std::ostringstream os;
+  obs::Heartbeat hb(0.0, os);
+  const std::uint64_t processed = obs::Heartbeat::kStride * 2 + 123;
+  for (std::uint64_t i = 0; i < processed; ++i) {
+    hb.tick([&] {
+      obs::HeartbeatSnapshot s;
+      s.records = i + 1;
+      return s;
+    });
+  }
+  ASSERT_EQ(hb.ticks(), processed);
+  // A stale snapshot: what a caller whose counter lags the loop would pass.
+  obs::HeartbeatSnapshot stale;
+  stale.records = obs::Heartbeat::kStride * 2;  // the last stride boundary
+  hb.finish(stale);
+  const std::string text = os.str();
+  const std::string want = "records=" + std::to_string(processed);
+  EXPECT_NE(text.find(want), std::string::npos)
+      << "summary must report the true count, got:\n" << text;
+}
+
+TEST(HeartbeatTest, FinishAddsTheResumeBaseline) {
+  // A resumed run's heartbeat only witnesses the post-resume records; the
+  // baseline restores the absolute position in the summary.
+  std::ostringstream os;
+  obs::Heartbeat hb(3600.0, os);
+  hb.set_baseline(5000);
+  for (int i = 0; i < 250; ++i) hb.tick([] { return obs::HeartbeatSnapshot{}; });
+  hb.finish(obs::HeartbeatSnapshot{});
+  EXPECT_NE(os.str().find("records=5250"), std::string::npos) << os.str();
 }
 
 TEST(HeartbeatTest, FinishAlwaysEmitsSummary) {

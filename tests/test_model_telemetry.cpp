@@ -1,0 +1,136 @@
+// Registry-wide telemetry conformance: every model that declares the
+// `metrics` capability must publish real model.* gauges through
+// attach_metrics/refresh_metrics_gauges — non-trivial sample counts, a
+// meaningful depth or histogram size, a sane sampling rate. This is what
+// makes the capability flag honest: `krr_cli models` advertises it, so a
+// model that flies blind must not set it.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "trace/request.h"
+#include "trace/workload_factory.h"
+
+namespace krr {
+namespace {
+
+std::vector<Request> telemetry_trace() {
+  WorkloadFactoryOptions wf;
+  wf.seed = 11;
+  wf.footprint = 400;
+  auto gen = try_make_workload("zipf:0.9", wf);
+  EXPECT_TRUE(gen.is_ok());
+  return materialize(**gen, 3000);
+}
+
+std::vector<std::string> metrics_capable_models() {
+  std::vector<std::string> names;
+  for (const auto& info : EstimatorRegistry::instance().list()) {
+    if (info.caps.metrics) names.push_back(info.name);
+  }
+  return names;
+}
+
+class ModelTelemetryConformance
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelTelemetryConformance, PublishesRealModelGauges) {
+  auto created = EstimatorRegistry::instance().create(GetParam(), {});
+  ASSERT_TRUE(created.is_ok()) << created.status().message();
+  std::unique_ptr<MrcEstimator> est = std::move(*created);
+
+  obs::MetricsRegistry registry;
+  obs::PipelineMetrics metrics(registry);
+  est->attach_metrics(&metrics);
+
+  for (const Request& r : telemetry_trace()) est->access(r);
+  est->finish();
+  est->refresh_metrics_gauges();
+
+  // Samples: the model saw 3000 references; whatever its sampling scheme,
+  // a non-zero number must have reached its state.
+  EXPECT_GT(metrics.model.samples->value(), 0.0) << GetParam();
+  // Depth or histogram size: the model must expose *some* view of how much
+  // state it holds. (Which one is model-family-specific: stack models have
+  // depth, reuse-time models have bins, several have both.)
+  EXPECT_TRUE(metrics.model.depth->value() > 0.0 ||
+              metrics.model.histogram_bins->value() > 0.0)
+      << GetParam() << ": depth=" << metrics.model.depth->value()
+      << " bins=" << metrics.model.histogram_bins->value();
+  // Sampling rate is a probability.
+  EXPECT_GT(metrics.model.sampling_rate->value(), 0.0) << GetParam();
+  EXPECT_LE(metrics.model.sampling_rate->value(), 1.0) << GetParam();
+  // No degradation can have happened without a budget.
+  EXPECT_DOUBLE_EQ(metrics.model.degradations->value(), 0.0) << GetParam();
+}
+
+TEST_P(ModelTelemetryConformance, GaugeSnapshotMatchesPublishedGauges) {
+  auto created = EstimatorRegistry::instance().create(GetParam(), {});
+  ASSERT_TRUE(created.is_ok()) << created.status().message();
+  std::unique_ptr<MrcEstimator> est = std::move(*created);
+
+  obs::MetricsRegistry registry;
+  obs::PipelineMetrics metrics(registry);
+  est->attach_metrics(&metrics);
+  for (const Request& r : telemetry_trace()) est->access(r);
+  est->finish();
+  est->refresh_metrics_gauges();
+
+  const ModelGaugeSnapshot g = est->model_gauges();
+  EXPECT_DOUBLE_EQ(metrics.model.depth->value(), g.depth) << GetParam();
+  EXPECT_DOUBLE_EQ(metrics.model.resident_bytes->value(), g.resident_bytes)
+      << GetParam();
+  EXPECT_DOUBLE_EQ(metrics.model.sampling_rate->value(), g.sampling_rate)
+      << GetParam();
+  EXPECT_DOUBLE_EQ(metrics.model.samples->value(), g.samples) << GetParam();
+  EXPECT_DOUBLE_EQ(metrics.model.histogram_bins->value(), g.histogram_bins)
+      << GetParam();
+}
+
+TEST_P(ModelTelemetryConformance, RefreshWithoutAttachIsANoOp) {
+  auto created = EstimatorRegistry::instance().create(GetParam(), {});
+  ASSERT_TRUE(created.is_ok()) << created.status().message();
+  std::unique_ptr<MrcEstimator> est = std::move(*created);
+  for (const Request& r : telemetry_trace()) est->access(r);
+  est->finish();
+  est->refresh_metrics_gauges();  // must not crash with no sink attached
+}
+
+TEST_P(ModelTelemetryConformance, AttachTracerIsAcceptedByEveryModel) {
+  // attach_tracer is part of the base contract: models without span
+  // instrumentation ignore it, and that must be safe on every model.
+  auto created = EstimatorRegistry::instance().create(GetParam(), {});
+  ASSERT_TRUE(created.is_ok()) << created.status().message();
+  std::unique_ptr<MrcEstimator> est = std::move(*created);
+  obs::Tracer tracer;
+  est->attach_tracer(&tracer);
+  for (const Request& r : telemetry_trace()) est->access(r);
+  est->finish();
+  (void)est->mrc({});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetricsCapableModels, ModelTelemetryConformance,
+    ::testing::ValuesIn(metrics_capable_models()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-' || c == '.') c = '_';
+      }
+      return name;
+    });
+
+TEST(ModelTelemetry, AtLeastTwelveModelsDeclareMetrics) {
+  // The capability sweep: the zoo has 14 models; registry-wide telemetry
+  // means (nearly) all of them report, not just the krr family.
+  EXPECT_GE(metrics_capable_models().size(), 12u);
+}
+
+}  // namespace
+}  // namespace krr

@@ -6,7 +6,7 @@
 // deliberately laptop-sized: a full run takes ~1 minute at the default
 // scale. KRR_BENCH_SCALE multiplies trace lengths as usual.
 //
-//   bench_snapshot [--out=BENCH_pr4.json] [--pr=4] [--repeats=3]
+//   bench_snapshot [--out=BENCH_pr7.json] [--pr=7] [--repeats=3]
 
 #include <cstdio>
 #include <ctime>
@@ -49,8 +49,8 @@ std::string utc_timestamp() {
 
 int main(int argc, char** argv) {
   Options opts(argc, argv);
-  const std::string out = opts.get_string("out", "BENCH_pr4.json");
-  const auto pr = opts.get_int("pr", 4);
+  const std::string out = opts.get_string("out", "BENCH_pr7.json");
+  const auto pr = opts.get_int("pr", 7);
   const int repeats = static_cast<int>(opts.get_int("repeats", 3));
 
   obs::Json root = obs::Json::object();
@@ -263,6 +263,134 @@ int main(int argc, char** argv) {
     section.set("k", obs::Json(5.0));
     section.set("rows", std::move(rows));
     root.set("model_zoo", std::move(section));
+  }
+
+  // 7. Run-lifecycle governance (PR 6): what the governor's limbs cost on
+  // the krr model. (a) a governed run under a memory budget tight enough
+  // to force degradation, against the ungoverned baseline; (b) checkpoint
+  // save/load round-trip time and snapshot size mid-run; (c) a governed
+  // run with a checkpoint cadence, so the stride-gated checkpoint limb has
+  // a recorded cost too.
+  {
+    const auto n_gov = static_cast<std::size_t>(scaled(200000));
+    ZipfianGenerator gen(20000, 0.9, 25, /*scrambled=*/true);
+    const std::vector<Request> trace = materialize(gen, n_gov);
+    auto& registry = EstimatorRegistry::instance();
+    const auto make_krr = [&registry]() {
+      EstimatorOptions options;
+      options.set("k", "5");
+      auto est = registry.create("krr", options);
+      if (!est.is_ok()) {
+        std::fprintf(stderr, "krr: %s\n", est.status().message().c_str());
+        std::exit(1);
+      }
+      return std::move(*est);
+    };
+
+    // Ungoverned baseline, and the peak footprint the budget is set from.
+    std::uint64_t full_bytes = 0;
+    const double ungoverned = median_seconds(repeats, [&] {
+      auto est = make_krr();
+      for (const Request& r : trace) est->access(r);
+      est->finish();
+      full_bytes = est->space_overhead_bytes();
+    });
+
+    // Governed under half the ungoverned footprint: forces real degrade
+    // steps so the per-check and per-step costs are measured, not idle.
+    const std::uint64_t budget = full_bytes / 2;
+    GovernanceReport gov_report;
+    const double governed = median_seconds(repeats, [&] {
+      auto est = make_krr();
+      RunGovernorConfig gcfg;
+      gcfg.max_stack_bytes = budget;
+      RunGovernor governor(gcfg, est.get());
+      for (const Request& r : trace) {
+        est->access(r);
+        if (!governor.on_access()) break;
+      }
+      governor.finalize();
+      est->finish();
+      gov_report = governor.report();
+    });
+
+    // Checkpoint round trip at the halfway point of the run.
+    auto ckpt_est = make_krr();
+    for (std::size_t i = 0; i < trace.size() / 2; ++i)
+      ckpt_est->access(trace[i]);
+    std::string payload;
+    const double save_secs = median_seconds(repeats, [&] {
+      payload.clear();
+      const Status s = ckpt_est->save_state(&payload);
+      if (!s.is_ok()) {
+        std::fprintf(stderr, "save_state: %s\n", s.message().c_str());
+        std::exit(1);
+      }
+    });
+    auto restored = make_krr();
+    const double load_secs = median_seconds(repeats, [&] {
+      const Status s = restored->load_state(payload);
+      if (!s.is_ok()) {
+        std::fprintf(stderr, "load_state: %s\n", s.message().c_str());
+        std::exit(1);
+      }
+    });
+
+    // Governed run with a checkpoint cadence (4 snapshots across the run);
+    // the report's checkpoint_seconds is the limb's total in-run cost.
+    GovernanceReport ckpt_report;
+    const double governed_ckpt = median_seconds(repeats, [&] {
+      auto est = make_krr();
+      RunGovernorConfig gcfg;
+      gcfg.checkpoint_every = trace.size() / 4;
+      gcfg.checkpoint_fn =
+          [&est](std::uint64_t) -> StatusOr<std::uint64_t> {
+        std::string snapshot;
+        const Status s = est->save_state(&snapshot);
+        if (!s.is_ok()) return s;
+        return static_cast<std::uint64_t>(snapshot.size());
+      };
+      RunGovernor governor(gcfg, est.get());
+      for (const Request& r : trace) {
+        est->access(r);
+        if (!governor.on_access()) break;
+      }
+      governor.finalize();
+      est->finish();
+      ckpt_report = governor.report();
+    });
+
+    obs::Json section = obs::Json::object();
+    section.set("workload", obs::Json("zipf:0.9 footprint=20k"));
+    section.set("model", obs::Json("krr"));
+    section.set("n", obs::Json(static_cast<std::uint64_t>(trace.size())));
+    section.set("ungoverned_seconds", obs::Json(ungoverned));
+    section.set("governed_seconds", obs::Json(governed));
+    section.set("governed_overhead_pct",
+                obs::Json((governed / ungoverned - 1.0) * 100.0));
+    section.set("budget_bytes", obs::Json(budget));
+    section.set("checks", obs::Json(gov_report.checks));
+    section.set("degrade_steps", obs::Json(gov_report.degrade_steps));
+    section.set("peak_space_bytes", obs::Json(gov_report.peak_space_bytes));
+    section.set("budget_exhausted", obs::Json(gov_report.budget_exhausted));
+    obs::Json ckpt = obs::Json::object();
+    ckpt.set("payload_bytes",
+             obs::Json(static_cast<std::uint64_t>(payload.size())));
+    ckpt.set("save_seconds", obs::Json(save_secs));
+    ckpt.set("load_seconds", obs::Json(load_secs));
+    ckpt.set("governed_seconds", obs::Json(governed_ckpt));
+    ckpt.set("checkpoints_written",
+             obs::Json(ckpt_report.checkpoints_written));
+    ckpt.set("in_run_checkpoint_seconds",
+             obs::Json(ckpt_report.checkpoint_seconds));
+    section.set("checkpoint", std::move(ckpt));
+    root.set("governance", std::move(section));
+    std::printf(
+        "governance: governed %.2f%% over ungoverned, %llu degrade steps; "
+        "checkpoint %zu bytes, save %.4f s, load %.4f s\n",
+        (governed / ungoverned - 1.0) * 100.0,
+        static_cast<unsigned long long>(gov_report.degrade_steps),
+        payload.size(), save_secs, load_secs);
   }
 
   std::ofstream os(out);

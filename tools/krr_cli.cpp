@@ -9,7 +9,7 @@
 //                    [--model-opts=key=val,...] [--out=mrc.csv]
 //                    [--threads=N] [--shards=S]
 //                    [--metrics-out=FILE] [--format=json|table]
-//                    [--progress[=SECS]]
+//                    [--progress[=SECS]] [--trace-out=FILE]
 //                    [--checkpoint-out=PATH] [--checkpoint-every=N]
 //                    [--resume-from=PATH] [--deadline-secs=S]
 //
@@ -32,6 +32,7 @@
 //   krr_cli compare  --trace=trace.bin --models=krr,shards,aet --k=5
 //                    [--sizes=20] [--rate=] [--strategy=] [--no-correction]
 //                    [--quantum=] [--format=table|csv|json] [--progress]
+//                    [--convergence-out=FILE] [--convergence-every=N]
 //
 // compare streams the input twice (no full-trace buffering): pass 1 feeds
 // every requested estimator, pass 2 runs the ground-truth K-LRU simulation
@@ -43,7 +44,12 @@
 // a human table with --format=table); --metrics-out=- sends it to stdout
 // and suppresses the MRC CSV unless --out= redirects it, so stdout stays
 // machine-parseable. --progress prints a heartbeat line to stderr every
-// SECS seconds (default 2) plus a final summary.
+// SECS seconds (default 2) plus a final summary. --trace-out (profile)
+// records a span/event timeline — CLI phases, governor actions, per-shard
+// drain lanes — as Chrome trace-event JSON, loadable in Perfetto or
+// chrome://tracing. --convergence-out (compare) snapshots each model's
+// curve every --convergence-every records of pass 1 and scores the frozen
+// curves against the final truth, producing MAE-vs-records series.
 //
 // Every subcommand also accepts --workload=<spec> --n=<count> in place of
 // --trace, generating the trace on the fly (--seed, --footprint,
@@ -112,7 +118,7 @@ void print_usage(std::FILE* to) {
                "            [--model-opts=key=val,...]\n"
                "            [--threads=N] [--shards=S]\n"
                "            [--out=] [--metrics-out=] [--format=json|table]\n"
-               "            [--progress[=secs]]\n"
+               "            [--progress[=secs]] [--trace-out=FILE]\n"
                "            [--checkpoint-out=] [--checkpoint-every=N]\n"
                "            [--resume-from=] [--deadline-secs=S]\n"
                "  simulate  --trace=|--workload= --policy=klru|redis|lru\n"
@@ -122,6 +128,7 @@ void print_usage(std::FILE* to) {
                "            [--no-correction] [--quantum=]\n"
                "            [--target=klru|lru|auto]\n"
                "            [--format=table|csv|json] [--progress[=secs]]\n"
+               "            [--convergence-out=FILE] [--convergence-every=N]\n"
                "ingestion:  [--strict] [--recovery=strict|skip|best-effort]\n"
                "            [--max-bad-records=N] [--format=v1|v2]\n"
                "exit codes: 0 ok, 1 runtime failure, 2 usage,\n"
@@ -168,10 +175,12 @@ void report_ingest(const TraceReadReport& report) {
                report.truncated_tail ? ", truncated tail" : "");
 }
 
-std::vector<Request> load_input(const Options& opts, TraceReadReport* ingest) {
+std::vector<Request> load_input(const Options& opts, TraceReadReport* ingest,
+                                obs::Tracer* tracer = nullptr) {
   // Validate the recovery flags even when the input is generated rather than
   // read from disk — a typo'd --recovery= must be a usage error either way.
-  const TraceReaderOptions ro = reader_options(opts);
+  TraceReaderOptions ro = reader_options(opts);
+  ro.tracer = tracer;
   if (auto path = opts.get("trace"); path && !path->empty()) {
     TraceReadReport report;
     // generate --out=x.csv writes CSV, so --trace=x.csv reads it back; the
@@ -366,13 +375,22 @@ int cmd_profile(const Options& opts) {
   }
   const bool want_metrics = !metrics_out.empty() || opts.has("progress");
 
+  // --trace-out arms the span tracer for the whole run: CLI phases on lane
+  // 0, governor limbs as instant events, per-shard drain lanes for the
+  // sharded pipeline. Detached (the default) costs one branch per site.
+  const std::string trace_out = opts.get_string("trace-out", "");
+  std::optional<obs::Tracer> tracer_storage;
+  if (!trace_out.empty()) tracer_storage.emplace();
+  obs::Tracer* tracer = tracer_storage ? &*tracer_storage : nullptr;
+
   double phase_load = 0.0, phase_profile = 0.0, phase_mrc = 0.0,
          phase_output = 0.0;
   TraceReadReport ingest;
   std::vector<Request> trace;
   {
+    obs::ScopedTraceSpan span(tracer, "phase.ingest", "phase");
     ScopedTimer timer(phase_load);
-    trace = load_input(opts, &ingest);
+    trace = load_input(opts, &ingest, tracer);
   }
 
   std::string model = opts.get_string("model", "krr");
@@ -450,9 +468,13 @@ int cmd_profile(const Options& opts) {
     const double interval = opts.get_double("progress", 2.0);
     if (interval < 0) usage("--progress must be >= 0 seconds");
     heartbeat.emplace(interval, std::cerr);
+    // Resumed runs tick only over the remaining records; the baseline keeps
+    // the end-of-run summary counting the full logical position.
+    heartbeat->set_baseline(resume_offset);
   }
 
   if (want_metrics) est->attach_metrics(&*metrics);
+  if (tracer != nullptr) est->attach_tracer(tracer);
 
   // The governor enforces the memory budget / deadline / checkpoint cadence
   // from the producer loop; it is armed only when one of those limbs is.
@@ -461,14 +483,20 @@ int cmd_profile(const Options& opts) {
       static_cast<std::uint64_t>(eopts.get_int("max_stack_bytes", 0));
   gcfg.deadline_secs = deadline_secs;
   gcfg.checkpoint_every = static_cast<std::uint64_t>(checkpoint_every);
-  const auto write_snapshot = [&est, &model, &eopts, checkpoint_out,
-                               resume_offset](std::uint64_t records) {
+  const auto write_snapshot =
+      [&est, &model, &eopts, checkpoint_out,
+       resume_offset](std::uint64_t records) -> StatusOr<std::uint64_t> {
     std::string payload;
     if (Status s = est->save_state(&payload); !s.is_ok()) return s;
     CheckpointHeader header;
     header.config_crc = checkpoint_fingerprint(model, eopts);
     header.records = resume_offset + records;
-    return write_checkpoint_atomic(checkpoint_out, header, payload);
+    if (Status s = write_checkpoint_atomic(checkpoint_out, header, payload);
+        !s.is_ok()) {
+      return s;
+    }
+    // Container size: 32-byte header + payload + trailing crc32.
+    return static_cast<std::uint64_t>(payload.size()) + 36;
   };
   if (!checkpoint_out.empty() && gcfg.checkpoint_every > 0) {
     gcfg.checkpoint_fn = write_snapshot;
@@ -476,7 +504,8 @@ int cmd_profile(const Options& opts) {
   std::optional<RunGovernor> governor;
   if (gcfg.max_stack_bytes > 0 || gcfg.deadline_secs > 0 ||
       gcfg.checkpoint_fn) {
-    governor.emplace(gcfg, est.get(), want_metrics ? &registry : nullptr);
+    governor.emplace(gcfg, est.get(), want_metrics ? &registry : nullptr,
+                     tracer);
   }
 
   bool deadline_partial = false;
@@ -484,20 +513,24 @@ int cmd_profile(const Options& opts) {
   MissRatioCurve mrc;
   {
     ScopedTimer timer(phase_profile);
-    for (std::size_t i = resume_offset; i < trace.size(); ++i) {
-      est->access(trace[i]);
-      ++fed;
-      if (governor && !governor->on_access()) {
-        deadline_partial = true;
-        break;
-      }
-      if (heartbeat) {
-        heartbeat->tick([&] {
-          est->refresh_metrics_gauges();
-          return est->snapshot();
-        });
+    {
+      obs::ScopedTraceSpan span(tracer, "phase.profile", "phase");
+      for (std::size_t i = resume_offset; i < trace.size(); ++i) {
+        est->access(trace[i]);
+        ++fed;
+        if (governor && !governor->on_access()) {
+          deadline_partial = true;
+          break;
+        }
+        if (heartbeat) {
+          heartbeat->tick([&] {
+            est->refresh_metrics_gauges();
+            return est->snapshot();
+          });
+        }
       }
     }
+    obs::ScopedTraceSpan span(tracer, "phase.finish", "phase");
     est->finish();
     if (governor) governor->finalize();
     if (heartbeat) heartbeat->finish(est->snapshot());
@@ -505,10 +538,12 @@ int cmd_profile(const Options& opts) {
   // A final snapshot so the checkpoint file always reflects the last state
   // (completed or deadline-cut), ready for a later resume.
   if (!checkpoint_out.empty()) {
-    if (Status s = write_snapshot(fed - resume_offset); !s.is_ok()) {
-      throw StatusError(s);
+    if (auto written = write_snapshot(fed - resume_offset); !written.is_ok()) {
+      throw StatusError(written.status());
     }
   }
+  std::optional<obs::ScopedTraceSpan> report_span;
+  if (tracer != nullptr) report_span.emplace(tracer, "phase.report", "phase");
   {
     ScopedTimer timer(phase_mrc);
     mrc = est->mrc();
@@ -557,6 +592,16 @@ int cmd_profile(const Options& opts) {
         write_metrics(os, metrics_format, registry, report);
       }
     }
+  }
+  report_span.reset();  // closes phase.report before the trace is drained
+  if (tracer != nullptr) {
+    if (Status s = tracer->write_file(trace_out); !s.is_ok()) {
+      throw StatusError(s);
+    }
+    std::fprintf(stderr, "trace: %llu events (%llu dropped) -> %s\n",
+                 static_cast<unsigned long long>(tracer->recorded()),
+                 static_cast<unsigned long long>(tracer->dropped()),
+                 trace_out.c_str());
   }
   if (model == "krr_sharded") {
     std::fprintf(stderr,
@@ -773,6 +818,45 @@ int cmd_compare(const Options& opts) {
     heartbeat.emplace(interval, std::cerr);
   }
 
+  // Accuracy-convergence telemetry: every N records of pass 1, freeze each
+  // model's current curve; once pass 2 has produced the truth, each frozen
+  // curve is scored on the final grid, giving MAE as a function of records
+  // seen (how fast each model converges, at what cost). Sharded models
+  // cannot evaluate mid-run (their workers own the state), so they only
+  // appear in the final snapshot.
+  const std::string convergence_out = opts.get_string("convergence-out", "");
+  const auto convergence_every_raw = opts.get_int("convergence-every", 100000);
+  if (convergence_every_raw < 1) usage("--convergence-every must be >= 1");
+  if (opts.has("convergence-every") && convergence_out.empty()) {
+    usage("--convergence-every needs --convergence-out=<path>");
+  }
+  const auto convergence_every =
+      static_cast<std::uint64_t>(convergence_every_raw);
+  struct ConvergenceSnap {
+    std::uint64_t records = 0;
+    double seconds = 0.0;
+    // One curve per estimator; a null optional marks a model that could not
+    // be evaluated at this point (sharded mid-run).
+    std::vector<std::optional<MissRatioCurve>> curves;
+  };
+  std::vector<ConvergenceSnap> convergence;
+  Stopwatch convergence_watch;
+  const auto take_convergence_snapshot = [&](std::uint64_t records,
+                                             bool final_snapshot) {
+    ConvergenceSnap snap;
+    snap.records = records;
+    snap.seconds = static_cast<double>(convergence_watch.nanos()) / 1e9;
+    snap.curves.reserve(estimators.size());
+    for (auto& est : estimators) {
+      if (!final_snapshot && est->info().caps.sharded) {
+        snap.curves.emplace_back(std::nullopt);
+      } else {
+        snap.curves.emplace_back(est->mrc({}));
+      }
+    }
+    convergence.push_back(std::move(snap));
+  };
+
   // Pass 1 (predict): every estimator sees every reference; the distinct
   // key count fixes the evaluation grid for pass 2.
   std::unordered_set<std::uint64_t> distinct;
@@ -782,6 +866,9 @@ int cmd_compare(const Options& opts) {
     distinct.insert(r.key);
     for (auto& est : estimators) est->access(r);
     ++fed;
+    if (!convergence_out.empty() && fed % convergence_every == 0) {
+      take_convergence_snapshot(fed, /*final_snapshot=*/false);
+    }
     if (heartbeat) {
       heartbeat->tick([&] {
         obs::HeartbeatSnapshot s;
@@ -867,6 +954,43 @@ int cmd_compare(const Options& opts) {
     maes.push_back(predicted.back().mae(truth_for(m), sizes));
   }
 
+  if (!convergence_out.empty()) {
+    // Close the series with a post-finish snapshot (every model, including
+    // sharded ones, is evaluable now), then score every frozen curve
+    // against the truth the run just produced.
+    if (convergence.empty() || convergence.back().records != requests) {
+      take_convergence_snapshot(requests, /*final_snapshot=*/true);
+    }
+    obs::Json root = obs::Json::object();
+    root.set("requests", obs::Json(requests));
+    root.set("every", obs::Json(convergence_every));
+    root.set("target", obs::Json(target));
+    obs::Json jsizes = obs::Json::array();
+    for (double s : sizes) jsizes.push_back(obs::Json(s));
+    root.set("sizes", std::move(jsizes));
+    obs::Json jsnaps = obs::Json::array();
+    for (const ConvergenceSnap& snap : convergence) {
+      obs::Json jsnap = obs::Json::object();
+      jsnap.set("records", obs::Json(snap.records));
+      jsnap.set("seconds", obs::Json(snap.seconds));
+      obs::Json jmae = obs::Json::object();
+      for (std::size_t m = 0; m < models.size(); ++m) {
+        // null = not evaluable at this point (sharded mid-run).
+        jmae.set(models[m], snap.curves[m]
+                                ? obs::Json(snap.curves[m]->mae(truth_for(m),
+                                                                sizes))
+                                : obs::Json());
+      }
+      jsnap.set("mae", std::move(jmae));
+      jsnaps.push_back(std::move(jsnap));
+    }
+    root.set("snapshots", std::move(jsnaps));
+    std::ofstream os(convergence_out);
+    if (!os) throw StatusError(io_error("cannot open " + convergence_out));
+    root.dump(os, 0);
+    os << '\n';
+  }
+
   if (format == "json") {
     obs::Json root = obs::Json::object();
     root.set("k", obs::Json(static_cast<std::uint64_t>(k)));
@@ -902,6 +1026,11 @@ int cmd_compare(const Options& opts) {
       for (double s : sizes) jmrc.push_back(obs::Json(predicted[m].eval(s)));
       entry.set("mrc", std::move(jmrc));
       entry.set("mae", obs::Json(maes[m]));
+      // The same structured run report `profile --metrics-out` emits, so
+      // fan-out counters (producer stalls, degradations, governance) are
+      // not lost when comparing models side by side.
+      entry.set("run_report",
+                to_json(estimators[m]->run_report(&source->report())));
       if (target == "auto") {
         entry.set("truth",
                   obs::Json(std::string(estimators[m]->info().caps.models_klru

@@ -1,19 +1,27 @@
 // bench_parallel_scaling — throughput scaling of the sharded profiling
-// pipeline (ShardedKrrProfiler) against thread count on a synthetic Zipf
-// trace, plus the accuracy cost of sharding: the merged MRC's MAE against
-// the serial KrrProfiler on the same trace.
+// pipeline against thread count on a synthetic Zipf trace, plus the
+// accuracy cost of sharding: the merged MRC's MAE against the serial model
+// on the same trace.
 //
-//   bench_parallel_scaling [--n=2000000] [--footprint=100000] [--alpha=0.9]
-//                          [--repeats=3] [--shards=0] [--max-threads=8]
+//   bench_parallel_scaling [--model=krr] [--n=2000000] [--footprint=100000]
+//                          [--alpha=0.9] [--repeats=3] [--shards=0]
+//                          [--max-threads=8]
+//
+// --model selects which estimator scales: `krr` (default) runs the
+// KrrProfiler/ShardedKrrProfiler pair directly; any other registry model
+// with a `<model>_sharded` adapter (shards, shards_fixed, aet) runs its
+// serial form as the baseline and the generic ShardedEstimator rows above
+// it, so the zoo's fan-out overhead is measured on the same footing as the
+// krr pipeline's.
 //
 // --shards=0 (default) gives every thread count its own shard count
 // (S = T, the CLI default); a fixed --shards=S instead holds the model
 // constant — then every row's MRC is identical by construction and only
 // the wall clock varies. KRR_BENCH_SCALE multiplies --n as usual.
 //
-// The baseline row (threads=1) is the plain serial KrrProfiler, i.e. the
-// exact configuration `krr_cli profile` runs by default, so "speedup" is
-// end-user speedup, not sharded-vs-sharded.
+// The baseline row (threads=1) is the plain serial model, i.e. the exact
+// configuration `krr_cli profile --model=<name>` runs by default, so
+// "speedup" is end-user speedup, not sharded-vs-sharded.
 
 #include <thread>
 
@@ -24,9 +32,10 @@ using namespace krrbench;
 
 namespace {
 
-double sharded_seconds(const std::vector<Request>& trace,
-                       const KrrProfilerConfig& base, std::uint32_t shards,
-                       unsigned threads, int repeats, MissRatioCurve* out_mrc) {
+double sharded_krr_seconds(const std::vector<Request>& trace,
+                           const KrrProfilerConfig& base, std::uint32_t shards,
+                           unsigned threads, int repeats,
+                           MissRatioCurve* out_mrc) {
   const double secs = median_seconds(repeats, [&] {
     ShardedKrrProfilerConfig cfg;
     cfg.base = base;
@@ -40,10 +49,29 @@ double sharded_seconds(const std::vector<Request>& trace,
   return secs;
 }
 
+std::unique_ptr<MrcEstimator> make_estimator(const std::string& name,
+                                             const EstimatorOptions& eopts) {
+  auto created = EstimatorRegistry::instance().create(name, eopts);
+  if (!created.is_ok()) throw StatusError(created.status());
+  return std::move(*created);
+}
+
+double registry_seconds(const std::vector<Request>& trace,
+                        const std::string& name, const EstimatorOptions& eopts,
+                        int repeats, MissRatioCurve* out_mrc) {
+  return median_seconds(repeats, [&] {
+    auto est = make_estimator(name, eopts);
+    for (const Request& r : trace) est->access(r);
+    est->finish();
+    if (out_mrc != nullptr) *out_mrc = est->mrc({});
+  });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opts(argc, argv);
+  const std::string model = opts.get_string("model", "krr");
   const auto n = static_cast<std::size_t>(
       scaled(static_cast<std::uint64_t>(opts.get_int("n", 2000000))));
   const auto footprint =
@@ -55,35 +83,59 @@ int main(int argc, char** argv) {
   const auto max_threads =
       static_cast<unsigned>(opts.get_int("max-threads", 8));
 
+  const std::string sharded_model =
+      model == "krr" ? "krr_sharded" : model + "_sharded";
+  if (model != "krr" && !EstimatorRegistry::instance().contains(sharded_model)) {
+    std::cerr << "model '" << model
+              << "' has no sharded adapter (see krr_cli models)\n";
+    return 2;
+  }
+
   ZipfianGenerator gen(footprint, alpha, 21, /*scrambled=*/true);
   const std::vector<Request> trace = materialize(gen, n);
 
   KrrProfilerConfig base;
   base.k_sample = 5;
   base.seed = 7;
+  EstimatorOptions base_opts;
+  base_opts.set("seed", "7");
 
-  // Serial baseline: the default krr_cli profile path.
+  // Serial baseline: the default krr_cli profile path for this model.
   MissRatioCurve serial;
-  const double serial_secs = median_seconds(repeats, [&] {
-    KrrProfiler profiler(base);
-    for (const Request& r : trace) profiler.access(r);
-    serial = profiler.mrc();
-  });
+  double serial_secs;
+  if (model == "krr") {
+    serial_secs = median_seconds(repeats, [&] {
+      KrrProfiler profiler(base);
+      for (const Request& r : trace) profiler.access(r);
+      serial = profiler.mrc();
+    });
+  } else {
+    serial_secs = registry_seconds(trace, model, base_opts, repeats, &serial);
+  }
   const std::vector<double> sizes = evenly_spaced_sizes(serial.max_size(), 40);
 
-  Table table({"threads", "shards", "seconds", "mrec_per_s", "speedup",
-               "mae_vs_serial"});
-  table.add(1u, 1u, serial_secs,
+  Table table({"model", "threads", "shards", "seconds", "mrec_per_s",
+               "speedup", "mae_vs_serial"});
+  table.add(model, 1u, 1u, serial_secs,
             static_cast<double>(n) / serial_secs / 1e6, 1.0, 0.0);
   for (unsigned threads = 2; threads <= max_threads; threads *= 2) {
     const std::uint32_t shards = fixed_shards == 0 ? threads : fixed_shards;
     MissRatioCurve merged;
-    const double secs =
-        sharded_seconds(trace, base, shards, threads, repeats, &merged);
-    table.add(threads, shards, secs, static_cast<double>(n) / secs / 1e6,
-              serial_secs / secs, serial.mae(merged, sizes));
+    double secs;
+    if (model == "krr") {
+      secs = sharded_krr_seconds(trace, base, shards, threads, repeats,
+                                 &merged);
+    } else {
+      EstimatorOptions eopts = base_opts;
+      eopts.set("shards", std::to_string(shards));
+      eopts.set("threads", std::to_string(threads));
+      secs = registry_seconds(trace, sharded_model, eopts, repeats, &merged);
+    }
+    table.add(model, threads, shards, secs,
+              static_cast<double>(n) / secs / 1e6, serial_secs / secs,
+              serial.mae(merged, sizes));
   }
-  print_table(table, "sharded profiler scaling, zipf:" +
+  print_table(table, "sharded scaling, model=" + model + ", zipf:" +
                          format_double(alpha, 2) + " n=" + std::to_string(n));
   std::cout << "hardware_concurrency: "
             << std::thread::hardware_concurrency() << "\n";

@@ -4,7 +4,8 @@
 
 namespace krr {
 
-AetProfiler::AetProfiler(std::uint32_t sub_buckets) : collector_(sub_buckets) {}
+AetProfiler::AetProfiler(std::uint32_t sub_buckets, std::uint64_t stream_scale)
+    : collector_(sub_buckets, stream_scale) {}
 
 void AetProfiler::access(const Request& req) { collector_.access(req.key); }
 

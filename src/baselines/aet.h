@@ -20,7 +20,12 @@ namespace krr {
 class AetProfiler {
  public:
   /// sub_buckets: reuse-time bin resolution (power of two).
-  explicit AetProfiler(std::uint32_t sub_buckets = 256);
+  /// stream_scale: reuse-time scale for shard-local use — a profiler fed a
+  /// uniform 1/S hash partition ticks its clock S times slower, so
+  /// shard-local reuse times times S estimate global ones. 1 (default) is
+  /// bit-identical to the unscaled profiler.
+  explicit AetProfiler(std::uint32_t sub_buckets = 256,
+                       std::uint64_t stream_scale = 1);
 
   /// Processes one reference, recording its reuse time (or a cold miss).
   void access(const Request& req);
@@ -48,6 +53,15 @@ class AetProfiler {
   std::size_t histogram_bins() const noexcept {
     return collector_.histogram().bin_count();
   }
+
+  /// Folds another shard's collector into this one (histogram mass, cold
+  /// count, clock ticks, distinct estimates — all additive across the
+  /// key-disjoint shards of a hash partition).
+  void absorb(const AetProfiler& other) { collector_.absorb(other.collector_); }
+
+  /// Survivor extrapolation for best-effort sharded runs: scales all
+  /// accumulated mass by `factor`; P(t) ratios and the MRC are unchanged.
+  void scale_mass(double factor) { collector_.scale_mass(factor); }
 
  private:
   ReuseTimeCollector collector_;

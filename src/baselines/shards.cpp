@@ -5,16 +5,19 @@
 namespace krr {
 
 ShardsProfiler::ShardsProfiler(double rate, bool adjustment, bool byte_granularity,
-                               std::uint64_t histogram_quantum)
+                               std::uint64_t histogram_quantum,
+                               std::uint32_t shard_count)
     : filter_(rate),
       adjustment_(adjustment),
       stack_(byte_granularity, histogram_quantum),
-      histogram_(histogram_quantum) {}
+      histogram_(histogram_quantum),
+      shard_scale_(shard_count == 0 ? 1.0 : static_cast<double>(shard_count)) {}
 
 void ShardsProfiler::access(const Request& req) {
   ++processed_;
   if (!filter_.sampled(req.key)) return;
   ++sampled_;
+  sampled_weight_ += 1.0;
   const std::uint64_t distance = stack_.access(req);
   if (distance == 0) {
     histogram_.record_infinite();
@@ -22,9 +25,30 @@ void ShardsProfiler::access(const Request& req) {
   }
   // A sampled distance d estimates an unsampled distance d/R, at the rate
   // in force when the reference was seen (scaling at access time is what
-  // lets the rate change mid-run).
+  // lets the rate change mid-run); a shard-local distance additionally
+  // estimates a global distance d*S.
   histogram_.record(static_cast<std::uint64_t>(
-      std::llround(static_cast<double>(distance) * filter_.scale())));
+      std::llround(static_cast<double>(distance) * filter_.scale() *
+                   shard_scale_)));
+}
+
+void ShardsProfiler::absorb(const ShardsProfiler& other) {
+  histogram_.merge(other.histogram_);
+  // Freeze both adjustment epochs at their current expected counts, then
+  // add: the merged expected_sampled() equals the sum of the operands'.
+  expected_base_ = expected_sampled() + other.expected_sampled();
+  processed_ += other.processed_;
+  processed_at_change_ = processed_;
+  sampled_ += other.sampled_;
+  sampled_weight_ += other.sampled_weight_;
+  degradations_ += other.degradations_;
+}
+
+void ShardsProfiler::scale_mass(double factor) {
+  expected_base_ = expected_sampled() * factor;
+  processed_at_change_ = processed_;
+  sampled_weight_ *= factor;
+  histogram_.scale(factor);
 }
 
 bool ShardsProfiler::halve_rate() {
@@ -49,7 +73,7 @@ MissRatioCurve ShardsProfiler::mrc() const {
     // represented hot objects, whose reuse distances are tiny — is applied
     // to the first histogram bucket. The correction may be negative; the
     // MRC construction clamps ratios into [0, 1].
-    const double diff = expected_sampled() - static_cast<double>(sampled_);
+    const double diff = expected_sampled() - sampled_weight_;
     if (diff != 0.0) adjusted.record(1, diff);
   }
   return adjusted.to_mrc();

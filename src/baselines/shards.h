@@ -35,9 +35,15 @@ class ShardsProfiler {
  public:
   /// rate: spatial sampling rate in (0, 1].
   /// byte_granularity: rescaled byte-level distances for var-size traces.
+  /// shard_count: extra distance scale for shard-local use — a profiler
+  /// fed a uniform 1/S hash partition of the stream sees distances S times
+  /// shorter than global ones, so sampled distances are rescaled by
+  /// scale()*S (the same closure-under-thinning argument the filter's own
+  /// rescale rests on). 1 multiplies by exactly 1.0: bit-identical serial.
   explicit ShardsProfiler(double rate, bool adjustment = true,
                           bool byte_granularity = false,
-                          std::uint64_t histogram_quantum = 1);
+                          std::uint64_t histogram_quantum = 1,
+                          std::uint32_t shard_count = 1);
 
   /// Processes one reference (filtered internally).
   void access(const Request& req);
@@ -65,6 +71,20 @@ class ShardsProfiler {
   }
   const SpatialFilter& filter() const noexcept { return filter_; }
 
+  /// Folds another shard's accumulated statistics into this profiler:
+  /// histogram mass, reference counts, and the SHARDS-adj epoch accounting
+  /// all add (the merged expected/actual sampled counts equal the sums, so
+  /// the adjustment of the merged curve is the sum of per-shard
+  /// adjustments). Only the histogram side merges — the exact stack stays
+  /// this shard's own, which is fine post-run when only mrc() matters.
+  void absorb(const ShardsProfiler& other);
+
+  /// Survivor extrapolation for best-effort sharded runs: scales recorded
+  /// mass (histogram + adjustment accounting) by `factor` so F dead shards
+  /// out of S leave a curve with ≈ the full run's mass. Ratios, and hence
+  /// the MRC, are unchanged; no further access() calls are expected.
+  void scale_mass(double factor);
+
  private:
   /// Expected sampled references: sum over rate epochs of (epoch length *
   /// epoch rate). Equals processed * R exactly while the rate is constant.
@@ -78,8 +98,12 @@ class ShardsProfiler {
   bool adjustment_;
   OlkenTreeProfiler stack_;
   DistanceHistogram histogram_;
+  double shard_scale_ = 1.0;
   std::uint64_t processed_ = 0;
   std::uint64_t sampled_ = 0;
+  // The adjustment-side view of sampled_: identical (sums of 1.0) until
+  // scale_mass() rescales it along with the histogram.
+  double sampled_weight_ = 0.0;
   std::uint64_t degradations_ = 0;
   double expected_base_ = 0.0;
   std::uint64_t processed_at_change_ = 0;

@@ -9,18 +9,21 @@ namespace krr {
 
 ShardsFixedSizeProfiler::ShardsFixedSizeProfiler(std::size_t max_objects,
                                                  std::uint64_t modulus,
-                                                 std::uint64_t histogram_quantum)
+                                                 std::uint64_t histogram_quantum,
+                                                 std::uint32_t shard_count)
     : max_objects_(max_objects),
       modulus_(modulus),
       threshold_(modulus),  // start at rate 1.0
       stack_(false, histogram_quantum),
-      histogram_(histogram_quantum) {
+      histogram_(histogram_quantum),
+      shard_scale_(shard_count == 0 ? 1.0 : static_cast<double>(shard_count)) {
   if (max_objects_ == 0) throw std::invalid_argument("max_objects must be > 0");
   if (modulus_ == 0) throw std::invalid_argument("modulus must be > 0");
 }
 
 void ShardsFixedSizeProfiler::access(const Request& req) {
   ++processed_;
+  adjust_target_ += 1.0;
   const std::uint64_t h = hash64(req.key) % modulus_;
   if (h >= threshold_) return;  // below the (ever-tightening) sample
   ++sampled_;
@@ -36,9 +39,23 @@ void ShardsFixedSizeProfiler::access(const Request& req) {
     histogram_.record(
         std::max<std::uint64_t>(
             1, static_cast<std::uint64_t>(
-                   std::llround(static_cast<double>(distance) / rate))),
+                   std::llround(static_cast<double>(distance) / rate *
+                                shard_scale_))),
         weight);
   }
+}
+
+void ShardsFixedSizeProfiler::absorb(const ShardsFixedSizeProfiler& other) {
+  histogram_.merge(other.histogram_);
+  adjust_target_ += other.adjust_target_;
+  processed_ += other.processed_;
+  sampled_ += other.sampled_;
+  degradations_ += other.degradations_;
+}
+
+void ShardsFixedSizeProfiler::scale_mass(double factor) {
+  histogram_.scale(factor);
+  adjust_target_ *= factor;
 }
 
 void ShardsFixedSizeProfiler::evict_largest_hash() {
@@ -75,7 +92,7 @@ MissRatioCurve ShardsFixedSizeProfiler::mrc() const {
   // SHARDS-adj: the recorded weights should integrate to the processed
   // request count; apply the residual to the first bucket.
   DistanceHistogram adjusted = histogram_;
-  const double diff = static_cast<double>(processed_) - histogram_.total_weight();
+  const double diff = adjust_target_ - histogram_.total_weight();
   if (diff != 0.0) adjusted.record(1, diff);
   return adjusted.to_mrc();
 }

@@ -25,9 +25,15 @@ namespace krr {
 /// changes over time.
 class ShardsFixedSizeProfiler {
  public:
+  /// shard_count: extra distance scale for shard-local use — a profiler
+  /// fed a uniform 1/S hash partition sees distances S times shorter than
+  /// global ones, so rescaled distances gain a factor S (weights are
+  /// unchanged; the per-shard rate already accounts for within-shard
+  /// sampling). 1 multiplies by exactly 1.0: bit-identical serial.
   explicit ShardsFixedSizeProfiler(std::size_t max_objects,
                                    std::uint64_t modulus = 1ULL << 24,
-                                   std::uint64_t histogram_quantum = 1);
+                                   std::uint64_t histogram_quantum = 1,
+                                   std::uint32_t shard_count = 1);
 
   /// Processes one reference.
   void access(const Request& req);
@@ -55,6 +61,17 @@ class ShardsFixedSizeProfiler {
   /// Estimated resident bytes (stack + heap + tracked map + histogram).
   std::uint64_t space_overhead_bytes() const noexcept;
 
+  /// Folds another shard's accumulated statistics into this profiler:
+  /// histogram mass, reference counts, and the adjustment target all add,
+  /// so the merged curve's SHARDS-adj residual is the sum of per-shard
+  /// residuals. The tracked set and threshold stay this shard's own.
+  void absorb(const ShardsFixedSizeProfiler& other);
+
+  /// Survivor extrapolation for best-effort sharded runs: scales the
+  /// histogram and the adjustment target by `factor`. Ratios, and hence
+  /// the MRC, are unchanged; no further access() calls are expected.
+  void scale_mass(double factor);
+
  private:
   struct HeapEntry {
     std::uint64_t hash_value;
@@ -75,7 +92,11 @@ class ShardsFixedSizeProfiler {
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> heap_;
   std::unordered_map<std::uint64_t, std::uint64_t> tracked_;  // key -> hash value
   DistanceHistogram histogram_;
-  double expected_weight_ = 0.0;  // sum over requests of the rate in force
+  double shard_scale_ = 1.0;
+  // The adjustment-side view of processed_: the weight the histogram
+  // should integrate to. Identical to processed_ (sums of 1.0) until
+  // scale_mass() rescales it along with the histogram.
+  double adjust_target_ = 0.0;
   std::uint64_t processed_ = 0;
   std::uint64_t sampled_ = 0;
   std::uint64_t degradations_ = 0;

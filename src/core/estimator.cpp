@@ -105,6 +105,16 @@ RunReport MrcEstimator::run_report(const TraceReadReport* ingest) const {
   return report;
 }
 
+Status MrcEstimator::absorb(const MrcEstimator&) {
+  return invalid_argument_error("estimator '" + info_.name +
+                                "' does not support sharded merging");
+}
+
+Status MrcEstimator::scale_mass(double) {
+  return invalid_argument_error("estimator '" + info_.name +
+                                "' does not support sharded merging");
+}
+
 Status MrcEstimator::save_state(std::string*) const {
   return invalid_argument_error("estimator '" + info_.name +
                                 "' does not support checkpointing");

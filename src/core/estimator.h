@@ -174,6 +174,24 @@ class MrcEstimator {
   /// budget as exhausted rather than looping. Default: cannot degrade.
   virtual bool degrade() { return false; }
 
+  /// --- Sharded-merge hooks (used by the generic ShardedEstimator runner,
+  /// src/core/sharded_estimator.h). A model that declares the
+  /// `spatial_sampling` capability and implements these two can run
+  /// sharded: the runner hash-partitions the keyspace across per-shard
+  /// instances (each stream a uniform 1/S spatial sample), then folds the
+  /// survivors into one instance in ascending shard order.
+
+  /// Folds another instance's accumulated statistics into this one. `other`
+  /// is guaranteed to be the same concrete type built from the same
+  /// options over a key-disjoint slice of the stream. Default:
+  /// kInvalidArgument (model does not support sharded merging).
+  virtual Status absorb(const MrcEstimator& other);
+
+  /// Scales accumulated statistical mass by `factor` — the S/(S−F)
+  /// survivor extrapolation after F of S shards died in a best-effort run.
+  /// MRC ratios must be unchanged. Default: kInvalidArgument.
+  virtual Status scale_mass(double factor);
+
   /// --- Checkpoint hooks (capability flag `checkpoint`).
 
   /// Serializes the complete mid-run state into `out` such that a fresh

@@ -12,6 +12,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/aet.h"
@@ -27,6 +28,7 @@
 #include "baselines/statstack.h"
 #include "core/estimator.h"
 #include "core/profiler.h"
+#include "core/sharded_estimator.h"
 #include "core/sharded_profiler.h"
 #include "core/windowed_profiler.h"
 
@@ -49,6 +51,22 @@ std::uint64_t get_u64(const EstimatorOptions& o, const std::string& key,
                                 "' must be >= 0");
   }
   return static_cast<std::uint64_t>(v);
+}
+
+/// The ShardedEstimator runner injects `shard_count` into every per-shard
+/// factory call; 1 (the default) must leave the model bit-identical to its
+/// unsharded form, so the adapters below simply forward it.
+std::uint32_t checked_shard_count(const EstimatorOptions& o) {
+  const std::uint64_t n = get_u64(o, "shard_count", 1);
+  if (n < 1) throw std::invalid_argument("shard_count must be >= 1");
+  return static_cast<std::uint32_t>(n);
+}
+
+ShardFailureMode parse_failure_mode(const std::string& mode) {
+  if (mode == "strict") return ShardFailureMode::kStrict;
+  if (mode == "best_effort") return ShardFailureMode::kBestEffort;
+  throw std::invalid_argument("unknown failure_mode: " + mode +
+                              " (use strict or best_effort)");
 }
 
 /// The shared mapping from option keys onto KrrProfilerConfig — one place,
@@ -184,15 +202,7 @@ class ShardedKrrEstimator final : public MrcEstimator {
       cfg.base.max_stack_bytes =
           std::max<std::uint64_t>(1, cfg.base.max_stack_bytes / cfg.shards);
     }
-    const std::string mode = o.get_string("failure_mode", "strict");
-    if (mode == "strict") {
-      cfg.failure_mode = ShardFailureMode::kStrict;
-    } else if (mode == "best_effort") {
-      cfg.failure_mode = ShardFailureMode::kBestEffort;
-    } else {
-      throw std::invalid_argument("unknown failure_mode: " + mode +
-                                  " (use strict or best_effort)");
-    }
+    cfg.failure_mode = parse_failure_mode(o.get_string("failure_mode", "strict"));
     return cfg;
   }
 
@@ -430,7 +440,7 @@ class ShardsEstimator final : public MrcEstimator {
   explicit ShardsEstimator(const EstimatorOptions& o)
       : profiler_(checked_rate(o.get_double("rate", 0.1)),
                   o.get_bool("adjustment", true), o.get_bool("bytes", false),
-                  get_u64(o, "quantum", 1)) {}
+                  get_u64(o, "quantum", 1), checked_shard_count(o)) {}
 
   void access(const Request& req) override { profiler_.access(req); }
   MissRatioCurve mrc(const std::vector<double>&) const override {
@@ -451,6 +461,19 @@ class ShardsEstimator final : public MrcEstimator {
     return profiler_.space_overhead_bytes();
   }
   bool degrade() override { return profiler_.halve_rate(); }
+  Status absorb(const MrcEstimator& other) override {
+    const auto* peer = dynamic_cast<const ShardsEstimator*>(&other);
+    if (peer == nullptr) {
+      return invalid_argument_error(
+          "shards: absorb() requires another shards instance");
+    }
+    profiler_.absorb(peer->profiler_);
+    return Status::ok();
+  }
+  Status scale_mass(double factor) override {
+    profiler_.scale_mass(factor);
+    return Status::ok();
+  }
 
  private:
   static double checked_rate(double rate) {
@@ -466,8 +489,10 @@ class ShardsEstimator final : public MrcEstimator {
 class ShardsFixedEstimator final : public MrcEstimator {
  public:
   explicit ShardsFixedEstimator(const EstimatorOptions& o)
-      : profiler_(checked_max(get_u64(o, "max_objects", 4096)),
-                  get_u64(o, "modulus", 1ULL << 24), get_u64(o, "quantum", 1)) {}
+      : profiler_(split_max(checked_max(get_u64(o, "max_objects", 4096)),
+                            checked_shard_count(o)),
+                  get_u64(o, "modulus", 1ULL << 24), get_u64(o, "quantum", 1),
+                  checked_shard_count(o)) {}
 
   void access(const Request& req) override { profiler_.access(req); }
   MissRatioCurve mrc(const std::vector<double>&) const override {
@@ -488,6 +513,19 @@ class ShardsFixedEstimator final : public MrcEstimator {
     return profiler_.space_overhead_bytes();
   }
   bool degrade() override { return profiler_.shrink_capacity(); }
+  Status absorb(const MrcEstimator& other) override {
+    const auto* peer = dynamic_cast<const ShardsFixedEstimator*>(&other);
+    if (peer == nullptr) {
+      return invalid_argument_error(
+          "shards_fixed: absorb() requires another shards_fixed instance");
+    }
+    profiler_.absorb(peer->profiler_);
+    return Status::ok();
+  }
+  Status scale_mass(double factor) override {
+    profiler_.scale_mass(factor);
+    return Status::ok();
+  }
 
  private:
   static std::size_t checked_max(std::uint64_t max_objects) {
@@ -495,6 +533,13 @@ class ShardsFixedEstimator final : public MrcEstimator {
       throw std::invalid_argument("max_objects must be >= 1");
     }
     return static_cast<std::size_t>(max_objects);
+  }
+
+  /// A sharded run splits the global tracked-object budget evenly: S
+  /// per-shard profilers at max_objects/S track the same global total the
+  /// serial profiler would, so memory and accuracy stay comparable.
+  static std::size_t split_max(std::size_t max_objects, std::uint32_t shards) {
+    return std::max<std::size_t>(1, max_objects / shards);
   }
 
   ShardsFixedSizeProfiler profiler_;
@@ -555,7 +600,8 @@ class AetEstimator final : public MrcEstimator {
  public:
   explicit AetEstimator(const EstimatorOptions& o)
       : points_(get_u64(o, "points", 64)),
-        profiler_(static_cast<std::uint32_t>(get_u64(o, "sub_buckets", 256))) {}
+        profiler_(static_cast<std::uint32_t>(get_u64(o, "sub_buckets", 256)),
+                  checked_shard_count(o)) {}
 
   void access(const Request& req) override { profiler_.access(req); }
   MissRatioCurve mrc(const std::vector<double>& sizes) const override {
@@ -583,6 +629,20 @@ class AetEstimator final : public MrcEstimator {
     ModelGaugeSnapshot g = MrcEstimator::model_gauges();
     g.histogram_bins = static_cast<double>(profiler_.histogram_bins());
     return g;
+  }
+  Status absorb(const MrcEstimator& other) override {
+    const auto* peer = dynamic_cast<const AetEstimator*>(&other);
+    if (peer == nullptr) {
+      return invalid_argument_error(
+          "aet: absorb() requires another aet instance");
+    }
+    profiler_.absorb(peer->profiler_);
+    degradations_ += peer->degradations_;
+    return Status::ok();
+  }
+  Status scale_mass(double factor) override {
+    profiler_.scale_mass(factor);
+    return Status::ok();
   }
 
  private:
@@ -697,6 +757,37 @@ class MimirEstimator final : public MrcEstimator {
   MimirProfiler profiler_;
 };
 
+// ---------------------------------------------------------------------------
+// Generic sharded wrappers: registry models behind the ShardFanout pipeline
+// ---------------------------------------------------------------------------
+
+ShardedEstimator::Config sharded_wrapper_config(const std::string& base_model,
+                                                const EstimatorOptions& o) {
+  ShardedEstimator::Config cfg;
+  cfg.base_model = base_model;
+  cfg.base_options = o;  // fan-out keys are stripped by the runner
+  const std::uint64_t shards = get_u64(o, "shards", 1);
+  const std::uint64_t threads = get_u64(o, "threads", 1);
+  if (shards < 1) throw std::invalid_argument("shards must be >= 1");
+  if (threads < 1) throw std::invalid_argument("threads must be >= 1");
+  cfg.shards = static_cast<std::uint32_t>(shards);
+  cfg.threads = static_cast<unsigned>(threads);
+  cfg.queue_capacity = static_cast<std::size_t>(
+      get_u64(o, "queue_capacity", cfg.queue_capacity));
+  cfg.failure_mode = parse_failure_mode(o.get_string("failure_mode", "strict"));
+  cfg.max_stack_bytes = get_u64(o, "max_stack_bytes", 0);
+  return cfg;
+}
+
+EstimatorRegistry::Factory make_sharded_factory(std::string base_model) {
+  return [base_model =
+              std::move(base_model)](const EstimatorOptions& o)
+             -> std::unique_ptr<MrcEstimator> {
+    return std::make_unique<ShardedEstimator>(
+        sharded_wrapper_config(base_model, o));
+  };
+}
+
 template <typename T>
 EstimatorRegistry::Factory make_factory() {
   return [](const EstimatorOptions& o) -> std::unique_ptr<MrcEstimator> {
@@ -794,23 +885,62 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
                 .spatial_sampling = true,
                 .metrics = true,
                 .governed_memory = true},
-       .option_keys = {"max_stack_bytes"}},
+       .option_keys = {"max_stack_bytes", "shard_count"}},
       make_factory<ShardsEstimator>());
+  registry.add(
+      {.name = "shards_sharded",
+       .policy = "LRU",
+       .description = "hash-sharded multi-threaded SHARDS (per-shard "
+                      "profilers merged by the generic runner)",
+       .caps = {.byte_granularity = true,
+                .spatial_sampling = true,
+                .sharded = true,
+                .metrics = true,
+                .governed_memory = true},
+       .option_keys = {"max_stack_bytes", "threads", "shards",
+                       "queue_capacity", "failure_mode"}},
+      make_sharded_factory("shards"));
   registry.add(
       {.name = "shards_fixed",
        .policy = "LRU",
        .description = "fixed-size SHARDS_smax: bounded memory, "
                       "threshold-adaptive sampling rate",
        .caps = {.spatial_sampling = true, .metrics = true, .governed_memory = true},
-       .option_keys = {"max_objects", "modulus", "max_stack_bytes"}},
+       .option_keys = {"max_objects", "modulus", "max_stack_bytes",
+                       "shard_count"}},
       make_factory<ShardsFixedEstimator>());
+  registry.add(
+      {.name = "shards_fixed_sharded",
+       .policy = "LRU",
+       .description = "hash-sharded multi-threaded SHARDS_smax (tracked-"
+                      "object budget split across shards)",
+       .caps = {.spatial_sampling = true,
+                .sharded = true,
+                .metrics = true,
+                .governed_memory = true},
+       .option_keys = {"max_objects", "modulus", "max_stack_bytes", "threads",
+                       "shards", "queue_capacity", "failure_mode"}},
+      make_sharded_factory("shards_fixed"));
   registry.add(
       {.name = "aet",
        .policy = "LRU",
        .description = "AET kinetic reuse-time model of exact LRU (ATC '16)",
-       .caps = {.metrics = true, .governed_memory = true},
-       .option_keys = {"sub_buckets", "points", "max_stack_bytes"}},
+       .caps = {.spatial_sampling = true, .metrics = true, .governed_memory = true},
+       .option_keys = {"sub_buckets", "points", "max_stack_bytes",
+                       "shard_count"}},
       make_factory<AetEstimator>());
+  registry.add(
+      {.name = "aet_sharded",
+       .policy = "LRU",
+       .description = "hash-sharded multi-threaded AET (reuse-time "
+                      "histograms merged at shard-scaled resolution)",
+       .caps = {.spatial_sampling = true,
+                .sharded = true,
+                .metrics = true,
+                .governed_memory = true},
+       .option_keys = {"sub_buckets", "points", "max_stack_bytes", "threads",
+                       "shards", "queue_capacity", "failure_mode"}},
+      make_sharded_factory("aet"));
   registry.add(
       {.name = "counter_stacks",
        .policy = "LRU",

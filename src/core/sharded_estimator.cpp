@@ -1,0 +1,292 @@
+#include "core/sharded_estimator.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/hashing.h"
+
+namespace krr {
+
+namespace {
+
+/// Option keys that configure the fan-out itself and must not reach the
+/// per-shard base-model factories (they would be rejected as undeclared, or
+/// worse, misread — a base "shards" key would recurse).
+bool is_fanout_key(const std::string& key) {
+  return key == "threads" || key == "shards" || key == "queue_capacity" ||
+         key == "failure_mode" || key == "max_stack_bytes";
+}
+
+}  // namespace
+
+void ShardedEstimator::ShardPayload::access(const Request& req) {
+  estimator->access(req);
+  if (budget_bytes != 0 && (++accesses & 4095u) == 0) {
+    // Per-shard budget enforcement on the consuming thread — the external
+    // RunGovernor loop cannot reach inside a threaded pipeline (it would
+    // race the workers), so each shard polices its own split of the global
+    // ceiling, the same contract krr_sharded has. The step bound keeps a
+    // pathological degrade() from stalling the drain loop.
+    int steps = 0;
+    while (estimator->space_overhead_bytes() > budget_bytes && steps++ < 64) {
+      if (!estimator->degrade()) break;
+    }
+  }
+}
+
+std::vector<std::unique_ptr<ShardedEstimator::ShardPayload>>
+ShardedEstimator::make_payloads(const Config& config) {
+  const std::uint32_t shard_n = config.shards == 0 ? 1 : config.shards;
+  EstimatorOptions base;
+  for (const auto& [key, value] : config.base_options.entries()) {
+    if (is_fanout_key(key)) continue;
+    base.set(key, value);
+  }
+  std::vector<std::unique_ptr<ShardPayload>> payloads;
+  payloads.reserve(shard_n);
+  for (std::uint32_t s = 0; s < shard_n; ++s) {
+    EstimatorOptions opts = base;
+    // Shard-aware injection: the base model rescales its recorded
+    // distances/reuse times by S (closure under uniform thinning), and
+    // seeded models get independent RNG streams. An unset seed stays
+    // unset so S=1 remains option-identical to the serial model.
+    opts.set("shard_count", std::to_string(shard_n));
+    if (base.has("seed")) {
+      opts.set("seed", std::to_string(base.get_int("seed", 0) +
+                                      static_cast<std::int64_t>(s)));
+    }
+    auto created =
+        EstimatorRegistry::instance().create(config.base_model, opts);
+    if (!created.is_ok()) {
+      // The registry factory contract: std::invalid_argument maps back to
+      // kInvalidArgument at the outer create() call.
+      throw std::invalid_argument(created.status().message());
+    }
+    auto payload = std::make_unique<ShardPayload>();
+    payload->estimator = std::move(created).value();
+    if (config.max_stack_bytes != 0) {
+      // Split the global ceiling evenly; the floor of 1 keeps degradation
+      // armed even for absurd shard counts.
+      payload->budget_bytes =
+          std::max<std::uint64_t>(config.max_stack_bytes / shard_n, 1);
+    }
+    payloads.push_back(std::move(payload));
+  }
+  return payloads;
+}
+
+typename ShardFanout<ShardedEstimator::ShardPayload>::Config
+ShardedEstimator::fanout_config(const Config& config) {
+  typename ShardFanout<ShardPayload>::Config cfg;
+  cfg.threads = config.threads;
+  cfg.queue_capacity = config.queue_capacity;
+  cfg.failure_mode = config.failure_mode;
+  cfg.before_access_hook = config.before_access_hook;
+  return cfg;
+}
+
+ShardedEstimator::ShardedEstimator(const Config& config)
+    : config_(config), fanout_(make_payloads(config), fanout_config(config)) {
+  configured_rate_ =
+      fanout_.payload(0).estimator->snapshot().sampling_rate;
+}
+
+std::uint32_t ShardedEstimator::shard_of(std::uint64_t key) const noexcept {
+  // Top hash bits: disjoint from the low bits spatial filters threshold on
+  // (modulus 2^24), so shard identity and sample membership are
+  // independent uniform functions of the key.
+  return static_cast<std::uint32_t>(hash64(key) >> 32) % fanout_.shard_count();
+}
+
+void ShardedEstimator::access(const Request& req) {
+  fanout_.route(shard_of(req.key), req);
+}
+
+void ShardedEstimator::finish() {
+  fanout_.finish();  // rethrows worker errors; throws when all shards died
+  cache_shard_stats();
+}
+
+void ShardedEstimator::cache_shard_stats() const {
+  if (!shard_stats_.empty()) return;
+  shard_stats_.reserve(fanout_.shard_count());
+  for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
+    ShardStats stats;
+    stats.dead = fanout_.dead(s);
+    stats.snapshot = fanout_.payload(s).estimator->snapshot();
+    shard_stats_.push_back(stats);
+  }
+}
+
+void ShardedEstimator::ensure_merged() const {
+  if (merged_) return;
+  cache_shard_stats();
+  const std::uint32_t n = fanout_.shard_count();
+  std::uint32_t base = 0;
+  while (base < n && fanout_.dead(base)) ++base;
+  if (base >= n) {
+    throw StatusError(
+        resource_limit_error("every shard failed; nothing to merge"));
+  }
+  merge_base_ = base;
+  MrcEstimator& target = *fanout_.payload(base).estimator;
+  std::uint32_t live = 1;
+  for (std::uint32_t s = base + 1; s < n; ++s) {
+    if (fanout_.dead(s)) continue;
+    const Status status = target.absorb(*fanout_.payload(s).estimator);
+    if (!status.is_ok()) throw StatusError(status);
+    ++live;
+  }
+  if (live < n) {
+    // Each shard is an unbiased 1/S spatial sample, so scaling the
+    // survivors' mass by S/(S-F) extrapolates the dropped shards' share.
+    const Status status = target.scale_mass(static_cast<double>(n) /
+                                            static_cast<double>(live));
+    if (!status.is_ok()) throw StatusError(status);
+    if (fanout_.tracer() != nullptr) {
+      fanout_.tracer()->instant("sharded.survivor_rescale", "sharded", 0,
+                                {{"shards", static_cast<double>(n)},
+                                 {"survivors", static_cast<double>(live)}});
+    }
+  }
+  merged_ = true;
+}
+
+void ShardedEstimator::require_finished(const char* what) const {
+  if (fanout_.needs_finish()) {
+    throw std::logic_error(std::string("ShardedEstimator::") + what +
+                           " requires finish() when running threaded");
+  }
+}
+
+MissRatioCurve ShardedEstimator::mrc(const std::vector<double>& sizes) const {
+  require_finished("mrc()");
+  obs::Tracer* tracer = fanout_.tracer();
+  const std::uint64_t merge_start_ns = tracer != nullptr ? tracer->now_ns() : 0;
+  double merge_seconds = 0.0;
+  MissRatioCurve curve;
+  {
+    ScopedTimer timer(merge_seconds);
+    ensure_merged();
+    curve = fanout_.payload(merge_base_).estimator->mrc(sizes);
+  }
+  if (tracer != nullptr) {
+    tracer->complete("sharded.merge", "sharded", 0, merge_start_ns,
+                     tracer->now_ns() - merge_start_ns,
+                     {{"shards", static_cast<double>(fanout_.shard_count())}});
+  }
+#ifdef KRR_METRICS_ENABLED
+  if (pipeline_metrics() != nullptr) {
+    pipeline_metrics()->sharded.merge_seconds->set(merge_seconds);
+  }
+#endif
+  return curve;
+}
+
+std::uint64_t ShardedEstimator::processed() const {
+  return fanout_.processed();
+}
+
+RunReport ShardedEstimator::run_report(const TraceReadReport* ingest) const {
+  require_finished("run_report()");
+  cache_shard_stats();
+  RunReport report;
+  if (ingest != nullptr) {
+    report.records_read = ingest->records_read;
+    report.records_skipped = ingest->records_skipped;
+    report.checksum_failures = ingest->checksum_failures;
+    report.truncated_tail = ingest->truncated_tail;
+  } else {
+    report.records_read = fanout_.processed();
+  }
+  report.configured_sampling_rate = configured_rate_;
+  double final_rate = 1.0;
+  bool first = true;
+  for (const ShardStats& stats : shard_stats_) {
+    if (stats.dead) continue;  // a dead shard's partial state is untrusted
+    report.degradation_events += stats.snapshot.degradation_events;
+    report.stack_depth += stats.snapshot.stack_depth;
+    report.space_overhead_bytes += stats.snapshot.resident_bytes;
+    final_rate = first ? stats.snapshot.sampling_rate
+                       : std::min(final_rate, stats.snapshot.sampling_rate);
+    first = false;
+  }
+  report.final_sampling_rate = final_rate;
+  report.producer_stall_seconds = fanout_.producer_stall_seconds();
+  report.shards_failed = fanout_.shards_failed();
+  return report;
+}
+
+obs::HeartbeatSnapshot ShardedEstimator::snapshot() const {
+  // Mid-run: the batch-wise gauges the workers publish (at most one drain
+  // batch stale). Post-finish: exact sums from the cached pre-merge stats.
+  if (shard_stats_.empty()) return fanout_.live_aggregate();
+  obs::HeartbeatSnapshot snap;
+  snap.records = fanout_.processed();
+  double min_rate = 1.0;
+  bool first = true;
+  for (const ShardStats& stats : shard_stats_) {
+    if (stats.dead) continue;
+    snap.sampled += stats.snapshot.sampled;
+    snap.stack_depth += stats.snapshot.stack_depth;
+    snap.resident_bytes += stats.snapshot.resident_bytes;
+    snap.degradation_events += stats.snapshot.degradation_events;
+    min_rate = first ? stats.snapshot.sampling_rate
+                     : std::min(min_rate, stats.snapshot.sampling_rate);
+    first = false;
+  }
+  snap.sampling_rate = min_rate;
+  return snap;
+}
+
+Status ShardedEstimator::save_state(std::string*) const {
+  return invalid_argument_error(
+      "sharded execution cannot checkpoint: per-shard queue state has no "
+      "consistent mid-drain snapshot; run the serial model (shards=1, "
+      "threads=1 on the base name) for checkpoint/resume");
+}
+
+Status ShardedEstimator::load_state(const std::string&) {
+  return invalid_argument_error(
+      "sharded execution cannot checkpoint: per-shard queue state has no "
+      "consistent mid-drain snapshot; run the serial model (shards=1, "
+      "threads=1 on the base name) for checkpoint/resume");
+}
+
+void ShardedEstimator::attach_metrics(obs::PipelineMetrics* metrics) noexcept {
+  MrcEstimator::attach_metrics(metrics);
+  fanout_.attach_metrics(metrics);
+}
+
+void ShardedEstimator::attach_tracer(obs::Tracer* tracer) noexcept {
+  fanout_.attach_tracer(tracer);
+}
+
+void ShardedEstimator::export_gauges(obs::MetricsRegistry& registry) const {
+  if (fanout_.needs_finish()) return;  // nothing trustworthy to export yet
+  cache_shard_stats();
+  for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
+    const ShardStats& stats = shard_stats_[s];
+    const std::string prefix = "sharded.shard" + std::to_string(s) + ".";
+    registry.gauge(prefix + "stack_depth")
+        .set(static_cast<double>(stats.snapshot.stack_depth));
+    registry.gauge(prefix + "sampled")
+        .set(static_cast<double>(stats.snapshot.sampled));
+    registry.gauge(prefix + "degradations")
+        .set(static_cast<double>(stats.snapshot.degradation_events));
+    registry.gauge(prefix + "final_rate").set(stats.snapshot.sampling_rate);
+    registry.gauge(prefix + "failed").set(stats.dead ? 1.0 : 0.0);
+  }
+}
+
+const MrcEstimator& ShardedEstimator::shard(std::uint32_t s) const {
+  require_finished("shard()");
+  if (s >= fanout_.shard_count()) {
+    throw std::out_of_range("shard index out of range");
+  }
+  return *fanout_.payload(s).estimator;
+}
+
+}  // namespace krr

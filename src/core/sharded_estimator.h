@@ -1,0 +1,614 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/estimator.h"
+#include "obs/heartbeat.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "trace/request.h"
+#include "util/parallel.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace krr {
+
+/// How a sharded pipeline reacts when a shard worker throws mid-run.
+enum class ShardFailureMode {
+  /// Fail fast (default): the producer stops feeding and finish() rethrows
+  /// the first worker exception.
+  kStrict,
+  /// Drop the failed shard and keep the run alive: the shard's queue is
+  /// discarded, records routed to it are dropped, and at merge time the
+  /// surviving shards' mass is rescaled by S/(S-F) — each shard is an
+  /// unbiased 1/S sample of the keyspace, so the extrapolation stays
+  /// unbiased. Failures are counted in RunReport::shards_failed; the run
+  /// only fails if every shard dies.
+  kBestEffort,
+};
+
+/// The model-agnostic sharded fan-out pipeline, lifted out of
+/// ShardedKrrProfiler so any model can run behind it: the caller (the
+/// trace-reader thread) is the single producer, routing records to
+/// per-shard bounded SPSC queues; min(threads, shards) persistent workers
+/// each own a fixed subset of shards (shard s belongs to worker s % T) and
+/// drain them in stream order. One queue therefore has exactly one
+/// producer and one consumer, and no record path takes a global lock.
+/// Shard results never depend on the thread count, only on the routing and
+/// the payloads: each shard consumes its records in stream order whatever
+/// thread owns it.
+///
+/// `Payload` is the per-shard model state and must provide:
+///   void access(const Request& req);            // consume one record
+///   obs::HeartbeatSnapshot live_state() const;  // gauges for heartbeats
+///
+/// The fan-out owns routing, backpressure, failure handling (strict /
+/// best-effort with dead-shard bit-bucketing), live-gauge publication, and
+/// the sharded.* metrics/trace events; what a "shard" is — a full
+/// KrrProfiler, a registry estimator, anything — is the wrapper's business,
+/// as is computing the shard index (route() takes it, so the hash stays a
+/// pure function of the key in exactly one place per wrapper).
+template <typename Payload>
+class ShardFanout {
+ public:
+  struct Config {
+    /// Worker threads consuming shard queues. <= 1 runs the pipeline inline
+    /// on the calling thread (no pool, no queues).
+    unsigned threads = 1;
+    /// Per-shard SPSC ring capacity in records (rounded up to a power of
+    /// two). Bounds producer run-ahead: ~16 B/record, so the default is
+    /// ~1 MiB of buffered records per shard.
+    std::size_t queue_capacity = 1u << 16;
+    /// Worker-failure policy; see ShardFailureMode.
+    ShardFailureMode failure_mode = ShardFailureMode::kStrict;
+    /// Test seam: invoked (on the consuming thread) immediately before each
+    /// record enters its shard's payload. Lets fault-injection tests throw
+    /// from inside a shard worker; leave empty in production.
+    std::function<void(std::uint32_t shard, const Request&)> before_access_hook;
+  };
+
+  ShardFanout(std::vector<std::unique_ptr<Payload>> payloads, Config config)
+      : config_(std::move(config)) {
+    shards_.reserve(payloads.size());
+    for (auto& payload : payloads) {
+      shards_.push_back(
+          std::make_unique<Shard>(std::move(payload), config_.queue_capacity));
+      shards_.back()->publish_live();
+    }
+    if (config_.threads > 1) {
+      worker_count_ = std::min<unsigned>(
+          config_.threads, static_cast<unsigned>(shards_.size()));
+      pool_ = std::make_unique<ThreadPool>(worker_count_);
+      for (unsigned t = 0; t < worker_count_; ++t) {
+        pool_->submit([this, t] { drain_loop(t); });
+      }
+    }
+  }
+
+  /// Blocks until workers drained (errors are swallowed here — call
+  /// finish() first to observe them).
+  ~ShardFanout() {
+    done_.store(true, std::memory_order_release);
+    // ThreadPool's destructor joins after the drain tasks exit; worker
+    // exceptions that finish() never observed die with the pool.
+    pool_.reset();
+  }
+
+  ShardFanout(const ShardFanout&) = delete;
+  ShardFanout& operator=(const ShardFanout&) = delete;
+
+  /// Producer side: routes one record to shard `index`. With threads > 1
+  /// this enqueues (briefly yielding when the shard's ring is full —
+  /// backpressure, counted as producer stall time); inline mode consumes
+  /// synchronously. Single-producer: one thread at a time may call this.
+  void route(std::uint32_t index, const Request& req) {
+    ++processed_;
+    Shard& shard = *shards_[index];
+    if constexpr (obs::kHotPathInstrumentation) {
+      if (metrics_ != nullptr) {
+        metrics_->sharded.enqueued->inc();
+        if ((processed_ & 1023u) == 0) {
+          metrics_->sharded.queue_depth->record(shard.queue.size_approx());
+        }
+      }
+    }
+    if (shard.dead.load(std::memory_order_acquire)) {
+      dropped_records_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (worker_count_ == 0) {
+      if (config_.failure_mode == ShardFailureMode::kBestEffort) {
+        try {
+          if (config_.before_access_hook) config_.before_access_hook(index, req);
+          shard.payload->access(req);
+        } catch (...) {
+          shard.dead.store(true, std::memory_order_release);
+          shards_failed_.fetch_add(1, std::memory_order_relaxed);
+          dropped_records_.fetch_add(1, std::memory_order_relaxed);
+          if (tracer_ != nullptr) {
+            tracer_->instant("sharded.shard_failed", "sharded", index + 1,
+                             {{"shard", static_cast<double>(index)}});
+          }
+        }
+        return;
+      }
+      if (config_.before_access_hook) config_.before_access_hook(index, req);
+      shard.payload->access(req);
+      return;
+    }
+    if (shard.queue.try_push(req)) return;
+    // Backpressure: the shard's worker is behind. Yield-spin rather than
+    // block on a condvar — stalls are transient (a worker mid-batch) and
+    // the producer is the only thread that can relieve other shards.
+    if constexpr (obs::kHotPathInstrumentation) {
+      if (metrics_ != nullptr) metrics_->sharded.producer_stalls->inc();
+    }
+    const std::uint64_t stall_start_ns =
+        tracer_ != nullptr ? tracer_->now_ns() : 0;
+    const auto trace_stall = [&] {
+      if (tracer_ != nullptr) {
+        tracer_->complete("sharded.queue_stall", "sharded", 0, stall_start_ns,
+                          tracer_->now_ns() - stall_start_ns,
+                          {{"shard", static_cast<double>(index)}});
+      }
+    };
+    Stopwatch stall;
+    for (;;) {
+      if (failed_.load(std::memory_order_acquire)) {
+        // A worker died; its queues will never drain. Drop the record —
+        // the run is poisoned and finish() will rethrow the worker's error.
+        stall_seconds_ += stall.seconds();
+        trace_stall();
+        return;
+      }
+      if (shard.dead.load(std::memory_order_acquire)) {
+        // Best-effort: this shard just died under us; stop waiting on it.
+        dropped_records_.fetch_add(1, std::memory_order_relaxed);
+        stall_seconds_ += stall.seconds();
+        trace_stall();
+        return;
+      }
+      std::this_thread::yield();
+      if (shard.queue.try_push(req)) break;
+    }
+    stall_seconds_ += stall.seconds();
+    trace_stall();
+  }
+
+  /// Declares end of input, drains every queue, and rethrows the first
+  /// exception a shard worker hit (the pipeline shuts down cleanly first;
+  /// remaining workers stop at their queues' ends). Throws StatusError when
+  /// best-effort recovery lost every shard. Idempotent.
+  void finish() {
+    if (finished_) return;
+    if (worker_count_ != 0) {
+      const std::uint64_t join_start_ns =
+          tracer_ != nullptr ? tracer_->now_ns() : 0;
+      done_.store(true, std::memory_order_release);
+      pool_->wait_idle();  // rethrows the first worker exception (strict)
+      if (tracer_ != nullptr) {
+        tracer_->complete("sharded.drain_join", "sharded", 0, join_start_ns,
+                          tracer_->now_ns() - join_start_ns);
+      }
+    }
+    finished_ = true;
+    if constexpr (obs::kHotPathInstrumentation) {
+      if (metrics_ != nullptr) {
+        metrics_->sharded.stall_seconds->set(stall_seconds_);
+        metrics_->sharded.shard_failures->inc(shards_failed());
+      }
+    }
+    // Best-effort recovery extrapolates from the survivors; with none left
+    // there is nothing to extrapolate from and the run has truly failed.
+    if (shards_failed() >= shards_.size()) {
+      throw StatusError(resource_limit_error(
+          "all " + std::to_string(shards_.size()) +
+          " shards failed; no surviving shard to merge"));
+    }
+  }
+
+  /// Records routed so far (producer-side, exact).
+  std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Cumulative seconds the producer spent waiting on full shard queues.
+  double producer_stall_seconds() const noexcept { return stall_seconds_; }
+
+  /// Shards dropped by best-effort recovery (0 in strict mode: a failure
+  /// there aborts the run before this is readable).
+  std::uint64_t shards_failed() const noexcept {
+    return shards_failed_.load(std::memory_order_relaxed);
+  }
+
+  /// Records discarded because their shard was already dead (producer
+  /// drops plus queued records the worker discarded after failing).
+  std::uint64_t dropped_records() const noexcept {
+    return dropped_records_.load(std::memory_order_relaxed);
+  }
+
+  std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  unsigned worker_count() const noexcept { return worker_count_; }
+  bool finished() const noexcept { return finished_; }
+
+  /// True while post-finish-only state (the payloads) must not be touched:
+  /// workers may still be mutating them. Wrappers gate their accessors on
+  /// this so "read a shard mid-threaded-run" is a loud logic_error, not a
+  /// data race.
+  bool needs_finish() const noexcept {
+    return worker_count_ != 0 && !finished_;
+  }
+
+  /// Shard-local payload, for merges/diagnostics. The caller is responsible
+  /// for gating on needs_finish().
+  Payload& payload(std::uint32_t s) { return *shards_.at(s)->payload; }
+  const Payload& payload(std::uint32_t s) const {
+    return *shards_.at(s)->payload;
+  }
+
+  /// Whether best-effort recovery dropped shard `s`.
+  bool dead(std::uint32_t s) const {
+    return shards_.at(s)->dead.load(std::memory_order_acquire);
+  }
+
+  /// Race-free live progress for heartbeats, readable from the producer
+  /// thread mid-run: producer-exact record count plus per-shard gauges the
+  /// workers publish batch-wise (so the numbers trail by at most one drain
+  /// batch). Gauges are summed across shards; the rate is the minimum
+  /// (most degraded shard).
+  obs::HeartbeatSnapshot live_aggregate() const {
+    obs::HeartbeatSnapshot snap;
+    snap.records = processed_;
+    double min_rate = 1.0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const Shard& shard = *shards_[s];
+      if (worker_count_ == 0) {
+        // Inline mode: no concurrency, read the payload directly.
+        const obs::HeartbeatSnapshot live = shard.payload->live_state();
+        snap.sampled += live.sampled;
+        snap.stack_depth += live.stack_depth;
+        snap.resident_bytes += live.resident_bytes;
+        snap.degradation_events += live.degradation_events;
+        min_rate = s == 0 ? live.sampling_rate
+                          : std::min(min_rate, live.sampling_rate);
+      } else {
+        snap.sampled += shard.live_sampled.load(std::memory_order_relaxed);
+        snap.stack_depth += shard.live_depth.load(std::memory_order_relaxed);
+        snap.resident_bytes +=
+            shard.live_resident.load(std::memory_order_relaxed);
+        snap.degradation_events +=
+            shard.live_degradations.load(std::memory_order_relaxed);
+        const double rate = shard.live_rate.load(std::memory_order_relaxed);
+        min_rate = s == 0 ? rate : std::min(min_rate, rate);
+      }
+    }
+    snap.sampling_rate = min_rate;
+    return snap;
+  }
+
+  /// Attaches fan-out instrumentation (sharded.* metrics) and nothing on
+  /// the per-shard hot paths (per-record shard metrics would serialize the
+  /// workers on shared cache lines).
+  void attach_metrics(obs::PipelineMetrics* metrics) noexcept {
+    if constexpr (obs::kHotPathInstrumentation) {
+      metrics_ = metrics;
+      if (metrics_ != nullptr) {
+        metrics_->sharded.shards->set(static_cast<double>(shards_.size()));
+        metrics_->sharded.threads->set(static_cast<double>(worker_count_));
+      }
+    } else {
+      (void)metrics;
+    }
+  }
+
+  /// Attaches span/event tracing: lane 0 is the producer, lane s+1 is
+  /// shard s (named in the export). Workers emit one drain span per
+  /// kDrainTraceStride batches (stride-gated clock reads); queue stalls,
+  /// shard deaths, and the drain join are traced unconditionally. Call
+  /// before the first route(); detached cost is one branch per batch.
+  /// Non-owning; the tracer must outlive the fan-out.
+  void attach_tracer(obs::Tracer* tracer) noexcept {
+    tracer_ = tracer;
+    if (tracer_ == nullptr) return;
+    tracer_->set_lane_name(0, "producer");
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      tracer_->set_lane_name(static_cast<std::uint32_t>(s) + 1,
+                             "shard " + std::to_string(s));
+    }
+  }
+
+  /// The attached tracer (null while detached), for wrappers that emit
+  /// merge/rescale events of their own on lane 0.
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+
+ private:
+  /// Records a worker pulls from one shard queue before moving to its next
+  /// owned shard (and before republishing that shard's live gauges). Large
+  /// enough to amortize the gauge stores, small enough that a worker owning
+  /// several shards does not starve any of them.
+  static constexpr int kDrainBatch = 256;
+
+  /// Drain batches between traced drain spans. A span costs two clock
+  /// reads, so with 256-record batches a traced worker reads the clock once
+  /// per ~4096 records — the same stride Heartbeat::tick gates at.
+  static constexpr std::uint64_t kDrainTraceStride = 16;
+
+  struct Shard {
+    Shard(std::unique_ptr<Payload> p, std::size_t queue_capacity)
+        : payload(std::move(p)), queue(queue_capacity) {}
+
+    std::unique_ptr<Payload> payload;
+    SpscQueue<Request> queue;
+
+    // Best-effort failure mode: set (by the owning worker, or the producer
+    // in inline mode) when this shard's pipeline threw. A dead shard's
+    // queue is drained to the bit bucket and its state is excluded from
+    // merges.
+    std::atomic<bool> dead{false};
+
+    // Worker-owned drain-batch counter gating traced spans (no atomics:
+    // one consumer per shard).
+    std::uint64_t drain_batches = 0;
+
+    // Live gauges the owning worker publishes once per drain batch so the
+    // producer thread can heartbeat without touching payload internals.
+    std::atomic<std::uint64_t> live_sampled{0};
+    std::atomic<std::uint64_t> live_depth{0};
+    std::atomic<std::uint64_t> live_resident{0};
+    std::atomic<std::uint64_t> live_degradations{0};
+    std::atomic<double> live_rate{1.0};
+
+    void publish_live() noexcept {
+      const obs::HeartbeatSnapshot live = payload->live_state();
+      live_sampled.store(live.sampled, std::memory_order_relaxed);
+      live_depth.store(live.stack_depth, std::memory_order_relaxed);
+      live_resident.store(live.resident_bytes, std::memory_order_relaxed);
+      live_degradations.store(live.degradation_events,
+                              std::memory_order_relaxed);
+      live_rate.store(live.sampling_rate, std::memory_order_relaxed);
+    }
+  };
+
+  void drain_batch(Shard& shard, std::uint32_t index, bool& did_work) {
+    Request req;
+    int budget = kDrainBatch;
+    if (shard.dead.load(std::memory_order_relaxed)) {
+      // Discard what the producer enqueued before it noticed the death;
+      // the queue must keep draining or the producer's backpressure spin
+      // would wait on a shard that will never consume.
+      while (budget-- > 0 && shard.queue.try_pop(req)) {
+        dropped_records_.fetch_add(1, std::memory_order_relaxed);
+        did_work = true;
+      }
+      return;
+    }
+    // Stride-gated drain spans: one traced batch (two clock reads) every
+    // kDrainTraceStride batches; untraced batches pay one branch.
+    const bool traced =
+        tracer_ != nullptr && (shard.drain_batches++ % kDrainTraceStride) == 0;
+    const std::uint64_t batch_start_ns = traced ? tracer_->now_ns() : 0;
+    int drained = 0;
+    try {
+      while (budget-- > 0 && shard.queue.try_pop(req)) {
+        ++drained;
+        if (config_.before_access_hook) config_.before_access_hook(index, req);
+        shard.payload->access(req);
+      }
+    } catch (...) {
+      if (config_.failure_mode == ShardFailureMode::kStrict) throw;
+      // Best-effort: only this shard dies; the worker keeps serving its
+      // other shards and the producer keeps the run alive.
+      shard.dead.store(true, std::memory_order_release);
+      shards_failed_.fetch_add(1, std::memory_order_relaxed);
+      dropped_records_.fetch_add(1, std::memory_order_relaxed);
+      did_work = true;
+      if (tracer_ != nullptr) {
+        tracer_->instant("sharded.shard_failed", "sharded", index + 1,
+                         {{"shard", static_cast<double>(index)}});
+      }
+      return;
+    }
+    if (drained > 0) {
+      shard.publish_live();
+      did_work = true;
+      if (traced) {
+        tracer_->complete(
+            "sharded.drain", "sharded", index + 1, batch_start_ns,
+            tracer_->now_ns() - batch_start_ns,
+            {{"records", static_cast<double>(drained)},
+             {"depth", static_cast<double>(
+                  shard.live_depth.load(std::memory_order_relaxed))}});
+      }
+    }
+  }
+
+  void drain_loop(unsigned worker_index) {
+    // Static shard ownership (shard s -> worker s % T) keeps every queue
+    // strictly single-consumer.
+    std::vector<std::uint32_t> owned;
+    for (std::uint32_t s = worker_index; s < shards_.size();
+         s += worker_count_) {
+      owned.push_back(s);
+    }
+    try {
+      for (;;) {
+        bool did_work = false;
+        for (std::uint32_t s : owned) drain_batch(*shards_[s], s, did_work);
+        if (did_work) continue;
+        if (done_.load(std::memory_order_acquire)) {
+          // done_ was released after the producer's last push, so an empty
+          // check after this acquire is conclusive.
+          bool all_empty = true;
+          for (std::uint32_t s : owned) {
+            if (!shards_[s]->queue.empty_approx()) {
+              all_empty = false;
+              break;
+            }
+          }
+          if (all_empty) return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    } catch (...) {
+      // Flag first so the producer's stall loop cannot wait forever on
+      // this worker's queues, then let the pool capture the exception for
+      // finish() to rethrow.
+      failed_.store(true, std::memory_order_release);
+      throw;
+    }
+  }
+
+  Config config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  unsigned worker_count_ = 0;             // 0 = inline mode
+  std::unique_ptr<ThreadPool> pool_;      // null in inline mode
+  std::atomic<bool> done_{false};         // producer closed the stream
+  std::atomic<bool> failed_{false};       // some worker threw (strict mode)
+  std::atomic<std::uint64_t> shards_failed_{0};
+  std::atomic<std::uint64_t> dropped_records_{0};
+  bool finished_ = false;
+  std::uint64_t processed_ = 0;           // producer-side
+  double stall_seconds_ = 0.0;            // producer-side
+  obs::Tracer* tracer_ = nullptr;         // unconditional: gauge-grade events
+  obs::PipelineMetrics* metrics_ = nullptr;  // touched only when compiled in
+};
+
+/// Generic sharded execution for the model zoo: wraps any registry model
+/// that declares `spatial_sampling` and implements the absorb()/
+/// scale_mass() merge hooks, running S per-shard instances (each fed a
+/// hash-disjoint 1/S slice of the keyspace — itself a uniform spatial
+/// sample, so sharding composes with the model's own sampling) behind the
+/// ShardFanout pipeline, then folding the survivors into one instance whose
+/// curve is the answer.
+///
+/// Per-shard instances are created through the registry factory with
+/// shard-aware option injection: `shard_count=S` (models rescale distances
+/// or reuse times back to full-stream units), `seed = base_seed + s`
+/// (independent RNG streams), and for fixed-size models a split capacity.
+/// A global `max_stack_bytes` budget is divided evenly across shards and
+/// enforced from the consuming thread (space check + degrade() every 4096
+/// per-shard accesses) — the RunGovernor's external loop cannot reach
+/// inside a threaded pipeline, the same contract krr_sharded has.
+///
+/// Checkpointing is structurally unsupported (per-shard queue state cannot
+/// be snapshotted consistently mid-drain): save_state/load_state report
+/// kInvalidArgument and the registry entries leave `caps.checkpoint`
+/// unset, so the CLI refuses --checkpoint-* up front.
+class ShardedEstimator final : public MrcEstimator {
+ public:
+  struct Config {
+    /// Registry name of the model every shard runs ("shards", "aet", ...).
+    std::string base_model;
+    /// Options handed to every per-shard factory call (fan-out keys
+    /// threads/shards/queue_capacity/failure_mode are stripped;
+    /// shard_count/seed are overwritten per shard).
+    EstimatorOptions base_options;
+    /// Number of hash-disjoint keyspace partitions S (>= 1).
+    std::uint32_t shards = 1;
+    /// Worker threads consuming shard queues; <= 1 runs inline. With
+    /// shards == 1 the pipeline is bit-identical to the serial model.
+    unsigned threads = 1;
+    std::size_t queue_capacity = 1u << 16;
+    ShardFailureMode failure_mode = ShardFailureMode::kStrict;
+    /// Global memory budget (0 = ungoverned), split evenly across shards.
+    std::uint64_t max_stack_bytes = 0;
+    /// Test seam forwarded to ShardFanout::Config::before_access_hook.
+    std::function<void(std::uint32_t shard, const Request&)> before_access_hook;
+  };
+
+  /// Builds the per-shard instances through EstimatorRegistry::instance().
+  /// Throws std::invalid_argument when the base model rejects the options
+  /// (the registry maps that onto kInvalidArgument at create() time).
+  explicit ShardedEstimator(const Config& config);
+
+  void access(const Request& req) override;
+  void finish() override;
+  MissRatioCurve mrc(const std::vector<double>& sizes = {}) const override;
+  std::uint64_t processed() const override;
+  RunReport run_report(const TraceReadReport* ingest = nullptr) const override;
+  obs::HeartbeatSnapshot snapshot() const override;
+
+  /// External governance is a no-op by contract: the budget must be
+  /// enforced from the consuming threads (see class comment), so the
+  /// governor sees "always within budget" and the lifecycle suite excludes
+  /// sharded models from the externally-governed set.
+  std::uint64_t space_overhead_bytes() const override { return 0; }
+  bool degrade() override { return false; }
+
+  Status save_state(std::string* out) const override;
+  Status load_state(const std::string& payload) override;
+
+  void attach_metrics(obs::PipelineMetrics* metrics) noexcept override;
+  void attach_tracer(obs::Tracer* tracer) noexcept override;
+  void export_gauges(obs::MetricsRegistry& registry) const override;
+
+  /// Which shard a key routes to: the top 32 hash bits, disjoint from the
+  /// low bits spatial filters threshold on, so shard identity and sample
+  /// membership are independent uniform functions of the key.
+  std::uint32_t shard_of(std::uint64_t key) const noexcept;
+
+  std::uint32_t shards() const noexcept { return fanout_.shard_count(); }
+  unsigned threads() const noexcept { return fanout_.worker_count(); }
+  std::uint64_t shards_failed() const noexcept {
+    return fanout_.shards_failed();
+  }
+  std::uint64_t dropped_records() const noexcept {
+    return fanout_.dropped_records();
+  }
+
+  /// Shard-local estimator, for tests/diagnostics. Post-finish only when
+  /// threaded; after mrc()/run_report() shard 0 (or the first survivor)
+  /// holds the merged state.
+  const MrcEstimator& shard(std::uint32_t s) const;
+
+ private:
+  struct ShardPayload {
+    std::unique_ptr<MrcEstimator> estimator;
+    std::uint64_t budget_bytes = 0;  // per-shard share; 0 = ungoverned
+    std::uint64_t accesses = 0;
+
+    void access(const Request& req);
+    obs::HeartbeatSnapshot live_state() const { return estimator->snapshot(); }
+  };
+
+  /// Per-shard end-of-run numbers cached before the merge mutates the
+  /// survivor instances (absorb() folds shards together in place).
+  struct ShardStats {
+    obs::HeartbeatSnapshot snapshot;
+    RunReport report;
+    bool dead = false;
+  };
+
+  static std::vector<std::unique_ptr<ShardPayload>> make_payloads(
+      const Config& config);
+  static typename ShardFanout<ShardPayload>::Config fanout_config(
+      const Config& config);
+
+  /// Snapshots every shard's pre-merge numbers (absorb() mutates the
+  /// survivors in place, so run_report/export_gauges read the cache).
+  /// Idempotent; const because lazy callers (inline-mode mrc()) hit it too.
+  void cache_shard_stats() const;
+  /// Folds the survivors into the first live shard (ascending shard order,
+  /// so the merge is deterministic and thread-count-invariant), then
+  /// applies the S/(S-F) survivor rescale. Idempotent.
+  void ensure_merged() const;
+  void require_finished(const char* what) const;
+
+  Config config_;
+  mutable ShardFanout<ShardPayload> fanout_;
+  mutable bool merged_ = false;
+  mutable std::uint32_t merge_base_ = 0;          // first surviving shard
+  mutable std::vector<ShardStats> shard_stats_;   // filled by finish()
+  double configured_rate_ = 1.0;                  // shard 0's initial rate
+};
+
+}  // namespace krr

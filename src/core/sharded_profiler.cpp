@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
-#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -13,61 +12,11 @@
 
 namespace krr {
 
-namespace {
-
-/// Records a worker pulls from one shard queue before moving to its next
-/// owned shard (and before republishing that shard's live gauges). Large
-/// enough to amortize the gauge stores, small enough that a worker owning
-/// several shards does not starve any of them.
-constexpr int kDrainBatch = 256;
-
-/// Drain batches between traced drain spans. A span costs two clock reads,
-/// so with 256-record batches a traced worker reads the clock once per
-/// ~4096 records — the same stride Heartbeat::tick gates at.
-constexpr std::uint64_t kDrainTraceStride = 16;
-
-}  // namespace
-
-struct ShardedKrrProfiler::Shard {
-  Shard(const KrrProfilerConfig& cfg, std::size_t queue_capacity)
-      : profiler(cfg), queue(queue_capacity) {}
-
-  KrrProfiler profiler;
-  SpscQueue<Request> queue;
-
-  // Best-effort failure mode: set (by the owning worker, or the producer
-  // in inline mode) when this shard's pipeline threw. A dead shard's queue
-  // is drained to the bit bucket and its state is excluded from merges.
-  std::atomic<bool> dead{false};
-
-  // Worker-owned drain-batch counter gating traced spans (no atomics: one
-  // consumer per shard).
-  std::uint64_t drain_batches = 0;
-
-  // Live gauges the owning worker publishes once per drain batch so the
-  // producer thread can heartbeat without touching profiler internals.
-  std::atomic<std::uint64_t> live_sampled{0};
-  std::atomic<std::uint64_t> live_depth{0};
-  std::atomic<std::uint64_t> live_resident{0};
-  std::atomic<std::uint64_t> live_degradations{0};
-  std::atomic<double> live_rate{1.0};
-
-  void publish_live() noexcept {
-    live_sampled.store(profiler.sampled(), std::memory_order_relaxed);
-    live_depth.store(profiler.stack_depth(), std::memory_order_relaxed);
-    live_resident.store(profiler.space_overhead_bytes(),
-                        std::memory_order_relaxed);
-    live_degradations.store(profiler.degradation_events(),
-                            std::memory_order_relaxed);
-    live_rate.store(profiler.current_sampling_rate(),
-                    std::memory_order_relaxed);
-  }
-};
-
-ShardedKrrProfiler::ShardedKrrProfiler(const ShardedKrrProfilerConfig& config)
-    : config_(config) {
+std::vector<std::unique_ptr<ShardedKrrProfiler::KrrShardPayload>>
+ShardedKrrProfiler::make_payloads(const ShardedKrrProfilerConfig& config) {
   const std::uint32_t shard_n = config.shards == 0 ? 1 : config.shards;
-  shards_.reserve(shard_n);
+  std::vector<std::unique_ptr<KrrShardPayload>> payloads;
+  payloads.reserve(shard_n);
   for (std::uint32_t s = 0; s < shard_n; ++s) {
     KrrProfilerConfig cfg = config.base;
     cfg.shard_count = shard_n;
@@ -78,225 +27,39 @@ ShardedKrrProfiler::ShardedKrrProfiler(const ShardedKrrProfilerConfig& config)
       cfg.max_stack_bytes =
           std::max<std::uint64_t>(cfg.max_stack_bytes / shard_n, 1);
     }
-    shards_.push_back(std::make_unique<Shard>(cfg, config.queue_capacity));
-    shards_.back()->publish_live();
+    payloads.push_back(std::make_unique<KrrShardPayload>(cfg));
   }
-  if (config.threads > 1) {
-    worker_count_ = std::min<unsigned>(config.threads, shard_n);
-    pool_ = std::make_unique<ThreadPool>(worker_count_);
-    for (unsigned t = 0; t < worker_count_; ++t) {
-      pool_->submit([this, t] { drain_loop(t); });
-    }
-  }
+  return payloads;
 }
 
-ShardedKrrProfiler::~ShardedKrrProfiler() {
-  done_.store(true, std::memory_order_release);
-  // ThreadPool's destructor joins after the drain tasks exit; worker
-  // exceptions that finish() never observed die with the pool.
-  pool_.reset();
+ShardFanout<ShardedKrrProfiler::KrrShardPayload>::Config
+ShardedKrrProfiler::fanout_config(const ShardedKrrProfilerConfig& config) {
+  ShardFanout<KrrShardPayload>::Config cfg;
+  cfg.threads = config.threads;
+  cfg.queue_capacity = config.queue_capacity;
+  cfg.failure_mode = config.failure_mode;
+  cfg.before_access_hook = config.before_access_hook;
+  return cfg;
 }
+
+ShardedKrrProfiler::ShardedKrrProfiler(const ShardedKrrProfilerConfig& config)
+    : config_(config),
+      fanout_(make_payloads(config), fanout_config(config)) {}
+
+ShardedKrrProfiler::~ShardedKrrProfiler() = default;
 
 std::uint32_t ShardedKrrProfiler::shard_of(std::uint64_t key) const noexcept {
   // Top hash bits: disjoint from the low bits the SpatialFilter thresholds
   // (modulus 2^24), so shard identity and sample membership are
   // independent uniform functions of the key.
-  return static_cast<std::uint32_t>(hash64(key) >> 32) %
-         static_cast<std::uint32_t>(shards_.size());
+  return static_cast<std::uint32_t>(hash64(key) >> 32) % fanout_.shard_count();
 }
 
 void ShardedKrrProfiler::access(const Request& req) {
-  ++processed_;
-  const std::uint32_t index = shard_of(req.key);
-  Shard& shard = *shards_[index];
-#ifdef KRR_METRICS_ENABLED
-  if (metrics_ != nullptr) {
-    metrics_->sharded.enqueued->inc();
-    if ((processed_ & 1023u) == 0) {
-      metrics_->sharded.queue_depth->record(shard.queue.size_approx());
-    }
-  }
-#endif
-  if (shard.dead.load(std::memory_order_acquire)) {
-    dropped_records_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  if (worker_count_ == 0) {
-    if (config_.failure_mode == ShardFailureMode::kBestEffort) {
-      try {
-        if (config_.before_access_hook) config_.before_access_hook(index, req);
-        shard.profiler.access(req);
-      } catch (...) {
-        shard.dead.store(true, std::memory_order_release);
-        shards_failed_.fetch_add(1, std::memory_order_relaxed);
-        dropped_records_.fetch_add(1, std::memory_order_relaxed);
-        if (tracer_ != nullptr) {
-          tracer_->instant("sharded.shard_failed", "sharded", index + 1,
-                           {{"shard", static_cast<double>(index)}});
-        }
-      }
-      return;
-    }
-    if (config_.before_access_hook) config_.before_access_hook(index, req);
-    shard.profiler.access(req);
-    return;
-  }
-  if (shard.queue.try_push(req)) return;
-  // Backpressure: the shard's worker is behind. Yield-spin rather than
-  // block on a condvar — stalls are transient (a worker mid-batch) and the
-  // producer is the only thread that can relieve other shards.
-#ifdef KRR_METRICS_ENABLED
-  if (metrics_ != nullptr) metrics_->sharded.producer_stalls->inc();
-#endif
-  const std::uint64_t stall_start_ns =
-      tracer_ != nullptr ? tracer_->now_ns() : 0;
-  const auto trace_stall = [&] {
-    if (tracer_ != nullptr) {
-      tracer_->complete("sharded.queue_stall", "sharded", 0, stall_start_ns,
-                        tracer_->now_ns() - stall_start_ns,
-                        {{"shard", static_cast<double>(index)}});
-    }
-  };
-  Stopwatch stall;
-  for (;;) {
-    if (failed_.load(std::memory_order_acquire)) {
-      // A worker died; its queues will never drain. Drop the record — the
-      // run is poisoned and finish() will rethrow the worker's error.
-      stall_seconds_ += stall.seconds();
-      trace_stall();
-      return;
-    }
-    if (shard.dead.load(std::memory_order_acquire)) {
-      // Best-effort: this shard just died under us; stop waiting on it.
-      dropped_records_.fetch_add(1, std::memory_order_relaxed);
-      stall_seconds_ += stall.seconds();
-      trace_stall();
-      return;
-    }
-    std::this_thread::yield();
-    if (shard.queue.try_push(req)) break;
-  }
-  stall_seconds_ += stall.seconds();
-  trace_stall();
+  fanout_.route(shard_of(req.key), req);
 }
 
-void ShardedKrrProfiler::drain_batch(Shard& shard, std::uint32_t index,
-                                     bool& did_work) {
-  Request req;
-  int budget = kDrainBatch;
-  if (shard.dead.load(std::memory_order_relaxed)) {
-    // Discard what the producer enqueued before it noticed the death; the
-    // queue must keep draining or the producer's backpressure spin would
-    // wait on a shard that will never consume.
-    while (budget-- > 0 && shard.queue.try_pop(req)) {
-      dropped_records_.fetch_add(1, std::memory_order_relaxed);
-      did_work = true;
-    }
-    return;
-  }
-  // Stride-gated drain spans: one traced batch (two clock reads) every
-  // kDrainTraceStride batches; untraced batches pay one branch.
-  const bool traced =
-      tracer_ != nullptr && (shard.drain_batches++ % kDrainTraceStride) == 0;
-  const std::uint64_t batch_start_ns = traced ? tracer_->now_ns() : 0;
-  int drained = 0;
-  try {
-    while (budget-- > 0 && shard.queue.try_pop(req)) {
-      ++drained;
-      if (config_.before_access_hook) config_.before_access_hook(index, req);
-      shard.profiler.access(req);
-    }
-  } catch (...) {
-    if (config_.failure_mode == ShardFailureMode::kStrict) throw;
-    // Best-effort: only this shard dies; the worker keeps serving its
-    // other shards and the producer keeps the run alive.
-    shard.dead.store(true, std::memory_order_release);
-    shards_failed_.fetch_add(1, std::memory_order_relaxed);
-    dropped_records_.fetch_add(1, std::memory_order_relaxed);
-    did_work = true;
-    if (tracer_ != nullptr) {
-      tracer_->instant("sharded.shard_failed", "sharded", index + 1,
-                       {{"shard", static_cast<double>(index)}});
-    }
-    return;
-  }
-  if (drained > 0) {
-    shard.publish_live();
-    did_work = true;
-    if (traced) {
-      tracer_->complete("sharded.drain", "sharded", index + 1, batch_start_ns,
-                        tracer_->now_ns() - batch_start_ns,
-                        {{"records", static_cast<double>(drained)},
-                         {"depth", static_cast<double>(
-                              shard.profiler.stack_depth())}});
-    }
-  }
-}
-
-void ShardedKrrProfiler::drain_loop(unsigned worker_index) {
-  // Static shard ownership (shard s -> worker s % T) keeps every queue
-  // strictly single-consumer.
-  std::vector<std::uint32_t> owned;
-  for (std::uint32_t s = worker_index; s < shards_.size();
-       s += worker_count_) {
-    owned.push_back(s);
-  }
-  try {
-    for (;;) {
-      bool did_work = false;
-      for (std::uint32_t s : owned) drain_batch(*shards_[s], s, did_work);
-      if (did_work) continue;
-      if (done_.load(std::memory_order_acquire)) {
-        // done_ was released after the producer's last push, so an empty
-        // check after this acquire is conclusive.
-        bool all_empty = true;
-        for (std::uint32_t s : owned) {
-          if (!shards_[s]->queue.empty_approx()) {
-            all_empty = false;
-            break;
-          }
-        }
-        if (all_empty) return;
-      } else {
-        std::this_thread::yield();
-      }
-    }
-  } catch (...) {
-    // Flag first so the producer's stall loop cannot wait forever on this
-    // worker's queues, then let the pool capture the exception for
-    // finish() to rethrow.
-    failed_.store(true, std::memory_order_release);
-    throw;
-  }
-}
-
-void ShardedKrrProfiler::finish() {
-  if (finished_) return;
-  if (worker_count_ != 0) {
-    const std::uint64_t join_start_ns =
-        tracer_ != nullptr ? tracer_->now_ns() : 0;
-    done_.store(true, std::memory_order_release);
-    pool_->wait_idle();  // rethrows the first worker exception (strict mode)
-    if (tracer_ != nullptr) {
-      tracer_->complete("sharded.drain_join", "sharded", 0, join_start_ns,
-                        tracer_->now_ns() - join_start_ns);
-    }
-  }
-  finished_ = true;
-#ifdef KRR_METRICS_ENABLED
-  if (metrics_ != nullptr) {
-    metrics_->sharded.stall_seconds->set(stall_seconds_);
-    metrics_->sharded.shard_failures->inc(shards_failed());
-  }
-#endif
-  // Best-effort recovery extrapolates from the survivors; with none left
-  // there is nothing to extrapolate from and the run has truly failed.
-  if (shards_failed() >= shards_.size()) {
-    throw StatusError(resource_limit_error(
-        "all " + std::to_string(shards_.size()) +
-        " shards failed; no surviving shard to merge"));
-  }
-}
+void ShardedKrrProfiler::finish() { fanout_.finish(); }
 
 namespace {
 
@@ -308,32 +71,33 @@ namespace {
 }  // namespace
 
 const KrrProfiler& ShardedKrrProfiler::shard(std::uint32_t s) const {
-  if (worker_count_ != 0 && !finished_) throw_unfinished("shard()");
-  return shards_.at(s)->profiler;
+  if (fanout_.needs_finish()) throw_unfinished("shard()");
+  return fanout_.payload(s).profiler;
 }
 
 DistanceHistogram ShardedKrrProfiler::merged_histogram() const {
-  if (worker_count_ != 0 && !finished_) throw_unfinished("merged_histogram()");
+  if (fanout_.needs_finish()) throw_unfinished("merged_histogram()");
   DistanceHistogram merged(config_.base.histogram_quantum);
   std::size_t live = 0;
-  for (const auto& shard : shards_) {
-    if (shard->dead.load(std::memory_order_acquire)) continue;
-    merged.merge(shard->profiler.adjusted_histogram());
+  for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
+    if (fanout_.dead(s)) continue;
+    merged.merge(fanout_.payload(s).profiler.adjusted_histogram());
     ++live;
   }
   if (live == 0) {
     throw StatusError(resource_limit_error(
         "every shard failed; no histogram to merge"));
   }
-  if (live < shards_.size()) {
+  if (live < fanout_.shard_count()) {
     // Each shard is an unbiased 1/S spatial sample, so scaling the
     // survivors' mass by S/(S-F) extrapolates the dropped shards' share.
-    merged.scale(static_cast<double>(shards_.size()) /
+    merged.scale(static_cast<double>(fanout_.shard_count()) /
                  static_cast<double>(live));
-    if (tracer_ != nullptr) {
-      tracer_->instant("sharded.survivor_rescale", "sharded", 0,
-                       {{"shards", static_cast<double>(shards_.size())},
-                        {"survivors", static_cast<double>(live)}});
+    if (fanout_.tracer() != nullptr) {
+      fanout_.tracer()->instant(
+          "sharded.survivor_rescale", "sharded", 0,
+          {{"shards", static_cast<double>(fanout_.shard_count())},
+           {"survivors", static_cast<double>(live)}});
     }
   }
   return merged;
@@ -342,16 +106,17 @@ DistanceHistogram ShardedKrrProfiler::merged_histogram() const {
 MissRatioCurve ShardedKrrProfiler::mrc() const {
   double merge_seconds = 0.0;
   MissRatioCurve curve;
+  obs::Tracer* tracer = fanout_.tracer();
   const std::uint64_t merge_start_ns =
-      tracer_ != nullptr ? tracer_->now_ns() : 0;
+      tracer != nullptr ? tracer->now_ns() : 0;
   {
     ScopedTimer timer(merge_seconds);
     curve = merged_histogram().to_mrc();
   }
-  if (tracer_ != nullptr) {
-    tracer_->complete("sharded.merge", "sharded", 0, merge_start_ns,
-                      tracer_->now_ns() - merge_start_ns,
-                      {{"shards", static_cast<double>(shards_.size())}});
+  if (tracer != nullptr) {
+    tracer->complete("sharded.merge", "sharded", 0, merge_start_ns,
+                     tracer->now_ns() - merge_start_ns,
+                     {{"shards", static_cast<double>(fanout_.shard_count())}});
   }
 #ifdef KRR_METRICS_ENABLED
   if (metrics_ != nullptr) {
@@ -363,42 +128,42 @@ MissRatioCurve ShardedKrrProfiler::mrc() const {
 
 std::uint64_t ShardedKrrProfiler::sampled() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    if (shard->dead.load(std::memory_order_acquire)) continue;
-    total += shard->profiler.sampled();
+  for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
+    if (fanout_.dead(s)) continue;
+    total += fanout_.payload(s).profiler.sampled();
   }
   return total;
 }
 
 std::uint64_t ShardedKrrProfiler::stack_depth() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    if (shard->dead.load(std::memory_order_acquire)) continue;
-    total += shard->profiler.stack_depth();
+  for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
+    if (fanout_.dead(s)) continue;
+    total += fanout_.payload(s).profiler.stack_depth();
   }
   return total;
 }
 
 std::uint64_t ShardedKrrProfiler::space_overhead_bytes() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    if (shard->dead.load(std::memory_order_acquire)) continue;
-    total += shard->profiler.space_overhead_bytes();
+  for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
+    if (fanout_.dead(s)) continue;
+    total += fanout_.payload(s).profiler.space_overhead_bytes();
   }
   return total;
 }
 
 std::uint64_t ShardedKrrProfiler::degradation_events() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    if (shard->dead.load(std::memory_order_acquire)) continue;
-    total += shard->profiler.degradation_events();
+  for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
+    if (fanout_.dead(s)) continue;
+    total += fanout_.payload(s).profiler.degradation_events();
   }
   return total;
 }
 
 RunReport ShardedKrrProfiler::run_report(const TraceReadReport* ingest) const {
-  if (worker_count_ != 0 && !finished_) throw_unfinished("run_report()");
+  if (fanout_.needs_finish()) throw_unfinished("run_report()");
   RunReport report;
   if (ingest != nullptr) {
     report.records_read = ingest->records_read;
@@ -406,15 +171,15 @@ RunReport ShardedKrrProfiler::run_report(const TraceReadReport* ingest) const {
     report.checksum_failures = ingest->checksum_failures;
     report.truncated_tail = ingest->truncated_tail;
   } else {
-    report.records_read = processed_;
+    report.records_read = fanout_.processed();
   }
   report.configured_sampling_rate =
-      shards_.front()->profiler.run_report(nullptr).configured_sampling_rate;
+      fanout_.payload(0).profiler.run_report(nullptr).configured_sampling_rate;
   double final_rate = 1.0;
   bool first = true;
-  for (const auto& shard : shards_) {
-    if (shard->dead.load(std::memory_order_acquire)) continue;
-    const KrrProfiler& profiler = shard->profiler;
+  for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
+    if (fanout_.dead(s)) continue;
+    const KrrProfiler& profiler = fanout_.payload(s).profiler;
     report.degradation_events += profiler.degradation_events();
     report.stack_depth += profiler.stack_depth();
     report.space_overhead_bytes += profiler.space_overhead_bytes();
@@ -423,67 +188,26 @@ RunReport ShardedKrrProfiler::run_report(const TraceReadReport* ingest) const {
     first = false;
   }
   report.final_sampling_rate = final_rate;
-  report.producer_stall_seconds = stall_seconds_;
-  report.shards_failed = shards_failed();
+  report.producer_stall_seconds = fanout_.producer_stall_seconds();
+  report.shards_failed = fanout_.shards_failed();
   return report;
-}
-
-obs::HeartbeatSnapshot ShardedKrrProfiler::snapshot() const {
-  obs::HeartbeatSnapshot snap;
-  snap.records = processed_;
-  double min_rate = 1.0;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    const Shard& shard = *shards_[s];
-    if (worker_count_ == 0) {
-      // Inline mode: no concurrency, read the profiler directly.
-      snap.sampled += shard.profiler.sampled();
-      snap.stack_depth += shard.profiler.stack_depth();
-      snap.resident_bytes += shard.profiler.space_overhead_bytes();
-      snap.degradation_events += shard.profiler.degradation_events();
-      min_rate = s == 0 ? shard.profiler.current_sampling_rate()
-                        : std::min(min_rate,
-                                   shard.profiler.current_sampling_rate());
-    } else {
-      snap.sampled += shard.live_sampled.load(std::memory_order_relaxed);
-      snap.stack_depth += shard.live_depth.load(std::memory_order_relaxed);
-      snap.resident_bytes +=
-          shard.live_resident.load(std::memory_order_relaxed);
-      snap.degradation_events +=
-          shard.live_degradations.load(std::memory_order_relaxed);
-      const double rate = shard.live_rate.load(std::memory_order_relaxed);
-      min_rate = s == 0 ? rate : std::min(min_rate, rate);
-    }
-  }
-  snap.sampling_rate = min_rate;
-  return snap;
 }
 
 void ShardedKrrProfiler::attach_metrics(obs::PipelineMetrics* metrics) noexcept {
 #ifdef KRR_METRICS_ENABLED
   metrics_ = metrics;
-  if (metrics_ != nullptr) {
-    metrics_->sharded.shards->set(static_cast<double>(shards_.size()));
-    metrics_->sharded.threads->set(static_cast<double>(worker_count_));
-  }
-#else
-  (void)metrics;
 #endif
+  fanout_.attach_metrics(metrics);
 }
 
 void ShardedKrrProfiler::attach_tracer(obs::Tracer* tracer) noexcept {
-  tracer_ = tracer;
-  if (tracer_ == nullptr) return;
-  tracer_->set_lane_name(0, "producer");
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    tracer_->set_lane_name(static_cast<std::uint32_t>(s) + 1,
-                           "shard " + std::to_string(s));
-  }
+  fanout_.attach_tracer(tracer);
 }
 
 void ShardedKrrProfiler::export_shard_gauges(
     obs::MetricsRegistry& registry) const {
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    const KrrProfiler& profiler = shards_[s]->profiler;
+  for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
+    const KrrProfiler& profiler = fanout_.payload(s).profiler;
     const std::string prefix = "sharded.shard" + std::to_string(s) + ".";
     registry.gauge(prefix + "stack_depth")
         .set(static_cast<double>(profiler.stack_depth()));
@@ -492,8 +216,7 @@ void ShardedKrrProfiler::export_shard_gauges(
     registry.gauge(prefix + "degradations")
         .set(static_cast<double>(profiler.degradation_events()));
     registry.gauge(prefix + "final_rate").set(profiler.current_sampling_rate());
-    registry.gauge(prefix + "failed")
-        .set(shards_[s]->dead.load(std::memory_order_acquire) ? 1.0 : 0.0);
+    registry.gauge(prefix + "failed").set(fanout_.dead(s) ? 1.0 : 0.0);
   }
 }
 

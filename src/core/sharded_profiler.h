@@ -1,15 +1,14 @@
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "core/profiler.h"
+#include "core/sharded_estimator.h"
 #include "obs/heartbeat.h"
 #include "trace/request.h"
-#include "util/parallel.h"
 
 namespace krr {
 
@@ -19,21 +18,11 @@ class MetricsRegistry;
 class Tracer;
 }  // namespace obs
 
-/// How the sharded pipeline reacts when a shard worker throws mid-run.
-enum class ShardFailureMode {
-  /// Fail fast (default): the producer stops feeding and finish() rethrows
-  /// the first worker exception.
-  kStrict,
-  /// Drop the failed shard and keep the run alive: the shard's queue is
-  /// discarded, records routed to it are dropped, and at merge time the
-  /// surviving shards' histogram is rescaled by S/(S-F) — each shard is an
-  /// unbiased 1/S sample of the keyspace, so the extrapolation stays
-  /// unbiased. Failures are counted in RunReport::shards_failed; the run
-  /// only fails if every shard dies.
-  kBestEffort,
-};
-
-/// Configuration for the sharded (multi-threaded) profiling pipeline.
+/// Configuration for the sharded (multi-threaded) KRR profiling pipeline.
+/// The failure policy enum and the fan-out machinery live in
+/// core/sharded_estimator.h (ShardFailureMode, ShardFanout) — this profiler
+/// is the KRR-specialized wrapper over the same generic pipeline the
+/// registry's *_sharded models use.
 struct ShardedKrrProfilerConfig {
   /// The model configuration every shard runs with. `shard_count` and
   /// `seed` are overwritten per shard (seed + shard index keeps shard
@@ -73,12 +62,10 @@ struct ShardedKrrProfilerConfig {
 /// shard's rescaled histogram is an unbiased estimate of 1/S of the global
 /// reuse mass, so the merge is a plain weight sum.
 ///
-/// Threading model: the caller (typically the trace-reader thread) is the
-/// single producer, fanning records out to per-shard bounded SPSC queues;
-/// min(threads, shards) persistent workers each own a fixed subset of
-/// shards (shard s belongs to worker s % T) and drain them in stream
-/// order. One queue therefore has exactly one producer and one consumer,
-/// and no record path takes a global lock.
+/// Threading model: see ShardFanout (core/sharded_estimator.h), which owns
+/// the producer fan-out, backpressure, failure handling, and live-gauge
+/// publication. This wrapper owns the KRR specifics: per-shard config
+/// derivation, histogram merge, and the KRR-shaped reports.
 ///
 ///   ShardedKrrProfiler profiler({.base = cfg, .shards = 8, .threads = 8});
 ///   for (const Request& r : trace) profiler.access(r);
@@ -120,7 +107,7 @@ class ShardedKrrProfiler {
   RunReport run_report(const TraceReadReport* ingest = nullptr) const;
 
   /// References routed so far (producer-side, exact).
-  std::uint64_t processed() const noexcept { return processed_; }
+  std::uint64_t processed() const noexcept { return fanout_.processed(); }
 
   /// Post-finish aggregates over shards (best-effort mode: surviving
   /// shards only — a dead shard's partial state is not trustworthy).
@@ -132,23 +119,23 @@ class ShardedKrrProfiler {
   /// Shards dropped by best-effort recovery (0 in strict mode: a failure
   /// there aborts the run before this is readable).
   std::uint64_t shards_failed() const noexcept {
-    return shards_failed_.load(std::memory_order_relaxed);
+    return fanout_.shards_failed();
   }
 
   /// Records discarded because their shard was already dead (producer
   /// drops plus queued records the worker discarded after failing).
   std::uint64_t dropped_records() const noexcept {
-    return dropped_records_.load(std::memory_order_relaxed);
+    return fanout_.dropped_records();
   }
 
-  std::uint32_t shards() const noexcept {
-    return static_cast<std::uint32_t>(shards_.size());
-  }
-  unsigned threads() const noexcept { return worker_count_; }
-  bool finished() const noexcept { return finished_; }
+  std::uint32_t shards() const noexcept { return fanout_.shard_count(); }
+  unsigned threads() const noexcept { return fanout_.worker_count(); }
+  bool finished() const noexcept { return fanout_.finished(); }
 
   /// Cumulative seconds the producer spent waiting on full shard queues.
-  double producer_stall_seconds() const noexcept { return stall_seconds_; }
+  double producer_stall_seconds() const noexcept {
+    return fanout_.producer_stall_seconds();
+  }
 
   /// Shard-local profiler, for tests/diagnostics. Post-finish only.
   const KrrProfiler& shard(std::uint32_t s) const;
@@ -161,7 +148,7 @@ class ShardedKrrProfiler {
   /// thread mid-run: producer-exact record count plus per-shard gauges the
   /// workers publish batch-wise (so the numbers trail by at most one drain
   /// batch).
-  obs::HeartbeatSnapshot snapshot() const;
+  obs::HeartbeatSnapshot snapshot() const { return fanout_.live_aggregate(); }
 
   /// Attaches fan-out instrumentation (sharded.* metrics) and nothing on
   /// the per-shard hot paths (per-record shard metrics would serialize the
@@ -170,11 +157,11 @@ class ShardedKrrProfiler {
   void attach_metrics(obs::PipelineMetrics* metrics) noexcept;
 
   /// Attaches span/event tracing: lane 0 is the producer, lane s+1 is
-  /// shard s (named in the export). Workers emit one drain span per
-  /// kDrainTraceStride batches (stride-gated clock reads, Heartbeat-style);
-  /// queue stalls, shard deaths, survivor rescale, and the merge are traced
-  /// unconditionally. Call before the first access(); detached cost is one
-  /// branch per batch. Non-owning; the tracer must outlive the profiler.
+  /// shard s (named in the export). Workers emit one drain span per traced
+  /// stride (gated clock reads, Heartbeat-style); queue stalls, shard
+  /// deaths, survivor rescale, and the merge are traced unconditionally.
+  /// Call before the first access(); detached cost is one branch per
+  /// batch. Non-owning; the tracer must outlive the profiler.
   void attach_tracer(obs::Tracer* tracer) noexcept;
 
   /// Publishes per-shard end-of-run gauges
@@ -184,25 +171,34 @@ class ShardedKrrProfiler {
   void export_shard_gauges(obs::MetricsRegistry& registry) const;
 
  private:
-  struct Shard;
+  /// ShardFanout payload: one shard-local KrrProfiler.
+  struct KrrShardPayload {
+    explicit KrrShardPayload(const KrrProfilerConfig& cfg) : profiler(cfg) {}
 
-  void drain_loop(unsigned worker_index);
-  void drain_batch(Shard& shard, std::uint32_t index, bool& did_work);
+    void access(const Request& req) { profiler.access(req); }
+    obs::HeartbeatSnapshot live_state() const {
+      obs::HeartbeatSnapshot s;
+      s.records = profiler.processed();
+      s.sampled = profiler.sampled();
+      s.stack_depth = profiler.stack_depth();
+      s.resident_bytes = profiler.space_overhead_bytes();
+      s.sampling_rate = profiler.current_sampling_rate();
+      s.degradation_events = profiler.degradation_events();
+      return s;
+    }
+
+    KrrProfiler profiler;
+  };
+
+  static std::vector<std::unique_ptr<KrrShardPayload>> make_payloads(
+      const ShardedKrrProfilerConfig& config);
+  static ShardFanout<KrrShardPayload>::Config fanout_config(
+      const ShardedKrrProfilerConfig& config);
 
   ShardedKrrProfilerConfig config_;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  unsigned worker_count_ = 0;             // 0 = inline mode
-  std::unique_ptr<ThreadPool> pool_;      // null in inline mode
-  std::atomic<bool> done_{false};         // producer closed the stream
-  std::atomic<bool> failed_{false};       // some worker threw (strict mode)
-  std::atomic<std::uint64_t> shards_failed_{0};
-  std::atomic<std::uint64_t> dropped_records_{0};
-  bool finished_ = false;
-  std::uint64_t processed_ = 0;           // producer-side
-  double stall_seconds_ = 0.0;            // producer-side
-  obs::Tracer* tracer_ = nullptr;         // unconditional: gauge-grade events
+  ShardFanout<KrrShardPayload> fanout_;
 #ifdef KRR_METRICS_ENABLED
-  obs::PipelineMetrics* metrics_ = nullptr;
+  obs::PipelineMetrics* metrics_ = nullptr;  // for the merge_seconds gauge
 #endif
 };
 

@@ -63,8 +63,29 @@ bool ReuseTimeHistogram::coarsen() {
   return true;
 }
 
-ReuseTimeCollector::ReuseTimeCollector(std::uint32_t sub_buckets)
-    : histogram_(sub_buckets) {}
+void ReuseTimeHistogram::merge(const ReuseTimeHistogram& other) {
+  if (other.sub_buckets_ == sub_buckets_) {
+    if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size(), 0.0);
+    for (std::size_t i = 0; i < other.bins_.size(); ++i) {
+      bins_[i] += other.bins_[i];
+    }
+    total_ += other.total_;
+    return;
+  }
+  other.for_each_bin([this](std::uint64_t upper, double weight) {
+    record(std::max<std::uint64_t>(1, upper), weight);
+  });
+}
+
+void ReuseTimeHistogram::scale(double factor) {
+  for (double& bin : bins_) bin *= factor;
+  total_ *= factor;
+}
+
+ReuseTimeCollector::ReuseTimeCollector(std::uint32_t sub_buckets,
+                                       std::uint64_t stream_scale)
+    : histogram_(sub_buckets),
+      stream_scale_(stream_scale == 0 ? 1 : stream_scale) {}
 
 bool ReuseTimeCollector::in_sample(std::uint64_t key) const noexcept {
   return hash64(key) % sample_modulus_ < sample_threshold_;
@@ -81,8 +102,33 @@ std::uint64_t ReuseTimeCollector::access(std::uint64_t key) {
   }
   const std::uint64_t reuse_time = time_ - it->second;
   it->second = time_;
-  histogram_.record(reuse_time, scale());
+  histogram_.record(reuse_time * stream_scale_, scale());
   return reuse_time;
+}
+
+void ReuseTimeCollector::absorb(const ReuseTimeCollector& other) {
+  histogram_.merge(other.histogram_);
+  cold_ += other.cold_;
+  time_ += other.time_;
+  absorbed_distinct_ += other.distinct_objects();
+  absorbed_estimated_distinct_ += other.estimated_distinct();
+}
+
+void ReuseTimeCollector::scale_mass(double factor) {
+  // Retire the live maps into the absorbed counters so the whole distinct
+  // estimate scales uniformly; no further access() calls are expected.
+  absorbed_distinct_ += last_access_.size();
+  absorbed_estimated_distinct_ +=
+      static_cast<double>(last_access_.size()) * scale();
+  last_access_.clear();
+  first_access_.clear();
+  histogram_.scale(factor);
+  cold_ *= factor;
+  absorbed_estimated_distinct_ *= factor;
+  absorbed_distinct_ = static_cast<std::size_t>(
+      static_cast<double>(absorbed_distinct_) * factor + 0.5);
+  time_ = static_cast<std::uint64_t>(
+      static_cast<double>(time_) * factor + 0.5);
 }
 
 bool ReuseTimeCollector::halve_sample() {

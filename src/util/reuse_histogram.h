@@ -52,6 +52,18 @@ class ReuseTimeHistogram {
   /// Returns false once the resolution has bottomed out.
   bool coarsen();
 
+  /// Folds another histogram's mass into this one. Matching resolutions
+  /// add bin-wise (exact); differing resolutions re-record each of the
+  /// other's bins at its upper bound, the same conservative move coarsen()
+  /// makes. Bins are visited in ascending order, so merging is
+  /// deterministic for a fixed operand order.
+  void merge(const ReuseTimeHistogram& other);
+
+  /// Multiplies every bin (and the total) by `factor` — the sharded
+  /// runner's survivor extrapolation. Ratios of tail weights to totals are
+  /// unchanged; only absolute mass scales.
+  void scale(double factor);
+
  private:
   std::uint32_t sub_buckets_;
   std::vector<double> bins_;
@@ -71,10 +83,18 @@ class ReuseTimeHistogram {
 /// 1.0 and behaviour is bit-identical to the unsampled collector.
 class ReuseTimeCollector {
  public:
-  explicit ReuseTimeCollector(std::uint32_t sub_buckets = 256);
+  /// `stream_scale` rescales recorded reuse times for shard-local use:
+  /// a collector fed a uniform 1/S sample of a stream ticks its clock S
+  /// times slower than the full stream, so shard-local reuse times times S
+  /// estimate global ones (the same closure-under-thinning argument as
+  /// SHARDS distance scaling). The default 1 leaves times untouched and is
+  /// bit-identical to the unscaled collector.
+  explicit ReuseTimeCollector(std::uint32_t sub_buckets = 256,
+                              std::uint64_t stream_scale = 1);
 
-  /// Records one reference to `key`; returns the reuse time (0 when cold
-  /// or filtered out of the sample).
+  /// Records one reference to `key`; returns the shard-local reuse time
+  /// (0 when cold or filtered out of the sample). The histogram records
+  /// the stream-scaled time.
   std::uint64_t access(std::uint64_t key);
 
   /// Halves the sampling threshold and evicts tracked objects that no
@@ -90,10 +110,26 @@ class ReuseTimeCollector {
   /// 1/rate: the weight each sampled reference is recorded with.
   double scale() const noexcept { return 1.0 / sampling_rate(); }
 
-  /// Estimated distinct objects in the full stream: tracked * scale.
+  /// Estimated distinct objects in the full stream: tracked * scale, plus
+  /// whatever absorbed shard collectors contributed (shards are
+  /// key-disjoint, so the contributions add exactly).
   double estimated_distinct() const noexcept {
-    return static_cast<double>(last_access_.size()) * scale();
+    return static_cast<double>(last_access_.size()) * scale() +
+           absorbed_estimated_distinct_;
   }
+
+  /// Folds another collector's accumulated state into this one: histogram
+  /// mass, cold count, clock ticks, and distinct-object estimates all add.
+  /// Only meaningful when the two collectors saw disjoint key sets (the
+  /// sharded runner's hash partition guarantees this); the per-key maps of
+  /// `other` are summarized into counters, not copied.
+  void absorb(const ReuseTimeCollector& other);
+
+  /// Survivor extrapolation for best-effort sharded runs: multiplies all
+  /// accumulated mass (histogram, cold count, clock, distinct estimates)
+  /// by `factor`, folding the live per-key maps into the absorbed counters
+  /// first. The collector must not record further accesses afterwards.
+  void scale_mass(double factor);
 
   /// Forwards ReuseTimeHistogram::coarsen (the cheaper degradation step).
   bool coarsen_histogram() { return histogram_.coarsen(); }
@@ -105,7 +141,10 @@ class ReuseTimeCollector {
   const ReuseTimeHistogram& histogram() const noexcept { return histogram_; }
   double cold_count() const noexcept { return cold_; }
   std::uint64_t processed() const noexcept { return time_; }
-  std::size_t distinct_objects() const noexcept { return last_access_.size(); }
+  std::size_t distinct_objects() const noexcept {
+    return last_access_.size() + absorbed_distinct_;
+  }
+  std::uint64_t stream_scale() const noexcept { return stream_scale_; }
 
   /// Read-only view of last-access times (HOTL's window-edge corrections).
   const std::unordered_map<std::uint64_t, std::uint64_t>& last_access_times() const {
@@ -130,6 +169,11 @@ class ReuseTimeCollector {
   // hash64(key) % modulus < threshold.
   std::uint64_t sample_modulus_ = 1ULL << 24;
   std::uint64_t sample_threshold_ = 1ULL << 24;
+  std::uint64_t stream_scale_ = 1;
+  // Contributions folded in from absorbed shard collectors (and from this
+  // collector's own maps once scale_mass() retires them).
+  std::size_t absorbed_distinct_ = 0;
+  double absorbed_estimated_distinct_ = 0.0;
 };
 
 }  // namespace krr

@@ -201,11 +201,12 @@ INSTANTIATE_TEST_SUITE_P(ByteCapableModels, ByteGranularityConformance,
 
 TEST(EstimatorRegistry, HasEveryExpectedBuiltin) {
   auto& registry = EstimatorRegistry::instance();
-  EXPECT_GE(registry.size(), 14u);
+  EXPECT_GE(registry.size(), 17u);
   for (const char* name :
        {"krr", "krr_sharded", "krr_windowed", "naive_stack", "lru_stack",
         "olken_tree", "priority_stack", "shards", "shards_fixed", "aet",
-        "counter_stacks", "statstack", "mimir", "hotl"}) {
+        "counter_stacks", "statstack", "mimir", "hotl", "shards_sharded",
+        "shards_fixed_sharded", "aet_sharded"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     const EstimatorInfo* info = registry.find(name);
     ASSERT_NE(info, nullptr) << name;
@@ -271,6 +272,18 @@ TEST(EstimatorRegistry, CapabilityFlagsMatchTheModelFamilies) {
   EXPECT_TRUE(registry.find("priority_stack")->caps.reference_oracle);
   EXPECT_FALSE(registry.find("shards")->caps.models_klru);
   EXPECT_TRUE(registry.find("shards")->caps.spatial_sampling);
+  // AET's reuse-time histogram is built from a spatially thinned stream, so
+  // it composes with hash sharding just like SHARDS does.
+  EXPECT_TRUE(registry.find("aet")->caps.spatial_sampling);
+  for (const char* name :
+       {"shards_sharded", "shards_fixed_sharded", "aet_sharded"}) {
+    const EstimatorInfo* info = registry.find(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_TRUE(info->caps.sharded) << name;
+    EXPECT_TRUE(info->caps.spatial_sampling) << name;
+    EXPECT_TRUE(info->caps.governed_memory) << name;
+    EXPECT_FALSE(info->caps.checkpoint) << name;
+  }
 }
 
 TEST(EstimatorOptions, ParsesSpecsAndConvertsTypes) {

@@ -94,9 +94,10 @@ TEST(LifecycleConformance, UngovernedModelsExistAndIncludeLruStack) {
 
 // --- Degrade contract: after real input, every governed model reports a
 // nonzero footprint and can shed at least one increment of state without
-// growing. krr_sharded is the documented exception — its producer-side
-// hooks are inert (a worker races the caller) and governance runs inside
-// the shards instead, which the dedicated test below pins.
+// growing. Sharded pipelines (caps.sharded) are the documented exception —
+// their producer-side hooks are inert (a worker races the caller) and
+// governance runs inside the shards instead, which the dedicated tests
+// below pin for both krr_sharded and the generic runner.
 
 class GovernedDegrade : public ::testing::TestWithParam<std::string> {};
 
@@ -120,8 +121,13 @@ TEST_P(GovernedDegrade, SpaceIsAccountedAndDegradeShrinks) {
 
 std::vector<std::string> externally_governed_names() {
   auto names = names_with(&EstimatorCapabilities::governed_memory, true);
-  names.erase(std::remove(names.begin(), names.end(), "krr_sharded"),
-              names.end());
+  names.erase(
+      std::remove_if(names.begin(), names.end(),
+                     [](const std::string& name) {
+                       return EstimatorRegistry::instance().find(name)->caps
+                           .sharded;
+                     }),
+      names.end());
   return names;
 }
 
@@ -136,6 +142,25 @@ TEST(LifecycleConformance, ShardedGovernsInternally) {
   options.set("max_stack_bytes", "32768");
   options.set("shards", "2");
   auto est = make("krr_sharded", options);
+  EXPECT_EQ(est->space_overhead_bytes(), 0u);
+  EXPECT_FALSE(est->degrade());
+  const auto trace = zipf_trace(60000, 20000, 0.7);
+  for (const Request& r : trace) est->access(r);
+  est->finish();
+  const RunReport report = est->run_report();
+  EXPECT_GT(report.degradation_events, 0u);
+  EXPECT_LT(report.final_sampling_rate, report.configured_sampling_rate);
+}
+
+TEST(LifecycleConformance, GenericShardedGovernsInternally) {
+  // The generic runner inherits the same contract as krr_sharded: inert
+  // external hooks, with the global budget split evenly and enforced from
+  // the consuming threads (space check + degrade every 4096 accesses).
+  EstimatorOptions options;
+  options.set("max_stack_bytes", "32768");
+  options.set("shards", "2");
+  options.set("rate", "1.0");  // start unsampled so the budget has to bite
+  auto est = make("shards_sharded", options);
   EXPECT_EQ(est->space_overhead_bytes(), 0u);
   EXPECT_FALSE(est->degrade());
   const auto trace = zipf_trace(60000, 20000, 0.7);

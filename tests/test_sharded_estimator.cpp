@@ -1,0 +1,305 @@
+// Generic sharded runner conformance: any registry model declaring
+// spatial_sampling runs behind the same ShardFanout pipeline the KRR
+// profiler uses, and the contract carries over — results depend only on
+// (options, trace), never on the thread count; the merged curve tracks the
+// serial model statistically; shard failures propagate (strict) or degrade
+// the run (best-effort with survivor rescale); memory budgets are enforced
+// per shard from the consuming thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/sharded_estimator.h"
+#include "obs/metrics.h"
+#include "trace/generator.h"
+#include "trace/msr.h"
+#include "trace/zipf.h"
+#include "util/mrc.h"
+#include "util/status.h"
+
+namespace krr {
+namespace {
+
+// The spatial_sampling models the generic runner wraps, paired with their
+// registry-level sharded adapters.
+const std::string kBaseModels[] = {"shards", "shards_fixed", "aet"};
+
+std::string sharded_name(const std::string& base) { return base + "_sharded"; }
+
+std::vector<Request> zipf_trace(std::size_t n, std::uint64_t footprint,
+                                double alpha = 0.9, std::uint64_t seed = 3) {
+  ZipfianGenerator gen(footprint, alpha, seed, /*scrambled=*/true);
+  return materialize(gen, n);
+}
+
+std::unique_ptr<MrcEstimator> make(const std::string& name,
+                                   const EstimatorOptions& options = {}) {
+  auto est = EstimatorRegistry::instance().create(name, options);
+  EXPECT_TRUE(est.is_ok()) << name << ": " << est.status().message();
+  return std::move(*est);
+}
+
+MissRatioCurve run(MrcEstimator& est, const std::vector<Request>& trace,
+                   const std::vector<double>& sizes = {}) {
+  for (const Request& r : trace) est.access(r);
+  est.finish();
+  return est.mrc(sizes);
+}
+
+void expect_identical(const MissRatioCurve& a, const MissRatioCurve& b,
+                      const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.points()[i].size, b.points()[i].size) << context;
+    ASSERT_DOUBLE_EQ(a.points()[i].miss_ratio, b.points()[i].miss_ratio)
+        << context;
+  }
+}
+
+double mae_on_grid(const MissRatioCurve& a, const MissRatioCurve& b,
+                   std::size_t n_sizes = 40) {
+  const std::vector<double> sizes = evenly_spaced_sizes(a.max_size(), n_sizes);
+  return a.mae(b, sizes);
+}
+
+class ShardedZoo : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ShardedZoo, SingleShardInlineIsBitIdenticalToSerialBase) {
+  // shards=1, threads=1 must be the serial model: one shard sees the whole
+  // stream, shard_count=1 makes every rescale a multiply by 1.0, and the
+  // merge is a no-op on a single survivor.
+  const auto trace = zipf_trace(40000, 3000);
+  EstimatorOptions base;
+  base.set("seed", "11");
+  auto serial = make(GetParam(), base);
+  EstimatorOptions sharded_opts = base;
+  sharded_opts.set("shards", "1");
+  sharded_opts.set("threads", "1");
+  auto sharded = make(sharded_name(GetParam()), sharded_opts);
+  const MissRatioCurve expected = run(*serial, trace);
+  const MissRatioCurve got = run(*sharded, trace);
+  expect_identical(expected, got, GetParam());
+}
+
+TEST_P(ShardedZoo, ResultsNeverDependOnTheThreadCount) {
+  const auto trace = zipf_trace(60000, 5000);
+  EstimatorOptions base;
+  base.set("seed", "7");
+  base.set("shards", "4");
+  MissRatioCurve reference;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    EstimatorOptions opts = base;
+    opts.set("threads", std::to_string(threads));
+    auto est = make(sharded_name(GetParam()), opts);
+    const MissRatioCurve curve = run(*est, trace);
+    if (threads == 1) {
+      reference = curve;
+      continue;
+    }
+    expect_identical(reference, curve,
+                     GetParam() + " threads=" + std::to_string(threads));
+  }
+}
+
+TEST_P(ShardedZoo, MergedCurveTracksSerialOnZipf) {
+  const auto trace = zipf_trace(200000, 10000);
+  auto serial = make(GetParam());
+  const MissRatioCurve serial_curve = run(*serial, trace);
+  for (std::uint32_t shards : {2u, 4u}) {
+    EstimatorOptions opts;
+    opts.set("shards", std::to_string(shards));
+    opts.set("threads", "2");
+    auto est = make(sharded_name(GetParam()), opts);
+    const MissRatioCurve merged = run(*est, trace);
+    EXPECT_LE(mae_on_grid(serial_curve, merged), 0.02)
+        << GetParam() << " shards=" << shards;
+  }
+}
+
+TEST_P(ShardedZoo, MergedCurveTracksSerialOnMsrTrace) {
+  MsrGenerator gen(msr_profile("web"), 5, 12000, 1);
+  const auto trace = materialize(gen, 150000);
+  auto serial = make(GetParam());
+  const MissRatioCurve serial_curve = run(*serial, trace);
+  EstimatorOptions opts;
+  opts.set("shards", "4");
+  opts.set("threads", "3");
+  auto est = make(sharded_name(GetParam()), opts);
+  const MissRatioCurve merged = run(*est, trace);
+  EXPECT_LE(mae_on_grid(serial_curve, merged), 0.02) << GetParam();
+}
+
+TEST_P(ShardedZoo, RunReportAggregatesAcrossShards) {
+  const auto trace = zipf_trace(30000, 2000);
+  EstimatorOptions opts;
+  opts.set("shards", "3");
+  opts.set("threads", "2");
+  auto est = make(sharded_name(GetParam()), opts);
+  run(*est, trace);
+  const RunReport report = est->run_report();
+  EXPECT_EQ(report.records_read, trace.size());
+  EXPECT_EQ(report.shards_failed, 0u);
+  EXPECT_GT(report.configured_sampling_rate, 0.0);
+  const obs::HeartbeatSnapshot snap = est->snapshot();
+  EXPECT_EQ(snap.records, trace.size());
+}
+
+TEST_P(ShardedZoo, CheckpointIsStructurallyUnsupported) {
+  EstimatorOptions opts;
+  opts.set("shards", "2");
+  auto est = make(sharded_name(GetParam()), opts);
+  std::string blob;
+  const Status saved = est->save_state(&blob);
+  ASSERT_FALSE(saved.is_ok()) << GetParam();
+  EXPECT_EQ(saved.code(), StatusCode::kInvalidArgument);
+  const Status loaded = est->load_state("anything");
+  ASSERT_FALSE(loaded.is_ok()) << GetParam();
+  EXPECT_EQ(loaded.code(), StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(SpatialSamplingModels, ShardedZoo,
+                         ::testing::ValuesIn(kBaseModels),
+                         [](const auto& info) { return info.param; });
+
+TEST(ShardedEstimator, RejectsZeroShardsOrThreads) {
+  for (const char* key : {"shards", "threads"}) {
+    EstimatorOptions opts;
+    opts.set(key, "0");
+    auto est = EstimatorRegistry::instance().create("shards_sharded", opts);
+    ASSERT_FALSE(est.is_ok()) << key;
+    EXPECT_EQ(est.status().code(), StatusCode::kInvalidArgument) << key;
+  }
+}
+
+TEST(ShardedEstimator, ShardUnawareBaseModelIsRejectedAtConstruction) {
+  // The runner injects shard_count into every per-shard factory call, and
+  // models that cannot rescale for sharding don't declare that key — so a
+  // shard-unaware base fails fast at construction instead of producing a
+  // silently unscaled merge.
+  ShardedEstimator::Config cfg;
+  cfg.base_model = "lru_stack";
+  cfg.shards = 2;
+  cfg.threads = 1;
+  EXPECT_THROW(ShardedEstimator est(cfg), std::invalid_argument);
+}
+
+TEST(ShardedEstimator, StrictWorkerExceptionPropagatesFromFinish) {
+  const auto trace = zipf_trace(80000, 5000);
+  ShardedEstimator::Config cfg;
+  cfg.base_model = "shards";
+  cfg.shards = 4;
+  cfg.threads = 2;
+  cfg.queue_capacity = 256;  // small ring so the producer hits backpressure
+  std::atomic<std::uint64_t> seen{0};
+  cfg.before_access_hook = [&seen](std::uint32_t shard, const Request&) {
+    if (shard == 1 && seen.fetch_add(1) == 100) {
+      throw std::runtime_error("shard worker fault injection");
+    }
+  };
+  ShardedEstimator est(cfg);
+  for (const Request& r : trace) est.access(r);
+  EXPECT_THROW(est.finish(), std::runtime_error);
+  // Idempotent after the rethrow; the object destructs without deadlock.
+  est.finish();
+}
+
+TEST(ShardedEstimator, BestEffortDropsFailedShardAndRescalesSurvivors) {
+  const auto trace = zipf_trace(80000, 5000);
+  ShardedEstimator::Config cfg;
+  cfg.base_model = "shards";
+  cfg.shards = 4;
+  cfg.threads = 2;
+  cfg.queue_capacity = 256;
+  cfg.failure_mode = ShardFailureMode::kBestEffort;
+  std::atomic<std::uint64_t> seen{0};
+  cfg.before_access_hook = [&seen](std::uint32_t shard, const Request&) {
+    if (shard == 1 && seen.fetch_add(1) == 100) {
+      throw std::runtime_error("shard worker fault injection");
+    }
+  };
+  ShardedEstimator est(cfg);
+  for (const Request& r : trace) est.access(r);
+  EXPECT_NO_THROW(est.finish());
+  EXPECT_EQ(est.shards_failed(), 1u);
+  EXPECT_GT(est.dropped_records(), 0u);
+  EXPECT_EQ(est.processed(), trace.size());
+  const MissRatioCurve curve = est.mrc();
+  ASSERT_FALSE(curve.points().empty());
+  for (const auto& [size, ratio] : curve.points()) {
+    EXPECT_GE(ratio, 0.0);
+    EXPECT_LE(ratio, 1.0);
+  }
+  EXPECT_EQ(est.run_report().shards_failed, 1u);
+  obs::MetricsRegistry registry;
+  est.export_gauges(registry);
+  EXPECT_EQ(registry.gauge("sharded.shard1.failed").value(), 1.0);
+  EXPECT_EQ(registry.gauge("sharded.shard0.failed").value(), 0.0);
+}
+
+TEST(ShardedEstimator, BestEffortWithEveryShardDeadIsARealFailure) {
+  ShardedEstimator::Config cfg;
+  cfg.base_model = "shards";
+  cfg.shards = 2;
+  cfg.threads = 1;
+  cfg.failure_mode = ShardFailureMode::kBestEffort;
+  cfg.before_access_hook = [](std::uint32_t, const Request&) {
+    throw std::runtime_error("injected");
+  };
+  ShardedEstimator est(cfg);
+  const auto trace = zipf_trace(1000, 100);
+  for (const Request& r : trace) est.access(r);
+  EXPECT_EQ(est.shards_failed(), 2u);
+  EXPECT_THROW(est.finish(), StatusError);
+}
+
+TEST(ShardedEstimator, MemoryBudgetIsEnforcedPerShard) {
+  // The global budget is split across shards and enforced from the
+  // consuming thread; degradations show up in the aggregated report.
+  const auto trace = zipf_trace(60000, 20000, 0.7);
+  EstimatorOptions opts;
+  opts.set("max_stack_bytes", "32768");
+  opts.set("shards", "2");
+  opts.set("threads", "2");
+  opts.set("rate", "1.0");  // start unsampled so the budget has to bite
+  auto est = make("shards_sharded", opts);
+  run(*est, trace);
+  const RunReport report = est->run_report();
+  EXPECT_GT(report.degradation_events, 0u);
+  EXPECT_LT(report.final_sampling_rate, report.configured_sampling_rate);
+}
+
+TEST(ShardedEstimator, ThreadedAccessorsRequireFinish) {
+  EstimatorOptions opts;
+  opts.set("shards", "2");
+  opts.set("threads", "2");
+  auto est = make("shards_sharded", opts);
+  EXPECT_THROW(est->mrc(), std::logic_error);
+  EXPECT_THROW(est->run_report(), std::logic_error);
+  est->finish();
+  EXPECT_NO_THROW(est->mrc());
+}
+
+TEST(ShardedEstimator, ShardRoutingIsAPureDisjointPartition) {
+  EstimatorOptions opts;
+  opts.set("shards", "7");
+  ShardedEstimator::Config cfg;
+  cfg.base_model = "shards";
+  cfg.shards = 7;
+  ShardedEstimator est(cfg);
+  for (std::uint64_t key = 0; key < 10000; ++key) {
+    const std::uint32_t s = est.shard_of(key);
+    ASSERT_LT(s, 7u);
+    ASSERT_EQ(s, est.shard_of(key));  // pure function of the key
+  }
+}
+
+}  // namespace
+}  // namespace krr

@@ -6,7 +6,7 @@
 // deliberately laptop-sized: a full run takes ~1 minute at the default
 // scale. KRR_BENCH_SCALE multiplies trace lengths as usual.
 //
-//   bench_snapshot [--out=BENCH_pr7.json] [--pr=7] [--repeats=3]
+//   bench_snapshot [--out=BENCH_pr8.json] [--pr=8] [--repeats=3]
 
 #include <cstdio>
 #include <ctime>
@@ -49,8 +49,8 @@ std::string utc_timestamp() {
 
 int main(int argc, char** argv) {
   Options opts(argc, argv);
-  const std::string out = opts.get_string("out", "BENCH_pr7.json");
-  const auto pr = opts.get_int("pr", 7);
+  const std::string out = opts.get_string("out", "BENCH_pr8.json");
+  const auto pr = opts.get_int("pr", 8);
   const int repeats = static_cast<int>(opts.get_int("repeats", 3));
 
   obs::Json root = obs::Json::object();
@@ -198,6 +198,7 @@ int main(int argc, char** argv) {
         merged = profiler.mrc();
       });
       obs::Json row = obs::Json::object();
+      row.set("model", obs::Json("krr"));
       row.set("threads", obs::Json(std::uint64_t{threads}));
       row.set("shards", obs::Json(std::uint64_t{8}));
       row.set("seconds", obs::Json(secs));
@@ -209,6 +210,57 @@ int main(int argc, char** argv) {
       std::printf("sharded threads=%u shards=8  %.3f s (%.2fx, mae %.5f)\n",
                   threads, secs, serial_secs / secs,
                   serial_mrc.mae(merged, sizes));
+    }
+
+    // One generic-runner row (PR 8): the SHARDS model through the registry's
+    // shards_sharded adapter, against its own serial baseline — pins the
+    // fan-out overhead of ShardedEstimator next to the krr pipeline's.
+    {
+      auto& registry = EstimatorRegistry::instance();
+      const auto run_registry = [&](const char* name,
+                                    bool sharded) -> std::pair<double,
+                                                               MissRatioCurve> {
+        MissRatioCurve curve;
+        const double secs = median_seconds(repeats, [&] {
+          EstimatorOptions options;
+          options.set("seed", "7");
+          if (sharded) {
+            options.set("shards", "8");
+            options.set("threads", "4");
+          }
+          auto est = registry.create(name, options);
+          if (!est.is_ok()) {
+            std::fprintf(stderr, "%s: %s\n", name,
+                         est.status().message().c_str());
+            std::exit(1);
+          }
+          for (const Request& r : trace) (*est)->access(r);
+          (*est)->finish();
+          curve = (*est)->mrc({});
+        });
+        return {secs, curve};
+      };
+      const auto [shards_serial_secs, shards_serial_mrc] =
+          run_registry("shards", false);
+      const auto [shards_secs, shards_mrc] =
+          run_registry("shards_sharded", true);
+      const std::vector<double> shards_sizes =
+          evenly_spaced_sizes(shards_serial_mrc.max_size(), 40);
+      obs::Json row = obs::Json::object();
+      row.set("model", obs::Json("shards"));
+      row.set("threads", obs::Json(std::uint64_t{4}));
+      row.set("shards", obs::Json(std::uint64_t{8}));
+      row.set("seconds", obs::Json(shards_secs));
+      row.set("mrec_per_s",
+              obs::Json(static_cast<double>(trace.size()) / shards_secs / 1e6));
+      row.set("speedup_vs_serial", obs::Json(shards_serial_secs / shards_secs));
+      row.set("mae_vs_serial",
+              obs::Json(shards_serial_mrc.mae(shards_mrc, shards_sizes)));
+      rows.push_back(std::move(row));
+      std::printf(
+          "sharded model=shards threads=4 shards=8  %.3f s (%.2fx, mae %.5f)\n",
+          shards_secs, shards_serial_secs / shards_secs,
+          shards_serial_mrc.mae(shards_mrc, shards_sizes));
     }
     obs::Json section = obs::Json::object();
     section.set("workload", obs::Json(cases[0].name));

@@ -25,9 +25,15 @@
 // Parallelism: --threads=N (default 1) profiles on N shard-worker threads
 // fed from the reader thread; --shards=S (default: N) controls the hash
 // partition count independently of the thread count, and the MRC depends
-// only on S, never on N. --threads/--shards imply --model=krr_sharded and
-// are only meaningful for the krr family. The default --threads=1
-// --shards=1 runs the serial profiler unchanged (bit-identical output).
+// only on S, never on N. For --model=krr the flags imply krr_sharded when
+// N > 1 or S > 1 (the default --threads=1 --shards=1 runs the serial
+// profiler unchanged, bit-identical output). Every other model with a
+// `<model>_sharded` registry adapter (shards, shards_fixed, aet) is routed
+// through that adapter whenever the flags are given — including at S=1
+// T=1, where the adapter's output is byte-identical to the serial model —
+// and models without one reject the flags as a usage error. `compare`
+// accepts the same flags and applies the routing to every model in
+// --models (display names stay the base names).
 //   krr_cli simulate --trace=trace.bin --policy=klru --k=5 --sizes=20
 //   krr_cli compare  --trace=trace.bin --models=krr,shards,aet --k=5
 //                    [--sizes=20] [--rate=] [--strategy=] [--no-correction]
@@ -128,6 +134,7 @@ void print_usage(std::FILE* to) {
                "            [--no-correction] [--quantum=]\n"
                "            [--target=klru|lru|auto]\n"
                "            [--format=table|csv|json] [--progress[=secs]]\n"
+               "            [--threads=N] [--shards=S]\n"
                "            [--convergence-out=FILE] [--convergence-every=N]\n"
                "ingestion:  [--strict] [--recovery=strict|skip|best-effort]\n"
                "            [--max-bad-records=N] [--format=v1|v2]\n"
@@ -403,16 +410,29 @@ int cmd_profile(const Options& opts) {
   // --shards defaults to one shard per worker thread.
   const auto shards = shards_opt == 0 ? static_cast<std::uint32_t>(threads)
                                       : static_cast<std::uint32_t>(shards_opt);
-  if (threads > 1 || shards > 1) {
-    // The fan-out flags select the sharded pipeline; they only exist for
-    // the krr family, so reject silent no-ops on other models.
-    if (model != "krr" && model != "krr_sharded") {
-      usage("--threads/--shards need --model=krr or krr_sharded (got " +
-            model + ")");
+  // The fan-out flags route the run through the sharded pipeline. For krr
+  // the historical contract holds: --threads=1 --shards=1 stays on the
+  // serial profiler (bit-identical output). Any other model is mapped onto
+  // its registry `<model>_sharded` adapter whenever the flags are given —
+  // even at S=1/T=1, so the adapter's serial path is directly comparable
+  // to the base model — and rejected when no adapter exists.
+  const bool fanout_flags = opts.has("threads") || opts.has("shards");
+  const auto is_sharded_model = [](const std::string& name) {
+    return name.size() > 8 &&
+           name.compare(name.size() - 8, 8, "_sharded") == 0;
+  };
+  if (model == "krr" || model == "krr_sharded") {
+    if (threads > 1 || shards > 1) model = "krr_sharded";
+  } else if (!is_sharded_model(model) &&
+             (fanout_flags || threads > 1 || shards > 1)) {
+    const std::string mapped = model + "_sharded";
+    if (!EstimatorRegistry::instance().contains(mapped)) {
+      usage("--threads/--shards: model '" + model +
+            "' has no sharded adapter (see krr_cli models)");
     }
-    model = "krr_sharded";
+    model = mapped;
   }
-  if (model == "krr_sharded") {
+  if (is_sharded_model(model)) {
     if (!eopts.has("threads")) eopts.set("threads", std::to_string(threads));
     if (!eopts.has("shards")) eopts.set("shards", std::to_string(shards));
   }
@@ -603,12 +623,12 @@ int cmd_profile(const Options& opts) {
                  static_cast<unsigned long long>(tracer->dropped()),
                  trace_out.c_str());
   }
-  if (model == "krr_sharded") {
+  if (is_sharded_model(model)) {
     std::fprintf(stderr,
                  "profiled %zu requests (%zu sampled) in %.3f s across %u "
-                 "shards on %u threads; stack depth %zu\n",
+                 "shards on %u threads with model %s; stack depth %zu\n",
                  trace.size(), static_cast<std::size_t>(final_state.sampled),
-                 secs, shards, threads,
+                 secs, shards, threads, model.c_str(),
                  static_cast<std::size_t>(final_state.stack_depth));
   } else if (model == "krr") {
     std::fprintf(stderr,
@@ -803,10 +823,42 @@ int cmd_compare(const Options& opts) {
 
   const EstimatorOptions shared = estimator_options_from(opts);
   auto& registry = EstimatorRegistry::instance();
+
+  // --threads/--shards apply the same sharded routing as `profile`, per
+  // model: names with a `<name>_sharded` registry adapter run through it
+  // (krr via krr_sharded), everything else is rejected rather than
+  // silently run serial. Display/JSON keys keep the original names so
+  // sharded and serial runs of the same invocation line up column for
+  // column.
+  const auto threads_opt = opts.get_int("threads", 1);
+  if (threads_opt < 1) usage("--threads must be >= 1");
+  const auto shards_opt = opts.get_int("shards", 0);
+  if (shards_opt < 0) usage("--shards must be >= 1");
+  const bool fanout_flags = opts.has("threads") || opts.has("shards");
+  const auto threads = static_cast<unsigned>(threads_opt);
+  const auto shards = shards_opt == 0 ? static_cast<std::uint32_t>(threads)
+                                      : static_cast<std::uint32_t>(shards_opt);
   std::vector<std::unique_ptr<MrcEstimator>> estimators;
   estimators.reserve(models.size());
   for (const std::string& name : models) {
-    auto est = registry.create(name, shared);
+    std::string resolved = name;
+    EstimatorOptions eopts = shared;
+    if (fanout_flags) {
+      const bool already_sharded =
+          name.size() > 8 && name.compare(name.size() - 8, 8, "_sharded") == 0;
+      if (!already_sharded) {
+        const std::string mapped =
+            name == "krr" ? std::string("krr_sharded") : name + "_sharded";
+        if (!registry.contains(mapped)) {
+          usage("--threads/--shards: model '" + name +
+                "' has no sharded adapter (see krr_cli models)");
+        }
+        resolved = mapped;
+      }
+      if (!eopts.has("threads")) eopts.set("threads", std::to_string(threads));
+      if (!eopts.has("shards")) eopts.set("shards", std::to_string(shards));
+    }
+    auto est = registry.create(resolved, eopts);
     if (!est.is_ok()) throw StatusError(est.status());
     estimators.push_back(std::move(*est));
   }

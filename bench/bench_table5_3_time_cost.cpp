@@ -15,6 +15,14 @@
 // Absolute times are hardware-specific; the reproduced *shape* is the
 // ordering naive >> top-down > simulation > backward >> +spatial, with
 // orders of magnitude between the extremes.
+//
+// After the paper's ablation rows, the table appends one `model:<name>`
+// row per registered estimator (via EstimatorRegistry::list(), default
+// options, K = 5 where the model samples), so a newly registered model is
+// timed on the same trace without touching this bench. Reference oracles
+// are skipped — the basic_stack rows above already pin the O(N*M)
+// extreme on a prefix — and sharded adapters are covered by
+// bench_parallel_scaling.
 
 #include "bench_common.h"
 
@@ -84,6 +92,23 @@ int main() {
             time_profiler(w.trace, UpdateStrategy::kTopDown, 0.01), "R = 0.01");
   table.add("backward_spatial",
             time_profiler(w.trace, UpdateStrategy::kBackward, 0.01), "R = 0.01");
+
+  // Registry zoo rows: one full ingest pass per registered model.
+  for (const auto& info : krr::EstimatorRegistry::instance().list()) {
+    if (info.caps.reference_oracle) continue;  // O(N*M); see basic_stack rows
+    if (info.caps.sharded) continue;           // see bench_parallel_scaling
+    krr::EstimatorOptions options;
+    if (info.caps.models_klru) options.set("k", "5");
+    auto created = krr::EstimatorRegistry::instance().create(info.name, options);
+    if (!created.is_ok()) throw krr::StatusError(created.status());
+    auto est = std::move(*created);
+    Stopwatch watch;
+    for (const Request& r : w.trace) est->access(r);
+    est->finish();
+    table.add("model:" + info.name, watch.seconds(),
+              info.caps.models_klru ? "registry defaults, K = 5"
+                                    : "registry defaults");
+  }
 
   print_table(table, "Table 5.3: stack update efficiency");
   std::cout << "(paper shape: naive >> top-down > simulation > backward >>\n"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "baselines/reuse_state.h"
+
 namespace krr {
 
 AetProfiler::AetProfiler(std::uint32_t sub_buckets, std::uint64_t stream_scale)
@@ -51,6 +53,15 @@ MissRatioCurve AetProfiler::mrc(std::size_t n_points) const {
   // estimated_distinct() == distinct_objects() while unsampled; under
   // governance it rescales the grid back to full-stream units.
   return mrc(evenly_spaced_sizes(collector_.estimated_distinct(), n_points));
+}
+
+
+void AetProfiler::save_state(std::string& out) const {
+  save_collector_state(collector_, out);
+}
+
+bool AetProfiler::load_state(ckpt::ByteReader& reader) {
+  return load_collector_state(collector_, reader);
 }
 
 }  // namespace krr

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "trace/request.h"
 #include "util/mrc.h"
 #include "util/reuse_histogram.h"
@@ -62,6 +64,10 @@ class AetProfiler {
   /// Survivor extrapolation for best-effort sharded runs: scales all
   /// accumulated mass by `factor`; P(t) ratios and the MRC are unchanged.
   void scale_mass(double factor) { collector_.scale_mass(factor); }
+
+  /// Checkpoint support: flat collector bytes (baselines/reuse_state.h).
+  void save_state(std::string& out) const;
+  bool load_state(ckpt::ByteReader& reader);
 
  private:
   ReuseTimeCollector collector_;

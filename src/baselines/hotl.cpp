@@ -3,13 +3,38 @@
 #include <algorithm>
 #include <cmath>
 
+#include "baselines/reuse_state.h"
+
 namespace krr {
 
 HotlProfiler::HotlProfiler(std::uint32_t sub_buckets) : collector_(sub_buckets) {}
 
 void HotlProfiler::access(const Request& req) { collector_.access(req.key); }
 
-double HotlProfiler::footprint(std::uint64_t w) const {
+std::vector<std::uint64_t> HotlProfiler::sorted_first_times() const {
+  std::vector<std::uint64_t> times;
+  times.reserve(collector_.first_access_times().size());
+  for (const auto& [key, ft] : collector_.first_access_times()) {
+    times.push_back(ft);
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+std::vector<std::uint64_t> HotlProfiler::sorted_reverse_last_times() const {
+  const std::uint64_t n = collector_.processed();
+  std::vector<std::uint64_t> times;
+  times.reserve(collector_.last_access_times().size());
+  for (const auto& [key, last] : collector_.last_access_times()) {
+    times.push_back(n - last + 1);
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+double HotlProfiler::footprint_with(
+    std::uint64_t w, const std::vector<std::uint64_t>& first_times,
+    const std::vector<std::uint64_t>& reverse_last_times) const {
   const std::uint64_t n = collector_.processed();
   // Under governance the collector tracks a spatial sample; m and the
   // per-object edge corrections scale by 1/R (exactly 1.0 unsampled),
@@ -27,15 +52,18 @@ double HotlProfiler::footprint(std::uint64_t w) const {
   // Window-edge corrections: an object first accessed at ft is absent from
   // the ft - w windows that end before ft; symmetrically for the reverse
   // last-access time.
-  for (const auto& [key, ft] : collector_.first_access_times()) {
+  for (const std::uint64_t ft : first_times) {
     if (ft > w) deficit += static_cast<double>(ft - w) * s;
   }
-  for (const auto& [key, last] : collector_.last_access_times()) {
-    const std::uint64_t lt = n - last + 1;
+  for (const std::uint64_t lt : reverse_last_times) {
     if (lt > w) deficit += static_cast<double>(lt - w) * s;
   }
   const double windows = static_cast<double>(n - w + 1);
   return std::clamp(m - deficit / windows, 0.0, m);
+}
+
+double HotlProfiler::footprint(std::uint64_t w) const {
+  return footprint_with(w, sorted_first_times(), sorted_reverse_last_times());
 }
 
 MissRatioCurve HotlProfiler::mrc(std::size_t n_points) const {
@@ -52,8 +80,11 @@ MissRatioCurve HotlProfiler::mrc(std::size_t n_points) const {
     const auto w = static_cast<std::uint64_t>(std::llround(std::exp(lw)));
     if (windows.empty() || w > windows.back()) windows.push_back(w);
   }
+  const std::vector<std::uint64_t> first_times = sorted_first_times();
+  const std::vector<std::uint64_t> reverse_last_times =
+      sorted_reverse_last_times();
   for (std::uint64_t w : windows) {
-    const double c = footprint(w);
+    const double c = footprint_with(w, first_times, reverse_last_times);
     // mr(fp(w)) = P(rt > w) + cold share: the fraction of references whose
     // reuse window exceeds w and therefore miss in a cache holding fp(w).
     const double mr =
@@ -61,6 +92,14 @@ MissRatioCurve HotlProfiler::mrc(std::size_t n_points) const {
     curve.add_point(c, mr);
   }
   return curve;
+}
+
+void HotlProfiler::save_state(std::string& out) const {
+  save_collector_state(collector_, out);
+}
+
+bool HotlProfiler::load_state(ckpt::ByteReader& reader) {
+  return load_collector_state(collector_, reader);
 }
 
 }  // namespace krr

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "trace/request.h"
 #include "util/mrc.h"
 #include "util/reuse_histogram.h"
@@ -53,7 +55,23 @@ class HotlProfiler {
     return collector_.histogram().bin_count();
   }
 
+  /// Checkpoint support: flat collector bytes (baselines/reuse_state.h).
+  void save_state(std::string& out) const;
+  bool load_state(ckpt::ByteReader& reader);
+
  private:
+  /// Edge-correction times sorted ascending. The per-object maps are hash
+  /// tables, so summing over them directly would make the footprint depend
+  /// on iteration order — and floating-point addition is not associative,
+  /// which would break bit-identical resume after the maps are rebuilt
+  /// from a snapshot. Sorting fixes the summation order.
+  std::vector<std::uint64_t> sorted_first_times() const;
+  std::vector<std::uint64_t> sorted_reverse_last_times() const;
+  double footprint_with(std::uint64_t w,
+                        const std::vector<std::uint64_t>& first_times,
+                        const std::vector<std::uint64_t>& reverse_last_times)
+      const;
+
   ReuseTimeCollector collector_;
 };
 

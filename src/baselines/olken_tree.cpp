@@ -139,6 +139,115 @@ std::uint64_t OlkenTreeProfiler::retain(
   return doomed.size();
 }
 
+void OlkenTreeProfiler::save_state(std::string& out) const {
+  ckpt::append_u32(out, byte_granularity_ ? 1 : 0);
+  ckpt::append_u64(out, histogram_.quantum());
+  ckpt::append_u64(out, time_);
+  std::uint64_t rng_state[4];
+  rng_.save_state(rng_state);
+  for (const std::uint64_t word : rng_state) ckpt::append_u64(out, word);
+  const auto bins = histogram_.sorted_bins();
+  ckpt::append_u64(out, bins.size());
+  for (const auto& [distance, weight] : bins) {
+    ckpt::append_u64(out, distance);
+    ckpt::append_double(out, weight);
+  }
+  ckpt::append_double(out, histogram_.infinite_weight());
+  ckpt::append_double(out, histogram_.total_weight());
+  // Map entries travel sorted by key so the payload bytes are canonical
+  // regardless of hash-table iteration order.
+  std::vector<std::pair<std::uint64_t, ObjectState>> entries(
+      last_access_.begin(), last_access_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ckpt::append_u64(out, entries.size());
+  for (const auto& [key, state] : entries) {
+    ckpt::append_u64(out, key);
+    ckpt::append_u64(out, state.last_time);
+    ckpt::append_u32(out, state.size);
+  }
+}
+
+bool OlkenTreeProfiler::load_state(ckpt::ByteReader& reader) {
+  std::uint32_t byte_flag = 0;
+  std::uint64_t quantum = 0;
+  std::uint64_t time = 0;
+  if (!reader.read_u32(&byte_flag) || !reader.read_u64(&quantum) ||
+      !reader.read_u64(&time)) {
+    return false;
+  }
+  // Granularity and quantum are construction-time config; a snapshot taken
+  // under different settings is not bit-compatible with this instance.
+  if ((byte_flag != 0) != byte_granularity_ ||
+      quantum != histogram_.quantum()) {
+    return false;
+  }
+  std::uint64_t rng_state[4];
+  for (std::uint64_t& word : rng_state) {
+    if (!reader.read_u64(&word)) return false;
+  }
+  std::uint64_t bin_count = 0;
+  if (!reader.read_u64(&bin_count)) return false;
+  if (bin_count > reader.remaining() / 16) return false;
+  std::vector<std::pair<std::uint64_t, double>> bins;
+  bins.reserve(bin_count);
+  for (std::uint64_t i = 0; i < bin_count; ++i) {
+    std::uint64_t distance = 0;
+    double weight = 0.0;
+    if (!reader.read_u64(&distance) || !reader.read_double(&weight)) {
+      return false;
+    }
+    bins.emplace_back(distance, weight);
+  }
+  double infinite = 0.0, total = 0.0;
+  if (!reader.read_double(&infinite) || !reader.read_double(&total)) {
+    return false;
+  }
+  std::uint64_t tracked = 0;
+  if (!reader.read_u64(&tracked)) return false;
+  if (tracked > reader.remaining() / 20) return false;
+  std::vector<std::pair<std::uint64_t, ObjectState>> entries;
+  entries.reserve(tracked);
+  for (std::uint64_t i = 0; i < tracked; ++i) {
+    std::uint64_t key = 0, last_time = 0;
+    std::uint32_t size = 0;
+    if (!reader.read_u64(&key) || !reader.read_u64(&last_time) ||
+        !reader.read_u32(&size)) {
+      return false;
+    }
+    if (last_time == 0 || last_time > time) return false;
+    entries.emplace_back(key, ObjectState{last_time, size});
+  }
+
+  time_ = time;
+  histogram_.restore(bins, infinite, total);
+  nodes_.clear();
+  free_.clear();
+  root_ = kNil;
+  last_access_.clear();
+  last_access_.reserve(entries.size());
+  // Rebuild in ascending access-time order (the order the live entries
+  // were originally inserted in). Treap priorities come from wherever the
+  // RNG happens to be; the shape they produce is irrelevant to distances,
+  // and the saved RNG words are reinstated below so the resumed random
+  // stream matches the uninterrupted run.
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    return a.second.last_time < b.second.last_time;
+  });
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    // Access times are unique by construction; duplicates would corrupt
+    // the time-keyed treap (and reject key duplicates via the map).
+    if (i > 0 && entries[i].second.last_time == entries[i - 1].second.last_time) {
+      return false;
+    }
+    const auto& [key, state] = entries[i];
+    if (!last_access_.emplace(key, state).second) return false;
+    insert(state.last_time, byte_granularity_ ? state.size : 1);
+  }
+  rng_.load_state(rng_state);
+  return true;
+}
+
 std::uint64_t OlkenTreeProfiler::space_overhead_bytes() const noexcept {
   const std::uint64_t live_nodes = nodes_.size() - free_.size();
   // ~48 B per unordered_map entry (key, value, bucket/next overhead);

@@ -4,6 +4,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "core/checkpoint.h"
 #include "trace/request.h"
 #include "util/histogram.h"
 #include "util/mrc.h"
@@ -55,6 +56,16 @@ class OlkenTreeProfiler {
 
   std::size_t tracked_objects() const noexcept { return last_access_.size(); }
   std::uint64_t processed() const noexcept { return time_; }
+
+  /// Checkpoint support. The treap itself is not serialized: a reference's
+  /// stack distance is the total weight of nodes with a later access time,
+  /// which depends only on the (time, weight) value set, never on tree
+  /// shape. So save captures the last-access map, histogram, clock, and
+  /// RNG; load rebuilds a fresh treap by reinserting entries in ascending
+  /// access-time order and then reinstates the saved RNG words, making the
+  /// resumed run's outputs bit-identical to the uninterrupted one.
+  void save_state(std::string& out) const;
+  bool load_state(ckpt::ByteReader& reader);
 
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;

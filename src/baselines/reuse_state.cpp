@@ -1,0 +1,90 @@
+#include "baselines/reuse_state.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace krr {
+
+void save_collector_state(const ReuseTimeCollector& collector,
+                          std::string& out) {
+  ckpt::append_u64(out, collector.stream_scale());
+  ckpt::append_u64(out, collector.sample_modulus());
+  ckpt::append_u64(out, collector.sample_threshold());
+  ckpt::append_double(out, collector.cold_count());
+  ckpt::append_u64(out, collector.processed());
+  ckpt::append_u64(out, collector.absorbed_distinct());
+  ckpt::append_double(out, collector.absorbed_estimated_distinct());
+  const ReuseTimeHistogram& histogram = collector.histogram();
+  ckpt::append_u32(out, histogram.sub_buckets());
+  ckpt::append_u64(out, histogram.bins().size());
+  for (const double bin : histogram.bins()) ckpt::append_double(out, bin);
+  ckpt::append_double(out, histogram.total());
+  std::vector<ReuseTimeCollector::ObjectTimes> objects;
+  objects.reserve(collector.last_access_times().size());
+  for (const auto& [key, last] : collector.last_access_times()) {
+    const auto first_it = collector.first_access_times().find(key);
+    const std::uint64_t first =
+        first_it == collector.first_access_times().end() ? last
+                                                         : first_it->second;
+    objects.push_back(ReuseTimeCollector::ObjectTimes{key, first, last});
+  }
+  std::sort(objects.begin(), objects.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  ckpt::append_u64(out, objects.size());
+  for (const auto& object : objects) {
+    ckpt::append_u64(out, object.key);
+    ckpt::append_u64(out, object.first);
+    ckpt::append_u64(out, object.last);
+  }
+}
+
+bool load_collector_state(ReuseTimeCollector& collector,
+                          ckpt::ByteReader& reader) {
+  std::uint64_t stream_scale = 0, modulus = 0, threshold = 0;
+  std::uint64_t time = 0, absorbed_distinct = 0;
+  double cold = 0.0, absorbed_estimated = 0.0;
+  if (!reader.read_u64(&stream_scale) || !reader.read_u64(&modulus) ||
+      !reader.read_u64(&threshold) || !reader.read_double(&cold) ||
+      !reader.read_u64(&time) || !reader.read_u64(&absorbed_distinct) ||
+      !reader.read_double(&absorbed_estimated)) {
+    return false;
+  }
+  if (stream_scale != collector.stream_scale() ||
+      modulus != collector.sample_modulus()) {
+    return false;
+  }
+  std::uint32_t sub_buckets = 0;
+  std::uint64_t bin_count = 0;
+  if (!reader.read_u32(&sub_buckets) || !reader.read_u64(&bin_count)) {
+    return false;
+  }
+  if (bin_count > reader.remaining() / 8) return false;
+  std::vector<double> bins;
+  bins.reserve(bin_count);
+  for (std::uint64_t i = 0; i < bin_count; ++i) {
+    double bin = 0.0;
+    if (!reader.read_double(&bin)) return false;
+    bins.push_back(bin);
+  }
+  double total = 0.0;
+  if (!reader.read_double(&total)) return false;
+  std::uint64_t object_count = 0;
+  if (!reader.read_u64(&object_count)) return false;
+  if (object_count > reader.remaining() / 24) return false;
+  std::vector<ReuseTimeCollector::ObjectTimes> objects;
+  objects.reserve(object_count);
+  for (std::uint64_t i = 0; i < object_count; ++i) {
+    ReuseTimeCollector::ObjectTimes object{};
+    if (!reader.read_u64(&object.key) || !reader.read_u64(&object.first) ||
+        !reader.read_u64(&object.last)) {
+      return false;
+    }
+    objects.push_back(object);
+  }
+  return collector.restore(sub_buckets, std::move(bins), total, cold, time,
+                           objects, threshold, absorbed_distinct,
+                           absorbed_estimated);
+}
+
+}  // namespace krr

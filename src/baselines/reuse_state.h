@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "core/checkpoint.h"
+#include "util/reuse_histogram.h"
+
+namespace krr {
+
+/// Shared checkpoint codec for the reuse-time family (AET, StatStack,
+/// HOTL): all three profilers are thin solvers over a ReuseTimeCollector,
+/// so one (save, load) pair serializes the whole family's mutable state.
+/// The bytes are a flat ckpt::append_* sequence meant to travel inside a
+/// tagged section (kSectionCollector) of a model's state stream.
+///
+/// Per-object maps travel as (key, first, last) triples sorted by key, so
+/// the payload is canonical regardless of hash-table iteration order;
+/// restore() rebuilds the maps, and every output the profilers derive from
+/// them is made iteration-order-independent separately (HOTL sorts its
+/// edge-correction sums), keeping resumed runs bit-identical.
+void save_collector_state(const ReuseTimeCollector& collector,
+                          std::string& out);
+
+/// Restores from bytes produced by save_collector_state. Returns false —
+/// collector untouched or cleared-but-unusable, caller discards it — on a
+/// truncated buffer, a config mismatch (stream_scale and the sampling
+/// modulus are construction config, not run state), or impossible values.
+bool load_collector_state(ReuseTimeCollector& collector,
+                          ckpt::ByteReader& reader);
+
+}  // namespace krr

@@ -1,6 +1,8 @@
 #include "baselines/shards.h"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 namespace krr {
 
@@ -59,6 +61,105 @@ bool ShardsProfiler::halve_rate() {
   stack_.retain([this](std::uint64_t key) { return filter_.sampled(key); });
   ++degradations_;
   return true;
+}
+
+Status ShardsProfiler::save_state(std::string* out) const {
+  if (out == nullptr) return invalid_argument_error("save_state: null output");
+  out->clear();
+  ckpt::StateWriter writer(*out);
+  std::string core;
+  ckpt::append_u32(core, adjustment_ ? 1 : 0);
+  ckpt::append_double(core, shard_scale_);
+  ckpt::append_u64(core, filter_.modulus());
+  ckpt::append_u64(core, filter_.threshold());
+  ckpt::append_u64(core, filter_.halvings());
+  ckpt::append_u64(core, processed_);
+  ckpt::append_u64(core, sampled_);
+  ckpt::append_double(core, sampled_weight_);
+  ckpt::append_u64(core, degradations_);
+  ckpt::append_double(core, expected_base_);
+  ckpt::append_u64(core, processed_at_change_);
+  const auto bins = histogram_.sorted_bins();
+  ckpt::append_u64(core, bins.size());
+  for (const auto& [dist, weight] : bins) {
+    ckpt::append_u64(core, dist);
+    ckpt::append_double(core, weight);
+  }
+  ckpt::append_double(core, histogram_.infinite_weight());
+  ckpt::append_double(core, histogram_.total_weight());
+  writer.add_section(ckpt::kSectionModelCore, core);
+  std::string stack;
+  stack_.save_state(stack);
+  writer.add_section(ckpt::kSectionLruStack, stack);
+  return Status::ok();
+}
+
+Status ShardsProfiler::load_state(const std::string& payload) {
+  auto parsed = ckpt::StateReader::parse(payload);
+  if (!parsed.is_ok()) return parsed.status();
+  const ckpt::StateReader& sections = parsed.value();
+  const std::string* core = sections.find(ckpt::kSectionModelCore);
+  const std::string* stack = sections.find(ckpt::kSectionLruStack);
+  if (core == nullptr || stack == nullptr) {
+    return bad_record_error("SHARDS snapshot is missing a required section");
+  }
+  ckpt::ByteReader reader(*core);
+  std::uint32_t adjustment_flag = 0;
+  double shard_scale = 0.0;
+  std::uint64_t filter_modulus = 0, filter_threshold = 0, filter_halvings = 0;
+  std::uint64_t bin_count = 0;
+  if (!reader.read_u32(&adjustment_flag) || !reader.read_double(&shard_scale) ||
+      !reader.read_u64(&filter_modulus) || !reader.read_u64(&filter_threshold) ||
+      !reader.read_u64(&filter_halvings)) {
+    return truncated_error("SHARDS snapshot core section is truncated");
+  }
+  if ((adjustment_flag != 0) != adjustment_ || shard_scale != shard_scale_ ||
+      filter_modulus != filter_.modulus()) {
+    return bad_record_error(
+        "SHARDS snapshot was taken with different profiler options");
+  }
+  std::uint64_t processed = 0, sampled = 0, degradations = 0;
+  std::uint64_t processed_at_change = 0;
+  double sampled_weight = 0.0, expected_base = 0.0;
+  if (!reader.read_u64(&processed) || !reader.read_u64(&sampled) ||
+      !reader.read_double(&sampled_weight) || !reader.read_u64(&degradations) ||
+      !reader.read_double(&expected_base) ||
+      !reader.read_u64(&processed_at_change) || !reader.read_u64(&bin_count)) {
+    return truncated_error("SHARDS snapshot core section is truncated");
+  }
+  if (bin_count > reader.remaining() / 16) {
+    return bad_record_error("SHARDS snapshot histogram length is impossible");
+  }
+  std::vector<std::pair<std::uint64_t, double>> bins;
+  bins.reserve(bin_count);
+  for (std::uint64_t i = 0; i < bin_count; ++i) {
+    std::uint64_t dist = 0;
+    double weight = 0.0;
+    if (!reader.read_u64(&dist) || !reader.read_double(&weight)) {
+      return truncated_error("SHARDS snapshot histogram is truncated");
+    }
+    bins.emplace_back(dist, weight);
+  }
+  double infinite = 0.0, total = 0.0;
+  if (!reader.read_double(&infinite) || !reader.read_double(&total)) {
+    return truncated_error("SHARDS snapshot histogram is truncated");
+  }
+  if (!reader.exhausted()) {
+    return bad_record_error("SHARDS snapshot core section has trailing bytes");
+  }
+  ckpt::ByteReader stack_reader(*stack);
+  if (!stack_.load_state(stack_reader) || !stack_reader.exhausted()) {
+    return bad_record_error("SHARDS snapshot stack section is corrupt");
+  }
+  filter_.restore(filter_threshold, filter_halvings);
+  processed_ = processed;
+  sampled_ = sampled;
+  sampled_weight_ = sampled_weight;
+  degradations_ = degradations;
+  expected_base_ = expected_base;
+  processed_at_change_ = processed_at_change;
+  histogram_.restore(bins, infinite, total);
+  return Status::ok();
 }
 
 std::uint64_t ShardsProfiler::space_overhead_bytes() const noexcept {

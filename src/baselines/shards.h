@@ -1,12 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "baselines/olken_tree.h"
+#include "core/checkpoint.h"
 #include "core/spatial_filter.h"
 #include "trace/request.h"
 #include "util/histogram.h"
 #include "util/mrc.h"
+#include "util/status.h"
 
 namespace krr {
 
@@ -84,6 +87,13 @@ class ShardsProfiler {
   /// out of S leave a curve with ≈ the full run's mass. Ratios, and hence
   /// the MRC, are unchanged; no further access() calls are expected.
   void scale_mass(double factor);
+
+  /// Checkpoint support: a tagged-section state stream — kSectionModelCore
+  /// carries the filter, counters, and rescaled histogram; kSectionLruStack
+  /// carries the Olken treap's logical state. Restoring into a profiler
+  /// constructed with the same options resumes bit-identically.
+  Status save_state(std::string* out) const;
+  Status load_state(const std::string& payload);
 
  private:
   /// Expected sampled references: sum over rate epochs of (epoch length *

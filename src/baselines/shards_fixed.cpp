@@ -1,7 +1,9 @@
 #include "baselines/shards_fixed.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "util/hashing.h"
 
@@ -33,7 +35,8 @@ void ShardsFixedSizeProfiler::access(const Request& req) {
   if (distance == 0) {
     histogram_.record_infinite(weight);
     tracked_.emplace(req.key, h);
-    heap_.push(HeapEntry{h, req.key});
+    heap_.push_back(HeapEntry{h, req.key});
+    std::push_heap(heap_.begin(), heap_.end(), HeapCompare{});
     while (tracked_.size() > max_objects_) evict_largest_hash();
   } else {
     histogram_.record(
@@ -59,12 +62,13 @@ void ShardsFixedSizeProfiler::scale_mass(double factor) {
 }
 
 void ShardsFixedSizeProfiler::evict_largest_hash() {
-  const std::uint64_t largest = heap_.top().hash_value;
+  const std::uint64_t largest = heap_.front().hash_value;
   // Evict every tracked object at this hash value and lower the threshold
   // so no future reference at or above it is sampled.
-  while (!heap_.empty() && heap_.top().hash_value == largest) {
-    const HeapEntry entry = heap_.top();
-    heap_.pop();
+  while (!heap_.empty() && heap_.front().hash_value == largest) {
+    const HeapEntry entry = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), HeapCompare{});
+    heap_.pop_back();
     stack_.remove(entry.key);
     tracked_.erase(entry.key);
   }
@@ -77,6 +81,168 @@ bool ShardsFixedSizeProfiler::shrink_capacity() {
   while (tracked_.size() > max_objects_) evict_largest_hash();
   ++degradations_;
   return true;
+}
+
+Status ShardsFixedSizeProfiler::save_state(std::string* out) const {
+  if (out == nullptr) return invalid_argument_error("save_state: null output");
+  out->clear();
+  ckpt::StateWriter writer(*out);
+  std::string core;
+  ckpt::append_u64(core, modulus_);
+  ckpt::append_double(core, shard_scale_);
+  ckpt::append_u64(core, max_objects_);
+  ckpt::append_u64(core, threshold_);
+  ckpt::append_u64(core, processed_);
+  ckpt::append_u64(core, sampled_);
+  ckpt::append_u64(core, degradations_);
+  ckpt::append_double(core, adjust_target_);
+  const auto bins = histogram_.sorted_bins();
+  ckpt::append_u64(core, bins.size());
+  for (const auto& [dist, weight] : bins) {
+    ckpt::append_u64(core, dist);
+    ckpt::append_double(core, weight);
+  }
+  ckpt::append_double(core, histogram_.infinite_weight());
+  ckpt::append_double(core, histogram_.total_weight());
+  // The eviction heap travels verbatim (its array order is part of the
+  // bit-identity contract); the tracked map travels key-sorted so the
+  // payload is canonical.
+  ckpt::append_u64(core, heap_.size());
+  for (const HeapEntry& entry : heap_) {
+    ckpt::append_u64(core, entry.hash_value);
+    ckpt::append_u64(core, entry.key);
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> tracked(
+      tracked_.begin(), tracked_.end());
+  std::sort(tracked.begin(), tracked.end());
+  ckpt::append_u64(core, tracked.size());
+  for (const auto& [key, hash_value] : tracked) {
+    ckpt::append_u64(core, key);
+    ckpt::append_u64(core, hash_value);
+  }
+  writer.add_section(ckpt::kSectionModelCore, core);
+  std::string stack;
+  stack_.save_state(stack);
+  writer.add_section(ckpt::kSectionLruStack, stack);
+  return Status::ok();
+}
+
+Status ShardsFixedSizeProfiler::load_state(const std::string& payload) {
+  auto parsed = ckpt::StateReader::parse(payload);
+  if (!parsed.is_ok()) return parsed.status();
+  const ckpt::StateReader& sections = parsed.value();
+  const std::string* core = sections.find(ckpt::kSectionModelCore);
+  const std::string* stack = sections.find(ckpt::kSectionLruStack);
+  if (core == nullptr || stack == nullptr) {
+    return bad_record_error(
+        "fixed-size SHARDS snapshot is missing a required section");
+  }
+  ckpt::ByteReader reader(*core);
+  std::uint64_t modulus = 0, max_objects = 0, threshold = 0;
+  double shard_scale = 0.0;
+  if (!reader.read_u64(&modulus) || !reader.read_double(&shard_scale) ||
+      !reader.read_u64(&max_objects) || !reader.read_u64(&threshold)) {
+    return truncated_error(
+        "fixed-size SHARDS snapshot core section is truncated");
+  }
+  if (modulus != modulus_ || shard_scale != shard_scale_) {
+    return bad_record_error(
+        "fixed-size SHARDS snapshot was taken with different profiler options");
+  }
+  // max_objects is run state, not config: shrink_capacity() halves it
+  // mid-run. It still must be a sane value for this modulus.
+  if (max_objects == 0 || threshold > modulus) {
+    return bad_record_error(
+        "fixed-size SHARDS snapshot carries impossible budget state");
+  }
+  std::uint64_t processed = 0, sampled = 0, degradations = 0;
+  double adjust_target = 0.0;
+  std::uint64_t bin_count = 0;
+  if (!reader.read_u64(&processed) || !reader.read_u64(&sampled) ||
+      !reader.read_u64(&degradations) || !reader.read_double(&adjust_target) ||
+      !reader.read_u64(&bin_count)) {
+    return truncated_error(
+        "fixed-size SHARDS snapshot core section is truncated");
+  }
+  if (bin_count > reader.remaining() / 16) {
+    return bad_record_error(
+        "fixed-size SHARDS snapshot histogram length is impossible");
+  }
+  std::vector<std::pair<std::uint64_t, double>> bins;
+  bins.reserve(bin_count);
+  for (std::uint64_t i = 0; i < bin_count; ++i) {
+    std::uint64_t dist = 0;
+    double weight = 0.0;
+    if (!reader.read_u64(&dist) || !reader.read_double(&weight)) {
+      return truncated_error("fixed-size SHARDS snapshot histogram is truncated");
+    }
+    bins.emplace_back(dist, weight);
+  }
+  double infinite = 0.0, total = 0.0;
+  if (!reader.read_double(&infinite) || !reader.read_double(&total)) {
+    return truncated_error("fixed-size SHARDS snapshot histogram is truncated");
+  }
+  std::uint64_t heap_size = 0;
+  if (!reader.read_u64(&heap_size)) {
+    return truncated_error("fixed-size SHARDS snapshot heap is truncated");
+  }
+  if (heap_size > reader.remaining() / 16) {
+    return bad_record_error(
+        "fixed-size SHARDS snapshot heap length is impossible");
+  }
+  std::vector<HeapEntry> heap;
+  heap.reserve(heap_size);
+  for (std::uint64_t i = 0; i < heap_size; ++i) {
+    HeapEntry entry{};
+    if (!reader.read_u64(&entry.hash_value) || !reader.read_u64(&entry.key)) {
+      return truncated_error("fixed-size SHARDS snapshot heap is truncated");
+    }
+    heap.push_back(entry);
+  }
+  if (!std::is_heap(heap.begin(), heap.end(), HeapCompare{})) {
+    return bad_record_error(
+        "fixed-size SHARDS snapshot heap does not satisfy the heap property");
+  }
+  std::uint64_t tracked_count = 0;
+  if (!reader.read_u64(&tracked_count)) {
+    return truncated_error("fixed-size SHARDS snapshot tracked map is truncated");
+  }
+  if (tracked_count > reader.remaining() / 16) {
+    return bad_record_error(
+        "fixed-size SHARDS snapshot tracked-map length is impossible");
+  }
+  std::unordered_map<std::uint64_t, std::uint64_t> tracked;
+  tracked.reserve(tracked_count);
+  for (std::uint64_t i = 0; i < tracked_count; ++i) {
+    std::uint64_t key = 0, hash_value = 0;
+    if (!reader.read_u64(&key) || !reader.read_u64(&hash_value)) {
+      return truncated_error(
+          "fixed-size SHARDS snapshot tracked map is truncated");
+    }
+    if (!tracked.emplace(key, hash_value).second) {
+      return bad_record_error(
+          "fixed-size SHARDS snapshot tracked map repeats a key");
+    }
+  }
+  if (!reader.exhausted()) {
+    return bad_record_error(
+        "fixed-size SHARDS snapshot core section has trailing bytes");
+  }
+  ckpt::ByteReader stack_reader(*stack);
+  if (!stack_.load_state(stack_reader) || !stack_reader.exhausted()) {
+    return bad_record_error(
+        "fixed-size SHARDS snapshot stack section is corrupt");
+  }
+  max_objects_ = static_cast<std::size_t>(max_objects);
+  threshold_ = threshold;
+  processed_ = processed;
+  sampled_ = sampled;
+  degradations_ = degradations;
+  adjust_target_ = adjust_target;
+  histogram_.restore(bins, infinite, total);
+  heap_ = std::move(heap);
+  tracked_ = std::move(tracked);
+  return Status::ok();
 }
 
 std::uint64_t ShardsFixedSizeProfiler::space_overhead_bytes() const noexcept {

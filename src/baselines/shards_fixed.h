@@ -1,14 +1,16 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "baselines/olken_tree.h"
+#include "core/checkpoint.h"
 #include "trace/request.h"
 #include "util/histogram.h"
 #include "util/mrc.h"
+#include "util/status.h"
 
 namespace krr {
 
@@ -72,6 +74,14 @@ class ShardsFixedSizeProfiler {
   /// the MRC, are unchanged; no further access() calls are expected.
   void scale_mass(double factor);
 
+  /// Checkpoint support: tagged-section state stream (kSectionModelCore =
+  /// budget/threshold/counters/histogram/eviction heap/tracked map,
+  /// kSectionLruStack = Olken treap). The heap array is serialized
+  /// verbatim — it is a plain vector kept in heap order with
+  /// push_heap/pop_heap precisely so its bytes round-trip bit-identically.
+  Status save_state(std::string* out) const;
+  Status load_state(const std::string& payload);
+
  private:
   struct HeapEntry {
     std::uint64_t hash_value;
@@ -89,7 +99,10 @@ class ShardsFixedSizeProfiler {
   std::uint64_t modulus_;
   std::uint64_t threshold_;  // only ever decreases
   OlkenTreeProfiler stack_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> heap_;
+  // Max-heap on hash value, maintained with std::push_heap/std::pop_heap
+  // (exactly what std::priority_queue does internally) so the backing
+  // array is directly serializable.
+  std::vector<HeapEntry> heap_;
   std::unordered_map<std::uint64_t, std::uint64_t> tracked_;  // key -> hash value
   DistanceHistogram histogram_;
   double shard_scale_ = 1.0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "baselines/reuse_state.h"
+
 namespace krr {
 
 StatStackProfiler::StatStackProfiler(std::uint32_t sub_buckets)
@@ -53,6 +55,15 @@ MissRatioCurve StatStackProfiler::mrc() const {
   });
   distances.record_infinite(collector_.cold_count());
   return distances.to_mrc();
+}
+
+
+void StatStackProfiler::save_state(std::string& out) const {
+  save_collector_state(collector_, out);
+}
+
+bool StatStackProfiler::load_state(ckpt::ByteReader& reader) {
+  return load_collector_state(collector_, reader);
 }
 
 }  // namespace krr

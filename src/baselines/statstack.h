@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "trace/request.h"
 #include "util/histogram.h"
 #include "util/mrc.h"
@@ -50,6 +52,10 @@ class StatStackProfiler {
   std::size_t histogram_bins() const noexcept {
     return collector_.histogram().bin_count();
   }
+
+  /// Checkpoint support: flat collector bytes (baselines/reuse_state.h).
+  void save_state(std::string& out) const;
+  bool load_state(ckpt::ByteReader& reader);
 
  private:
   ReuseTimeCollector collector_;

@@ -68,6 +68,100 @@ Status write_checkpoint_atomic(const std::string& path,
   return Status::ok();
 }
 
+namespace ckpt {
+
+namespace {
+// A section body is at most a whole model payload; anything larger is a
+// corrupt length field (mirrors the container's kMaxPayloadBytes).
+constexpr std::uint64_t kMaxSectionBytes = 1ULL << 32;
+}  // namespace
+
+void StateWriter::add_section(std::uint32_t tag, const std::string& body) {
+  append_u32(out_, tag);
+  append_u64(out_, body.size());
+  out_ += body;
+  append_u32(out_, crc32(body.data(), body.size()));
+}
+
+namespace {
+
+std::uint32_t decode_u32_at(const std::string& data, std::size_t offset) {
+  std::uint32_t out = 0;
+  for (int i = 3; i >= 0; --i) {
+    out = (out << 8) |
+          static_cast<unsigned char>(data[offset + static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+std::uint64_t decode_u64_at(const std::string& data, std::size_t offset) {
+  std::uint64_t out = 0;
+  for (int i = 7; i >= 0; --i) {
+    out = (out << 8) |
+          static_cast<unsigned char>(data[offset + static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<StateReader> StateReader::parse(const std::string& payload) {
+  if (payload.size() < 4) {
+    return truncated_error("state stream is too short for a version word");
+  }
+  const std::uint32_t version = decode_u32_at(payload, 0);
+  if (version != kStateStreamVersion) {
+    return unsupported_version_error(
+        "state stream has format version " + std::to_string(version) +
+        "; this build reads version " + std::to_string(kStateStreamVersion));
+  }
+  StateReader result;
+  std::size_t offset = 4;
+  while (offset < payload.size()) {
+    if (payload.size() - offset < 12) {
+      return truncated_error("state stream section header is truncated");
+    }
+    const std::uint32_t tag = decode_u32_at(payload, offset);
+    const std::uint64_t length = decode_u64_at(payload, offset + 4);
+    offset += 12;
+    if (length > kMaxSectionBytes ||
+        length + 4 > payload.size() - offset) {
+      return truncated_error("state stream section " + std::to_string(tag) +
+                             " claims more bytes than the stream holds");
+    }
+    Section section;
+    section.tag = tag;
+    section.body = payload.substr(offset, static_cast<std::size_t>(length));
+    offset += static_cast<std::size_t>(length);
+    const std::uint32_t stored_crc = decode_u32_at(payload, offset);
+    offset += 4;
+    if (stored_crc != crc32(section.body.data(), section.body.size())) {
+      return checksum_mismatch_error("state stream section " +
+                                     std::to_string(tag) +
+                                     " failed its CRC32 check");
+    }
+    result.sections_.push_back(std::move(section));
+  }
+  return result;
+}
+
+const std::string* StateReader::find(std::uint32_t tag) const {
+  for (const Section& section : sections_) {
+    if (section.tag == tag) return &section.body;
+  }
+  return nullptr;
+}
+
+std::vector<const std::string*> StateReader::find_all(std::uint32_t tag) const {
+  std::vector<const std::string*> result;
+  for (const Section& section : sections_) {
+    if (section.tag == tag) result.push_back(&section.body);
+  }
+  return result;
+}
+
+}  // namespace ckpt
+
 StatusOr<CheckpointHeader> read_checkpoint(const std::string& path,
                                            std::string* payload) {
   std::ifstream in(path, std::ios::binary);

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -124,6 +125,84 @@ class ByteReader {
  private:
   const std::string& data_;
   std::size_t pos_ = 0;
+};
+
+/// -------------------------------------------------------------------------
+/// Tagged-section state streams — the zoo-wide codec that model payloads
+/// (the bytes inside a KRRSNAP container) are built from.
+///
+/// A stream is a version word followed by zero or more sections:
+///
+///   offset  size  field
+///   0       4     stream format version (kStateStreamVersion)
+///   ---     per section, repeated to end of stream ---
+///   +0      4     section tag (kSection* constants)
+///   +4      8     body length in bytes
+///   +12     n     body (model-specific, ckpt::append_* encoded)
+///   +12+n   4     crc32 over the body
+///
+/// Readers skip sections with tags they do not recognize, so a newer build
+/// can append sections without breaking an older reader (forward compat);
+/// the per-section CRC localizes damage to one section instead of
+/// poisoning the whole payload. The outer KRRSNAP container still guards
+/// the file end-to-end — section CRCs matter when a payload travels
+/// without it (absorbed into a composite sharded snapshot, for example).
+
+inline constexpr std::uint32_t kStateStreamVersion = 1;
+
+/// Section tags. Values are append-only: never reuse a retired tag.
+inline constexpr std::uint32_t kSectionModelCore = 1;   // flat model counters
+inline constexpr std::uint32_t kSectionLruStack = 2;    // Olken treap state
+inline constexpr std::uint32_t kSectionCollector = 3;   // reuse-time collector
+inline constexpr std::uint32_t kSectionAdapter = 4;     // registry-adapter state
+inline constexpr std::uint32_t kSectionShardMeta = 5;   // composite fan-out header
+inline constexpr std::uint32_t kSectionShardState = 6;  // one live shard (repeated)
+
+/// Builds a tagged-section stream. Bodies are assembled by the caller with
+/// the append_* helpers; add_section frames and checksums them.
+class StateWriter {
+ public:
+  explicit StateWriter(std::string& out) : out_(out) {
+    append_u32(out_, kStateStreamVersion);
+  }
+
+  void add_section(std::uint32_t tag, const std::string& body);
+
+  StateWriter(const StateWriter&) = delete;
+  StateWriter& operator=(const StateWriter&) = delete;
+
+ private:
+  std::string& out_;
+};
+
+/// Parses and validates a tagged-section stream up front (lengths bounded
+/// by the payload, every section CRC checked), then serves sections by tag.
+/// Unknown tags are retained but simply never asked for — that is the
+/// forward-compatibility skip.
+class StateReader {
+ public:
+  struct Section {
+    std::uint32_t tag = 0;
+    std::string body;
+  };
+
+  /// kTruncated for a stream that ends mid-frame, kUnsupportedVersion for a
+  /// future stream version, kChecksumMismatch for a damaged section body.
+  static StatusOr<StateReader> parse(const std::string& payload);
+
+  std::size_t section_count() const noexcept { return sections_.size(); }
+  const Section& section(std::size_t i) const { return sections_.at(i); }
+
+  /// First section with this tag, or nullptr when absent.
+  const std::string* find(std::uint32_t tag) const;
+
+  /// Every section body carrying this tag, in stream order (composite
+  /// snapshots repeat kSectionShardState once per live shard).
+  std::vector<const std::string*> find_all(std::uint32_t tag) const;
+
+ private:
+  StateReader() = default;
+  std::vector<Section> sections_;
 };
 
 }  // namespace ckpt

@@ -26,6 +26,7 @@
 #include "baselines/shards.h"
 #include "baselines/shards_fixed.h"
 #include "baselines/statstack.h"
+#include "core/checkpoint.h"
 #include "core/estimator.h"
 #include "core/profiler.h"
 #include "core/sharded_estimator.h"
@@ -474,6 +475,12 @@ class ShardsEstimator final : public MrcEstimator {
     profiler_.scale_mass(factor);
     return Status::ok();
   }
+  Status save_state(std::string* out) const override {
+    return profiler_.save_state(out);
+  }
+  Status load_state(const std::string& payload) override {
+    return profiler_.load_state(payload);
+  }
 
  private:
   static double checked_rate(double rate) {
@@ -525,6 +532,12 @@ class ShardsFixedEstimator final : public MrcEstimator {
   Status scale_mass(double factor) override {
     profiler_.scale_mass(factor);
     return Status::ok();
+  }
+  Status save_state(std::string* out) const override {
+    return profiler_.save_state(out);
+  }
+  Status load_state(const std::string& payload) override {
+    return profiler_.load_state(payload);
   }
 
  private:
@@ -596,6 +609,51 @@ obs::HeartbeatSnapshot reuse_time_snapshot(const Profiler& profiler,
   return s;
 }
 
+/// Shared checkpoint codec for the reuse-time adapters: the adapter's own
+/// degradation counter (kSectionAdapter) plus the profiler's collector
+/// bytes (kSectionCollector).
+template <typename Profiler>
+Status save_reuse_time_state(const Profiler& profiler,
+                             std::uint64_t degradations, std::string* out) {
+  if (out == nullptr) return invalid_argument_error("save_state: null output");
+  out->clear();
+  ckpt::StateWriter writer(*out);
+  std::string adapter;
+  ckpt::append_u64(adapter, degradations);
+  writer.add_section(ckpt::kSectionAdapter, adapter);
+  std::string collector;
+  profiler.save_state(collector);
+  writer.add_section(ckpt::kSectionCollector, collector);
+  return Status::ok();
+}
+
+template <typename Profiler>
+Status load_reuse_time_state(Profiler& profiler, std::uint64_t* degradations,
+                             const std::string& payload) {
+  auto parsed = ckpt::StateReader::parse(payload);
+  if (!parsed.is_ok()) return parsed.status();
+  const ckpt::StateReader& sections = parsed.value();
+  const std::string* adapter = sections.find(ckpt::kSectionAdapter);
+  const std::string* collector = sections.find(ckpt::kSectionCollector);
+  if (adapter == nullptr || collector == nullptr) {
+    return bad_record_error(
+        "reuse-time snapshot is missing a required section");
+  }
+  ckpt::ByteReader adapter_reader(*adapter);
+  std::uint64_t restored_degradations = 0;
+  if (!adapter_reader.read_u64(&restored_degradations) ||
+      !adapter_reader.exhausted()) {
+    return bad_record_error("reuse-time snapshot adapter section is corrupt");
+  }
+  ckpt::ByteReader collector_reader(*collector);
+  if (!profiler.load_state(collector_reader) || !collector_reader.exhausted()) {
+    return bad_record_error(
+        "reuse-time snapshot collector section is corrupt");
+  }
+  *degradations = restored_degradations;
+  return Status::ok();
+}
+
 class AetEstimator final : public MrcEstimator {
  public:
   explicit AetEstimator(const EstimatorOptions& o)
@@ -644,6 +702,12 @@ class AetEstimator final : public MrcEstimator {
     profiler_.scale_mass(factor);
     return Status::ok();
   }
+  Status save_state(std::string* out) const override {
+    return save_reuse_time_state(profiler_, degradations_, out);
+  }
+  Status load_state(const std::string& payload) override {
+    return load_reuse_time_state(profiler_, &degradations_, payload);
+  }
 
  private:
   std::uint64_t points_;
@@ -680,6 +744,12 @@ class StatStackEstimator final : public MrcEstimator {
     g.histogram_bins = static_cast<double>(profiler_.histogram_bins());
     return g;
   }
+  Status save_state(std::string* out) const override {
+    return save_reuse_time_state(profiler_, degradations_, out);
+  }
+  Status load_state(const std::string& payload) override {
+    return load_reuse_time_state(profiler_, &degradations_, payload);
+  }
 
  private:
   StatStackProfiler profiler_;
@@ -715,6 +785,12 @@ class HotlEstimator final : public MrcEstimator {
     ModelGaugeSnapshot g = MrcEstimator::model_gauges();
     g.histogram_bins = static_cast<double>(profiler_.histogram_bins());
     return g;
+  }
+  Status save_state(std::string* out) const override {
+    return save_reuse_time_state(profiler_, degradations_, out);
+  }
+  Status load_state(const std::string& payload) override {
+    return load_reuse_time_state(profiler_, &degradations_, payload);
   }
 
  private:
@@ -884,7 +960,8 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .caps = {.byte_granularity = true,
                 .spatial_sampling = true,
                 .metrics = true,
-                .governed_memory = true},
+                .governed_memory = true,
+                .checkpoint = true},
        .option_keys = {"max_stack_bytes", "shard_count"}},
       make_factory<ShardsEstimator>());
   registry.add(
@@ -896,7 +973,8 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
                 .spatial_sampling = true,
                 .sharded = true,
                 .metrics = true,
-                .governed_memory = true},
+                .governed_memory = true,
+                .checkpoint = true},
        .option_keys = {"max_stack_bytes", "threads", "shards",
                        "queue_capacity", "failure_mode"}},
       make_sharded_factory("shards"));
@@ -905,7 +983,10 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .policy = "LRU",
        .description = "fixed-size SHARDS_smax: bounded memory, "
                       "threshold-adaptive sampling rate",
-       .caps = {.spatial_sampling = true, .metrics = true, .governed_memory = true},
+       .caps = {.spatial_sampling = true,
+                .metrics = true,
+                .governed_memory = true,
+                .checkpoint = true},
        .option_keys = {"max_objects", "modulus", "max_stack_bytes",
                        "shard_count"}},
       make_factory<ShardsFixedEstimator>());
@@ -917,7 +998,8 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .caps = {.spatial_sampling = true,
                 .sharded = true,
                 .metrics = true,
-                .governed_memory = true},
+                .governed_memory = true,
+                .checkpoint = true},
        .option_keys = {"max_objects", "modulus", "max_stack_bytes", "threads",
                        "shards", "queue_capacity", "failure_mode"}},
       make_sharded_factory("shards_fixed"));
@@ -925,7 +1007,10 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
       {.name = "aet",
        .policy = "LRU",
        .description = "AET kinetic reuse-time model of exact LRU (ATC '16)",
-       .caps = {.spatial_sampling = true, .metrics = true, .governed_memory = true},
+       .caps = {.spatial_sampling = true,
+                .metrics = true,
+                .governed_memory = true,
+                .checkpoint = true},
        .option_keys = {"sub_buckets", "points", "max_stack_bytes",
                        "shard_count"}},
       make_factory<AetEstimator>());
@@ -937,7 +1022,8 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .caps = {.spatial_sampling = true,
                 .sharded = true,
                 .metrics = true,
-                .governed_memory = true},
+                .governed_memory = true,
+                .checkpoint = true},
        .option_keys = {"sub_buckets", "points", "max_stack_bytes", "threads",
                        "shards", "queue_capacity", "failure_mode"}},
       make_sharded_factory("aet"));
@@ -955,7 +1041,7 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
        .policy = "LRU",
        .description = "StatStack expected-stack-distance model from reuse "
                       "times (ISPASS '10)",
-       .caps = {.metrics = true, .governed_memory = true},
+       .caps = {.metrics = true, .governed_memory = true, .checkpoint = true},
        .option_keys = {"sub_buckets", "max_stack_bytes"}},
       make_factory<StatStackEstimator>());
   registry.add(
@@ -970,7 +1056,7 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
       {.name = "hotl",
        .policy = "LRU",
        .description = "HOTL footprint theory of locality (ASPLOS '13)",
-       .caps = {.metrics = true, .governed_memory = true},
+       .caps = {.metrics = true, .governed_memory = true, .checkpoint = true},
        .option_keys = {"sub_buckets", "points", "max_stack_bytes"}},
       make_factory<HotlEstimator>());
 }

@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "core/checkpoint.h"
 #include "util/hashing.h"
 
 namespace krr {
@@ -241,18 +243,146 @@ obs::HeartbeatSnapshot ShardedEstimator::snapshot() const {
   return snap;
 }
 
-Status ShardedEstimator::save_state(std::string*) const {
-  return invalid_argument_error(
-      "sharded execution cannot checkpoint: per-shard queue state has no "
-      "consistent mid-drain snapshot; run the serial model (shards=1, "
-      "threads=1 on the base name) for checkpoint/resume");
+Status ShardedEstimator::save_state(std::string* out) const {
+  if (out == nullptr) return invalid_argument_error("save_state: null output");
+  if (merged_) {
+    return invalid_argument_error(
+        "sharded snapshot unavailable after merge: absorb() has folded the "
+        "shards together in place; checkpoint before reading the curve");
+  }
+  // Quiesce first: after this returns, every record routed so far is
+  // reflected in its shard's payload and the workers are idle on their
+  // queues, so reading the payloads from this (producer) thread is a
+  // consistent cut at the current stream position.
+  const Status quiesced = fanout_.quiesce();
+  if (!quiesced.is_ok()) return quiesced;
+  out->clear();
+  ckpt::StateWriter writer(*out);
+  const std::uint32_t n = fanout_.shard_count();
+  std::string meta;
+  ckpt::append_u32(meta, n);
+  ckpt::append_u64(meta, fanout_.processed());
+  ckpt::append_u64(meta, fanout_.dropped_records());
+  ckpt::append_u64(meta, fanout_.shards_failed());
+  for (std::uint32_t s = 0; s < n; ++s) {
+    ckpt::append_u32(meta, fanout_.dead(s) ? 1u : 0u);
+  }
+  writer.add_section(ckpt::kSectionShardMeta, meta);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (fanout_.dead(s)) continue;  // a dead shard's partial state is untrusted
+    const ShardPayload& payload = fanout_.payload(s);
+    std::string inner;
+    const Status status = payload.estimator->save_state(&inner);
+    if (!status.is_ok()) return status;
+    std::string body;
+    ckpt::append_u32(body, s);
+    ckpt::append_u64(body, payload.accesses);
+    body += inner;
+    writer.add_section(ckpt::kSectionShardState, body);
+  }
+  return Status::ok();
 }
 
-Status ShardedEstimator::load_state(const std::string&) {
-  return invalid_argument_error(
-      "sharded execution cannot checkpoint: per-shard queue state has no "
-      "consistent mid-drain snapshot; run the serial model (shards=1, "
-      "threads=1 on the base name) for checkpoint/resume");
+Status ShardedEstimator::load_state(const std::string& snapshot) {
+  if (merged_ || fanout_.processed() != 0) {
+    return invalid_argument_error(
+        "sharded resume requires a freshly constructed estimator");
+  }
+  auto parsed = ckpt::StateReader::parse(snapshot);
+  if (!parsed.is_ok()) return parsed.status();
+  const ckpt::StateReader& reader = parsed.value();
+  const std::string* meta = reader.find(ckpt::kSectionShardMeta);
+  if (meta == nullptr) {
+    return bad_record_error("sharded snapshot: missing shard-meta section");
+  }
+  ckpt::ByteReader meta_reader(*meta);
+  std::uint32_t shard_n = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t shards_failed = 0;
+  if (!meta_reader.read_u32(&shard_n) || !meta_reader.read_u64(&processed) ||
+      !meta_reader.read_u64(&dropped) ||
+      !meta_reader.read_u64(&shards_failed)) {
+    return truncated_error("sharded snapshot: shard-meta truncated");
+  }
+  if (shard_n != fanout_.shard_count()) {
+    return invalid_argument_error(
+        "sharded snapshot: shard count mismatch (snapshot " +
+        std::to_string(shard_n) + ", configured " +
+        std::to_string(fanout_.shard_count()) + ")");
+  }
+  std::vector<bool> dead(shard_n, false);
+  std::uint64_t dead_count = 0;
+  for (std::uint32_t s = 0; s < shard_n; ++s) {
+    std::uint32_t flag = 0;
+    if (!meta_reader.read_u32(&flag)) {
+      return truncated_error("sharded snapshot: dead-shard mask truncated");
+    }
+    if (flag > 1) {
+      return bad_record_error("sharded snapshot: malformed dead-shard flag");
+    }
+    dead[s] = flag != 0;
+    dead_count += flag;
+  }
+  if (!meta_reader.exhausted()) {
+    return bad_record_error("sharded snapshot: trailing bytes in shard meta");
+  }
+  if (dead_count != shards_failed) {
+    return bad_record_error(
+        "sharded snapshot: dead-shard mask disagrees with failure count");
+  }
+  if (dead_count >= shard_n) {
+    return bad_record_error(
+        "sharded snapshot: every shard dead; nothing to resume");
+  }
+  const std::vector<const std::string*> states =
+      reader.find_all(ckpt::kSectionShardState);
+  if (states.size() != shard_n - dead_count) {
+    return bad_record_error(
+        "sharded snapshot: expected " +
+        std::to_string(shard_n - dead_count) + " shard-state sections, found " +
+        std::to_string(states.size()));
+  }
+  // Validate the shard indices and slice out the inner payloads before
+  // touching any estimator, so a malformed snapshot leaves this instance
+  // untouched (the per-shard load_state calls below are themselves
+  // commit-at-end, so a failure there also leaves prior shards consistent
+  // only up to the failing one — the caller discards the estimator on any
+  // non-ok status, which the CLI exit-code contract already requires).
+  constexpr std::size_t kShardHeaderBytes = 12;  // u32 index + u64 accesses
+  std::vector<bool> seen(shard_n, false);
+  std::vector<std::string> inner(shard_n);
+  std::vector<std::uint64_t> accesses(shard_n, 0);
+  for (const std::string* body : states) {
+    ckpt::ByteReader header(*body);
+    std::uint32_t index = 0;
+    std::uint64_t shard_accesses = 0;
+    if (!header.read_u32(&index) || !header.read_u64(&shard_accesses)) {
+      return truncated_error("sharded snapshot: shard-state header truncated");
+    }
+    if (index >= shard_n || dead[index]) {
+      return bad_record_error(
+          "sharded snapshot: shard-state section for invalid shard " +
+          std::to_string(index));
+    }
+    if (seen[index]) {
+      return bad_record_error(
+          "sharded snapshot: duplicate shard-state section for shard " +
+          std::to_string(index));
+    }
+    seen[index] = true;
+    inner[index] = body->substr(kShardHeaderBytes);
+    accesses[index] = shard_accesses;
+  }
+  for (std::uint32_t s = 0; s < shard_n; ++s) {
+    if (dead[s]) continue;
+    ShardPayload& payload = fanout_.payload(s);
+    const Status status = payload.estimator->load_state(inner[s]);
+    if (!status.is_ok()) return status;
+    payload.accesses = accesses[s];
+  }
+  fanout_.restore_fanout_state(processed, dropped, dead);
+  return Status::ok();
 }
 
 void ShardedEstimator::attach_metrics(obs::PipelineMetrics* metrics) noexcept {

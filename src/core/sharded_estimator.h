@@ -144,7 +144,10 @@ class ShardFanout {
       shard.payload->access(req);
       return;
     }
-    if (shard.queue.try_push(req)) return;
+    if (shard.queue.try_push(req)) {
+      ++shard.routed;
+      return;
+    }
     // Backpressure: the shard's worker is behind. Yield-spin rather than
     // block on a condvar — stalls are transient (a worker mid-batch) and
     // the producer is the only thread that can relieve other shards.
@@ -179,8 +182,57 @@ class ShardFanout {
       std::this_thread::yield();
       if (shard.queue.try_push(req)) break;
     }
+    ++shard.routed;
     stall_seconds_ += stall.seconds();
     trace_stall();
+  }
+
+  /// Producer side: blocks until every record routed so far has been
+  /// consumed by its shard's worker (applied to the payload, or bit-bucketed
+  /// for a dead shard), so the per-shard payloads form a consistent cut of
+  /// the stream at the producer's current position. The consumed counters
+  /// are released after each record is applied, so the acquire loads here
+  /// also publish the payload mutations to the caller — reading shard state
+  /// after a successful quiesce is race-free until the next route(). No-op
+  /// in inline mode; errors out instead of spinning forever when a strict-
+  /// mode worker has died (its queues will never drain).
+  Status quiesce() {
+    if (worker_count_ == 0) return Status::ok();
+    for (;;) {
+      if (failed_.load(std::memory_order_acquire)) {
+        return internal_error(
+            "cannot quiesce shards: a worker failed; finish() will rethrow "
+            "its error");
+      }
+      bool drained = true;
+      for (const auto& shard : shards_) {
+        if (shard->consumed.load(std::memory_order_acquire) != shard->routed) {
+          drained = false;
+          break;
+        }
+      }
+      if (drained) return Status::ok();
+      std::this_thread::yield();
+    }
+  }
+
+  /// Checkpoint restore (producer thread, before the first route()):
+  /// re-marks dead shards and restores the producer/drop/failure counters a
+  /// snapshot recorded. The per-shard routed/consumed ledgers deliberately
+  /// restart at zero — they only ever compare against each other, so a
+  /// fresh epoch is as consistent as the saved one.
+  void restore_fanout_state(std::uint64_t processed, std::uint64_t dropped,
+                            const std::vector<bool>& dead_flags) {
+    processed_ = processed;
+    dropped_records_.store(dropped, std::memory_order_relaxed);
+    std::uint64_t failed = 0;
+    for (std::size_t s = 0; s < shards_.size() && s < dead_flags.size(); ++s) {
+      if (dead_flags[s]) {
+        shards_[s]->dead.store(true, std::memory_order_release);
+        ++failed;
+      }
+    }
+    shards_failed_.store(failed, std::memory_order_relaxed);
   }
 
   /// Declares end of input, drains every queue, and rethrows the first
@@ -358,6 +410,17 @@ class ShardFanout {
     // one consumer per shard).
     std::uint64_t drain_batches = 0;
 
+    // Quiesce ledger. `routed` counts records the producer successfully
+    // enqueued to this shard (plain: single producer, and only the producer
+    // reads it, in quiesce()); `consumed` counts records the worker has
+    // fully disposed of — applied to the payload, bit-bucketed for a dead
+    // shard, or swallowed by a best-effort failure — and is incremented
+    // with release order *after* the disposal so quiesce()'s acquire load
+    // publishes the payload mutations. consumed == routed therefore means
+    // "every record handed to this shard is reflected in its state".
+    std::uint64_t routed = 0;
+    std::atomic<std::uint64_t> consumed{0};
+
     // Live gauges the owning worker publishes once per drain batch so the
     // producer thread can heartbeat without touching payload internals.
     std::atomic<std::uint64_t> live_sampled{0};
@@ -386,6 +449,7 @@ class ShardFanout {
       // would wait on a shard that will never consume.
       while (budget-- > 0 && shard.queue.try_pop(req)) {
         dropped_records_.fetch_add(1, std::memory_order_relaxed);
+        shard.consumed.fetch_add(1, std::memory_order_release);
         did_work = true;
       }
       return;
@@ -401,14 +465,17 @@ class ShardFanout {
         ++drained;
         if (config_.before_access_hook) config_.before_access_hook(index, req);
         shard.payload->access(req);
+        shard.consumed.fetch_add(1, std::memory_order_release);
       }
     } catch (...) {
       if (config_.failure_mode == ShardFailureMode::kStrict) throw;
       // Best-effort: only this shard dies; the worker keeps serving its
-      // other shards and the producer keeps the run alive.
+      // other shards and the producer keeps the run alive. The record that
+      // threw is disposed of (swallowed), so it counts as consumed.
       shard.dead.store(true, std::memory_order_release);
       shards_failed_.fetch_add(1, std::memory_order_relaxed);
       dropped_records_.fetch_add(1, std::memory_order_relaxed);
+      shard.consumed.fetch_add(1, std::memory_order_release);
       did_work = true;
       if (tracer_ != nullptr) {
         tracer_->instant("sharded.shard_failed", "sharded", index + 1,
@@ -499,10 +566,17 @@ class ShardFanout {
 /// per-shard accesses) — the RunGovernor's external loop cannot reach
 /// inside a threaded pipeline, the same contract krr_sharded has.
 ///
-/// Checkpointing is structurally unsupported (per-shard queue state cannot
-/// be snapshotted consistently mid-drain): save_state/load_state report
-/// kInvalidArgument and the registry entries leave `caps.checkpoint`
-/// unset, so the CLI refuses --checkpoint-* up front.
+/// Checkpointing composes: a snapshot first quiesces the fan-out (the
+/// producer waits until every routed record is reflected in its shard's
+/// payload — see ShardFanout::quiesce), then writes one composite payload:
+/// a shard-meta section (shard count, producer counters, the dead-shard
+/// mask) plus one shard-state section per *live* shard carrying that
+/// shard's own save_state() bytes. Resume restores the dead mask and
+/// counters, reloads each survivor, and continues with the same
+/// survivor-rescale merge semantics — a shard that died before the
+/// snapshot stays dead after it. The snapshot must be taken before
+/// mrc()/run_report() merge the shards (absorb() folds them in place);
+/// save_state() refuses afterwards.
 class ShardedEstimator final : public MrcEstimator {
  public:
   struct Config {
@@ -544,7 +618,13 @@ class ShardedEstimator final : public MrcEstimator {
   std::uint64_t space_overhead_bytes() const override { return 0; }
   bool degrade() override { return false; }
 
+  /// Composite checkpoint (see class comment): quiesce, then shard-meta +
+  /// one per-live-shard sub-payload. Fails after the merge, when a worker
+  /// has died in strict mode, or when any shard's own save fails.
   Status save_state(std::string* out) const override;
+  /// Restores a composite snapshot into a freshly constructed estimator
+  /// (same shard count; thread count is free to differ — shard states are
+  /// thread-invariant). Dead shards stay dead; survivors reload in place.
   Status load_state(const std::string& payload) override;
 
   void attach_metrics(obs::PipelineMetrics* metrics) noexcept override;

@@ -82,6 +82,15 @@ void ReuseTimeHistogram::scale(double factor) {
   total_ *= factor;
 }
 
+bool ReuseTimeHistogram::restore(std::uint32_t sub_buckets,
+                                 std::vector<double> bins, double total) {
+  if (sub_buckets == 0 || (sub_buckets & (sub_buckets - 1)) != 0) return false;
+  sub_buckets_ = sub_buckets;
+  bins_ = std::move(bins);
+  total_ = total;
+  return true;
+}
+
 ReuseTimeCollector::ReuseTimeCollector(std::uint32_t sub_buckets,
                                        std::uint64_t stream_scale)
     : histogram_(sub_buckets),
@@ -129,6 +138,40 @@ void ReuseTimeCollector::scale_mass(double factor) {
       static_cast<double>(absorbed_distinct_) * factor + 0.5);
   time_ = static_cast<std::uint64_t>(
       static_cast<double>(time_) * factor + 0.5);
+}
+
+bool ReuseTimeCollector::restore(std::uint32_t sub_buckets,
+                                 std::vector<double> histogram_bins,
+                                 double histogram_total, double cold,
+                                 std::uint64_t time,
+                                 const std::vector<ObjectTimes>& objects,
+                                 std::uint64_t sample_threshold,
+                                 std::size_t absorbed_distinct,
+                                 double absorbed_estimated_distinct) {
+  if (sample_threshold == 0 || sample_threshold > sample_modulus_) return false;
+  for (const ObjectTimes& object : objects) {
+    if (object.first == 0 || object.last < object.first || object.last > time) {
+      return false;
+    }
+  }
+  if (!histogram_.restore(sub_buckets, std::move(histogram_bins),
+                          histogram_total)) {
+    return false;
+  }
+  cold_ = cold;
+  time_ = time;
+  sample_threshold_ = sample_threshold;
+  absorbed_distinct_ = absorbed_distinct;
+  absorbed_estimated_distinct_ = absorbed_estimated_distinct;
+  last_access_.clear();
+  first_access_.clear();
+  last_access_.reserve(objects.size());
+  first_access_.reserve(objects.size());
+  for (const ObjectTimes& object : objects) {
+    if (!last_access_.emplace(object.key, object.last).second) return false;
+    first_access_.emplace(object.key, object.first);
+  }
+  return true;
 }
 
 bool ReuseTimeCollector::halve_sample() {

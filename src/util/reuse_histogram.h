@@ -64,6 +64,17 @@ class ReuseTimeHistogram {
   /// unchanged; only absolute mass scales.
   void scale(double factor);
 
+  /// Raw bin weights, indexed as bin_index() produces (checkpoint support;
+  /// sub_buckets() + bins() + total() capture the full state).
+  const std::vector<double>& bins() const noexcept { return bins_; }
+
+  /// Checkpoint support: replaces the contents with previously captured
+  /// state, including the resolution — coarsen() mutates sub_buckets_, so
+  /// a snapshot must carry it. Returns false (state untouched) when
+  /// `sub_buckets` is not a power of two.
+  bool restore(std::uint32_t sub_buckets, std::vector<double> bins,
+               double total);
+
  private:
   std::uint32_t sub_buckets_;
   std::vector<double> bins_;
@@ -155,6 +166,35 @@ class ReuseTimeCollector {
   const std::unordered_map<std::uint64_t, std::uint64_t>& first_access_times() const {
     return first_access_;
   }
+
+  /// Checkpoint accessors (with cold_count/processed/stream_scale and the
+  /// map views above, these capture the collector's full state).
+  std::uint64_t sample_threshold() const noexcept { return sample_threshold_; }
+  std::uint64_t sample_modulus() const noexcept { return sample_modulus_; }
+  std::size_t absorbed_distinct() const noexcept { return absorbed_distinct_; }
+  double absorbed_estimated_distinct() const noexcept {
+    return absorbed_estimated_distinct_;
+  }
+
+  /// One tracked object's bookkeeping, as restore() consumes it.
+  struct ObjectTimes {
+    std::uint64_t key;
+    std::uint64_t first;
+    std::uint64_t last;
+  };
+
+  /// Checkpoint support: replaces the whole collector state (histogram
+  /// resolution/bins/total, cold count, clock, per-object maps, sampling
+  /// threshold, absorbed-shard counters). stream_scale is construction
+  /// config and is NOT restored — callers validate it separately. Returns
+  /// false (state unspecified only on histogram failure: untouched) for an
+  /// invalid resolution, an out-of-range threshold, a duplicate key, or
+  /// object times that contradict the clock.
+  bool restore(std::uint32_t sub_buckets, std::vector<double> histogram_bins,
+               double histogram_total, double cold, std::uint64_t time,
+               const std::vector<ObjectTimes>& objects,
+               std::uint64_t sample_threshold, std::size_t absorbed_distinct,
+               double absorbed_estimated_distinct);
 
  private:
   bool in_sample(std::uint64_t key) const noexcept;

@@ -282,6 +282,23 @@ TEST(EstimatorRegistry, CapabilityFlagsMatchTheModelFamilies) {
     EXPECT_TRUE(info->caps.sharded) << name;
     EXPECT_TRUE(info->caps.spatial_sampling) << name;
     EXPECT_TRUE(info->caps.governed_memory) << name;
+    // Composite quiesce-then-snapshot checkpointing (DESIGN.md §13).
+    EXPECT_TRUE(info->caps.checkpoint) << name;
+  }
+  // Every serial sampling baseline serializes through the tagged-section
+  // codec; the exact-stack oracles and the KRR-specific sharded/windowed
+  // wrappers stay checkpoint-free.
+  for (const char* name :
+       {"krr", "shards", "shards_fixed", "aet", "statstack", "hotl"}) {
+    const EstimatorInfo* info = registry.find(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_TRUE(info->caps.checkpoint) << name;
+  }
+  for (const char* name :
+       {"lru_stack", "naive_stack", "priority_stack", "krr_sharded",
+        "krr_windowed"}) {
+    const EstimatorInfo* info = registry.find(name);
+    ASSERT_NE(info, nullptr) << name;
     EXPECT_FALSE(info->caps.checkpoint) << name;
   }
 }

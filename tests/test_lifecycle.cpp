@@ -488,5 +488,238 @@ TEST(Checkpoint, OnlyCheckpointCapableModelsSaveState) {
   }
 }
 
+// --- Tagged-section state codec (DESIGN.md §13): the framing every model
+// payload now rides in. Per-section length + CRC, version gate, unknown
+// sections skippable for forward compatibility.
+
+TEST(StateStream, RoundTripsTaggedSections) {
+  std::string stream;
+  ckpt::StateWriter writer(stream);
+  writer.add_section(ckpt::kSectionModelCore, "core bytes");
+  writer.add_section(ckpt::kSectionLruStack, std::string("\x00\x01\x02", 3));
+  writer.add_section(ckpt::kSectionShardState, "shard 0");
+  writer.add_section(ckpt::kSectionShardState, "shard 1");
+  auto parsed = ckpt::StateReader::parse(stream);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  const ckpt::StateReader& reader = *parsed;
+  ASSERT_EQ(reader.section_count(), 4u);
+  ASSERT_NE(reader.find(ckpt::kSectionModelCore), nullptr);
+  EXPECT_EQ(*reader.find(ckpt::kSectionModelCore), "core bytes");
+  ASSERT_NE(reader.find(ckpt::kSectionLruStack), nullptr);
+  EXPECT_EQ(reader.find(ckpt::kSectionLruStack)->size(), 3u);
+  // find() returns the first match; find_all preserves write order.
+  const auto shards = reader.find_all(ckpt::kSectionShardState);
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(*shards[0], "shard 0");
+  EXPECT_EQ(*shards[1], "shard 1");
+  // Unknown tags simply aren't found — a reader ignores sections it does
+  // not understand instead of failing the whole parse.
+  EXPECT_EQ(reader.find(ckpt::kSectionCollector), nullptr);
+  EXPECT_TRUE(reader.find_all(ckpt::kSectionCollector).empty());
+}
+
+TEST(StateStream, EmptyStreamHasNoSections) {
+  std::string stream;
+  ckpt::StateWriter writer(stream);
+  auto parsed = ckpt::StateReader::parse(stream);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->section_count(), 0u);
+}
+
+TEST(StateStream, DamageIsClassified) {
+  std::string stream;
+  ckpt::StateWriter writer(stream);
+  writer.add_section(ckpt::kSectionModelCore, "some model state body");
+
+  // Version word from the future.
+  std::string future = stream;
+  future[0] = static_cast<char>(ckpt::kStateStreamVersion + 1);
+  auto v = ckpt::StateReader::parse(future);
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kUnsupportedVersion);
+
+  // Truncations: inside the version word, the section header, and the body.
+  for (const std::size_t keep : {2ul, 9ul, stream.size() - 3}) {
+    auto t = ckpt::StateReader::parse(stream.substr(0, keep));
+    ASSERT_FALSE(t.is_ok()) << "kept " << keep;
+    EXPECT_EQ(t.status().code(), StatusCode::kTruncated) << "kept " << keep;
+  }
+
+  // A flipped body byte fails the per-section CRC.
+  std::string corrupt = stream;
+  corrupt[20] = static_cast<char>(corrupt[20] ^ 0x40);
+  auto c = ckpt::StateReader::parse(corrupt);
+  ASSERT_FALSE(c.is_ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kChecksumMismatch);
+}
+
+// --- Tentpole acceptance: the registry-wide resume conformance battery.
+// Every model whose caps advertise `checkpoint` — serial baselines and the
+// composite sharded adapters alike — must round-trip through save/load with
+// bit-identical curves and reject damaged payloads.
+
+EstimatorOptions battery_options(const std::string& name) {
+  EstimatorOptions opts;
+  if (EstimatorRegistry::instance().find(name)->caps.sharded) {
+    // Exercise the composite path for real: multiple shards, threaded, so
+    // the snapshot has to quiesce the fan-out first.
+    opts.set("shards", "2");
+    opts.set("threads", "2");
+  }
+  return opts;
+}
+
+class CheckpointBattery : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CheckpointBattery, RoundTripResumesBitIdentically) {
+  const auto trace = zipf_trace(24000);
+  const std::size_t cut = trace.size() / 2;
+  const EstimatorOptions options = battery_options(GetParam());
+
+  auto reference = make(GetParam(), options);
+  for (const Request& r : trace) reference->access(r);
+  reference->finish();
+
+  auto first = make(GetParam(), options);
+  for (std::size_t i = 0; i < cut; ++i) first->access(trace[i]);
+  std::string payload;
+  ASSERT_TRUE(first->save_state(&payload).is_ok()) << GetParam();
+
+  auto resumed = make(GetParam(), options);
+  ASSERT_TRUE(resumed->load_state(payload).is_ok()) << GetParam();
+  for (std::size_t i = cut; i < trace.size(); ++i) resumed->access(trace[i]);
+  resumed->finish();
+
+  expect_curves_equal(reference->mrc(), resumed->mrc(), GetParam());
+  EXPECT_EQ(reference->run_report().final_sampling_rate,
+            resumed->run_report().final_sampling_rate)
+      << GetParam();
+}
+
+TEST_P(CheckpointBattery, TruncatedPayloadIsRejected) {
+  const auto trace = zipf_trace(4000);
+  const EstimatorOptions options = battery_options(GetParam());
+  auto donor = make(GetParam(), options);
+  for (const Request& r : trace) donor->access(r);
+  std::string payload;
+  ASSERT_TRUE(donor->save_state(&payload).is_ok()) << GetParam();
+  auto est = make(GetParam(), options);
+  EXPECT_FALSE(est->load_state(payload.substr(0, payload.size() / 2)).is_ok())
+      << GetParam();
+  EXPECT_FALSE(est->load_state("").is_ok()) << GetParam();
+}
+
+TEST_P(CheckpointBattery, CorruptSectionIsRejected) {
+  if (GetParam() == "krr") {
+    GTEST_SKIP() << "krr keeps its legacy flat payload (no per-section CRC); "
+                    "corruption there is caught by the container checksum "
+                    "(Checkpoint.CorruptionIsDetected)";
+  }
+  const auto trace = zipf_trace(4000);
+  const EstimatorOptions options = battery_options(GetParam());
+  auto donor = make(GetParam(), options);
+  for (const Request& r : trace) donor->access(r);
+  std::string payload;
+  ASSERT_TRUE(donor->save_state(&payload).is_ok()) << GetParam();
+  // Flip one byte mid-payload: inside some section's body (or, rarely, its
+  // header) — either way the tagged-section framing must refuse the load.
+  std::string corrupt = payload;
+  const std::size_t at = corrupt.size() / 2;
+  corrupt[at] = static_cast<char>(corrupt[at] ^ 0x40);
+  auto est = make(GetParam(), options);
+  EXPECT_FALSE(est->load_state(corrupt).is_ok()) << GetParam();
+}
+
+TEST_P(CheckpointBattery, FingerprintKeysOnModelAndOptions) {
+  const EstimatorOptions options = battery_options(GetParam());
+  EstimatorOptions changed = options;
+  changed.set("sub_buckets", "512");
+  EXPECT_NE(checkpoint_fingerprint(GetParam(), options),
+            checkpoint_fingerprint(GetParam(), changed))
+      << GetParam();
+  EXPECT_NE(checkpoint_fingerprint(GetParam(), options),
+            checkpoint_fingerprint(GetParam() + "x", options))
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCheckpointCapableModels, CheckpointBattery,
+    ::testing::ValuesIn(names_with(&EstimatorCapabilities::checkpoint, true)),
+    [](const auto& info) { return info.param; });
+
+// --- Mid-degradation resume across the serial checkpoint-capable governed
+// models: the snapshot must carry the sampling/degradation state, not just
+// the structure, so a stride-aligned interrupt continues bit-identically.
+// (The sharded adapters govern internally and are pinned by the fan-out
+// suite instead.)
+
+std::vector<std::string> serial_governed_checkpoint_names() {
+  auto names = names_with(&EstimatorCapabilities::checkpoint, true);
+  names.erase(std::remove_if(names.begin(), names.end(),
+                             [](const std::string& name) {
+                               const auto* info =
+                                   EstimatorRegistry::instance().find(name);
+                               return info->caps.sharded ||
+                                      !info->caps.governed_memory;
+                             }),
+              names.end());
+  return names;
+}
+
+class DegradedResumeBattery : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DegradedResumeBattery, StrideAlignedCutResumesBitIdentically) {
+  EstimatorOptions options;
+  // Rate-configurable models start unsampled so the budget has to bite;
+  // models without an initial rate ignore the (common) key and track
+  // everything by default anyway.
+  options.set("rate", "1.0");
+  const auto trace = zipf_trace(40960, 20000, 0.7);
+  const std::size_t cut = 30720;  // check-stride aligned (see krr test above)
+
+  auto run_with_budget = [&](MrcEstimator& est, std::size_t from,
+                             std::size_t to) {
+    RunGovernorConfig cfg;
+    cfg.max_stack_bytes = 16384;
+    cfg.check_stride = 1024;
+    RunGovernor governor(cfg, &est);
+    for (std::size_t i = from; i < to; ++i) {
+      est.access(trace[i]);
+      governor.on_access();
+    }
+    governor.finalize();
+  };
+
+  auto reference = make(GetParam(), options);
+  run_with_budget(*reference, 0, trace.size());
+  reference->finish();
+  // snapshot() (not the ingest-oriented run_report()) carries the
+  // per-model degradation counter for the whole zoo.
+  ASSERT_GT(reference->snapshot().degradation_events, 0u)
+      << GetParam() << ": budget too large to exercise degradation";
+
+  auto first = make(GetParam(), options);
+  run_with_budget(*first, 0, cut);
+  std::string payload;
+  ASSERT_TRUE(first->save_state(&payload).is_ok()) << GetParam();
+
+  auto resumed = make(GetParam(), options);
+  ASSERT_TRUE(resumed->load_state(payload).is_ok()) << GetParam();
+  run_with_budget(*resumed, cut, trace.size());
+  resumed->finish();
+
+  expect_curves_equal(reference->mrc(), resumed->mrc(), GetParam());
+  EXPECT_EQ(reference->snapshot().degradation_events,
+            resumed->snapshot().degradation_events)
+      << GetParam();
+  EXPECT_EQ(reference->snapshot().sampling_rate,
+            resumed->snapshot().sampling_rate)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialGovernedModels, DegradedResumeBattery,
+                         ::testing::ValuesIn(serial_governed_checkpoint_names()),
+                         [](const auto& info) { return info.param; });
+
 }  // namespace
 }  // namespace krr

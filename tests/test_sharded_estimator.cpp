@@ -152,17 +152,42 @@ TEST_P(ShardedZoo, RunReportAggregatesAcrossShards) {
   EXPECT_EQ(snap.records, trace.size());
 }
 
-TEST_P(ShardedZoo, CheckpointIsStructurallyUnsupported) {
+TEST_P(ShardedZoo, CheckpointRoundTripResumesBitIdentical) {
+  // Composite quiesce-then-snapshot checkpointing: a mid-stream save from
+  // the producer thread, restored into a fresh estimator that consumes the
+  // rest of the stream, must land on exactly the uninterrupted curve.
+  const auto trace = zipf_trace(60000, 5000);
+  const std::size_t cut = 36000;
+  EstimatorOptions opts;
+  opts.set("seed", "11");
+  opts.set("shards", "3");
+  opts.set("threads", "2");
+  auto uninterrupted = make(sharded_name(GetParam()), opts);
+  const MissRatioCurve expected = run(*uninterrupted, trace);
+  auto first = make(sharded_name(GetParam()), opts);
+  for (std::size_t i = 0; i < cut; ++i) first->access(trace[i]);
+  std::string blob;
+  ASSERT_TRUE(first->save_state(&blob).is_ok()) << GetParam();
+  auto resumed = make(sharded_name(GetParam()), opts);
+  ASSERT_TRUE(resumed->load_state(blob).is_ok()) << GetParam();
+  for (std::size_t i = cut; i < trace.size(); ++i) resumed->access(trace[i]);
+  resumed->finish();
+  EXPECT_EQ(resumed->processed(), trace.size()) << GetParam();
+  expect_identical(expected, resumed->mrc(), GetParam());
+}
+
+TEST_P(ShardedZoo, CheckpointRefusedAfterMerge) {
+  // mrc() folds the shards together in place; a snapshot taken afterwards
+  // would capture the merged aggregate as if it were shard state.
   EstimatorOptions opts;
   opts.set("shards", "2");
   auto est = make(sharded_name(GetParam()), opts);
+  const auto trace = zipf_trace(5000, 500);
+  run(*est, trace);
   std::string blob;
   const Status saved = est->save_state(&blob);
   ASSERT_FALSE(saved.is_ok()) << GetParam();
   EXPECT_EQ(saved.code(), StatusCode::kInvalidArgument);
-  const Status loaded = est->load_state("anything");
-  ASSERT_FALSE(loaded.is_ok()) << GetParam();
-  EXPECT_EQ(loaded.code(), StatusCode::kInvalidArgument);
 }
 
 INSTANTIATE_TEST_SUITE_P(SpatialSamplingModels, ShardedZoo,
@@ -242,6 +267,77 @@ TEST(ShardedEstimator, BestEffortDropsFailedShardAndRescalesSurvivors) {
   est.export_gauges(registry);
   EXPECT_EQ(registry.gauge("sharded.shard1.failed").value(), 1.0);
   EXPECT_EQ(registry.gauge("sharded.shard0.failed").value(), 0.0);
+}
+
+TEST(ShardedEstimator, ResumeRejectsShardCountMismatch) {
+  EstimatorOptions opts;
+  opts.set("shards", "2");
+  auto est = make("shards_sharded", opts);
+  const auto trace = zipf_trace(2000, 200);
+  for (const Request& r : trace) est->access(r);
+  std::string blob;
+  ASSERT_TRUE(est->save_state(&blob).is_ok());
+  EstimatorOptions other;
+  other.set("shards", "3");
+  auto mismatched = make("shards_sharded", other);
+  const Status loaded = mismatched->load_state(blob);
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedEstimator, ResumeRequiresFreshEstimator) {
+  EstimatorOptions opts;
+  opts.set("shards", "2");
+  auto est = make("shards_sharded", opts);
+  const auto trace = zipf_trace(2000, 200);
+  for (const Request& r : trace) est->access(r);
+  std::string blob;
+  ASSERT_TRUE(est->save_state(&blob).is_ok());
+  // Loading over an estimator that has already consumed records would
+  // silently merge two histories; it must refuse instead.
+  const Status loaded = est->load_state(blob);
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedEstimator, BestEffortResumePreservesDeadShards) {
+  // A shard that died before the snapshot stays dead after it: the resumed
+  // run keeps bit-bucketing its records and the merge still applies the
+  // survivor rescale.
+  const auto trace = zipf_trace(80000, 5000);
+  const std::size_t cut = 60000;
+  ShardedEstimator::Config cfg;
+  cfg.base_model = "shards";
+  cfg.shards = 4;
+  cfg.threads = 2;
+  cfg.queue_capacity = 256;
+  cfg.failure_mode = ShardFailureMode::kBestEffort;
+  std::atomic<std::uint64_t> seen{0};
+  cfg.before_access_hook = [&seen](std::uint32_t shard, const Request&) {
+    if (shard == 1 && seen.fetch_add(1) == 100) {
+      throw std::runtime_error("shard worker fault injection");
+    }
+  };
+  ShardedEstimator first(cfg);
+  for (std::size_t i = 0; i < cut; ++i) first.access(trace[i]);
+  std::string blob;
+  ASSERT_TRUE(first.save_state(&blob).is_ok());
+  EXPECT_EQ(first.shards_failed(), 1u);
+  ShardedEstimator::Config resume_cfg = cfg;
+  resume_cfg.before_access_hook = nullptr;  // no fault on the resumed run
+  ShardedEstimator resumed(resume_cfg);
+  ASSERT_TRUE(resumed.load_state(blob).is_ok());
+  for (std::size_t i = cut; i < trace.size(); ++i) resumed.access(trace[i]);
+  EXPECT_NO_THROW(resumed.finish());
+  EXPECT_EQ(resumed.shards_failed(), 1u);
+  EXPECT_EQ(resumed.processed(), trace.size());
+  EXPECT_GT(resumed.dropped_records(), 0u);
+  const MissRatioCurve curve = resumed.mrc();
+  ASSERT_FALSE(curve.points().empty());
+  for (const auto& [size, ratio] : curve.points()) {
+    EXPECT_GE(ratio, 0.0);
+    EXPECT_LE(ratio, 1.0);
+  }
 }
 
 TEST(ShardedEstimator, BestEffortWithEveryShardDeadIsARealFailure) {

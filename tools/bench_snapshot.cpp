@@ -6,7 +6,7 @@
 // deliberately laptop-sized: a full run takes ~1 minute at the default
 // scale. KRR_BENCH_SCALE multiplies trace lengths as usual.
 //
-//   bench_snapshot [--out=BENCH_pr8.json] [--pr=8] [--repeats=3]
+//   bench_snapshot [--out=BENCH_pr9.json] [--pr=9] [--repeats=3]
 
 #include <cstdio>
 #include <ctime>
@@ -49,8 +49,8 @@ std::string utc_timestamp() {
 
 int main(int argc, char** argv) {
   Options opts(argc, argv);
-  const std::string out = opts.get_string("out", "BENCH_pr8.json");
-  const auto pr = opts.get_int("pr", 8);
+  const std::string out = opts.get_string("out", "BENCH_pr9.json");
+  const auto pr = opts.get_int("pr", 9);
   const int repeats = static_cast<int>(opts.get_int("repeats", 3));
 
   obs::Json root = obs::Json::object();
@@ -443,6 +443,102 @@ int main(int argc, char** argv) {
         (governed / ungoverned - 1.0) * 100.0,
         static_cast<unsigned long long>(gov_report.degrade_steps),
         payload.size(), save_secs, load_secs);
+  }
+
+  // 8. Checkpoint round trip across the zoo (PR 9): for every model that
+  // declares caps.checkpoint, save mid-run, load into a fresh estimator,
+  // and record snapshot size, save/load time, and whether the resumed run
+  // reproduces the uninterrupted curve exactly. Sharded adapters exercise
+  // the composite quiesce-then-snapshot path (DESIGN.md §13).
+  {
+    const auto n_ckpt = static_cast<std::size_t>(scaled(100000));
+    ZipfianGenerator gen(10000, 0.9, 26, /*scrambled=*/true);
+    const std::vector<Request> trace = materialize(gen, n_ckpt);
+    const std::size_t cut = trace.size() / 2;
+    auto& registry = EstimatorRegistry::instance();
+    obs::Json rows = obs::Json::array();
+    for (const EstimatorInfo& info : registry.list()) {
+      if (!info.caps.checkpoint) continue;
+      const auto make_est = [&] {
+        EstimatorOptions options;
+        options.set("k", "5");
+        options.set("seed", "7");
+        if (info.caps.sharded) {
+          options.set("shards", "4");
+          options.set("threads", "2");
+        }
+        auto est = registry.create(info.name, options);
+        if (!est.is_ok()) {
+          std::fprintf(stderr, "%s: %s\n", info.name.c_str(),
+                       est.status().message().c_str());
+          std::exit(1);
+        }
+        return std::move(*est);
+      };
+
+      // Uninterrupted reference curve.
+      auto reference = make_est();
+      for (const Request& r : trace) reference->access(r);
+      reference->finish();
+      const MissRatioCurve ref_curve = reference->mrc({});
+      const std::vector<double> sizes =
+          evenly_spaced_sizes(ref_curve.max_size(), 40);
+
+      // Mid-run save (idempotent, so it can be repeated for the median).
+      auto donor = make_est();
+      for (std::size_t i = 0; i < cut; ++i) donor->access(trace[i]);
+      std::string payload;
+      const double save_secs = median_seconds(repeats, [&] {
+        payload.clear();
+        const Status s = donor->save_state(&payload);
+        if (!s.is_ok()) {
+          std::fprintf(stderr, "%s save_state: %s\n", info.name.c_str(),
+                       s.message().c_str());
+          std::exit(1);
+        }
+      });
+
+      // Load requires a fresh estimator, so each repeat creates one.
+      const double load_secs = median_seconds(repeats, [&] {
+        auto fresh = make_est();
+        const Status s = fresh->load_state(payload);
+        if (!s.is_ok()) {
+          std::fprintf(stderr, "%s load_state: %s\n", info.name.c_str(),
+                       s.message().c_str());
+          std::exit(1);
+        }
+      });
+
+      // Resume the restored estimator and check the curve is reproduced.
+      auto resumed = make_est();
+      if (!resumed->load_state(payload).is_ok()) std::exit(1);
+      for (std::size_t i = cut; i < trace.size(); ++i)
+        resumed->access(trace[i]);
+      resumed->finish();
+      const MissRatioCurve resumed_curve = resumed->mrc({});
+      const double resume_mae = ref_curve.mae(resumed_curve, sizes);
+
+      obs::Json row = obs::Json::object();
+      row.set("model", obs::Json(info.name));
+      row.set("sharded", obs::Json(info.caps.sharded));
+      row.set("payload_bytes",
+              obs::Json(static_cast<std::uint64_t>(payload.size())));
+      row.set("save_seconds", obs::Json(save_secs));
+      row.set("load_seconds", obs::Json(load_secs));
+      row.set("resume_mae_vs_uninterrupted", obs::Json(resume_mae));
+      row.set("resume_bit_identical", obs::Json(resume_mae == 0.0));
+      rows.push_back(std::move(row));
+      std::printf(
+          "checkpoint %-20s %7zu bytes, save %.5f s, load %.5f s, "
+          "resume mae %.6f\n",
+          info.name.c_str(), payload.size(), save_secs, load_secs, resume_mae);
+    }
+    obs::Json section = obs::Json::object();
+    section.set("workload", obs::Json("zipf:0.9 footprint=10k"));
+    section.set("n", obs::Json(static_cast<std::uint64_t>(trace.size())));
+    section.set("cut", obs::Json(static_cast<std::uint64_t>(cut)));
+    section.set("rows", std::move(rows));
+    root.set("checkpoint_round_trip", std::move(section));
   }
 
   std::ofstream os(out);

@@ -452,9 +452,12 @@ int cmd_profile(const Options& opts) {
   if (deadline_secs < 0) usage("--deadline-secs must be >= 0");
   if ((!checkpoint_out.empty() || !resume_from.empty()) &&
       !est->info().caps.checkpoint) {
-    usage("model '" + model +
-          "' does not support checkpoint/resume (no `checkpoint` "
-          "capability; see krr_cli models)");
+    const char* flag = !checkpoint_out.empty() ? "--checkpoint-out"
+                                               : "--resume-from";
+    usage(std::string(flag) + ": model '" + model +
+          "' declares checkpoint=false and cannot honor checkpoint/resume "
+          "flags (run `krr_cli models` and pick a model whose capability "
+          "list includes `checkpoint`)");
   }
 
   std::uint64_t resume_offset = 0;
@@ -624,11 +627,16 @@ int cmd_profile(const Options& opts) {
                  trace_out.c_str());
   }
   if (is_sharded_model(model)) {
+    // --model-opts can override the fan-out geometry, so report the
+    // effective values the estimator was built with, not the raw flags.
     std::fprintf(stderr,
-                 "profiled %zu requests (%zu sampled) in %.3f s across %u "
-                 "shards on %u threads with model %s; stack depth %zu\n",
+                 "profiled %zu requests (%zu sampled) in %.3f s across %lld "
+                 "shards on %lld threads with model %s; stack depth %zu\n",
                  trace.size(), static_cast<std::size_t>(final_state.sampled),
-                 secs, shards, threads, model.c_str(),
+                 secs,
+                 static_cast<long long>(eopts.get_int("shards", shards)),
+                 static_cast<long long>(eopts.get_int("threads", threads)),
+                 model.c_str(),
                  static_cast<std::size_t>(final_state.stack_depth));
   } else if (model == "krr") {
     std::fprintf(stderr,

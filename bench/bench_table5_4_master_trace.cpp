@@ -2,6 +2,13 @@
 // sampling rate R = 0.001 — KRR with the top-down update, KRR with the
 // backward update (averaged over K in {1, 2, 4, 8, 16, 32}), and SHARDS
 // (exact-LRU baseline) on the same sampled stream.
+//
+// After the paper's rows, the table appends one `model:<name>` row per
+// registered estimator (via EstimatorRegistry::list(), default options
+// plus the paper's R where the model does spatial sampling), so a newly
+// registered model is timed on the master trace without touching this
+// bench. Reference oracles are skipped — O(N*M) on a two-million-record
+// trace — and sharded adapters are covered by bench_parallel_scaling.
 
 #include "bench_common.h"
 
@@ -32,16 +39,41 @@ int main() {
     return total / static_cast<double>(ks.size());
   };
 
-  Table table({"method", "time_sec"});
-  table.add("top_down+spatial", avg_time(UpdateStrategy::kTopDown));
-  table.add("backward+spatial", avg_time(UpdateStrategy::kBackward));
+  Table table({"method", "time_sec", "note"});
+  table.add("top_down+spatial", avg_time(UpdateStrategy::kTopDown),
+            "avg over K in {1..32}");
+  table.add("backward+spatial", avg_time(UpdateStrategy::kBackward),
+            "avg over K in {1..32}");
   {
     Stopwatch watch;
     ShardsProfiler shards(rate);
     for (const Request& r : trace) shards.access(r);
     (void)shards.mrc();
-    table.add("SHARDS", watch.seconds());
+    table.add("SHARDS", watch.seconds(), "exact-LRU baseline");
   }
+
+  // Registry zoo rows: every registered model on the same master trace,
+  // sampled models at the paper's R.
+  for (const auto& info : krr::EstimatorRegistry::instance().list()) {
+    if (info.caps.reference_oracle) continue;  // O(N*M) at this length
+    if (info.caps.sharded) continue;           // see bench_parallel_scaling
+    krr::EstimatorOptions options;
+    if (info.caps.models_klru) options.set("k", "5");
+    // "rate" is a common option key every model accepts; only set it where
+    // the capability matrix says the model actually samples spatially.
+    const bool rated = info.caps.spatial_sampling;
+    if (rated) options.set("rate", std::to_string(rate));
+    auto created = krr::EstimatorRegistry::instance().create(info.name, options);
+    if (!created.is_ok()) throw krr::StatusError(created.status());
+    auto est = std::move(*created);
+    Stopwatch watch;
+    for (const Request& r : trace) est->access(r);
+    est->finish();
+    (void)est->mrc();
+    table.add("model:" + info.name, watch.seconds(),
+              rated ? "registry defaults, paper R" : "registry defaults");
+  }
+
   print_table(table, "Table 5.4: master trace running time");
   std::cout << "(paper shape: backward+spatial is close to SHARDS; top-down\n"
                " is about two times slower)\n";

@@ -5,6 +5,7 @@
 
 #include "core/estimator.h"
 #include "util/crc32.h"
+#include "util/faultpoint.h"
 
 namespace krr {
 
@@ -39,6 +40,11 @@ Status write_checkpoint_atomic(const std::string& path,
                                const std::string& payload) {
   if (payload.size() > kMaxPayloadBytes) {
     return invalid_argument_error("checkpoint payload too large");
+  }
+  // Injected write failures surface as the same io_error a full disk
+  // would, so callers' retry paths are exercised end to end.
+  if (faults::should_fire(faults::kCheckpointWrite)) {
+    return io_error("injected checkpoint write fault at '" + path + "'");
   }
   std::string blob;
   blob.reserve(kHeaderBytes + payload.size() + 4);

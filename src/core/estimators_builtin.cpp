@@ -66,8 +66,9 @@ std::uint32_t checked_shard_count(const EstimatorOptions& o) {
 ShardFailureMode parse_failure_mode(const std::string& mode) {
   if (mode == "strict") return ShardFailureMode::kStrict;
   if (mode == "best_effort") return ShardFailureMode::kBestEffort;
+  if (mode == "replay") return ShardFailureMode::kReplay;
   throw std::invalid_argument("unknown failure_mode: " + mode +
-                              " (use strict or best_effort)");
+                              " (use strict, best_effort, or replay)");
 }
 
 /// The shared mapping from option keys onto KrrProfilerConfig — one place,
@@ -204,6 +205,10 @@ class ShardedKrrEstimator final : public MrcEstimator {
           std::max<std::uint64_t>(1, cfg.base.max_stack_bytes / cfg.shards);
     }
     cfg.failure_mode = parse_failure_mode(o.get_string("failure_mode", "strict"));
+    cfg.journal_records = static_cast<std::size_t>(
+        get_u64(o, "journal_records", cfg.journal_records));
+    cfg.snapshot_stride = get_u64(o, "snapshot_stride", cfg.snapshot_stride);
+    cfg.retry.seed = cfg.base.seed;
     return cfg;
   }
 
@@ -852,6 +857,10 @@ ShardedEstimator::Config sharded_wrapper_config(const std::string& base_model,
       get_u64(o, "queue_capacity", cfg.queue_capacity));
   cfg.failure_mode = parse_failure_mode(o.get_string("failure_mode", "strict"));
   cfg.max_stack_bytes = get_u64(o, "max_stack_bytes", 0);
+  cfg.journal_records = static_cast<std::size_t>(
+      get_u64(o, "journal_records", cfg.journal_records));
+  cfg.snapshot_stride = get_u64(o, "snapshot_stride", cfg.snapshot_stride);
+  cfg.retry.seed = get_u64(o, "seed", 0);
   return cfg;
 }
 
@@ -901,7 +910,8 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
                 .metrics = true,
                 .governed_memory = true},
        .option_keys = {"max_stack_bytes", "threads", "shards",
-                       "queue_capacity", "failure_mode"}},
+                       "queue_capacity", "failure_mode", "journal_records",
+                       "snapshot_stride"}},
       make_factory<ShardedKrrEstimator>());
   registry.add(
       {.name = "krr_windowed",
@@ -976,7 +986,8 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
                 .governed_memory = true,
                 .checkpoint = true},
        .option_keys = {"max_stack_bytes", "threads", "shards",
-                       "queue_capacity", "failure_mode"}},
+                       "queue_capacity", "failure_mode", "journal_records",
+                       "snapshot_stride"}},
       make_sharded_factory("shards"));
   registry.add(
       {.name = "shards_fixed",
@@ -1001,7 +1012,8 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
                 .governed_memory = true,
                 .checkpoint = true},
        .option_keys = {"max_objects", "modulus", "max_stack_bytes", "threads",
-                       "shards", "queue_capacity", "failure_mode"}},
+                       "shards", "queue_capacity", "failure_mode", "journal_records",
+                       "snapshot_stride"}},
       make_sharded_factory("shards_fixed"));
   registry.add(
       {.name = "aet",
@@ -1025,7 +1037,8 @@ void register_builtin_estimators(EstimatorRegistry& registry) {
                 .governed_memory = true,
                 .checkpoint = true},
        .option_keys = {"sub_buckets", "points", "max_stack_bytes", "threads",
-                       "shards", "queue_capacity", "failure_mode"}},
+                       "shards", "queue_capacity", "failure_mode", "journal_records",
+                       "snapshot_stride"}},
       make_sharded_factory("aet"));
   registry.add(
       {.name = "counter_stacks",

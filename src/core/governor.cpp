@@ -27,6 +27,7 @@ RunGovernor::RunGovernor(const RunGovernorConfig& config,
     checks_metric_ = &registry->counter("governor.budget_checks");
     degrade_metric_ = &registry->counter("governor.degrade_steps");
     checkpoint_metric_ = &registry->counter("governor.checkpoints_written");
+    checkpoint_retry_metric_ = &registry->counter("governor.checkpoint_retries");
     peak_space_metric_ = &registry->gauge("governor.peak_space_bytes");
   }
 }
@@ -45,7 +46,24 @@ bool RunGovernor::on_access() {
     double write_seconds = 0.0;
     StatusOr<std::uint64_t> bytes = [&] {
       ScopedTimer timer(write_seconds);
-      return config_.checkpoint_fn(accesses_);
+      StatusOr<std::uint64_t> result = config_.checkpoint_fn(accesses_);
+      // Transient write failures (full disk racing a cleaner, injected
+      // checkpoint.write faults) get checkpoint_retry attempts with the
+      // policy's jittered backoff before the run aborts.
+      for (unsigned attempt = 1;
+           !result.is_ok() && attempt < config_.checkpoint_retry.max_attempts;
+           ++attempt) {
+        ++report_.checkpoint_retries;
+        if (checkpoint_retry_metric_ != nullptr) checkpoint_retry_metric_->inc();
+        if (tracer_ != nullptr) {
+          tracer_->instant("governor.checkpoint_retry", "governor", 0,
+                           {{"attempt", static_cast<double>(attempt)},
+                            {"records", static_cast<double>(accesses_)}});
+        }
+        config_.checkpoint_retry.sleep(attempt);
+        result = config_.checkpoint_fn(accesses_);
+      }
+      return result;
     }();
     report_.checkpoint_seconds += write_seconds;
     if (!bytes.is_ok()) throw StatusError(bytes.status());

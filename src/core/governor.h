@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "util/retry.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -39,6 +40,11 @@ struct RunGovernorConfig {
   /// not a survivable condition — resuming from it would silently lose
   /// work).
   std::function<StatusOr<std::uint64_t>(std::uint64_t records)> checkpoint_fn;
+  /// Transient checkpoint-write failures are retried under this policy
+  /// before the run aborts. The default (max_attempts = 1) keeps the old
+  /// fail-fast behavior; every extra attempt is counted in
+  /// GovernanceReport::checkpoint_retries and traced.
+  RetryPolicy checkpoint_retry{.max_attempts = 1};
 };
 
 /// What the governor did during the run, folded into RunReport/metrics by
@@ -47,6 +53,9 @@ struct GovernanceReport {
   std::uint64_t checks = 0;
   std::uint64_t degrade_steps = 0;
   std::uint64_t checkpoints_written = 0;
+  /// Checkpoint writes that failed and were re-attempted (the attempts
+  /// beyond the first, summed over the run).
+  std::uint64_t checkpoint_retries = 0;
   std::uint64_t last_checkpoint_records = 0;
   std::uint64_t last_checkpoint_bytes = 0;
   /// Wall-clock seconds spent inside checkpoint_fn across the run.
@@ -112,6 +121,7 @@ class RunGovernor {
   obs::Counter* checks_metric_ = nullptr;
   obs::Counter* degrade_metric_ = nullptr;
   obs::Counter* checkpoint_metric_ = nullptr;
+  obs::Counter* checkpoint_retry_metric_ = nullptr;
   obs::Gauge* peak_space_metric_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
 };

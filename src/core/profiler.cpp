@@ -248,6 +248,10 @@ obs::Json to_json(const RunReport& report) {
   j.set("producer_stall_seconds", obs::Json(report.producer_stall_seconds));
   j.set("partial", obs::Json(report.partial));
   j.set("shards_failed", obs::Json(report.shards_failed));
+  j.set("shards_resurrected", obs::Json(report.shards_resurrected));
+  j.set("replayed_records", obs::Json(report.replayed_records));
+  j.set("dropped_records", obs::Json(report.dropped_records));
+  j.set("recovery", obs::Json(report.recovery));
   return j;
 }
 

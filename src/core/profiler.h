@@ -88,6 +88,18 @@ struct RunReport {
   /// Shards dropped by best-effort failure recovery (sharded pipeline
   /// only); the merged histogram was rescaled by the surviving fraction.
   std::uint64_t shards_failed = 0;
+  /// Shard workers revived by replay recovery (sharded pipeline,
+  /// failure_mode=replay only; a shard may be resurrected more than once).
+  std::uint64_t shards_resurrected = 0;
+  /// Journal records re-applied across all resurrections.
+  std::uint64_t replayed_records = 0;
+  /// Records discarded by shard failure handling: routed to already-dead
+  /// shards, dropped from a failed worker's queue, or shed by injected
+  /// queue-push faults under a recovering failure mode.
+  std::uint64_t dropped_records = 0;
+  /// Which failure-recovery path the run took: "none", "replayed",
+  /// "rescaled", or "replayed+rescaled" (see recovery_path_name).
+  std::string recovery = "none";
 };
 
 /// The RunReport as a JSON object — the "run_report" section of the

@@ -18,10 +18,41 @@ namespace {
 /// worse, misread — a base "shards" key would recurse).
 bool is_fanout_key(const std::string& key) {
   return key == "threads" || key == "shards" || key == "queue_capacity" ||
-         key == "failure_mode" || key == "max_stack_bytes";
+         key == "failure_mode" || key == "max_stack_bytes" ||
+         key == "journal_records" || key == "snapshot_stride";
 }
 
 }  // namespace
+
+Status ShardedEstimator::ShardPayload::save_state(std::string* out) const {
+  std::string inner;
+  const Status status = estimator->save_state(&inner);
+  if (!status.is_ok()) return status;
+  out->clear();
+  ckpt::append_u64(*out, accesses);
+  *out += inner;
+  return Status::ok();
+}
+
+Status ShardedEstimator::ShardPayload::load_state(const std::string& blob) {
+  ckpt::ByteReader reader(blob);
+  std::uint64_t saved_accesses = 0;
+  if (!reader.read_u64(&saved_accesses)) {
+    return truncated_error("shard mini-checkpoint truncated");
+  }
+  const Status status = estimator->load_state(blob.substr(8));
+  if (!status.is_ok()) return status;
+  accesses = saved_accesses;
+  return Status::ok();
+}
+
+void ShardedEstimator::ShardPayload::rebuild() {
+  estimator = factory();
+  // The budget-check stride restarts with the fresh instance; load_state
+  // (or the journal replay, for a pre-snapshot resurrection) brings the
+  // counter back to the failed instance's position.
+  accesses = 0;
+}
 
 void ShardedEstimator::ShardPayload::access(const Request& req) {
   estimator->access(req);
@@ -59,20 +90,33 @@ ShardedEstimator::make_payloads(const Config& config) {
       opts.set("seed", std::to_string(base.get_int("seed", 0) +
                                       static_cast<std::int64_t>(s)));
     }
-    auto created =
-        EstimatorRegistry::instance().create(config.base_model, opts);
-    if (!created.is_ok()) {
-      // The registry factory contract: std::invalid_argument maps back to
-      // kInvalidArgument at the outer create() call.
-      throw std::invalid_argument(created.status().message());
-    }
     auto payload = std::make_unique<ShardPayload>();
-    payload->estimator = std::move(created).value();
+    // The factory is the resurrection path's rebuild() hook: it recreates
+    // this shard's estimator with the exact options used here, so a revived
+    // shard is option-identical to the one that died.
+    payload->factory = [model = config.base_model, opts] {
+      auto created = EstimatorRegistry::instance().create(model, opts);
+      if (!created.is_ok()) {
+        // The registry factory contract: std::invalid_argument maps back to
+        // kInvalidArgument at the outer create() call.
+        throw std::invalid_argument(created.status().message());
+      }
+      return std::move(created).value();
+    };
+    payload->estimator = payload->factory();
     if (config.max_stack_bytes != 0) {
       // Split the global ceiling evenly; the floor of 1 keeps degradation
-      // armed even for absurd shard counts.
-      payload->budget_bytes =
+      // armed even for absurd shard counts. Replay mode charges the
+      // journal's footprint against the shard's share so the global bound
+      // covers recovery state too.
+      const std::uint64_t share =
           std::max<std::uint64_t>(config.max_stack_bytes / shard_n, 1);
+      const std::uint64_t journal_bytes =
+          config.failure_mode == ShardFailureMode::kReplay
+              ? static_cast<std::uint64_t>(config.journal_records) *
+                    sizeof(Request)
+              : 0;
+      payload->budget_bytes = share > journal_bytes ? share - journal_bytes : 1;
     }
     payloads.push_back(std::move(payload));
   }
@@ -85,6 +129,9 @@ ShardedEstimator::fanout_config(const Config& config) {
   cfg.threads = config.threads;
   cfg.queue_capacity = config.queue_capacity;
   cfg.failure_mode = config.failure_mode;
+  cfg.journal_records = config.journal_records;
+  cfg.snapshot_stride = config.snapshot_stride;
+  cfg.retry = config.retry;
   cfg.before_access_hook = config.before_access_hook;
   return cfg;
 }
@@ -218,6 +265,11 @@ RunReport ShardedEstimator::run_report(const TraceReadReport* ingest) const {
   report.final_sampling_rate = final_rate;
   report.producer_stall_seconds = fanout_.producer_stall_seconds();
   report.shards_failed = fanout_.shards_failed();
+  report.shards_resurrected = fanout_.shards_resurrected();
+  report.replayed_records = fanout_.replayed_records();
+  report.dropped_records = fanout_.dropped_records();
+  report.recovery =
+      recovery_path_name(report.shards_resurrected, report.shards_failed);
   return report;
 }
 
@@ -408,7 +460,13 @@ void ShardedEstimator::export_gauges(obs::MetricsRegistry& registry) const {
         .set(static_cast<double>(stats.snapshot.degradation_events));
     registry.gauge(prefix + "final_rate").set(stats.snapshot.sampling_rate);
     registry.gauge(prefix + "failed").set(stats.dead ? 1.0 : 0.0);
+    registry.gauge(prefix + "resurrections")
+        .set(static_cast<double>(fanout_.shard_resurrections(s)));
   }
+  registry.gauge("recovery.resurrections")
+      .set(static_cast<double>(fanout_.shards_resurrected()));
+  registry.gauge("recovery.replayed_records")
+      .set(static_cast<double>(fanout_.replayed_records()));
 }
 
 const MrcEstimator& ShardedEstimator::shard(std::uint32_t s) const {

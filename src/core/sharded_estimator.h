@@ -15,7 +15,9 @@
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "trace/request.h"
+#include "util/faultpoint.h"
 #include "util/parallel.h"
+#include "util/retry.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -33,7 +35,29 @@ enum class ShardFailureMode {
   /// unbiased. Failures are counted in RunReport::shards_failed; the run
   /// only fails if every shard dies.
   kBestEffort,
+  /// Self-healing: each live shard keeps a bounded replay journal (the last
+  /// J records it applied) plus a periodic mini-checkpoint of its payload.
+  /// When the payload throws, the owning worker resurrects it in place —
+  /// fresh payload, reload the last mini-checkpoint, replay the journal
+  /// tail, re-apply the failing record — under the configured RetryPolicy.
+  /// The replayed shard is bit-identical to one that never failed (same
+  /// records, same order). Only when recovery is impossible (journal window
+  /// exceeded because the payload outran its snapshot cadence, or every
+  /// retry attempt failed) does the shard fall back to kBestEffort's
+  /// drop-and-rescale. RunReport::recovery reports which path ran.
+  kReplay,
 };
+
+/// The recovery path a finished run took, for RunReport::recovery and the
+/// CLI summary: "none" (no shard ever failed), "replayed" (every failure
+/// was resurrected from journal+checkpoint), "rescaled" (failures were
+/// dropped and survivors rescaled), or "replayed+rescaled" (both happened).
+inline const char* recovery_path_name(std::uint64_t resurrected,
+                                      std::uint64_t rescaled) noexcept {
+  if (resurrected == 0 && rescaled == 0) return "none";
+  if (resurrected != 0 && rescaled != 0) return "replayed+rescaled";
+  return resurrected != 0 ? "replayed" : "rescaled";
+}
 
 /// The model-agnostic sharded fan-out pipeline, lifted out of
 /// ShardedKrrProfiler so any model can run behind it: the caller (the
@@ -49,6 +73,10 @@ enum class ShardFailureMode {
 /// `Payload` is the per-shard model state and must provide:
 ///   void access(const Request& req);            // consume one record
 ///   obs::HeartbeatSnapshot live_state() const;  // gauges for heartbeats
+/// and, for kReplay recovery (exercised only when that mode is configured):
+///   Status save_state(std::string* out) const;  // mini-checkpoint
+///   Status load_state(const std::string&);      // restore a checkpoint
+///   void rebuild();                             // reset to a fresh payload
 ///
 /// The fan-out owns routing, backpressure, failure handling (strict /
 /// best-effort with dead-shard bit-bucketing), live-gauge publication, and
@@ -69,6 +97,20 @@ class ShardFanout {
     std::size_t queue_capacity = 1u << 16;
     /// Worker-failure policy; see ShardFailureMode.
     ShardFailureMode failure_mode = ShardFailureMode::kStrict;
+    /// kReplay only: per-shard replay-journal capacity J in records. A
+    /// resurrection can bridge at most J records between the last
+    /// mini-checkpoint and the failure; 0 disables journaling (every
+    /// failure falls straight back to drop-and-rescale). ~16 B/record, and
+    /// the wrappers charge the footprint against the shard's memory budget.
+    std::size_t journal_records = 16384;
+    /// kReplay only: payload accesses between per-shard mini-checkpoints.
+    /// 0 picks max(journal_records / 2, 1), which guarantees the journal
+    /// window can never be exceeded while snapshots keep succeeding.
+    std::uint64_t snapshot_stride = 0;
+    /// Resurrection attempts/backoff (kReplay only). Jitter is
+    /// deterministic in the policy seed, so a faulted run recovers
+    /// identically every time.
+    RetryPolicy retry;
     /// Test seam: invoked (on the consuming thread) immediately before each
     /// record enters its shard's payload. Lets fault-injection tests throw
     /// from inside a shard worker; leave empty in production.
@@ -77,10 +119,16 @@ class ShardFanout {
 
   ShardFanout(std::vector<std::unique_ptr<Payload>> payloads, Config config)
       : config_(std::move(config)) {
+    if (config_.failure_mode != ShardFailureMode::kReplay) {
+      config_.journal_records = 0;
+    } else if (config_.snapshot_stride == 0) {
+      config_.snapshot_stride =
+          std::max<std::uint64_t>(config_.journal_records / 2, 1);
+    }
     shards_.reserve(payloads.size());
     for (auto& payload : payloads) {
-      shards_.push_back(
-          std::make_unique<Shard>(std::move(payload), config_.queue_capacity));
+      shards_.push_back(std::make_unique<Shard>(
+          std::move(payload), config_.queue_capacity, config_.journal_records));
       shards_.back()->publish_live();
     }
     if (config_.threads > 1) {
@@ -124,33 +172,39 @@ class ShardFanout {
       dropped_records_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    if (worker_count_ == 0) {
-      if (config_.failure_mode == ShardFailureMode::kBestEffort) {
-        try {
-          if (config_.before_access_hook) config_.before_access_hook(index, req);
-          shard.payload->access(req);
-        } catch (...) {
-          shard.dead.store(true, std::memory_order_release);
-          shards_failed_.fetch_add(1, std::memory_order_relaxed);
-          dropped_records_.fetch_add(1, std::memory_order_relaxed);
-          if (tracer_ != nullptr) {
-            tracer_->instant("sharded.shard_failed", "sharded", index + 1,
-                             {{"shard", static_cast<double>(index)}});
-          }
-        }
-        return;
+    if (faults::should_fire(faults::kQueuePush, index)) {
+      // An injected push fault. Strict mode treats it like any producer
+      // failure (the exception aborts the run); recovering modes lose just
+      // this record — it never reaches a queue, so there is nothing for
+      // replay to bridge — and count it as dropped.
+      if (config_.failure_mode == ShardFailureMode::kStrict) {
+        throw faults::FaultInjectedError("injected fault at queue push, shard " +
+                                         std::to_string(index));
       }
-      if (config_.before_access_hook) config_.before_access_hook(index, req);
-      shard.payload->access(req);
+      dropped_records_.fetch_add(1, std::memory_order_relaxed);
+      if (tracer_ != nullptr) {
+        tracer_->instant("sharded.queue_fault", "sharded", 0,
+                         {{"shard", static_cast<double>(index)}});
+      }
+      return;
+    }
+    if (worker_count_ == 0) {
+      // Inline mode: consume synchronously (strict failures propagate to
+      // the caller, recovering modes dispose of the record like a worker
+      // would).
+      if (!consume_record(shard, index, req)) {
+        dropped_records_.fetch_add(1, std::memory_order_relaxed);
+      }
       return;
     }
     if (shard.queue.try_push(req)) {
       ++shard.routed;
       return;
     }
-    // Backpressure: the shard's worker is behind. Yield-spin rather than
-    // block on a condvar — stalls are transient (a worker mid-batch) and
-    // the producer is the only thread that can relieve other shards.
+    // Backpressure: the shard's worker is behind. Back off (spin, then
+    // yield, then bounded sleeps) rather than block on a condvar — stalls
+    // are usually transient (a worker mid-batch), but a persistently slow
+    // shard must not pin the producer core.
     if constexpr (obs::kHotPathInstrumentation) {
       if (metrics_ != nullptr) metrics_->sharded.producer_stalls->inc();
     }
@@ -164,6 +218,7 @@ class ShardFanout {
       }
     };
     Stopwatch stall;
+    Backoff backoff;
     for (;;) {
       if (failed_.load(std::memory_order_acquire)) {
         // A worker died; its queues will never drain. Drop the record —
@@ -179,7 +234,13 @@ class ShardFanout {
         trace_stall();
         return;
       }
-      std::this_thread::yield();
+      if (backoff.pause()) {
+        if constexpr (obs::kHotPathInstrumentation) {
+          if (metrics_ != nullptr) {
+            metrics_->sharded.backpressure_sleeps->inc();
+          }
+        }
+      }
       if (shard.queue.try_push(req)) break;
     }
     ++shard.routed;
@@ -198,6 +259,7 @@ class ShardFanout {
   /// mode worker has died (its queues will never drain).
   Status quiesce() {
     if (worker_count_ == 0) return Status::ok();
+    Backoff backoff;
     for (;;) {
       if (failed_.load(std::memory_order_acquire)) {
         return internal_error(
@@ -212,7 +274,7 @@ class ShardFanout {
         }
       }
       if (drained) return Status::ok();
-      std::this_thread::yield();
+      backoff.pause();
     }
   }
 
@@ -283,6 +345,22 @@ class ShardFanout {
   /// drops plus queued records the worker discarded after failing).
   std::uint64_t dropped_records() const noexcept {
     return dropped_records_.load(std::memory_order_relaxed);
+  }
+
+  /// Workers revived by replay recovery (kReplay mode; a shard can be
+  /// resurrected more than once).
+  std::uint64_t shards_resurrected() const noexcept {
+    return resurrections_.load(std::memory_order_relaxed);
+  }
+
+  /// Journal records re-applied across all resurrections.
+  std::uint64_t replayed_records() const noexcept {
+    return replayed_records_.load(std::memory_order_relaxed);
+  }
+
+  /// Resurrections of one shard. Post-finish only (consumer-owned counter).
+  std::uint64_t shard_resurrections(std::uint32_t s) const {
+    return shards_.at(s)->resurrections;
   }
 
   std::uint32_t shard_count() const noexcept {
@@ -394,11 +472,28 @@ class ShardFanout {
   static constexpr std::uint64_t kDrainTraceStride = 16;
 
   struct Shard {
-    Shard(std::unique_ptr<Payload> p, std::size_t queue_capacity)
-        : payload(std::move(p)), queue(queue_capacity) {}
+    Shard(std::unique_ptr<Payload> p, std::size_t queue_capacity,
+          std::size_t journal_capacity)
+        : payload(std::move(p)), queue(queue_capacity) {
+      if (journal_capacity != 0) journal.resize(journal_capacity);
+    }
 
     std::unique_ptr<Payload> payload;
     SpscQueue<Request> queue;
+
+    // Replay-recovery state, all consumer-owned (only the worker that owns
+    // this shard — or the producer in inline mode — ever touches it, so no
+    // atomics). `journal` is a ring of the last journal.size() applied
+    // records; `applied` counts records ever applied to the payload;
+    // `snapshot` is the payload's last mini-checkpoint, taken at
+    // `snapshot_applied` applied records. Resurrection = fresh payload +
+    // load(snapshot) + replay journal[snapshot_applied, applied) — possible
+    // exactly while applied - snapshot_applied <= journal.size().
+    std::vector<Request> journal;
+    std::uint64_t applied = 0;
+    std::uint64_t snapshot_applied = 0;
+    std::string snapshot;
+    std::uint64_t resurrections = 0;
 
     // Best-effort failure mode: set (by the owning worker, or the producer
     // in inline mode) when this shard's pipeline threw. A dead shard's
@@ -460,28 +555,19 @@ class ShardFanout {
         tracer_ != nullptr && (shard.drain_batches++ % kDrainTraceStride) == 0;
     const std::uint64_t batch_start_ns = traced ? tracer_->now_ns() : 0;
     int drained = 0;
-    try {
-      while (budget-- > 0 && shard.queue.try_pop(req)) {
-        ++drained;
-        if (config_.before_access_hook) config_.before_access_hook(index, req);
-        shard.payload->access(req);
-        shard.consumed.fetch_add(1, std::memory_order_release);
-      }
-    } catch (...) {
-      if (config_.failure_mode == ShardFailureMode::kStrict) throw;
-      // Best-effort: only this shard dies; the worker keeps serving its
-      // other shards and the producer keeps the run alive. The record that
-      // threw is disposed of (swallowed), so it counts as consumed.
-      shard.dead.store(true, std::memory_order_release);
-      shards_failed_.fetch_add(1, std::memory_order_relaxed);
-      dropped_records_.fetch_add(1, std::memory_order_relaxed);
+    while (budget-- > 0 && shard.queue.try_pop(req)) {
+      // Strict-mode failures throw through to drain_loop/the pool; a
+      // recovering mode that could not save the shard returns false — the
+      // record that killed it is disposed of (swallowed), so it still
+      // counts as consumed.
+      const bool ok = consume_record(shard, index, req);
       shard.consumed.fetch_add(1, std::memory_order_release);
-      did_work = true;
-      if (tracer_ != nullptr) {
-        tracer_->instant("sharded.shard_failed", "sharded", index + 1,
-                         {{"shard", static_cast<double>(index)}});
+      if (!ok) {
+        dropped_records_.fetch_add(1, std::memory_order_relaxed);
+        did_work = true;
+        return;
       }
-      return;
+      ++drained;
     }
     if (drained > 0) {
       shard.publish_live();
@@ -495,6 +581,137 @@ class ShardFanout {
                   shard.live_depth.load(std::memory_order_relaxed))}});
       }
     }
+  }
+
+  /// Consumer side: applies one record to a live shard's payload, with the
+  /// fault point, journaling, mini-checkpoints, and failure handling.
+  /// Returns true when the record is reflected in the payload (possibly
+  /// after a resurrection), false when the shard died under it. Strict
+  /// mode throws instead of dying.
+  bool consume_record(Shard& shard, std::uint32_t index, const Request& req) {
+    try {
+      if (config_.before_access_hook) config_.before_access_hook(index, req);
+      faults::maybe_fire(faults::kShardWorker, index);
+      shard.payload->access(req);
+    } catch (...) {
+      if (config_.failure_mode == ShardFailureMode::kStrict) throw;
+      if (config_.failure_mode == ShardFailureMode::kReplay &&
+          try_resurrect(shard, index, req)) {
+        return true;
+      }
+      kill_shard(shard, index);
+      return false;
+    }
+    journal_append(shard, req);
+    maybe_snapshot(shard, index);
+    return true;
+  }
+
+  void kill_shard(Shard& shard, std::uint32_t index) {
+    shard.dead.store(true, std::memory_order_release);
+    shards_failed_.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_ != nullptr) {
+      tracer_->instant("sharded.shard_failed", "sharded", index + 1,
+                       {{"shard", static_cast<double>(index)}});
+    }
+  }
+
+  void journal_append(Shard& shard, const Request& req) {
+    if (!shard.journal.empty()) {
+      shard.journal[shard.applied % shard.journal.size()] = req;
+    }
+    ++shard.applied;
+  }
+
+  /// Mini-checkpoint cadence: every snapshot_stride applied records the
+  /// owning worker saves the payload into shard-local storage. A failed
+  /// save keeps the previous snapshot — the shard stays recoverable up to
+  /// the old snapshot's journal window and the failure is traced, not
+  /// fatal.
+  void maybe_snapshot(Shard& shard, std::uint32_t index) {
+    if (config_.journal_records == 0 ||
+        shard.applied - shard.snapshot_applied < config_.snapshot_stride) {
+      return;
+    }
+    std::string state;
+    Status status = Status::ok();
+    try {
+      status = shard.payload->save_state(&state);
+    } catch (...) {
+      status = internal_error("shard snapshot threw");
+    }
+    if (status.is_ok()) {
+      shard.snapshot = std::move(state);
+      shard.snapshot_applied = shard.applied;
+    } else if (tracer_ != nullptr) {
+      tracer_->instant("sharded.shard_snapshot_failed", "sharded", index + 1,
+                       {{"shard", static_cast<double>(index)}});
+    }
+  }
+
+  /// Resurrects a shard whose payload just threw on `req`: fresh payload,
+  /// reload the last mini-checkpoint, replay the journal tail, re-apply the
+  /// failing record — retried under the configured RetryPolicy, every
+  /// attempt traced as a sharded.shard_resurrect span. Returns false (and
+  /// leaves the caller to fall back to drop-and-rescale) when the journal
+  /// cannot bridge back to the snapshot or every attempt failed. The replay
+  /// calls the payload directly — no hook, no fault point — so a trigger
+  /// armed on this shard does not re-kill the recovery itself; the hit
+  /// counter simply resumes with the next fresh record.
+  bool try_resurrect(Shard& shard, std::uint32_t index, const Request& req) {
+    const std::uint64_t pending = shard.applied - shard.snapshot_applied;
+    if (shard.journal.empty() || pending > shard.journal.size()) {
+      if (tracer_ != nullptr) {
+        tracer_->instant("sharded.replay_window_exceeded", "sharded", index + 1,
+                         {{"shard", static_cast<double>(index)},
+                          {"pending", static_cast<double>(pending)},
+                          {"journal", static_cast<double>(shard.journal.size())}});
+      }
+      return false;
+    }
+    for (unsigned attempt = 1; attempt <= config_.retry.max_attempts;
+         ++attempt) {
+      if (attempt > 1) config_.retry.sleep(attempt - 1);
+      const std::uint64_t start_ns = tracer_ != nullptr ? tracer_->now_ns() : 0;
+      bool ok = false;
+      try {
+        shard.payload->rebuild();
+        ok = shard.snapshot.empty() ||
+             shard.payload->load_state(shard.snapshot).is_ok();
+        if (ok) {
+          for (std::uint64_t i = shard.snapshot_applied; i < shard.applied;
+               ++i) {
+            shard.payload->access(shard.journal[i % shard.journal.size()]);
+          }
+          shard.payload->access(req);  // the record that killed the worker
+        }
+      } catch (...) {
+        ok = false;
+      }
+      if (tracer_ != nullptr) {
+        tracer_->complete("sharded.shard_resurrect", "sharded", index + 1,
+                          start_ns, tracer_->now_ns() - start_ns,
+                          {{"shard", static_cast<double>(index)},
+                           {"attempt", static_cast<double>(attempt)},
+                           {"replayed", static_cast<double>(pending)},
+                           {"ok", ok ? 1.0 : 0.0}});
+      }
+      if (ok) {
+        journal_append(shard, req);
+        ++shard.resurrections;
+        resurrections_.fetch_add(1, std::memory_order_relaxed);
+        replayed_records_.fetch_add(pending, std::memory_order_relaxed);
+        if constexpr (obs::kHotPathInstrumentation) {
+          if (metrics_ != nullptr) {
+            metrics_->sharded.resurrections->inc();
+            metrics_->sharded.replayed_records->inc(pending);
+          }
+        }
+        shard.publish_live();
+        return true;
+      }
+    }
+    return false;
   }
 
   void drain_loop(unsigned worker_index) {
@@ -542,6 +759,8 @@ class ShardFanout {
   std::atomic<bool> failed_{false};       // some worker threw (strict mode)
   std::atomic<std::uint64_t> shards_failed_{0};
   std::atomic<std::uint64_t> dropped_records_{0};
+  std::atomic<std::uint64_t> resurrections_{0};      // replay recoveries
+  std::atomic<std::uint64_t> replayed_records_{0};   // journal records re-applied
   bool finished_ = false;
   std::uint64_t processed_ = 0;           // producer-side
   double stall_seconds_ = 0.0;            // producer-side
@@ -593,6 +812,14 @@ class ShardedEstimator final : public MrcEstimator {
     unsigned threads = 1;
     std::size_t queue_capacity = 1u << 16;
     ShardFailureMode failure_mode = ShardFailureMode::kStrict;
+    /// kReplay only: per-shard replay-journal capacity / mini-checkpoint
+    /// cadence and the resurrection retry policy; see ShardFanout::Config.
+    /// The journal footprint (journal_records * sizeof(Request) per shard)
+    /// is charged against each shard's max_stack_bytes share so the global
+    /// ceiling still bounds the whole pipeline.
+    std::size_t journal_records = 16384;
+    std::uint64_t snapshot_stride = 0;
+    RetryPolicy retry;
     /// Global memory budget (0 = ungoverned), split evenly across shards.
     std::uint64_t max_stack_bytes = 0;
     /// Test seam forwarded to ShardFanout::Config::before_access_hook.
@@ -644,6 +871,12 @@ class ShardedEstimator final : public MrcEstimator {
   std::uint64_t dropped_records() const noexcept {
     return fanout_.dropped_records();
   }
+  std::uint64_t shards_resurrected() const noexcept {
+    return fanout_.shards_resurrected();
+  }
+  std::uint64_t replayed_records() const noexcept {
+    return fanout_.replayed_records();
+  }
 
   /// Shard-local estimator, for tests/diagnostics. Post-finish only when
   /// threaded; after mrc()/run_report() shard 0 (or the first survivor)
@@ -653,11 +886,21 @@ class ShardedEstimator final : public MrcEstimator {
  private:
   struct ShardPayload {
     std::unique_ptr<MrcEstimator> estimator;
+    /// Recreates a fresh instance with this shard's exact options — the
+    /// resurrection path's rebuild() hook.
+    std::function<std::unique_ptr<MrcEstimator>()> factory;
     std::uint64_t budget_bytes = 0;  // per-shard share; 0 = ungoverned
     std::uint64_t accesses = 0;
 
     void access(const Request& req);
     obs::HeartbeatSnapshot live_state() const { return estimator->snapshot(); }
+
+    /// Replay-recovery hooks (ShardFanout kReplay contract): the
+    /// mini-checkpoint is the access counter (the budget-check stride
+    /// position) followed by the inner estimator's own save_state bytes.
+    Status save_state(std::string* out) const;
+    Status load_state(const std::string& blob);
+    void rebuild();
   };
 
   /// Per-shard end-of-run numbers cached before the merge mutates the

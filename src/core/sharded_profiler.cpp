@@ -23,9 +23,17 @@ ShardedKrrProfiler::make_payloads(const ShardedKrrProfilerConfig& config) {
     cfg.seed = config.base.seed + s;
     if (cfg.max_stack_bytes != 0) {
       // Split the global ceiling evenly; the floor of 1 keeps degradation
-      // armed even for absurd shard counts.
-      cfg.max_stack_bytes =
+      // armed even for absurd shard counts. Replay mode charges the
+      // journal's footprint against the shard's share so the global bound
+      // covers recovery state too.
+      const std::uint64_t share =
           std::max<std::uint64_t>(cfg.max_stack_bytes / shard_n, 1);
+      const std::uint64_t journal_bytes =
+          config.failure_mode == ShardFailureMode::kReplay
+              ? static_cast<std::uint64_t>(config.journal_records) *
+                    sizeof(Request)
+              : 0;
+      cfg.max_stack_bytes = share > journal_bytes ? share - journal_bytes : 1;
     }
     payloads.push_back(std::make_unique<KrrShardPayload>(cfg));
   }
@@ -38,6 +46,9 @@ ShardedKrrProfiler::fanout_config(const ShardedKrrProfilerConfig& config) {
   cfg.threads = config.threads;
   cfg.queue_capacity = config.queue_capacity;
   cfg.failure_mode = config.failure_mode;
+  cfg.journal_records = config.journal_records;
+  cfg.snapshot_stride = config.snapshot_stride;
+  cfg.retry = config.retry;
   cfg.before_access_hook = config.before_access_hook;
   return cfg;
 }
@@ -72,7 +83,7 @@ namespace {
 
 const KrrProfiler& ShardedKrrProfiler::shard(std::uint32_t s) const {
   if (fanout_.needs_finish()) throw_unfinished("shard()");
-  return fanout_.payload(s).profiler;
+  return *fanout_.payload(s).profiler;
 }
 
 DistanceHistogram ShardedKrrProfiler::merged_histogram() const {
@@ -81,7 +92,7 @@ DistanceHistogram ShardedKrrProfiler::merged_histogram() const {
   std::size_t live = 0;
   for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
     if (fanout_.dead(s)) continue;
-    merged.merge(fanout_.payload(s).profiler.adjusted_histogram());
+    merged.merge(fanout_.payload(s).profiler->adjusted_histogram());
     ++live;
   }
   if (live == 0) {
@@ -130,7 +141,7 @@ std::uint64_t ShardedKrrProfiler::sampled() const {
   std::uint64_t total = 0;
   for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
     if (fanout_.dead(s)) continue;
-    total += fanout_.payload(s).profiler.sampled();
+    total += fanout_.payload(s).profiler->sampled();
   }
   return total;
 }
@@ -139,7 +150,7 @@ std::uint64_t ShardedKrrProfiler::stack_depth() const {
   std::uint64_t total = 0;
   for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
     if (fanout_.dead(s)) continue;
-    total += fanout_.payload(s).profiler.stack_depth();
+    total += fanout_.payload(s).profiler->stack_depth();
   }
   return total;
 }
@@ -148,7 +159,7 @@ std::uint64_t ShardedKrrProfiler::space_overhead_bytes() const {
   std::uint64_t total = 0;
   for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
     if (fanout_.dead(s)) continue;
-    total += fanout_.payload(s).profiler.space_overhead_bytes();
+    total += fanout_.payload(s).profiler->space_overhead_bytes();
   }
   return total;
 }
@@ -157,7 +168,7 @@ std::uint64_t ShardedKrrProfiler::degradation_events() const {
   std::uint64_t total = 0;
   for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
     if (fanout_.dead(s)) continue;
-    total += fanout_.payload(s).profiler.degradation_events();
+    total += fanout_.payload(s).profiler->degradation_events();
   }
   return total;
 }
@@ -174,12 +185,12 @@ RunReport ShardedKrrProfiler::run_report(const TraceReadReport* ingest) const {
     report.records_read = fanout_.processed();
   }
   report.configured_sampling_rate =
-      fanout_.payload(0).profiler.run_report(nullptr).configured_sampling_rate;
+      fanout_.payload(0).profiler->run_report(nullptr).configured_sampling_rate;
   double final_rate = 1.0;
   bool first = true;
   for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
     if (fanout_.dead(s)) continue;
-    const KrrProfiler& profiler = fanout_.payload(s).profiler;
+    const KrrProfiler& profiler = *fanout_.payload(s).profiler;
     report.degradation_events += profiler.degradation_events();
     report.stack_depth += profiler.stack_depth();
     report.space_overhead_bytes += profiler.space_overhead_bytes();
@@ -190,6 +201,11 @@ RunReport ShardedKrrProfiler::run_report(const TraceReadReport* ingest) const {
   report.final_sampling_rate = final_rate;
   report.producer_stall_seconds = fanout_.producer_stall_seconds();
   report.shards_failed = fanout_.shards_failed();
+  report.shards_resurrected = fanout_.shards_resurrected();
+  report.replayed_records = fanout_.replayed_records();
+  report.dropped_records = fanout_.dropped_records();
+  report.recovery =
+      recovery_path_name(report.shards_resurrected, report.shards_failed);
   return report;
 }
 
@@ -207,7 +223,7 @@ void ShardedKrrProfiler::attach_tracer(obs::Tracer* tracer) noexcept {
 void ShardedKrrProfiler::export_shard_gauges(
     obs::MetricsRegistry& registry) const {
   for (std::uint32_t s = 0; s < fanout_.shard_count(); ++s) {
-    const KrrProfiler& profiler = fanout_.payload(s).profiler;
+    const KrrProfiler& profiler = *fanout_.payload(s).profiler;
     const std::string prefix = "sharded.shard" + std::to_string(s) + ".";
     registry.gauge(prefix + "stack_depth")
         .set(static_cast<double>(profiler.stack_depth()));
@@ -217,7 +233,13 @@ void ShardedKrrProfiler::export_shard_gauges(
         .set(static_cast<double>(profiler.degradation_events()));
     registry.gauge(prefix + "final_rate").set(profiler.current_sampling_rate());
     registry.gauge(prefix + "failed").set(fanout_.dead(s) ? 1.0 : 0.0);
+    registry.gauge(prefix + "resurrections")
+        .set(static_cast<double>(fanout_.shard_resurrections(s)));
   }
+  registry.gauge("recovery.resurrections")
+      .set(static_cast<double>(fanout_.shards_resurrected()));
+  registry.gauge("recovery.replayed_records")
+      .set(static_cast<double>(fanout_.replayed_records()));
 }
 
 }  // namespace krr

@@ -51,6 +51,13 @@ struct ShardedKrrProfilerConfig {
   std::function<void(std::uint32_t shard, const Request&)> before_access_hook;
   /// Worker-failure policy; see ShardFailureMode.
   ShardFailureMode failure_mode = ShardFailureMode::kStrict;
+  /// kReplay only: per-shard replay-journal capacity / mini-checkpoint
+  /// cadence and the resurrection retry policy; see ShardFanout::Config.
+  /// The journal footprint is charged against each shard's
+  /// max_stack_bytes share.
+  std::size_t journal_records = 16384;
+  std::uint64_t snapshot_stride = 0;
+  RetryPolicy retry;
 };
 
 /// Multi-threaded sharded KRR profiling pipeline (the SHARDS-composition
@@ -128,6 +135,15 @@ class ShardedKrrProfiler {
     return fanout_.dropped_records();
   }
 
+  /// Replay-recovery accounting (failure_mode=replay): workers revived and
+  /// journal records re-applied across all resurrections.
+  std::uint64_t shards_resurrected() const noexcept {
+    return fanout_.shards_resurrected();
+  }
+  std::uint64_t replayed_records() const noexcept {
+    return fanout_.replayed_records();
+  }
+
   std::uint32_t shards() const noexcept { return fanout_.shard_count(); }
   unsigned threads() const noexcept { return fanout_.worker_count(); }
   bool finished() const noexcept { return fanout_.finished(); }
@@ -171,23 +187,38 @@ class ShardedKrrProfiler {
   void export_shard_gauges(obs::MetricsRegistry& registry) const;
 
  private:
-  /// ShardFanout payload: one shard-local KrrProfiler.
+  /// ShardFanout payload: one shard-local KrrProfiler, held through a
+  /// pointer (plus its config) so the replay-recovery rebuild() hook can
+  /// recreate a config-identical fresh instance in place.
   struct KrrShardPayload {
-    explicit KrrShardPayload(const KrrProfilerConfig& cfg) : profiler(cfg) {}
+    explicit KrrShardPayload(const KrrProfilerConfig& cfg)
+        : config(cfg), profiler(std::make_unique<KrrProfiler>(cfg)) {}
 
-    void access(const Request& req) { profiler.access(req); }
+    void access(const Request& req) { profiler->access(req); }
     obs::HeartbeatSnapshot live_state() const {
       obs::HeartbeatSnapshot s;
-      s.records = profiler.processed();
-      s.sampled = profiler.sampled();
-      s.stack_depth = profiler.stack_depth();
-      s.resident_bytes = profiler.space_overhead_bytes();
-      s.sampling_rate = profiler.current_sampling_rate();
-      s.degradation_events = profiler.degradation_events();
+      s.records = profiler->processed();
+      s.sampled = profiler->sampled();
+      s.stack_depth = profiler->stack_depth();
+      s.resident_bytes = profiler->space_overhead_bytes();
+      s.sampling_rate = profiler->current_sampling_rate();
+      s.degradation_events = profiler->degradation_events();
       return s;
     }
 
-    KrrProfiler profiler;
+    /// Replay-recovery hooks (ShardFanout kReplay contract). KrrProfiler's
+    /// own save/load is already bit-identical, so the mini-checkpoint is
+    /// just its state bytes.
+    Status save_state(std::string* out) const {
+      return profiler->save_state(out);
+    }
+    Status load_state(const std::string& blob) {
+      return profiler->load_state(blob);
+    }
+    void rebuild() { profiler = std::make_unique<KrrProfiler>(config); }
+
+    KrrProfilerConfig config;
+    std::unique_ptr<KrrProfiler> profiler;
   };
 
   static std::vector<std::unique_ptr<KrrShardPayload>> make_payloads(

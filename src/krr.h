@@ -58,11 +58,13 @@
 #include "trace/ycsb.h"
 #include "trace/zipf.h"
 #include "util/crc32.h"
+#include "util/faultpoint.h"
 #include "util/histogram.h"
 #include "util/mrc.h"
 #include "util/options.h"
 #include "util/parallel.h"
 #include "util/prng.h"
+#include "util/retry.h"
 #include "util/reuse_histogram.h"
 #include "util/status.h"
 #include "util/stopwatch.h"

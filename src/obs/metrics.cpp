@@ -148,6 +148,9 @@ PipelineMetrics::PipelineMetrics(MetricsRegistry& registry)
   sharded.merge_seconds = &registry.gauge("sharded.merge_seconds");
   sharded.stall_seconds = &registry.gauge("sharded.producer_stall_seconds");
   sharded.shard_failures = &registry.counter("sharded.shard_failures");
+  sharded.backpressure_sleeps = &registry.counter("sharded.backpressure_sleeps");
+  sharded.resurrections = &registry.counter("recovery.resurrections");
+  sharded.replayed_records = &registry.counter("recovery.replayed_records");
   model.depth = &registry.gauge("model.depth");
   model.resident_bytes = &registry.gauge("model.resident_bytes");
   model.sampling_rate = &registry.gauge("model.sampling_rate");

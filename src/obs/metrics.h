@@ -173,6 +173,9 @@ struct ShardedMetrics {
   Gauge* merge_seconds = nullptr;     ///< sharded.merge_seconds — histogram merge+MRC time
   Gauge* stall_seconds = nullptr;     ///< sharded.producer_stall_seconds — fan-out backpressure
   Counter* shard_failures = nullptr;  ///< sharded.shard_failures — shards dropped (best-effort)
+  Counter* backpressure_sleeps = nullptr;  ///< sharded.backpressure_sleeps — producer sleep steps
+  Counter* resurrections = nullptr;   ///< recovery.resurrections — workers revived by replay
+  Counter* replayed_records = nullptr;///< recovery.replayed_records — journal records re-applied
 };
 
 /// The model-agnostic gauge slice every registered estimator publishes via

@@ -10,6 +10,7 @@
 #include "obs/tracer.h"
 #include "trace/trace_codec.h"
 #include "util/crc32.h"
+#include "util/faultpoint.h"
 
 namespace krr {
 
@@ -23,6 +24,7 @@ void fold_ingest_metrics(const TraceReadReport& report,
   registry.counter("ingest.resyncs").inc(report.resyncs);
   registry.counter("ingest.bytes_read").inc(report.bytes_read);
   registry.counter("ingest.bytes_discarded").inc(report.bytes_discarded);
+  registry.counter("ingest.read_retries").inc(report.read_retries);
   registry.counter("ingest.truncated_tail").inc(report.truncated_tail ? 1 : 0);
 }
 
@@ -203,6 +205,12 @@ void TraceReader::open() {
 bool TraceReader::next(Request& out) {
   if (state_ == State::kUnopened) open();
   if (state_ == State::kError) return false;
+  // Injected transient read faults surface as the same kIoError a flaky
+  // filesystem would, so load_trace_file's retry loop is exercised for real.
+  if (faults::should_fire(faults::kTraceRead)) {
+    return fail(io_error("injected transient trace read fault after record " +
+                         std::to_string(report_.records_read)));
+  }
   // v2 may still hold delivered-but-unconsumed records from the last good
   // block after the stream itself has ended (e.g. best-effort stopping at a
   // damaged record mid-block), so it drains the buffer before checking state.
@@ -455,9 +463,30 @@ StatusOr<std::vector<Request>> read_trace(std::istream& is,
 StatusOr<std::vector<Request>> load_trace_file(const std::string& path,
                                                const TraceReaderOptions& options,
                                                TraceReadReport* report) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return io_error("cannot open for read: " + path);
-  return read_trace(is, options, report);
+  // kIoError is the one transient failure class here (open races, flaky
+  // network filesystems, injected trace.read faults): the file is restarted
+  // from scratch under read_retry, since a mid-stream reader cannot resume.
+  // Every other status is a property of the bytes and retrying is useless.
+  std::uint64_t retries = 0;
+  for (unsigned attempt = 1;; ++attempt) {
+    StatusOr<std::vector<Request>> result = [&]() -> StatusOr<std::vector<Request>> {
+      std::ifstream is(path, std::ios::binary);
+      if (!is) return io_error("cannot open for read: " + path);
+      return read_trace(is, options, report);
+    }();
+    const bool transient =
+        !result.is_ok() && result.status().code() == StatusCode::kIoError;
+    if (!transient || attempt >= options.read_retry.max_attempts) {
+      if (report != nullptr) report->read_retries = retries;
+      return result;
+    }
+    ++retries;
+    if (options.tracer != nullptr) {
+      options.tracer->instant("ingest.read_retry", "ingest", 0,
+                              {{"attempt", static_cast<double>(attempt)}});
+    }
+    options.read_retry.sleep(attempt);
+  }
 }
 
 void write_trace_binary_v2(std::ostream& os, const std::vector<Request>& trace,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "trace/request.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace krr {
@@ -49,6 +50,12 @@ struct TraceReaderOptions {
   /// Corruption events are rare by construction, so these are emitted
   /// inline, not stride-gated. Non-owning; may be null.
   obs::Tracer* tracer = nullptr;
+  /// load_trace_file only: kIoError results (open races, flaky mounts,
+  /// injected trace.read faults) restart the whole read under this policy.
+  /// The default (max_attempts = 1) keeps the old fail-fast behavior;
+  /// every restart is counted in TraceReadReport::read_retries and traced
+  /// as an ingest.read_retry instant.
+  RetryPolicy read_retry{.max_attempts = 1};
 };
 
 /// Ingestion accounting, valid whether or not reading succeeded. A clean
@@ -63,6 +70,7 @@ struct TraceReadReport {
   std::uint64_t bytes_discarded = 0;   ///< bytes consumed by resync scans
   std::uint64_t declared_records = 0;  ///< the header's record count claim
   std::uint32_t format_version = 0;    ///< 1 or 2 once the header parsed
+  std::uint64_t read_retries = 0;      ///< whole-file retries (load_trace_file)
   bool truncated_tail = false;         ///< stream ended before declared end
 };
 

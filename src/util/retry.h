@@ -1,0 +1,115 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "util/hashing.h"
+#include "util/status.h"
+
+namespace krr {
+
+/// Shared retry/backoff policy for transient-failure sites: shard worker
+/// resurrection, checkpoint writes, and trace-read retries all use this one
+/// object so "how hard do we try" is configured in a single place. Delays
+/// grow exponentially from base_delay_ms and carry deterministic jitter
+/// derived from (seed, attempt) — two runs with the same seed back off for
+/// exactly the same durations, which keeps fault-plan reproductions stable
+/// while still decorrelating concurrent retriers in production (each site
+/// folds its own salt into the seed).
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retrying.
+  unsigned max_attempts = 3;
+  double base_delay_ms = 1.0;
+  double max_delay_ms = 250.0;
+  /// Jitter seed, conventionally the run seed (+ a per-site salt).
+  std::uint64_t seed = 0;
+
+  /// Delay before retry number `attempt` (1-based: the delay after the
+  /// first failure is delay_ms(1)): base * 2^(attempt-1), jittered into
+  /// [0.5, 1.0] of itself, capped at max_delay_ms.
+  double delay_ms(unsigned attempt) const noexcept {
+    double delay = base_delay_ms;
+    for (unsigned i = 1; i < attempt && delay < max_delay_ms; ++i) delay *= 2.0;
+    if (delay > max_delay_ms) delay = max_delay_ms;
+    const std::uint64_t bits = hash64(seed ^ (0x9e3779b97f4a7c15ull * attempt));
+    const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;
+    return delay * (0.5 + 0.5 * unit);
+  }
+
+  void sleep(unsigned attempt) const {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms(attempt)));
+  }
+};
+
+/// Runs `fn` (returning Status) up to policy.max_attempts times, sleeping
+/// the policy's backoff between attempts. `on_retry(attempt, status)` is
+/// invoked before each sleep so callers can count/trace every retry.
+template <typename Fn, typename OnRetry>
+Status retry_status(const RetryPolicy& policy, Fn&& fn, OnRetry&& on_retry) {
+  Status last = Status::ok();
+  for (unsigned attempt = 1;; ++attempt) {
+    last = fn();
+    if (last.is_ok() || attempt >= policy.max_attempts) return last;
+    on_retry(attempt, last);
+    policy.sleep(attempt);
+  }
+}
+
+template <typename Fn>
+Status retry_status(const RetryPolicy& policy, Fn&& fn) {
+  return retry_status(policy, static_cast<Fn&&>(fn),
+                      [](unsigned, const Status&) {});
+}
+
+/// Bounded exponential wait for spin loops (producer backpressure, quiesce):
+/// the first pauses spin (cheap, latency-optimal when the stall is a worker
+/// mid-batch), the next ones yield the timeslice, and persistent stalls
+/// escalate to real sleeps that double up to max_sleep — so a stalled
+/// producer stops burning a core without giving up sub-microsecond wakeup
+/// on short stalls. pause() returns true when the step slept, so callers
+/// can count backpressure sleeps distinctly from cheap spins.
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t spin_limit = 64, std::uint32_t yield_limit = 64,
+                   std::chrono::nanoseconds initial_sleep =
+                       std::chrono::microseconds(1),
+                   std::chrono::nanoseconds max_sleep =
+                       std::chrono::microseconds(500))
+      : spin_limit_(spin_limit),
+        yield_limit_(yield_limit),
+        initial_sleep_(initial_sleep),
+        max_sleep_(max_sleep) {}
+
+  bool pause() {
+    if (steps_ < spin_limit_) {
+      ++steps_;
+      return false;
+    }
+    if (steps_ < spin_limit_ + yield_limit_) {
+      ++steps_;
+      std::this_thread::yield();
+      return false;
+    }
+    std::this_thread::sleep_for(sleep_);
+    if (sleep_ < max_sleep_) sleep_ = std::min(sleep_ * 2, max_sleep_);
+    return true;
+  }
+
+  void reset() {
+    steps_ = 0;
+    sleep_ = initial_sleep_;
+  }
+
+ private:
+  std::uint32_t spin_limit_;
+  std::uint32_t yield_limit_;
+  std::chrono::nanoseconds initial_sleep_;
+  std::chrono::nanoseconds max_sleep_;
+  std::uint32_t steps_ = 0;
+  std::chrono::nanoseconds sleep_ = initial_sleep_;
+};
+
+}  // namespace krr

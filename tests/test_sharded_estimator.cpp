@@ -22,6 +22,7 @@
 #include "trace/generator.h"
 #include "trace/msr.h"
 #include "trace/zipf.h"
+#include "util/faultpoint.h"
 #include "util/mrc.h"
 #include "util/status.h"
 
@@ -193,6 +194,162 @@ TEST_P(ShardedZoo, CheckpointRefusedAfterMerge) {
 INSTANTIATE_TEST_SUITE_P(SpatialSamplingModels, ShardedZoo,
                          ::testing::ValuesIn(kBaseModels),
                          [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Replay recovery: a shard worker killed mid-run by a deterministic fault
+// plan is resurrected from its mini-checkpoint + journal tail, and the
+// merged curve is exactly the unfaulted run's — across the zoo and across
+// thread counts. Fault plans are process-global, so every test arms after
+// its clean baseline run and disarms on exit.
+// ---------------------------------------------------------------------------
+
+const std::string kRecoveryModels[] = {"krr", "shards", "aet"};
+
+class RecoveryZoo : public ::testing::TestWithParam<std::string> {
+ protected:
+  void TearDown() override { faults::disarm(); }
+};
+
+TEST_P(RecoveryZoo, ReplayResurrectionIsBitIdenticalToUnfaulted) {
+  const auto trace = zipf_trace(60000, 5000);
+  for (unsigned threads : {1u, 4u}) {
+    EstimatorOptions opts;
+    opts.set("seed", "11");
+    opts.set("shards", "4");
+    opts.set("threads", std::to_string(threads));
+    faults::disarm();
+    auto clean = make(sharded_name(GetParam()), opts);
+    const MissRatioCurve expected = run(*clean, trace);
+
+    EstimatorOptions replay_opts = opts;
+    replay_opts.set("failure_mode", "replay");
+    ASSERT_TRUE(faults::arm("sharded.worker#2@hit=4000").is_ok());
+    auto faulted = make(sharded_name(GetParam()), replay_opts);
+    const MissRatioCurve got = run(*faulted, trace);
+    faults::disarm();
+
+    const std::string context =
+        GetParam() + " threads=" + std::to_string(threads);
+    expect_identical(expected, got, context);
+    const RunReport report = faulted->run_report();
+    EXPECT_EQ(report.shards_resurrected, 1u) << context;
+    EXPECT_EQ(report.shards_failed, 0u) << context;
+    EXPECT_GT(report.replayed_records, 0u) << context;
+    EXPECT_EQ(report.recovery, "replayed") << context;
+    EXPECT_EQ(report.dropped_records, 0u) << context;
+  }
+}
+
+TEST_P(RecoveryZoo, ExceededJournalWindowFallsBackToSurvivorRescale) {
+  // An 8-record journal with snapshots effectively disabled cannot cover
+  // the 4000 records pending at the crash, so replay must give up, drop the
+  // shard, and rescale the survivors — a degraded but still-sound curve.
+  const auto trace = zipf_trace(100000, 8000);
+  EstimatorOptions opts;
+  opts.set("seed", "11");
+  opts.set("shards", "4");
+  opts.set("threads", "2");
+  faults::disarm();
+  auto clean = make(sharded_name(GetParam()), opts);
+  const MissRatioCurve expected = run(*clean, trace);
+
+  EstimatorOptions replay_opts = opts;
+  replay_opts.set("failure_mode", "replay");
+  replay_opts.set("journal_records", "8");
+  replay_opts.set("snapshot_stride", "1000000");
+  ASSERT_TRUE(faults::arm("sharded.worker#2@hit=4000").is_ok());
+  auto faulted = make(sharded_name(GetParam()), replay_opts);
+  const MissRatioCurve got = run(*faulted, trace);
+  faults::disarm();
+
+  const RunReport report = faulted->run_report();
+  EXPECT_EQ(report.shards_resurrected, 0u) << GetParam();
+  EXPECT_EQ(report.shards_failed, 1u) << GetParam();
+  EXPECT_EQ(report.recovery, "rescaled") << GetParam();
+  EXPECT_GT(report.dropped_records, 0u) << GetParam();
+  EXPECT_LE(mae_on_grid(expected, got), 0.02) << GetParam();
+}
+
+TEST_P(RecoveryZoo, RepeatedCrashesOnOneShardAllReplay) {
+  // every=K keeps killing the same worker; each crash replays from the
+  // latest snapshot and the result still matches the unfaulted run.
+  const auto trace = zipf_trace(40000, 3000);
+  EstimatorOptions opts;
+  opts.set("seed", "3");
+  opts.set("shards", "2");
+  opts.set("threads", "2");
+  faults::disarm();
+  auto clean = make(sharded_name(GetParam()), opts);
+  const MissRatioCurve expected = run(*clean, trace);
+
+  EstimatorOptions replay_opts = opts;
+  replay_opts.set("failure_mode", "replay");
+  ASSERT_TRUE(faults::arm("sharded.worker#0@every=5000").is_ok());
+  auto faulted = make(sharded_name(GetParam()), replay_opts);
+  const MissRatioCurve got = run(*faulted, trace);
+  faults::disarm();
+
+  expect_identical(expected, got, GetParam());
+  const RunReport report = faulted->run_report();
+  EXPECT_GE(report.shards_resurrected, 2u) << GetParam();
+  EXPECT_EQ(report.recovery, "replayed") << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(ReplayModels, RecoveryZoo,
+                         ::testing::ValuesIn(kRecoveryModels),
+                         [](const auto& info) { return info.param; });
+
+TEST(ShardRecovery, QueuePushFaultDropsRecordUnderRecoveringModes) {
+  const auto trace = zipf_trace(20000, 2000);
+  for (const char* mode : {"replay", "best_effort"}) {
+    EstimatorOptions opts;
+    opts.set("shards", "2");
+    opts.set("threads", "2");
+    opts.set("failure_mode", mode);
+    ASSERT_TRUE(faults::arm("sharded.queue_push@hit=100").is_ok());
+    auto est = make("shards_sharded", opts);
+    for (const Request& r : trace) est->access(r);
+    EXPECT_NO_THROW(est->finish()) << mode;
+    faults::disarm();
+    const RunReport report = est->run_report();
+    EXPECT_EQ(report.dropped_records, 1u) << mode;
+    EXPECT_EQ(report.shards_failed, 0u) << mode;
+  }
+}
+
+TEST(ShardRecovery, QueuePushFaultIsFatalUnderStrict) {
+  const auto trace = zipf_trace(20000, 2000);
+  EstimatorOptions opts;
+  opts.set("shards", "2");
+  opts.set("threads", "2");
+  ASSERT_TRUE(faults::arm("sharded.queue_push@hit=100").is_ok());
+  auto est = make("shards_sharded", opts);
+  EXPECT_THROW(
+      {
+        for (const Request& r : trace) est->access(r);
+        est->finish();
+      },
+      faults::FaultInjectedError);
+  faults::disarm();
+}
+
+TEST(ShardRecovery, ReplayJournalIsChargedAgainstTheMemoryBudget) {
+  // The per-shard stack budget shrinks by the journal footprint, so a
+  // replay-mode run degrades at least as eagerly as a strict run with the
+  // same global ceiling.
+  const auto trace = zipf_trace(60000, 20000, 0.7);
+  EstimatorOptions opts;
+  opts.set("max_stack_bytes", "65536");
+  opts.set("shards", "2");
+  opts.set("threads", "2");
+  opts.set("rate", "1.0");
+  opts.set("failure_mode", "replay");
+  opts.set("journal_records", "1024");  // 16 KiB of the 32 KiB shard share
+  auto est = make("shards_sharded", opts);
+  run(*est, trace);
+  const RunReport report = est->run_report();
+  EXPECT_GT(report.degradation_events, 0u);
+}
 
 TEST(ShardedEstimator, RejectsZeroShardsOrThreads) {
   for (const char* key : {"shards", "threads"}) {

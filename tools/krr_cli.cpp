@@ -87,6 +87,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <functional>
@@ -127,6 +128,9 @@ void print_usage(std::FILE* to) {
                "            [--progress[=secs]] [--trace-out=FILE]\n"
                "            [--checkpoint-out=] [--checkpoint-every=N]\n"
                "            [--resume-from=] [--deadline-secs=S]\n"
+               "            [--shard-recovery=off|replay|rescale]\n"
+               "            [--replay-journal-records=N]\n"
+               "            [--checkpoint-retries=N]\n"
                "  simulate  --trace=|--workload= --policy=klru|redis|lru\n"
                "            [--k=] [--sizes=]\n"
                "  compare   --trace=|--workload= [--models=krr,shards,...]\n"
@@ -138,6 +142,9 @@ void print_usage(std::FILE* to) {
                "            [--convergence-out=FILE] [--convergence-every=N]\n"
                "ingestion:  [--strict] [--recovery=strict|skip|best-effort]\n"
                "            [--max-bad-records=N] [--format=v1|v2]\n"
+               "            [--read-retries=N]\n"
+               "faults:     [--fault-plan=point[#detail]@hit=N|every=K|once;...]\n"
+               "            (or KRR_FAULT_PLAN env; flag wins)\n"
                "exit codes: 0 ok, 1 runtime failure, 2 usage,\n"
                "            3 corrupt input (strict mode or bad-record "
                "budget exhausted),\n"
@@ -165,6 +172,12 @@ TraceReaderOptions reader_options(const Options& opts) {
   const auto budget = opts.get_int("max-bad-records", 1024);
   if (budget < 0) usage("--max-bad-records must be >= 0");
   ro.max_bad_records = static_cast<std::uint64_t>(budget);
+  // Transient (kIoError) reads restart the whole file; the default of 3
+  // attempts rides out open races and injected trace.read faults.
+  const auto read_retries = opts.get_int("read-retries", 3);
+  if (read_retries < 1) usage("--read-retries must be >= 1");
+  ro.read_retry.max_attempts = static_cast<unsigned>(read_retries);
+  ro.read_retry.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   return ro;
 }
 
@@ -436,6 +449,38 @@ int cmd_profile(const Options& opts) {
     if (!eopts.has("threads")) eopts.set("threads", std::to_string(threads));
     if (!eopts.has("shards")) eopts.set("shards", std::to_string(shards));
   }
+  // Worker-failure policy, in operator vocabulary: off = fail the run
+  // (strict), replay = resurrect from mini-checkpoint + journal, rescale =
+  // drop the shard and extrapolate from survivors (best_effort).
+  const std::string shard_recovery = opts.get_string("shard-recovery", "");
+  if (!shard_recovery.empty()) {
+    std::string failure_mode;
+    if (shard_recovery == "off") {
+      failure_mode = "strict";
+    } else if (shard_recovery == "replay") {
+      failure_mode = "replay";
+    } else if (shard_recovery == "rescale") {
+      failure_mode = "best_effort";
+    } else {
+      usage("unknown --shard-recovery (use off, replay or rescale)");
+    }
+    if (!is_sharded_model(model)) {
+      usage("--shard-recovery: model '" + model +
+            "' is not sharded (pass --threads/--shards to select the "
+            "sharded pipeline)");
+    }
+    if (!eopts.has("failure_mode")) eopts.set("failure_mode", failure_mode);
+  }
+  if (opts.has("replay-journal-records")) {
+    const auto journal = opts.get_int("replay-journal-records", 0);
+    if (journal < 1) usage("--replay-journal-records must be >= 1");
+    if (!is_sharded_model(model)) {
+      usage("--replay-journal-records: model '" + model + "' is not sharded");
+    }
+    if (!eopts.has("journal_records")) {
+      eopts.set("journal_records", std::to_string(journal));
+    }
+  }
   auto created = EstimatorRegistry::instance().create(model, eopts);
   if (!created.is_ok()) throw StatusError(created.status());
   std::unique_ptr<MrcEstimator> est = std::move(*created);
@@ -506,6 +551,11 @@ int cmd_profile(const Options& opts) {
       static_cast<std::uint64_t>(eopts.get_int("max_stack_bytes", 0));
   gcfg.deadline_secs = deadline_secs;
   gcfg.checkpoint_every = static_cast<std::uint64_t>(checkpoint_every);
+  const auto checkpoint_retries = opts.get_int("checkpoint-retries", 3);
+  if (checkpoint_retries < 1) usage("--checkpoint-retries must be >= 1");
+  gcfg.checkpoint_retry.max_attempts =
+      static_cast<unsigned>(checkpoint_retries);
+  gcfg.checkpoint_retry.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   const auto write_snapshot =
       [&est, &model, &eopts, checkpoint_out,
        resume_offset](std::uint64_t records) -> StatusOr<std::uint64_t> {
@@ -561,9 +611,17 @@ int cmd_profile(const Options& opts) {
   // A final snapshot so the checkpoint file always reflects the last state
   // (completed or deadline-cut), ready for a later resume.
   if (!checkpoint_out.empty()) {
-    if (auto written = write_snapshot(fed - resume_offset); !written.is_ok()) {
-      throw StatusError(written.status());
+    // The final snapshot is what a later --resume-from reads, so it gets
+    // the same transient-failure retries as the governor's periodic writes.
+    StatusOr<std::uint64_t> written = write_snapshot(fed - resume_offset);
+    for (unsigned attempt = 1;
+         !written.is_ok() && attempt < gcfg.checkpoint_retry.max_attempts;
+         ++attempt) {
+      if (want_metrics) registry.counter("governor.checkpoint_retries").inc();
+      gcfg.checkpoint_retry.sleep(attempt);
+      written = write_snapshot(fed - resume_offset);
     }
+    if (!written.is_ok()) throw StatusError(written.status());
   }
   std::optional<obs::ScopedTraceSpan> report_span;
   if (tracer != nullptr) report_span.emplace(tracer, "phase.report", "phase");
@@ -581,6 +639,17 @@ int cmd_profile(const Options& opts) {
   if (report.producer_stall_seconds > 0.01) {
     std::fprintf(stderr, "fan-out backpressure: %.3f s producer stall\n",
                  report.producer_stall_seconds);
+  }
+  if (report.shards_failed > 0 || report.shards_resurrected > 0) {
+    std::fprintf(stderr,
+                 "shard recovery: %s (%llu worker(s) resurrected, %llu "
+                 "records replayed, %llu shard(s) dropped, %llu records "
+                 "lost)\n",
+                 report.recovery.c_str(),
+                 static_cast<unsigned long long>(report.shards_resurrected),
+                 static_cast<unsigned long long>(report.replayed_records),
+                 static_cast<unsigned long long>(report.shards_failed),
+                 static_cast<unsigned long long>(report.dropped_records));
   }
 
   const double secs = phase_profile + phase_mrc;
@@ -1173,6 +1242,21 @@ int run(int argc, char** argv) {
     return 0;
   }
   const Options opts(argc - 1, argv + 1);
+  // Fault plans arm process-global trigger state and must be installed
+  // before any pipeline threads exist, so this happens ahead of command
+  // dispatch. The flag wins over the KRR_FAULT_PLAN environment variable
+  // (the env form lets CI inject faults without touching command lines).
+  std::string fault_plan = opts.get_string("fault-plan", "");
+  if (fault_plan.empty()) {
+    if (const char* env = std::getenv("KRR_FAULT_PLAN"); env != nullptr) {
+      fault_plan = env;
+    }
+  }
+  if (!fault_plan.empty()) {
+    if (Status s = faults::arm(fault_plan); !s.is_ok()) {
+      usage(s.message());
+    }
+  }
   if (command == "workloads") return cmd_workloads();
   if (command == "models") return cmd_models(opts);
   if (command == "generate") return cmd_generate(opts);
